@@ -1,0 +1,40 @@
+"""Benchmark harness configuration.
+
+Benchmarks default to the 1/8-scale layer (see
+:mod:`repro.eval.workloads`); set ``REPRO_FULL=1`` to run the paper's
+exact 16x16x32 / 64x3x3x32 layer (minutes of simulation).
+
+Each table/figure benchmark renders the reproduced rows/series to stdout
+and into ``benchmarks/results/``.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.eval import benchmark_geometry, conv_suite
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def geometry():
+    return benchmark_geometry()
+
+
+@pytest.fixture(scope="session")
+def suite(geometry):
+    """All verified kernel executions, shared across benchmark modules."""
+    return conv_suite(geometry)
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def record(results_dir: Path, name: str, text: str) -> None:
+    (results_dir / f"{name}.txt").write_text(text + "\n")
+    print("\n" + text)

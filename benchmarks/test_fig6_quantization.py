@@ -1,0 +1,61 @@
+"""Fig. 6 — sub-byte kernel cycles and the pv.qnt quantization share.
+
+Regenerates: per-kernel cycle bars (sw-quant vs pv.qnt variants), the
+stacked quantization share, the 1.21x/1.16x whole-kernel speedups, and
+the near-linear bitwidth scaling.
+"""
+
+import pytest
+
+from repro.eval import fig6
+
+from conftest import record
+
+
+@pytest.fixture(scope="module")
+def result(suite, geometry):
+    return fig6.run(geometry)
+
+
+def test_fig6_report(result, results_dir):
+    record(results_dir, "fig6_quantization", fig6.render(result))
+
+
+def test_quant_share_shape(result):
+    """pv.qnt pushes the quantization share down to ~4-12 % (paper: 4 %
+    at 4-bit, 11 % at 2-bit) and 2-bit > 4-bit."""
+    assert result.quant_share[(4, "hw")] < 0.12
+    assert result.quant_share[(2, "hw")] < 0.18
+    assert result.quant_share[(2, "hw")] > result.quant_share[(4, "hw")]
+
+
+def test_whole_kernel_speedup(result):
+    """Paper: 1.21x (4-bit) and 1.16x (2-bit)."""
+    assert 1.05 <= result.speedup_hw_quant[4] <= 1.35
+    assert 1.05 <= result.speedup_hw_quant[2] <= 1.35
+
+
+def test_near_linear_scaling(result):
+    assert result.scaling_vs_8bit[(4, "hw")] == pytest.approx(2.0, rel=0.25)
+    assert result.scaling_vs_8bit[(2, "hw")] == pytest.approx(4.0, rel=0.35)
+
+
+def test_benchmark_extended_4bit_kernel(benchmark, geometry):
+    """Times one full 4-bit pv.qnt convolution layer on the ISS."""
+    import numpy as np
+
+    from repro.kernels import ConvConfig, ConvKernel
+    from repro.qnn import (conv2d_golden, random_activations, random_weights,
+                           thresholds_from_accumulators)
+
+    rng = np.random.default_rng(1)
+    g = geometry
+    w = random_weights((g.out_ch, g.kh, g.kw, g.in_ch), 4, rng)
+    x = random_activations((g.in_h, g.in_w, g.in_ch), 4, rng)
+    thr = thresholds_from_accumulators(conv2d_golden(x, w, g.stride, g.pad), 4)
+    kernel = ConvKernel(ConvConfig(geometry=g, bits=4, quant="hw"))
+
+    run = benchmark.pedantic(
+        lambda: kernel.run(w, x, thresholds=thr), rounds=1, iterations=1
+    )
+    assert run.cycles > 0

@@ -1,0 +1,48 @@
+"""Fig. 7 — energy-efficiency gain of the extended core over RI5CY.
+
+Regenerates: per-bitwidth GMAC/s/W of both cores and the gain series
+(paper: 5.5x at 4-bit up to 9x at 2-bit, ~1x at 8-bit).
+"""
+
+import pytest
+
+from repro.eval import fig7
+
+from conftest import record
+
+
+@pytest.fixture(scope="module")
+def result(suite, geometry):
+    return fig7.run(geometry)
+
+
+def test_fig7_report(result, results_dir):
+    record(results_dir, "fig7_energy_vs_baseline", fig7.render(result))
+
+
+def test_no_8bit_regression(result):
+    """Paper: 'without reducing the efficiency for 8-bit QNN kernels'."""
+    assert result.gain[8] == pytest.approx(1.0, abs=0.05)
+
+
+def test_subbyte_gains(result):
+    assert 4.0 <= result.gain[4] <= 7.0     # paper ~5.5x
+    assert 7.0 <= result.gain[2] <= 12.0    # paper ~9x
+
+
+def test_gain_grows_as_precision_drops(result):
+    assert result.gain[2] > result.gain[4] > result.gain[8]
+
+
+def test_benchmark_power_model(benchmark, suite):
+    """Times the activity-based power evaluation (the cheap half of the
+    figure; cycles come from the session-shared simulations)."""
+    from repro.physical import model_for
+
+    point = suite[(4, "xpulpnn", "hw")]
+    model = model_for("xpulpnn")
+    breakdown = benchmark(
+        lambda: model.evaluate(point.perf, sub_byte_bits=4,
+                               workload_class="matmul4")
+    )
+    assert 5.0 < breakdown.soc_total_mw < 7.0

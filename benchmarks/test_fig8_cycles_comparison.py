@@ -1,0 +1,54 @@
+"""Fig. 8 — execution cycles: extended core vs RI5CY vs STM32L4/H7.
+
+Regenerates the 4-platform x 3-bitwidth cycle grid and the headline
+speedups (paper: 5.3x / 8.9x vs baseline RI5CY; one order of magnitude
+vs the STM32s on sub-byte kernels).
+"""
+
+import pytest
+
+from repro.eval import fig8
+
+from conftest import record
+
+
+@pytest.fixture(scope="module")
+def result(suite, geometry):
+    return fig8.run(geometry)
+
+
+def test_fig8_report(result, results_dir):
+    record(results_dir, "fig8_cycles_comparison", fig8.render(result))
+
+
+def test_speedup_vs_baseline_in_paper_zone(result):
+    """Paper headline: 5.3x (4-bit) and 8.9x (2-bit)."""
+    assert result.speedup_vs_ri5cy[4] == pytest.approx(5.3, rel=0.25)
+    assert result.speedup_vs_ri5cy[2] == pytest.approx(8.9, rel=0.25)
+
+
+def test_order_of_magnitude_vs_stm32(result):
+    for bits in (4, 2):
+        assert result.speedup_vs_stm32[(bits, "STM32L4")] >= 6
+        assert result.speedup_vs_stm32[(bits, "STM32H7")] >= 5
+
+
+def test_subbyte_gets_slower_on_stm32(result):
+    """On the ARM cores sub-byte kernels cost MORE cycles than 8-bit —
+    quantization without ISA support saves no time (paper §I)."""
+    for platform in ("STM32L4", "STM32H7"):
+        assert result.cycles[(4, platform)] > result.cycles[(8, platform)]
+        assert result.cycles[(2, platform)] > result.cycles[(8, platform)]
+
+
+def test_subbyte_gets_faster_on_extended_core(result):
+    assert result.cycles[(2, "xpulpnn")] < result.cycles[(4, "xpulpnn")] \
+        < result.cycles[(8, "xpulpnn")]
+
+
+def test_benchmark_cmsis_model(benchmark, geometry):
+    """Times the CMSIS-NN instruction-mix cycle model."""
+    from repro.baselines import CmsisConvModel, STM32L476
+
+    cycles = benchmark(lambda: CmsisConvModel(geometry, 2).cycles(STM32L476))
+    assert cycles > geometry.macs  # sub-byte on M4: > 1 cycle/MAC

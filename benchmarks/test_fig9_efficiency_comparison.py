@@ -1,0 +1,59 @@
+"""Fig. 9 — energy efficiency of the four platforms.
+
+Regenerates the GMAC/s/W grid and the headline ratios (paper: 103x vs
+STM32L4 and 354x vs STM32H7 at 2-bit; 279 GMAC/s/W peak).
+"""
+
+import pytest
+
+from repro.eval import fig9
+
+from conftest import record
+
+
+@pytest.fixture(scope="module")
+def result(suite, geometry):
+    return fig9.run(geometry)
+
+
+def test_fig9_report(result, results_dir):
+    record(results_dir, "fig9_efficiency_comparison", fig9.render(result))
+
+
+def test_two_orders_of_magnitude_vs_stm32(result):
+    """Paper: 103x (L4) and 354x (H7) on the 2-bit kernel."""
+    assert result.gain_vs_stm32_2bit["STM32L4"] == pytest.approx(103, rel=0.3)
+    assert result.gain_vs_stm32_2bit["STM32H7"] == pytest.approx(354, rel=0.3)
+
+
+def test_peak_efficiency_near_paper(result):
+    """Paper: 279 GMAC/s/W peak (at the 2-bit kernel)."""
+    assert result.peak_gmacs_w == pytest.approx(279, rel=0.25)
+    best = max((bits for bits in (8, 4, 2)),
+               key=lambda b: result.points[(b, "xpulpnn")].gmacs_per_s_per_w)
+    assert best == 2
+
+
+def test_efficiency_hierarchy(result):
+    for bits in (4, 2):
+        values = [result.points[(bits, p)].gmacs_per_s_per_w
+                  for p in ("xpulpnn", "ri5cy", "STM32L4", "STM32H7")]
+        assert values == sorted(values, reverse=True)
+
+
+def test_table1_band(result):
+    """This-Work efficiency spans the 80-550 Gop/s/W band of Table I."""
+    effs = [2 * result.points[(bits, "xpulpnn")].gmacs_per_s_per_w
+            for bits in (8, 4, 2)]
+    assert max(effs) > 300     # Gop/s/W
+    assert min(effs) > 80
+
+
+def test_benchmark_efficiency_computation(benchmark, suite):
+    from repro.physical import efficiency, model_for
+
+    point = suite[(2, "xpulpnn", "hw")]
+    power = model_for("xpulpnn").evaluate(point.perf, 2, "matmul2").soc_total_w
+
+    eff = benchmark(lambda: efficiency("x", point.macs, point.cycles, power))
+    assert eff.gmacs_per_s_per_w > 100

@@ -1,0 +1,70 @@
+"""Simulator throughput benchmarks (host-side performance, not a paper
+figure): how many simulated instructions per second the ISS sustains on
+each kernel class.  Useful when sizing REPRO_FULL runs."""
+
+import numpy as np
+import pytest
+
+from repro.asm import KernelBuilder
+from repro.core import Cpu
+
+
+def _loop_program(body_ops, iterations):
+    b = KernelBuilder(isa="xpulpnn")
+    b.li("t0", iterations)
+    b.li("a1", 0x1000)
+    b.li("a2", 0x2000)
+    with b.hardware_loop(0, "t0"):
+        body_ops(b)
+    b.ebreak()
+    return b.build()
+
+
+def test_benchmark_alu_throughput(benchmark):
+    program = _loop_program(lambda b: b.emit("add", "a3", "a4", "a5"), 2000)
+    cpu = Cpu(isa="xpulpnn")
+
+    perf = benchmark(lambda: cpu.run_program(program))
+    assert perf.instructions > 2000
+
+
+def test_benchmark_simd_throughput(benchmark):
+    def body(b):
+        b.emit("pv.sdotusp.n", "a3", "a4", "a5")
+
+    program = _loop_program(body, 2000)
+    cpu = Cpu(isa="xpulpnn")
+    perf = benchmark(lambda: cpu.run_program(program))
+    assert perf.by_class["mul"] >= 2000
+
+
+def test_benchmark_memory_throughput(benchmark):
+    def body(b):
+        b.emit("p.lw", "a3", 4, "a1", inc=True)
+        b.emit("p.sw", "a3", 4, "a2", inc=True)
+        b.emit("addi", "a1", "a1", -4)
+        b.emit("addi", "a2", "a2", -4)
+
+    program = _loop_program(body, 1000)
+    cpu = Cpu(isa="xpulpnn")
+    perf = benchmark(lambda: cpu.run_program(program))
+    assert perf.by_class["load"] >= 1000
+
+
+def test_benchmark_qnt_throughput(benchmark):
+    cpu = Cpu(isa="xpulpnn")
+    cpu.mem.write_i16(0x3000, list(range(16)))
+
+    def body(b):
+        b.emit("pv.qnt.n", "a3", "a4", "a5")
+
+    b = KernelBuilder(isa="xpulpnn")
+    b.li("t0", 500)
+    b.li("a5", 0x3000)
+    b.li("a4", 0)
+    with b.hardware_loop(0, "t0"):
+        body(b)
+    b.ebreak()
+    program = b.build()
+    perf = benchmark(lambda: cpu.run_program(program))
+    assert perf.by_class["qnt_n"] >= 500

@@ -1,0 +1,33 @@
+"""Roofline utilization report (library extension, not a paper figure):
+how close each generated kernel runs to its structural inner-loop peak."""
+
+import pytest
+
+from repro.eval import roofline
+
+from conftest import record
+
+
+@pytest.fixture(scope="module")
+def points(suite, geometry):
+    return roofline.run(geometry)
+
+
+def test_roofline_report(points, results_dir):
+    record(results_dir, "roofline_utilization", roofline.render(points))
+
+
+def test_extended_kernels_utilize_inner_loop(points):
+    assert points["8-bit (both cores)"].utilization > 0.7
+    assert points["4-bit extended"].utilization > 0.6
+    assert points["2-bit extended"].utilization > 0.5
+
+
+def test_unit_peak_never_exceeded(points):
+    for point in points.values():
+        assert point.achieved < point.unit_peak
+
+
+def test_benchmark_roofline(benchmark, geometry, suite):
+    result = benchmark(lambda: roofline.run(geometry))
+    assert len(result) == 5

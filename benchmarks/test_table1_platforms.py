@@ -1,0 +1,44 @@
+"""Table I — QNN embedded platform landscape with the measured This-Work row."""
+
+import pytest
+
+from repro.eval import table1
+
+from conftest import record
+
+
+@pytest.fixture(scope="module")
+def result(suite, geometry):
+    return table1.run(geometry)
+
+
+def test_table1_report(result, results_dir):
+    record(results_dir, "table1_platforms", table1.render(result))
+
+
+def test_this_work_performance_band(result):
+    """Paper band: 1-5 Gop/s."""
+    lo, hi = result.gops_range
+    assert 0.5 <= lo <= 2.0
+    assert 2.0 <= hi <= 6.0
+
+
+def test_this_work_efficiency_band(result):
+    """Paper band: 80-550 Gop/s/W."""
+    lo, hi = result.eff_range
+    assert lo >= 80
+    assert 300 <= hi <= 700
+
+
+def test_power_stays_in_mcu_envelope(result):
+    for _, _, mw in result.this_work.values():
+        assert mw < 100  # paper's 1-100 mW column
+
+
+def test_efficiency_improves_with_quantization(result):
+    assert result.this_work[2][1] > result.this_work[4][1] > result.this_work[8][1]
+
+
+def test_benchmark_table_run(benchmark, geometry, suite):
+    result = benchmark(lambda: table1.run(geometry))
+    assert result.this_work

@@ -1,0 +1,68 @@
+"""Table III — area and power of baseline vs extended cores.
+
+Regenerates both halves of the table from the models and checks the
+paper's headline claims: 11.1 % area overhead, 5.9 % core power overhead
+with power management (22.5 % without), 13.5 % PM savings, 1.8 %-class
+SoC-level overhead on the 8-bit kernel.
+"""
+
+import pytest
+
+from repro.eval import table3
+from repro.physical import AreaModel
+
+from conftest import record
+
+
+@pytest.fixture(scope="module")
+def result(suite, geometry):
+    return table3.run(geometry)
+
+
+def test_table3_report(result, results_dir):
+    record(results_dir, "table3_area_power", table3.render(result))
+
+
+class TestArea:
+    def test_total_overheads(self, result):
+        assert result.area_rows["total"]["Ext_PM_overhead_%"] == pytest.approx(11.1, abs=0.1)
+        assert result.area_rows["total"]["Ext_noPM_overhead_%"] == pytest.approx(8.59, abs=0.1)
+
+    def test_dotp_unit_overhead(self, result):
+        """Paper: 19.9 % with the two added multiplier regions."""
+        assert result.area_rows["dotp_unit"]["Ext_PM_overhead_%"] == pytest.approx(19.9, abs=0.1)
+
+    def test_core_area_headline(self):
+        assert AreaModel().core_area_mm2() == pytest.approx(0.022, abs=0.001)
+
+
+class TestPower:
+    def test_core_power_overhead(self, result):
+        """Paper: 5.9 % with PM, 22.5 % without."""
+        assert result.core_overhead_pm_pct == pytest.approx(5.9, abs=2.0)
+        assert result.core_overhead_nopm_pct == pytest.approx(22.5, abs=5.0)
+
+    def test_pm_savings(self, result):
+        assert result.pm_savings_pct == pytest.approx(13.5, abs=3.0)
+
+    def test_soc_level_overhead_small(self, result):
+        """Paper: extended SoC costs only ~1.8 % more on the 8-bit kernel."""
+        base = result.soc_power[("matmul8", "ri5cy")]
+        ext = result.soc_power[("matmul8", "ext-pm")]
+        overhead = 100 * (ext - base) / base
+        assert overhead == pytest.approx(1.8, abs=1.5)
+
+    def test_4bit_matmul_below_8bit(self, result):
+        """Paper's notable measurement: 5.71 mW (4-bit) < 6.04 mW (8-bit)."""
+        assert result.soc_power[("matmul4", "ext-pm")] < \
+            result.soc_power[("matmul8", "ext-pm")]
+
+    def test_nopm_subbyte_power_explodes(self, result):
+        """Without operand isolation sub-byte kernels cost ~8-9 mW."""
+        assert result.soc_power[("matmul4", "ext-nopm")] == pytest.approx(8.14, rel=0.05)
+        assert result.soc_power[("matmul2", "ext-nopm")] == pytest.approx(8.99, rel=0.05)
+
+
+def test_benchmark_area_model(benchmark):
+    rows = benchmark(lambda: AreaModel().table3_area())
+    assert rows["total"]["Ext_PM_overhead_%"] > 10

@@ -1,0 +1,28 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's platform comparison (Figs 8 and 9) in one run.
+
+Simulates the convolution kernels on both RISC-V cores, evaluates the
+CMSIS-NN cost model for the STM32 MCUs, and prints the cycle and
+energy-efficiency grids with the paper's headline ratios.
+
+Run:  python examples/platform_comparison.py
+      REPRO_FULL=1 python examples/platform_comparison.py   (paper layer)
+"""
+
+from repro.eval import benchmark_geometry, fig8, fig9
+
+geometry = benchmark_geometry()
+print(f"workload: convolution {geometry.describe()}\n")
+
+result8 = fig8.run(geometry)
+print(fig8.render(result8))
+print()
+result9 = fig9.run(geometry)
+print(fig9.render(result9))
+
+print("\nsummary vs paper:")
+print(f"  4-bit speedup vs RI5CY : {result8.speedup_vs_ri5cy[4]:.2f}x (paper 5.3x)")
+print(f"  2-bit speedup vs RI5CY : {result8.speedup_vs_ri5cy[2]:.2f}x (paper 8.9x)")
+print(f"  2-bit eff. vs STM32L4  : {result9.gain_vs_stm32_2bit['STM32L4']:.0f}x (paper 103x)")
+print(f"  2-bit eff. vs STM32H7  : {result9.gain_vs_stm32_2bit['STM32H7']:.0f}x (paper 354x)")
+print(f"  peak efficiency        : {result9.peak_gmacs_w:.0f} GMAC/s/W (paper 279)")

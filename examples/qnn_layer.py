@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Run one quantized convolution layer on both cores (the paper's §IV-B).
+
+Generates the PULP-NN-style kernels for a 4-bit convolution, runs them
+instruction-by-instruction on the baseline RI5CY (pack/unpack + software
+quantization) and on the XpulpNN-extended core (native nibble SIMD +
+``pv.qnt``), verifies both against the golden integer model, and reports
+the speedup — the paper's headline 5.3x.
+
+Run:  python examples/qnn_layer.py            (1/8-scale layer, ~30 s)
+      REPRO_FULL=1 python examples/qnn_layer.py   (paper layer, minutes)
+"""
+
+import numpy as np
+
+from repro.eval import benchmark_geometry
+from repro.kernels import ConvConfig, ConvKernel
+from repro.physical import NOMINAL, efficiency, model_for
+from repro.qnn import (
+    conv2d_golden,
+    random_activations,
+    random_weights,
+    thresholds_from_accumulators,
+)
+
+BITS = 4
+geometry = benchmark_geometry()
+print(f"layer: {geometry.describe()}  ({geometry.macs / 1e6:.2f} M MACs, "
+      f"{BITS}-bit operands)")
+
+rng = np.random.default_rng(0)
+weights = random_weights((geometry.out_ch, geometry.kh, geometry.kw,
+                          geometry.in_ch), BITS, rng)
+acts = random_activations((geometry.in_h, geometry.in_w, geometry.in_ch),
+                          BITS, rng)
+
+# Calibrate the staircase thresholds on the golden accumulators (this is
+# what threshold training produces offline).
+acc = conv2d_golden(acts, weights, stride=geometry.stride, pad=geometry.pad)
+thresholds = thresholds_from_accumulators(acc, BITS)
+golden = thresholds.quantize(acc, channel_axis=-1)
+
+results = {}
+for label, isa, quant in (
+    ("baseline RI5CY (unpack + sw quant)", "ri5cy", "sw"),
+    ("extended core (XpulpNN + pv.qnt)", "xpulpnn", "hw"),
+):
+    kernel = ConvKernel(ConvConfig(geometry=geometry, bits=BITS, isa=isa,
+                                   quant=quant))
+    print(f"\nrunning {label} ...")
+    run = kernel.run(weights, acts, thresholds=thresholds)
+    assert np.array_equal(run.output, golden), "kernel diverged from golden!"
+    power = model_for(isa).evaluate(
+        run.perf, sub_byte_bits=BITS if isa == "xpulpnn" else 8,
+        workload_class=f"matmul{BITS}").soc_total_w
+    point = efficiency(label, geometry.macs, run.cycles, power)
+    results[isa] = point
+    print(f"  cycles        : {run.cycles:,}")
+    print(f"  MAC/cycle     : {point.macs_per_cycle:.2f}")
+    print(f"  runtime @250MHz: {point.runtime_s * 1e3:.2f} ms")
+    print(f"  SoC power     : {power * 1e3:.2f} mW")
+    print(f"  efficiency    : {point.gmacs_per_s_per_w:.1f} GMAC/s/W")
+    print("  output verified against the golden integer model: OK")
+
+speedup = results["xpulpnn"].speedup_over(results["ri5cy"])
+gain = results["xpulpnn"].efficiency_ratio(results["ri5cy"])
+print(f"\n=> XpulpNN speedup: {speedup:.2f}x cycles (paper: 5.3x), "
+      f"{gain:.2f}x energy efficiency (paper: ~5.5x)")

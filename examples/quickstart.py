@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Quickstart: assemble and run XpulpNN code on the simulated core.
+
+Covers the three layers of the library in ~60 lines:
+
+1. write assembly using the XpulpNN extensions (hardware loops,
+   post-increment loads, sub-byte SIMD dot products, ``pv.qnt``);
+2. run it on the cycle-approximate extended-RI5CY model;
+3. read results and performance counters.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import Cpu, assemble, disassemble_program
+from repro.qnn import pack_words, random_threshold_table
+
+# --- 1. a tiny kernel: dot product of 32 nibble pairs, then quantize ----
+#
+# a0 -> packed 4-bit weights (signed), a1 -> packed 4-bit activations
+# (unsigned), a2 -> threshold tree, returns the 4-bit activation in a0.
+
+SOURCE = """
+    li      t0, 4                  # 4 words = 32 nibbles
+    li      a4, 0                  # accumulator
+    lp.setup 0, t0, mac_end        # zero-overhead hardware loop
+    p.lw    a5, 4(a0!)             # weights word, post-increment
+    p.lw    a6, 4(a1!)             # activations word
+    pv.sdotusp.n a4, a6, a5        # acc += act (u4) . weight (s4)
+mac_end:
+    pv.qnt.n a0, a4, a2            # staircase-quantize two 16-bit halves
+    andi    a0, a0, 0xf            # keep the first activation's code
+    ebreak
+"""
+
+program = assemble(SOURCE, isa="xpulpnn")
+print("== disassembly ==")
+print(disassemble_program(program))
+
+# --- 2. place data and run ----------------------------------------------
+
+rng = np.random.default_rng(42)
+weights = rng.integers(-8, 8, 32)
+acts = rng.integers(0, 16, 32)
+table = random_threshold_table(channels=1, bits=4, rng=rng)
+
+cpu = Cpu(isa="xpulpnn")
+WEIGHTS, ACTS, THRESHOLDS = 0x1000, 0x1100, 0x1200
+cpu.mem.write_words(WEIGHTS, pack_words(weights, 4, signed=True))
+cpu.mem.write_words(ACTS, pack_words(acts, 4, signed=False))
+table.write_to_memory(cpu.mem, THRESHOLDS)
+
+cpu.load_program(program)
+cpu.set_args(WEIGHTS, ACTS, THRESHOLDS)
+perf = cpu.run()
+
+# --- 3. check against the golden model -----------------------------------
+
+acc = int(weights @ acts)
+expected = table.quantize(np.array([[acc]]))[0, 0]
+print("\n== result ==")
+print(f"dot product      : {acc}")
+print(f"quantized (hw)   : {cpu.result()}  (golden: {expected})")
+assert cpu.result() == expected
+
+print("\n== performance counters ==")
+print(f"instructions     : {perf.instructions}")
+print(f"cycles           : {perf.cycles}")
+print(f"IPC              : {perf.ipc:.2f}")
+print(f"hw-loop backedges: {perf.hwloop_backedges}")
+print("\n32 MACs + staircase quantization in "
+      f"{perf.cycles} cycles — the 8-bit baseline would need 4x the dot "
+      "products plus ~18 cycles of software quantization.")

@@ -1,0 +1,17 @@
+"""Assembly layer: text assembler, builder DSL, linker, disassembler."""
+
+from .assembler import Assembler, assemble
+from .builder import KernelBuilder
+from .disassembler import disassemble_bytes, disassemble_program, format_instruction
+from .program import Program, link
+
+__all__ = [
+    "Assembler",
+    "KernelBuilder",
+    "Program",
+    "assemble",
+    "disassemble_bytes",
+    "disassemble_program",
+    "format_instruction",
+    "link",
+]

@@ -1,0 +1,247 @@
+"""Text assembler for the RI5CY / XpulpNN instruction sets.
+
+Accepts the GNU-flavoured syntax the paper's kernels use::
+
+    matmul_loop:
+        lp.setup  0, t0, matmul_end
+        p.lw      a2, 4(a0!)          # post-increment load
+        pv.sdotsp.n a4, a2, a3
+    matmul_end:
+        ebreak
+
+Comments start with ``#`` or ``//``.  Supported pseudo-instructions:
+``nop``, ``li``, ``mv``, ``not``, ``neg``, ``j``, ``jr``, ``ret``,
+``beqz``, ``bnez``, ``bgt``, ``ble``.  ``.text``/``.globl``/``.align``
+directives are accepted and ignored (label-only layout).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import AsmError, IsaError
+from ..isa.instruction import Instruction
+from ..isa.registers import parse_register
+from ..isa.registry import Isa, build_isa
+from ..isa.xpulpv2 import pack_pos_len
+from .program import Program, link
+
+_MEM_OPERAND = re.compile(r"^(-?[\w.]+)\(([\w.]+)(!?)\)$")
+_LABEL_DEF = re.compile(r"^([A-Za-z_.][\w.]*):$")
+_INT = re.compile(r"^-?(0[xX][0-9a-fA-F]+|\d+)$")
+
+_IGNORED_DIRECTIVES = {".text", ".globl", ".global", ".align", ".section", ".option"}
+
+
+def _parse_int(text: str) -> int:
+    return int(text, 0)
+
+
+def _is_int(text: str) -> bool:
+    return bool(_INT.match(text))
+
+
+class Assembler:
+    """Two-pass assembler over one ISA configuration."""
+
+    def __init__(self, isa: str | Isa = "xpulpnn", base: int = 0) -> None:
+        self.isa = build_isa(isa) if isinstance(isa, str) else isa
+        self.base = base
+
+    # ------------------------------------------------------------------
+
+    def assemble(self, source: str, entry_label: Optional[str] = None) -> Program:
+        """Assemble *source* into a linked :class:`Program`."""
+        instructions: List[Instruction] = []
+        labels: Dict[str, int] = {}
+        for lineno, raw in enumerate(source.splitlines(), start=1):
+            line = self._strip_comment(raw).strip()
+            if not line:
+                continue
+            try:
+                self._assemble_line(line, instructions, labels)
+            except (AsmError, IsaError) as exc:
+                raise AsmError(f"line {lineno}: {exc}") from None
+        return link(instructions, labels, base=self.base, entry_label=entry_label)
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _strip_comment(line: str) -> str:
+        for marker in ("#", "//", ";"):
+            index = line.find(marker)
+            if index >= 0:
+                line = line[:index]
+        return line
+
+    def _assemble_line(
+        self,
+        line: str,
+        instructions: List[Instruction],
+        labels: Dict[str, int],
+    ) -> None:
+        while True:
+            match = _LABEL_DEF.match(line.split(None, 1)[0]) if line else None
+            if match is None:
+                break
+            name = match.group(1)
+            if name in labels:
+                raise AsmError(f"duplicate label {name!r}")
+            labels[name] = len(instructions)
+            line = line.split(None, 1)[1].strip() if " " in line else ""
+            if not line:
+                return
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        operand_text = parts[1] if len(parts) > 1 else ""
+        operands = [op.strip() for op in operand_text.split(",")] if operand_text else []
+
+        if mnemonic in _IGNORED_DIRECTIVES:
+            return
+        if mnemonic.startswith("."):
+            raise AsmError(f"unsupported directive {mnemonic!r}")
+
+        expansion = self._expand_pseudo(mnemonic, operands)
+        if expansion is not None:
+            for sub_mnemonic, sub_operands in expansion:
+                instructions.append(self._encode_operation(sub_mnemonic, sub_operands))
+            return
+        instructions.append(self._encode_operation(mnemonic, operands))
+
+    # ------------------------------------------------------------------
+
+    def _expand_pseudo(
+        self, mnemonic: str, ops: List[str]
+    ) -> Optional[List[Tuple[str, List[str]]]]:
+        if mnemonic == "nop":
+            return [("addi", ["zero", "zero", "0"])]
+        if mnemonic == "li":
+            if len(ops) != 2:
+                raise AsmError("li takes rd, imm")
+            value = _parse_int(ops[1]) & 0xFFFF_FFFF
+            signed = value - (1 << 32) if value & 0x8000_0000 else value
+            if -2048 <= signed < 2048:
+                return [("addi", [ops[0], "zero", str(signed)])]
+            upper = ((value + 0x800) >> 12) & 0xFFFFF
+            lower = ((value & 0xFFF) ^ 0x800) - 0x800
+            result = [("lui", [ops[0], str(upper)])]
+            if lower:
+                result.append(("addi", [ops[0], ops[0], str(lower)]))
+            return result
+        if mnemonic == "mv":
+            return [("addi", [ops[0], ops[1], "0"])]
+        if mnemonic == "not":
+            return [("xori", [ops[0], ops[1], "-1"])]
+        if mnemonic == "neg":
+            return [("sub", [ops[0], "zero", ops[1]])]
+        if mnemonic == "j":
+            return [("jal", ["zero", ops[0]])]
+        if mnemonic == "jr":
+            return [("jalr", ["zero", "0(" + ops[0] + ")"])]
+        if mnemonic == "ret":
+            return [("jalr", ["zero", "0(ra)"])]
+        if mnemonic == "beqz":
+            return [("beq", [ops[0], "zero", ops[1]])]
+        if mnemonic == "bnez":
+            return [("bne", [ops[0], "zero", ops[1]])]
+        if mnemonic == "bgt":
+            return [("blt", [ops[1], ops[0], ops[2]])]
+        if mnemonic == "ble":
+            return [("bge", [ops[1], ops[0], ops[2]])]
+        if mnemonic == "csrr":
+            return [("csrrs", [ops[0], ops[1], "zero"])]
+        if mnemonic == "csrw":
+            return [("csrrw", ["zero", ops[0], ops[1]])]
+        return None
+
+    def _encode_operation(self, mnemonic: str, operands: List[str]) -> Instruction:
+        mnemonic = self._select_spec(mnemonic, operands)
+        spec = self.isa.spec(mnemonic)
+        ins = Instruction(spec=spec)
+        ops = list(operands)
+        pos_val: Optional[int] = None
+
+        def take(what: str) -> str:
+            if not ops:
+                raise AsmError(f"{mnemonic}: missing {what} operand")
+            return ops.pop(0)
+
+        for token in spec.syntax:
+            if token == "rd":
+                ins.rd = parse_register(take("rd"))
+            elif token == "rs1":
+                ins.rs1 = parse_register(take("rs1"))
+            elif token == "rs2":
+                ins.rs2 = parse_register(take("rs2"))
+            elif token in ("imm", "uimm"):
+                ins.imm = _parse_int(take("immediate"))
+            elif token == "label":
+                text = take("target")
+                if _is_int(text):
+                    ins.imm = _parse_int(text)
+                else:
+                    ins.target = text
+            elif token in ("imm(rs1)", "imm(rs1!)", "rs2(rs1)", "rs2(rs1!)"):
+                text = take("memory operand")
+                match = _MEM_OPERAND.match(text)
+                if not match:
+                    raise AsmError(f"{mnemonic}: bad memory operand {text!r}")
+                offset, base, bang = match.groups()
+                expected_bang = "!" in token
+                if bool(bang) != expected_bang:
+                    raise AsmError(
+                        f"{mnemonic}: operand {text!r} does not match "
+                        f"addressing mode {token!r}"
+                    )
+                ins.rs1 = parse_register(base)
+                if token.startswith("imm"):
+                    ins.imm = _parse_int(offset)
+                else:
+                    ins.rs2 = parse_register(offset)
+            elif token == "L":
+                ins.rd = _parse_int(take("loop level"))
+                if ins.rd not in (0, 1):
+                    raise AsmError(f"{mnemonic}: loop level must be 0 or 1")
+            elif token == "count5":
+                ins.rs1 = _parse_int(take("loop count"))
+            elif token == "simm5":
+                value = _parse_int(take("immediate"))
+                if not -16 <= value <= 15:
+                    raise AsmError(f"{mnemonic}: immediate {value} exceeds 5-bit signed range")
+                ins.rs2 = value & 0x1F
+            elif token == "pos":
+                pos_val = _parse_int(take("pos"))
+            elif token == "len":
+                ins.imm = pack_pos_len(pos_val, _parse_int(take("len")))
+            else:
+                raise AsmError(f"{mnemonic}: unhandled syntax token {token!r}")
+        if ops:
+            raise AsmError(f"{mnemonic}: unexpected extra operands {ops}")
+        return ins
+
+    def _select_spec(self, mnemonic: str, operands: List[str]) -> str:
+        """Disambiguate PULP load forms by operand shape.
+
+        ``p.lw rd, 4(a0!)`` is the post-increment immediate form;
+        ``p.lw rd, t0(a0)`` and ``p.lw rd, t0(a0!)`` map to the internal
+        ``p.lwrr`` / ``p.lwrrpost`` register-offset specs.
+        """
+        if not mnemonic.startswith("p.l") or not operands:
+            return mnemonic
+        match = _MEM_OPERAND.match(operands[-1])
+        if not match:
+            return mnemonic
+        offset, _, bang = match.groups()
+        if _is_int(offset):
+            return mnemonic
+        candidate = mnemonic + ("rrpost" if bang else "rr")
+        if self.isa.has(candidate):
+            return candidate
+        return mnemonic
+
+
+def assemble(source: str, isa: str | Isa = "xpulpnn", base: int = 0,
+             entry_label: Optional[str] = None) -> Program:
+    """One-shot convenience wrapper around :class:`Assembler`."""
+    return Assembler(isa=isa, base=base).assemble(source, entry_label=entry_label)

@@ -1,0 +1,232 @@
+"""Kernel builder: a Python intrinsics DSL that emits instructions.
+
+The paper exposes the XpulpNN instructions to C through GCC builtins; this
+builder plays the same role for the simulator.  Kernels are Python
+functions that call :meth:`KernelBuilder.emit` (or the convenience
+helpers) to produce a hand-scheduled instruction stream, then
+:meth:`KernelBuilder.build` links it into a runnable
+:class:`~repro.asm.program.Program`.
+
+Example::
+
+    b = KernelBuilder(isa="xpulpnn")
+    b.li("t0", 16)
+    with b.hardware_loop(0, "t0"):
+        b.emit("p.lw", "a2", 4, "a0", inc=True)        # p.lw a2, 4(a0!)
+        b.emit("pv.sdotsp.n", "a4", "a2", "a3")
+    b.ebreak()
+    program = b.build()
+"""
+
+from __future__ import annotations
+
+import itertools
+from contextlib import contextmanager
+from typing import Dict, List, Optional, Union
+
+from ..errors import AsmError
+from ..isa.instruction import Instruction
+from ..isa.registers import parse_register
+from ..isa.registry import Isa, build_isa
+from ..isa.xpulpv2 import pack_pos_len
+from .program import Program, link
+
+Reg = Union[int, str]
+
+
+def _reg(value: Reg) -> int:
+    if isinstance(value, int):
+        if not 0 <= value < 32:
+            raise AsmError(f"register index {value} out of range")
+        return value
+    return parse_register(value)
+
+
+class KernelBuilder:
+    """Accumulates instructions and labels, then links a Program."""
+
+    def __init__(self, isa: str | Isa = "xpulpnn", base: int = 0) -> None:
+        self.isa = build_isa(isa) if isinstance(isa, str) else isa
+        self.base = base
+        self._instructions: List[Instruction] = []
+        self._labels: Dict[str, int] = {}
+        self._unique = itertools.count()
+
+    # ------------------------------------------------------------------
+    # Label management
+    # ------------------------------------------------------------------
+
+    def label(self, name: str) -> str:
+        """Place *name* at the current position; returns the name."""
+        if name in self._labels:
+            raise AsmError(f"duplicate label {name!r}")
+        self._labels[name] = len(self._instructions)
+        return name
+
+    def fresh_label(self, prefix: str = "L") -> str:
+        """Generate a unique label name (not yet placed)."""
+        return f".{prefix}{next(self._unique)}"
+
+    # ------------------------------------------------------------------
+    # Core emit
+    # ------------------------------------------------------------------
+
+    def emit(self, mnemonic: str, *operands, inc: bool = False, comment: str = "") -> Instruction:
+        """Emit one instruction.
+
+        Operands follow the spec's syntax order; memory operands are
+        passed flattened as ``(offset_or_reg, base_reg)`` with ``inc=True``
+        selecting the post-increment form when both exist.  Bit-field ops
+        take ``(pos, len)`` as two separate integers.  Branch/jump/loop
+        targets may be label strings or absolute-offset ints.
+        """
+        resolved = self._resolve_mnemonic(mnemonic, inc)
+        spec = self.isa.spec(resolved)
+        ins = Instruction(spec=spec, comment=comment)
+        ops = list(operands)
+
+        def take(what: str):
+            if not ops:
+                raise AsmError(f"{resolved}: missing {what} operand")
+            return ops.pop(0)
+
+        pos_val: Optional[int] = None
+        for token in spec.syntax:
+            if token == "rd":
+                ins.rd = _reg(take("rd"))
+            elif token == "rs1":
+                ins.rs1 = _reg(take("rs1"))
+            elif token == "rs2":
+                ins.rs2 = _reg(take("rs2"))
+            elif token in ("imm", "uimm"):
+                ins.imm = int(take(token))
+            elif token == "label":
+                target = take("label")
+                if isinstance(target, str):
+                    ins.target = target
+                else:
+                    ins.imm = int(target)
+            elif token in ("imm(rs1)", "imm(rs1!)"):
+                ins.imm = int(take("offset"))
+                ins.rs1 = _reg(take("base"))
+            elif token in ("rs2(rs1)", "rs2(rs1!)"):
+                ins.rs2 = _reg(take("offset register"))
+                ins.rs1 = _reg(take("base"))
+            elif token == "L":
+                level = int(take("loop level"))
+                if level not in (0, 1):
+                    raise AsmError(f"{resolved}: loop level must be 0 or 1")
+                ins.rd = level
+            elif token == "count5":
+                ins.rs1 = int(take("loop count"))
+            elif token == "simm5":
+                value = int(take("immediate"))
+                if not -16 <= value <= 15:
+                    raise AsmError(f"{resolved}: immediate {value} exceeds 5-bit signed range")
+                ins.rs2 = value & 0x1F
+            elif token == "pos":
+                pos_val = int(take("pos"))
+            elif token == "len":
+                ins.imm = pack_pos_len(pos_val, int(take("len")))
+            else:
+                raise AsmError(f"{resolved}: unhandled syntax token {token!r}")
+        if ops:
+            raise AsmError(f"{resolved}: {len(ops)} extra operand(s): {ops}")
+        self._instructions.append(ins)
+        return ins
+
+    def _resolve_mnemonic(self, mnemonic: str, inc: bool) -> str:
+        """Map a base mnemonic plus the ``inc`` flag to the concrete spec.
+
+        ``p.lw`` with register offset resolves to the ``p.lwrr`` /
+        ``p.lwrrpost`` internal names depending on operand kinds — callers
+        always write ``p.lw``; disambiguation happens here only for the
+        post-increment flag on the immediate form.
+        """
+        if not inc:
+            return mnemonic
+        if self.isa.has(mnemonic) and "!" in "".join(self.isa.spec(mnemonic).syntax):
+            return mnemonic
+        candidate = mnemonic + "rrpost"
+        if self.isa.has(candidate):
+            return candidate
+        return mnemonic
+
+    # ------------------------------------------------------------------
+    # Convenience helpers
+    # ------------------------------------------------------------------
+
+    def li(self, rd: Reg, value: int) -> None:
+        """Load a 32-bit constant (expands to lui+addi when needed)."""
+        value &= 0xFFFF_FFFF
+        signed = value - (1 << 32) if value & 0x8000_0000 else value
+        if -2048 <= signed < 2048:
+            self.emit("addi", rd, "zero", signed)
+            return
+        upper = (value + 0x800) >> 12 & 0xFFFFF
+        lower = value - ((upper << 12) & 0xFFFF_FFFF)
+        lower = lower - (1 << 32) if lower & 0x8000_0000 else lower
+        if lower >= 2048 or lower < -2048:
+            lower = ((value & 0xFFF) ^ 0x800) - 0x800
+        self.emit("lui", rd, upper)
+        if lower:
+            self.emit("addi", rd, rd, lower)
+
+    def mv(self, rd: Reg, rs: Reg) -> None:
+        self.emit("addi", rd, rs, 0)
+
+    def nop(self) -> None:
+        self.emit("addi", "zero", "zero", 0)
+
+    def j(self, target: str) -> None:
+        self.emit("jal", "zero", target)
+
+    def ret(self) -> None:
+        self.emit("jalr", "zero", 0, "ra")
+
+    def beqz(self, rs: Reg, target: str) -> None:
+        self.emit("beq", rs, "zero", target)
+
+    def bnez(self, rs: Reg, target: str) -> None:
+        self.emit("bne", rs, "zero", target)
+
+    def ebreak(self) -> None:
+        self.emit("ebreak")
+
+    @contextmanager
+    def hardware_loop(self, level: int, count: Reg | int):
+        """Emit ``lp.setup``/``lp.setupi`` around the body.
+
+        The loop-end label is placed *after* the last body instruction, the
+        convention of :class:`~repro.core.hwloop.HwLoopController`.  The
+        body must contain at least one instruction and executes ``count``
+        times.
+        """
+        end = self.fresh_label(f"hwend{level}_")
+        if isinstance(count, int):
+            self.emit("lp.setupi", level, count, end)
+        else:
+            self.emit("lp.setup", level, count, end)
+        before = len(self._instructions)
+        yield
+        if len(self._instructions) == before:
+            raise AsmError("hardware loop body is empty")
+        self.label(end)
+
+    # ------------------------------------------------------------------
+    # Finalize
+    # ------------------------------------------------------------------
+
+    @property
+    def instruction_count(self) -> int:
+        return len(self._instructions)
+
+    def build(self, entry_label: Optional[str] = None, validate: bool = True) -> Program:
+        """Link the accumulated instructions into a Program."""
+        return link(
+            self._instructions,
+            dict(self._labels),
+            base=self.base,
+            entry_label=entry_label,
+            validate=validate,
+        )

@@ -1,0 +1,115 @@
+"""Program container and linker.
+
+A :class:`Program` is an ordered list of instructions with resolved
+addresses plus the label map.  :func:`link` lays instructions out from a
+base address, resolves symbolic targets (branches, jumps, hardware-loop
+setup) into PC-relative immediates, and validates encodability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..errors import LinkError
+from ..isa.encoding import encode
+from ..isa.instruction import Instruction
+from ..isa import rv32c
+
+#: Syntax tokens whose label immediates are PC-relative.
+_PC_RELATIVE_TOKENS = ("label",)
+
+
+@dataclass
+class Program:
+    """A linked program: instructions with addresses, labels, entry point."""
+
+    instructions: List[Instruction]
+    labels: Dict[str, int] = field(default_factory=dict)
+    base: int = 0
+    entry: int = 0
+
+    @property
+    def size(self) -> int:
+        """Total code size in bytes."""
+        return sum(ins.size for ins in self.instructions)
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def encode(self) -> bytes:
+        """Encode the whole program to its binary image."""
+        blob = bytearray()
+        for ins in self.instructions:
+            if ins.size == 2:
+                blob += rv32c.encode_c(ins).to_bytes(2, "little")
+            else:
+                blob += encode(ins).to_bytes(4, "little")
+        return bytes(blob)
+
+    def at(self, addr: int) -> Instruction:
+        for ins in self.instructions:
+            if ins.addr == addr:
+                return ins
+        raise LinkError(f"no instruction at address {addr:#010x}")
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self):
+        return iter(self.instructions)
+
+
+def link(
+    instructions: List[Instruction],
+    labels: Dict[str, int],
+    base: int = 0,
+    entry_label: str | None = None,
+    validate: bool = True,
+) -> Program:
+    """Assign addresses and resolve symbolic targets.
+
+    *labels* maps label name -> instruction index (position in the list);
+    a label indexing one past the end refers to the address after the last
+    instruction (used for hardware-loop end labels).
+    """
+    addresses: List[int] = []
+    addr = base
+    for ins in instructions:
+        addresses.append(addr)
+        ins.addr = addr
+        addr += ins.size
+    end_addr = addr
+
+    def label_addr(name: str) -> int:
+        if name not in labels:
+            raise LinkError(f"undefined label {name!r}")
+        index = labels[name]
+        if index == len(instructions):
+            return end_addr
+        if not 0 <= index < len(instructions):
+            raise LinkError(f"label {name!r} index {index} out of range")
+        return addresses[index]
+
+    for ins in instructions:
+        if ins.target is not None:
+            ins.imm = label_addr(ins.target) - ins.addr
+
+    if validate:
+        for ins in instructions:
+            try:
+                if ins.size == 2:
+                    rv32c.encode_c(ins)
+                else:
+                    encode(ins)
+            except Exception as exc:
+                raise LinkError(
+                    f"instruction {ins!r} at {ins.addr:#010x} not encodable: {exc}"
+                ) from exc
+
+    entry = base
+    if entry_label is not None:
+        entry = label_addr(entry_label)
+    return Program(instructions=instructions, labels={k: label_addr(k) for k in labels},
+                   base=base, entry=entry)

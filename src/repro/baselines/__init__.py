@@ -1,0 +1,27 @@
+"""Commercial-MCU baselines: Cortex-M4/M7 cost models plus the functional
+Thumb-2 machine that validates them."""
+
+from .armv7em import (
+    CORES,
+    STM32H743,
+    STM32L476,
+    CmsisConvModel,
+    CortexMCore,
+    conv_cycles,
+)
+from .cmsis_kernels import CmsisMatmulKernel, CmsisMatmulResult
+from .thumb2 import T2Perf, Thumb2Builder, Thumb2Machine
+
+__all__ = [
+    "CORES",
+    "CmsisConvModel",
+    "CmsisMatmulKernel",
+    "CmsisMatmulResult",
+    "CortexMCore",
+    "STM32H743",
+    "STM32L476",
+    "T2Perf",
+    "Thumb2Builder",
+    "Thumb2Machine",
+    "conv_cycles",
+]

@@ -1,0 +1,272 @@
+"""CMSIS-NN-style MatMul microkernel on the Thumb-2 machine.
+
+This is the executable counterpart of the analytic
+:class:`~repro.baselines.armv7em.CmsisConvModel`: the 2x2-blocked q7/q15
+dot-product loop of ``arm_nn_mat_mult_kernel_q7_q15`` written against the
+functional ARMv7E-M model.  Weights arrive as q7, activations as
+pre-widened q15 columns (the im2col of the CMSIS execution model); each
+inner iteration widens 4 weights per filter with SXTB16(+ROR) and issues
+8 SMLADs.
+
+Running this and comparing its cycles-per-MAC against the cost model's
+``matmul_mix`` validates the Fig. 8/9 baseline numbers from below (see
+``tests/baselines/test_thumb2.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import numpy as np
+
+from ..errors import KernelError
+from .armv7em import CortexMCore, STM32L476
+from .thumb2 import T2Perf, Thumb2Builder, Thumb2Machine
+
+
+@dataclass
+class CmsisMatmulResult:
+    output: np.ndarray         # (2, out_ch) raw accumulators
+    perf: T2Perf
+
+    @property
+    def cycles(self) -> float:
+        return self.perf.cycles
+
+    def macs_per_cycle(self, macs: int) -> float:
+        return macs / self.perf.cycles
+
+
+class CmsisMatmulKernel:
+    """Runnable 2x2 q7/q15 MatMul on the Thumb-2 machine."""
+
+    WEIGHTS = 0x1000
+    COL0 = 0x8000
+    COL1 = 0xC000
+    OUT = 0x10000
+
+    def __init__(self, reduction: int, out_ch: int) -> None:
+        if reduction % 4:
+            raise KernelError("reduction must be a multiple of 4")
+        if out_ch % 2:
+            raise KernelError("out_ch must be even")
+        self.reduction = reduction
+        self.out_ch = out_ch
+        self.builder = self._emit()
+
+    #: word slot that parks the output pointer while r3 serves as the
+    #: shared activation register (register pressure: 13 usable GPRs).
+    OUTPTR_SLOT = 0x20000
+
+    def _emit(self) -> Thumb2Builder:
+        """The arm_nn_mat_mult_kernel_q7_q15 schedule: both filters' four
+        widened weight halves stay in registers and every activation word
+        is loaded exactly once per 2x2 block."""
+        reduction, out_ch = self.reduction, self.out_ch
+        kb = reduction
+        b = Thumb2Builder()
+        b.emit("mov", "r12", out_ch // 2)
+        b.emit("mov", "r4", self.WEIGHTS)          # wptrA
+        b.emit("mov", "r3", self.OUT)
+        b.emit("mov", "r0", self.OUTPTR_SLOT)
+        b.emit("str", "r3", "r0", 0)
+        b.label("pair_loop")
+        for acc in ("r8", "r9", "r10", "r11"):
+            b.emit("mov", acc, 0)
+        b.emit("add", "lr", "r4", kb)              # wptrB
+        b.emit("mov", "r5", self.COL0)
+        b.emit("mov", "r6", self.COL1)
+        b.emit("mov", "r7", reduction // 4)
+        b.label("inner")
+        # Widen 4 q7 weights of each filter: A -> (r2 even, r0 odd),
+        # B -> (sp even, r1 odd).
+        b.emit("ldr", "r0", "r4", 4, True)
+        b.emit("ldr", "r1", "lr", 4, True)
+        b.emit("sxtb16", "r2", "r0")
+        b.emit("sxtb16", "r0", "r0", 8)
+        b.emit("sxtb16", "sp", "r1")
+        b.emit("sxtb16", "r1", "r1", 8)
+        # Each activation word feeds both filters while in r3.
+        b.emit("ldr", "r3", "r5", 4, True)         # col0 even pair
+        b.emit("smlad", "r8", "r2", "r3", "r8")
+        b.emit("smlad", "r10", "sp", "r3", "r10")
+        b.emit("ldr", "r3", "r5", 4, True)         # col0 odd pair
+        b.emit("smlad", "r8", "r0", "r3", "r8")
+        b.emit("smlad", "r10", "r1", "r3", "r10")
+        b.emit("ldr", "r3", "r6", 4, True)         # col1 even
+        b.emit("smlad", "r9", "r2", "r3", "r9")
+        b.emit("smlad", "r11", "sp", "r3", "r11")
+        b.emit("ldr", "r3", "r6", 4, True)         # col1 odd
+        b.emit("smlad", "r9", "r0", "r3", "r9")
+        b.emit("smlad", "r11", "r1", "r3", "r11")
+        b.emit("subs", "r7", "r7", 1)
+        b.branch("ne", "inner")
+        # Epilogue: restore the output pointer and store the 2x2 block.
+        b.emit("mov", "r0", self.OUTPTR_SLOT)
+        b.emit("ldr", "r3", "r0", 0)
+        for acc in ("r8", "r10", "r9", "r11"):
+            b.emit("str", acc, "r3", 4, True)
+        b.emit("str", "r3", "r0", 0)
+        b.emit("mov", "r4", "lr")                  # next pair starts after B
+        b.emit("subs", "r12", "r12", 1)
+        b.branch("ne", "pair_loop")
+        return b
+
+    # -- data layout --------------------------------------------------------
+
+    @staticmethod
+    def _interleave_q15(column: np.ndarray) -> np.ndarray:
+        """Match SXTB16's even/odd lane split: q15 pairs (e0,e2), (e1,e3)."""
+        groups = column.reshape(-1, 4)
+        out = np.empty_like(groups)
+        out[:, 0], out[:, 1] = groups[:, 0], groups[:, 2]   # even pair
+        out[:, 2], out[:, 3] = groups[:, 1], groups[:, 3]   # odd pair
+        return out.reshape(-1)
+
+    def run(self, weights: np.ndarray, x0: np.ndarray, x1: np.ndarray,
+            core: CortexMCore = STM32L476) -> CmsisMatmulResult:
+        weights = np.asarray(weights)
+        if weights.shape != (self.out_ch, self.reduction):
+            raise KernelError(f"weights must be {(self.out_ch, self.reduction)}")
+        machine = Thumb2Machine(core=core)
+        flat = (weights.astype(np.int64) & 0xFF).astype(np.uint8).reshape(-1)
+        machine.mem.write_bytes(self.WEIGHTS, flat.tobytes())
+        for base, column in ((self.COL0, x0), (self.COL1, x1)):
+            inter = self._interleave_q15(np.asarray(column, dtype=np.int64))
+            machine.mem.write_i16(base, [int(v) for v in inter])
+        perf = machine.run(self.builder)
+        words = machine.mem.read_words(self.OUT, self.out_ch * 2)
+        raw = np.array(words, dtype=np.int64)
+        raw = np.where(raw >= 1 << 31, raw - (1 << 32), raw)
+        out = np.empty((2, self.out_ch), dtype=np.int64)
+        quads = raw.reshape(-1, 4)
+        out[0, 0::2], out[0, 1::2] = quads[:, 0], quads[:, 1]
+        out[1, 0::2], out[1, 1::2] = quads[:, 2], quads[:, 3]
+        return CmsisMatmulResult(output=out, perf=perf)
+
+
+class CmsisSubbyteMatmulKernel:
+    """Extended-CMSIS-NN sub-byte MatMul (Rusci et al., paper ref [12]).
+
+    Thumb-2 has no sub-byte SIMD, so int4/int2 weights must be widened to
+    q15 before the SMLAD loop.  Following the reference kernels, each
+    filter pair's packed weights are widened once into a q15 scratch
+    buffer (lsl+asr sign extension per element, PKHBT pairing), then the
+    plain q15 x q15 SMLAD loop runs — the widening work that native
+    sub-byte SIMD eliminates is exactly what makes these kernels *slower*
+    than the 8-bit ones (Fig 8).
+    """
+
+    WEIGHTS = 0x1000
+    SCRATCH = 0x6000      # widened q15 weights for the current filter pair
+    COL0 = 0x8000
+    COL1 = 0xC000
+    OUT = 0x10000
+    OUTPTR_SLOT = 0x20000
+
+    def __init__(self, reduction: int, out_ch: int, bits: int) -> None:
+        if bits not in (2, 4):
+            raise KernelError("sub-byte kernel handles 4- and 2-bit weights")
+        per_word = 32 // bits
+        if reduction % per_word:
+            raise KernelError("reduction must fill packed words")
+        if out_ch % 2:
+            raise KernelError("out_ch must be even")
+        self.reduction = reduction
+        self.out_ch = out_ch
+        self.bits = bits
+        self.builder = self._emit()
+
+    # -- code ---------------------------------------------------------------
+
+    def _emit_widen_filter(self, b: Thumb2Builder, src_base: str,
+                           dst_addr: int, tag: str) -> None:
+        """Widen one filter's packed weights into q15 at *dst_addr*.
+
+        Per packed word: lsl+asr per element to sign-extend from the
+        packed position, PKHBT to pair q15 halves, STR per pair.
+        """
+        bits = self.bits
+        per_word = 32 // bits
+        words = self.reduction // per_word
+        b.emit("mov", "r5", dst_addr)
+        b.emit("mov", "r7", words)
+        b.label(f"widen_{tag}")
+        b.emit("ldr", "r0", src_base, 4, True)
+        for pair in range(per_word // 2):
+            lo, hi = 2 * pair, 2 * pair + 1
+            # sign-extend element into bits [31- ...]: (w << (32-bits*(i+1))) >> (32-bits)
+            b.emit("lsl", "r1", "r0", 32 - bits * (lo + 1))
+            b.emit("asr", "r1", "r1", 32 - bits)
+            b.emit("lsl", "r2", "r0", 32 - bits * (hi + 1))
+            b.emit("asr", "r2", "r2", 32 - bits)
+            b.emit("pkhbt", "r1", "r1", "r2", 16)
+            b.emit("str", "r1", "r5", 4, True)
+        b.emit("subs", "r7", "r7", 1)
+        b.branch("ne", f"widen_{tag}")
+
+    def _emit(self) -> Thumb2Builder:
+        reduction, out_ch = self.reduction, self.out_ch
+        kb = reduction * self.bits // 8      # packed bytes per filter
+        scratch_b = self.SCRATCH
+        scratch_a = self.SCRATCH + 2 * reduction
+        b = Thumb2Builder()
+        b.emit("mov", "r12", out_ch // 2)
+        b.emit("mov", "r4", self.WEIGHTS)
+        b.emit("mov", "r3", self.OUT)
+        b.emit("mov", "r0", self.OUTPTR_SLOT)
+        b.emit("str", "r3", "r0", 0)
+        b.label("pair_loop")
+        # Phase 1: widen both filters of the pair (r4 walks packed weights).
+        self._emit_widen_filter(b, "r4", scratch_a, "a")
+        self._emit_widen_filter(b, "r4", scratch_b, "b")
+        # Phase 2: q15 x q15 SMLAD loop.
+        for acc in ("r8", "r9", "r10", "r11"):
+            b.emit("mov", acc, 0)
+        b.emit("mov", "lr", scratch_a)
+        b.emit("mov", "r0", scratch_b)
+        b.emit("mov", "r5", self.COL0)
+        b.emit("mov", "r6", self.COL1)
+        b.emit("mov", "r7", reduction // 2)
+        b.label("inner")
+        b.emit("ldr", "r1", "lr", 4, True)        # filter A q15 pair
+        b.emit("ldr", "r2", "r0", 4, True)        # filter B q15 pair
+        b.emit("ldr", "r3", "r5", 4, True)        # col0 q15 pair
+        b.emit("smlad", "r8", "r1", "r3", "r8")
+        b.emit("smlad", "r10", "r2", "r3", "r10")
+        b.emit("ldr", "r3", "r6", 4, True)        # col1 q15 pair
+        b.emit("smlad", "r9", "r1", "r3", "r9")
+        b.emit("smlad", "r11", "r2", "r3", "r11")
+        b.emit("subs", "r7", "r7", 1)
+        b.branch("ne", "inner")
+        b.emit("mov", "r0", self.OUTPTR_SLOT)
+        b.emit("ldr", "r3", "r0", 0)
+        for acc in ("r8", "r10", "r9", "r11"):
+            b.emit("str", acc, "r3", 4, True)
+        b.emit("str", "r3", "r0", 0)
+        b.emit("subs", "r12", "r12", 1)
+        b.branch("ne", "pair_loop")
+        return b
+
+    # -- execution ------------------------------------------------------------
+
+    def run(self, weights: np.ndarray, x0: np.ndarray, x1: np.ndarray,
+            core: CortexMCore = STM32L476) -> CmsisMatmulResult:
+        from ..qnn import pack
+
+        weights = np.asarray(weights)
+        if weights.shape != (self.out_ch, self.reduction):
+            raise KernelError(f"weights must be {(self.out_ch, self.reduction)}")
+        machine = Thumb2Machine(core=core)
+        machine.mem.write_bytes(self.WEIGHTS,
+                                pack(weights, self.bits, signed=True))
+        for base, column in ((self.COL0, x0), (self.COL1, x1)):
+            machine.mem.write_i16(base, [int(v) for v in np.asarray(column)])
+        perf = machine.run(self.builder)
+        words = machine.mem.read_words(self.OUT, self.out_ch * 2)
+        raw = np.array(words, dtype=np.int64)
+        raw = np.where(raw >= 1 << 31, raw - (1 << 32), raw)
+        out = np.empty((2, self.out_ch), dtype=np.int64)
+        quads = raw.reshape(-1, 4)
+        out[0, 0::2], out[0, 1::2] = quads[:, 0], quads[:, 1]
+        out[1, 0::2], out[1, 1::2] = quads[:, 2], quads[:, 3]
+        return CmsisMatmulResult(output=out, perf=perf)

@@ -1,0 +1,347 @@
+"""Functional ARMv7E-M (Thumb-2 DSP subset) machine.
+
+A validation companion to the CMSIS-NN cost model
+(:mod:`repro.baselines.armv7em`): instead of *counting* the instruction
+mix analytically, this executes the actual CMSIS-NN inner-loop sequences
+(SXTB16 widening, SMLAD dual-MACs) functionally and charges the same
+per-class cycle costs, so the cost model's CPI can be cross-checked
+against a running kernel (see ``tests/baselines/test_thumb2.py``).
+
+Scope: the DSP-kernel subset — data processing, loads/stores with
+immediate/post-index addressing, ``SMLAD``/``SMUAD``, ``SXTB16``/
+``UXTB16`` (with rotation), ``PKHBT``/``PKHTB``, compares and conditional
+branches.  It is a *functional + cycle-class* model: instructions are
+Python objects (no binary encodings — ARM encodings are out of scope for
+this reproduction), and the PC is an instruction index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import AsmError, SimError
+from ..isa.bits import to_signed, u32
+from ..soc.memory import Memory
+from .armv7em import CortexMCore, STM32L476
+
+#: Register aliases.
+REG_NAMES = {f"r{i}": i for i in range(16)}
+REG_NAMES.update({"sp": 13, "lr": 14, "pc": 15})
+
+_CONDITIONS = ("al", "eq", "ne", "lt", "le", "gt", "ge", "hi", "ls", "hs", "lo")
+
+
+@dataclass
+class T2Instr:
+    mnemonic: str
+    ops: tuple
+    cycle_class: str
+    label: Optional[str] = None   # branch target
+
+
+@dataclass
+class T2Perf:
+    instructions: int = 0
+    cycles: float = 0.0
+    by_class: Dict[str, int] = field(default_factory=dict)
+
+    def charge(self, cls: str, cost: float) -> None:
+        self.instructions += 1
+        self.cycles += cost
+        self.by_class[cls] = self.by_class.get(cls, 0) + 1
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+
+def _reg(name) -> int:
+    if isinstance(name, int):
+        return name
+    try:
+        return REG_NAMES[name.lower()]
+    except KeyError:
+        raise AsmError(f"unknown ARM register {name!r}") from None
+
+
+def _q15x2(value: int) -> Tuple[int, int]:
+    return to_signed(value & 0xFFFF, 16), to_signed((value >> 16) & 0xFFFF, 16)
+
+
+class Thumb2Builder:
+    """Tiny builder for Thumb-2 instruction lists (labels + branches)."""
+
+    #: mnemonic -> cycle class
+    CLASSES = {
+        "ldr": "load", "ldrh": "load", "ldrb": "load", "ldrsh": "load",
+        "ldrsb": "load",
+        "str": "store", "strh": "store", "strb": "store",
+        "smlad": "mac", "smuad": "mac", "mla": "mac", "mul": "mac",
+        "sxtb16": "unpack_op", "uxtb16": "unpack_op", "pkhbt": "unpack_op",
+        "pkhtb": "unpack_op", "ror": "unpack_op",
+        "b": "branch", "beq": "branch", "bne": "branch", "blt": "branch",
+        "bge": "branch", "bgt": "branch", "ble": "branch",
+    }
+
+    def __init__(self) -> None:
+        self.instructions: List[T2Instr] = []
+        self.labels: Dict[str, int] = {}
+
+    def label(self, name: str) -> None:
+        if name in self.labels:
+            raise AsmError(f"duplicate label {name!r}")
+        self.labels[name] = len(self.instructions)
+
+    def emit(self, mnemonic: str, *ops, label: Optional[str] = None) -> None:
+        cls = self.CLASSES.get(mnemonic, "alu")
+        self.instructions.append(
+            T2Instr(mnemonic=mnemonic, ops=ops, cycle_class=cls, label=label)
+        )
+
+    def branch(self, cond: str, target: str) -> None:
+        if cond not in _CONDITIONS:
+            raise AsmError(f"unknown condition {cond!r}")
+        mnemonic = "b" if cond == "al" else f"b{cond}"
+        self.emit(mnemonic, label=target)
+
+
+class Thumb2Machine:
+    """Execute a Thumb-2 instruction list with per-class cycle charging."""
+
+    def __init__(self, core: CortexMCore = STM32L476,
+                 mem_size: int = 1 << 20) -> None:
+        self.core = core
+        self.mem = Memory(mem_size, base=0, name="sram")
+        self.regs = [0] * 16
+        self.n = self.z = self.c = self.v = False
+        self.perf = T2Perf()
+        self._halt = False
+
+    # -- flag helpers -----------------------------------------------------
+
+    def _set_nz(self, value: int) -> int:
+        value = u32(value)
+        self.n = bool(value & 0x8000_0000)
+        self.z = value == 0
+        return value
+
+    def _cond(self, cond: str) -> bool:
+        n, z, c, v = self.n, self.z, self.c, self.v
+        return {
+            "eq": z, "ne": not z,
+            "lt": n != v, "ge": n == v,
+            "gt": not z and n == v, "le": z or n != v,
+            "hi": c and not z, "ls": not c or z,
+            "hs": c, "lo": not c,
+        }[cond]
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, builder: Thumb2Builder, max_instructions: int = 20_000_000) -> T2Perf:
+        program = builder.instructions
+        labels = builder.labels
+        self.perf = T2Perf()
+        pc = 0
+        executed = 0
+        while pc < len(program):
+            if executed >= max_instructions:
+                raise SimError("ARM program did not terminate")
+            ins = program[pc]
+            executed += 1
+            next_pc = pc + 1
+            cost = getattr(self.core, ins.cycle_class)
+            taken = False
+            if ins.cycle_class == "branch":
+                cond = ins.mnemonic[1:] or "al"
+                taken = cond == "al" or self._cond(cond)
+                if taken:
+                    next_pc = labels[ins.label]
+                    self.perf.charge("branch", cost)
+                else:
+                    self.perf.charge("branch", 1.0)
+                pc = next_pc
+                continue
+            self._execute(ins)
+            self.perf.charge(ins.cycle_class, cost)
+            pc = next_pc
+        return self.perf
+
+    # -- semantics ----------------------------------------------------------
+
+    def _execute(self, ins: T2Instr) -> None:
+        handler = getattr(self, f"_op_{ins.mnemonic}", None)
+        if handler is None:
+            raise SimError(f"unimplemented Thumb-2 mnemonic {ins.mnemonic!r}")
+        handler(*ins.ops)
+
+    # data processing
+
+    def _op_mov(self, rd, value) -> None:
+        self.regs[_reg(rd)] = u32(value if isinstance(value, int)
+                                  else self.regs[_reg(value)])
+
+    def _op_movs(self, rd, value) -> None:
+        result = value if isinstance(value, int) else self.regs[_reg(value)]
+        self.regs[_reg(rd)] = self._set_nz(result)
+
+    def _op_add(self, rd, rn, op2=None) -> None:
+        if op2 is None:
+            rn, op2 = rd, rn
+        b = op2 if isinstance(op2, int) else self.regs[_reg(op2)]
+        self.regs[_reg(rd)] = u32(self.regs[_reg(rn)] + b)
+
+    def _op_adds(self, rd, rn, op2=None) -> None:
+        if op2 is None:
+            rn, op2 = rd, rn
+        b = op2 if isinstance(op2, int) else self.regs[_reg(op2)]
+        a = self.regs[_reg(rn)]
+        result = a + b
+        self.c = result > 0xFFFF_FFFF
+        self.v = (to_signed(a) + to_signed(u32(b))) != to_signed(u32(result))
+        self.regs[_reg(rd)] = self._set_nz(result)
+
+    def _op_sub(self, rd, rn, op2=None) -> None:
+        if op2 is None:
+            rn, op2 = rd, rn
+        b = op2 if isinstance(op2, int) else self.regs[_reg(op2)]
+        self.regs[_reg(rd)] = u32(self.regs[_reg(rn)] - b)
+
+    def _op_subs(self, rd, rn, op2=None) -> None:
+        if op2 is None:
+            rn, op2 = rd, rn
+        b = op2 if isinstance(op2, int) else self.regs[_reg(op2)]
+        a = self.regs[_reg(rn)]
+        result = a - b
+        self.c = a >= u32(b)
+        self.v = (to_signed(a) - to_signed(u32(b))) != to_signed(u32(result))
+        self.regs[_reg(rd)] = self._set_nz(result)
+
+    def _op_cmp(self, rn, op2) -> None:
+        saved = self.regs[0]
+        self._op_subs("r0", rn, op2)
+        self.regs[0] = saved  # cmp discards the result
+
+    def _op_and(self, rd, rn, op2) -> None:
+        b = op2 if isinstance(op2, int) else self.regs[_reg(op2)]
+        self.regs[_reg(rd)] = self.regs[_reg(rn)] & u32(b)
+
+    def _op_orr(self, rd, rn, op2) -> None:
+        b = op2 if isinstance(op2, int) else self.regs[_reg(op2)]
+        self.regs[_reg(rd)] = self.regs[_reg(rn)] | u32(b)
+
+    def _op_eor(self, rd, rn, op2) -> None:
+        b = op2 if isinstance(op2, int) else self.regs[_reg(op2)]
+        self.regs[_reg(rd)] = self.regs[_reg(rn)] ^ u32(b)
+
+    def _op_bic(self, rd, rn, op2) -> None:
+        b = op2 if isinstance(op2, int) else self.regs[_reg(op2)]
+        self.regs[_reg(rd)] = self.regs[_reg(rn)] & ~u32(b) & 0xFFFF_FFFF
+
+    def _op_mvn(self, rd, op2) -> None:
+        b = op2 if isinstance(op2, int) else self.regs[_reg(op2)]
+        self.regs[_reg(rd)] = ~u32(b) & 0xFFFF_FFFF
+
+    def _op_lsl(self, rd, rn, amount) -> None:
+        sh = (amount if isinstance(amount, int) else self.regs[_reg(amount)]) & 255
+        self.regs[_reg(rd)] = u32(self.regs[_reg(rn)] << sh) if sh < 32 else 0
+
+    def _op_lsr(self, rd, rn, amount) -> None:
+        sh = (amount if isinstance(amount, int) else self.regs[_reg(amount)]) & 255
+        self.regs[_reg(rd)] = self.regs[_reg(rn)] >> sh if sh < 32 else 0
+
+    def _op_asr(self, rd, rn, amount) -> None:
+        sh = (amount if isinstance(amount, int) else self.regs[_reg(amount)]) & 255
+        self.regs[_reg(rd)] = u32(to_signed(self.regs[_reg(rn)]) >> min(sh, 31))
+
+    def _op_ror(self, rd, rn, amount) -> None:
+        sh = (amount if isinstance(amount, int) else self.regs[_reg(amount)]) & 31
+        value = self.regs[_reg(rn)]
+        self.regs[_reg(rd)] = u32((value >> sh) | (value << (32 - sh))) if sh else value
+
+    def _op_mul(self, rd, rn, rm) -> None:
+        self.regs[_reg(rd)] = u32(self.regs[_reg(rn)] * self.regs[_reg(rm)])
+
+    def _op_mla(self, rd, rn, rm, ra) -> None:
+        self.regs[_reg(rd)] = u32(
+            self.regs[_reg(rn)] * self.regs[_reg(rm)] + self.regs[_reg(ra)])
+
+    # DSP extension
+
+    def _op_smlad(self, rd, rn, rm, ra) -> None:
+        """rd = ra + rn.lo*rm.lo + rn.hi*rm.hi (two q15 MACs/cycle)."""
+        n_lo, n_hi = _q15x2(self.regs[_reg(rn)])
+        m_lo, m_hi = _q15x2(self.regs[_reg(rm)])
+        self.regs[_reg(rd)] = u32(
+            self.regs[_reg(ra)] + n_lo * m_lo + n_hi * m_hi)
+
+    def _op_smuad(self, rd, rn, rm) -> None:
+        n_lo, n_hi = _q15x2(self.regs[_reg(rn)])
+        m_lo, m_hi = _q15x2(self.regs[_reg(rm)])
+        self.regs[_reg(rd)] = u32(n_lo * m_lo + n_hi * m_hi)
+
+    def _op_sxtb16(self, rd, rm, ror: int = 0) -> None:
+        value = self.regs[_reg(rm)]
+        value = u32((value >> ror) | (value << (32 - ror))) if ror else value
+        lo = to_signed(value & 0xFF, 8) & 0xFFFF
+        hi = to_signed((value >> 16) & 0xFF, 8) & 0xFFFF
+        self.regs[_reg(rd)] = (hi << 16) | lo
+
+    def _op_uxtb16(self, rd, rm, ror: int = 0) -> None:
+        value = self.regs[_reg(rm)]
+        value = u32((value >> ror) | (value << (32 - ror))) if ror else value
+        self.regs[_reg(rd)] = ((value >> 16) & 0xFF) << 16 | (value & 0xFF)
+
+    def _op_pkhbt(self, rd, rn, rm, lsl: int = 0) -> None:
+        """rd = rn[15:0] | (rm << lsl)[31:16]."""
+        top = u32(self.regs[_reg(rm)] << lsl) & 0xFFFF0000
+        self.regs[_reg(rd)] = (self.regs[_reg(rn)] & 0xFFFF) | top
+
+    def _op_pkhtb(self, rd, rn, rm, asr: int = 0) -> None:
+        bottom = u32(to_signed(self.regs[_reg(rm)]) >> asr) & 0xFFFF if asr \
+            else self.regs[_reg(rm)] & 0xFFFF
+        self.regs[_reg(rd)] = (self.regs[_reg(rn)] & 0xFFFF0000) | bottom
+
+    # memory (immediate offset; "!" semantics via post argument)
+
+    def _mem_access(self, base, offset, post: bool) -> int:
+        addr = self.regs[_reg(base)]
+        if not post:
+            addr = u32(addr + offset)
+        else:
+            self.regs[_reg(base)] = u32(addr + offset)
+        return addr
+
+    def _op_ldr(self, rd, base, offset=0, post=False) -> None:
+        self.regs[_reg(rd)] = self.mem.load(self._mem_access(base, offset, post), 4)
+
+    def _op_ldrh(self, rd, base, offset=0, post=False) -> None:
+        self.regs[_reg(rd)] = self.mem.load(self._mem_access(base, offset, post), 2)
+
+    def _op_ldrsh(self, rd, base, offset=0, post=False) -> None:
+        self.regs[_reg(rd)] = self.mem.load(self._mem_access(base, offset, post), 2,
+                                            signed=True)
+
+    def _op_ldrb(self, rd, base, offset=0, post=False) -> None:
+        self.regs[_reg(rd)] = self.mem.load(self._mem_access(base, offset, post), 1)
+
+    def _op_ldrsb(self, rd, base, offset=0, post=False) -> None:
+        self.regs[_reg(rd)] = self.mem.load(self._mem_access(base, offset, post), 1,
+                                            signed=True)
+
+    def _op_str(self, rd, base, offset=0, post=False) -> None:
+        self.mem.store(self._mem_access(base, offset, post), 4, self.regs[_reg(rd)])
+
+    def _op_strh(self, rd, base, offset=0, post=False) -> None:
+        self.mem.store(self._mem_access(base, offset, post), 2, self.regs[_reg(rd)])
+
+    def _op_strb(self, rd, base, offset=0, post=False) -> None:
+        self.mem.store(self._mem_access(base, offset, post), 1, self.regs[_reg(rd)])
+
+    def _op_nop(self) -> None:
+        pass
+
+    def _op_usat(self, rd, sat: int, rn) -> None:
+        value = to_signed(self.regs[_reg(rn)])
+        hi = (1 << sat) - 1
+        self.regs[_reg(rd)] = min(max(value, 0), hi)

@@ -1,0 +1,177 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``asm``     assemble a text file to a flat binary;
+* ``disasm``  decode a flat binary back to assembly;
+* ``run``     assemble + execute a program, print registers and counters;
+* ``report``  regenerate the paper's tables/figures (``--full`` for the
+  exact paper layer).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from . import __version__
+from .asm import Assembler, disassemble_bytes, format_instruction
+from .core import Cpu
+from .errors import ReproError
+
+
+def _cmd_asm(args: argparse.Namespace) -> int:
+    source = open(args.input).read()
+    program = Assembler(isa=args.isa, base=args.base).assemble(source)
+    blob = program.encode()
+    out = args.output or (os.path.splitext(args.input)[0] + ".bin")
+    with open(out, "wb") as handle:
+        handle.write(blob)
+    print(f"{args.input}: {len(program)} instructions, {len(blob)} bytes -> {out}")
+    return 0
+
+
+def _cmd_disasm(args: argparse.Namespace) -> int:
+    blob = open(args.input, "rb").read()
+    for ins in disassemble_bytes(blob, isa=args.isa, base=args.base):
+        print(f"{ins.addr:#010x}:  {format_instruction(ins, symbolic=False)}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    source = open(args.input).read()
+    program = Assembler(isa=args.isa, base=args.base).assemble(source)
+    cpu = Cpu(isa=args.isa)
+    if args.trace:
+        cpu.trace = lambda pc, ins: print(
+            f"  {pc:#010x}: {format_instruction(ins)}")
+    cpu.load_program(program)
+    for binding in args.reg or ():
+        name, _, value = binding.partition("=")
+        from .isa.registers import parse_register
+
+        cpu.regs[parse_register(name)] = int(value, 0)
+    perf = cpu.run(max_instructions=args.max_instructions)
+    print(f"halted: {cpu.halted}")
+    print(f"cycles={perf.cycles} instructions={perf.instructions} "
+          f"ipc={perf.ipc:.3f} stalls={perf.total_stalls}")
+    from .isa.registers import ABI_NAMES
+
+    nonzero = [(ABI_NAMES[i], cpu.regs[i]) for i in range(1, 32) if cpu.regs[i]]
+    for name, value in nonzero:
+        print(f"  {name:>5s} = {value:#010x} ({value})")
+    return 0
+
+
+def _cmd_isa(args: argparse.Namespace) -> int:
+    """Print the instruction reference generated from the live registry."""
+    from .isa import build_isa
+
+    isa = build_isa(args.isa)
+    subset_filter = args.subset
+    by_subset = {}
+    for spec in isa.specs:
+        by_subset.setdefault(spec.isa, []).append(spec)
+    for subset, specs in by_subset.items():
+        if subset_filter and subset != subset_filter:
+            continue
+        print(f"\n== {subset} ({len(specs)} instructions) ==")
+        for spec in sorted(specs, key=lambda s: s.mnemonic):
+            operands = ", ".join(spec.syntax)
+            flags = []
+            if spec.rd_is_src:
+                flags.append("acc")
+            if spec.timing not in ("alu",):
+                flags.append(spec.timing)
+            note = f"   [{', '.join(flags)}]" if flags else ""
+            print(f"  {spec.mnemonic:<18s} {operands:<28s}{note}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    if args.full:
+        os.environ["REPRO_FULL"] = "1"
+    from .eval import fig6, fig7, fig8, fig9, table1, table3
+
+    modules = {
+        "fig6": fig6, "fig7": fig7, "fig8": fig8, "fig9": fig9,
+        "table1": table1, "table3": table3,
+    }
+    selected = args.experiments or sorted(modules)
+    for name in selected:
+        if name not in modules:
+            raise ReproError(
+                f"unknown experiment {name!r}; choose from {sorted(modules)}")
+        module = modules[name]
+        print("=" * 78)
+        print(module.render(module.run()))
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="XpulpNN reproduction toolkit (DATE 2020)",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    asm = sub.add_parser("asm", help="assemble a source file to a binary")
+    asm.add_argument("input")
+    asm.add_argument("-o", "--output")
+    asm.add_argument("--isa", default="xpulpnn",
+                     choices=("rv32imc", "ri5cy", "xpulpnn"))
+    asm.add_argument("--base", type=lambda v: int(v, 0), default=0)
+    asm.set_defaults(func=_cmd_asm)
+
+    dis = sub.add_parser("disasm", help="disassemble a flat binary")
+    dis.add_argument("input")
+    dis.add_argument("--isa", default="xpulpnn",
+                     choices=("rv32imc", "ri5cy", "xpulpnn"))
+    dis.add_argument("--base", type=lambda v: int(v, 0), default=0)
+    dis.set_defaults(func=_cmd_disasm)
+
+    run = sub.add_parser("run", help="assemble and execute a program")
+    run.add_argument("input")
+    run.add_argument("--isa", default="xpulpnn",
+                     choices=("rv32imc", "ri5cy", "xpulpnn"))
+    run.add_argument("--base", type=lambda v: int(v, 0), default=0)
+    run.add_argument("--reg", action="append", metavar="NAME=VALUE",
+                     help="preload a register, e.g. --reg a0=0x1000")
+    run.add_argument("--trace", action="store_true")
+    run.add_argument("--max-instructions", type=int, default=50_000_000)
+    run.set_defaults(func=_cmd_run)
+
+    isa = sub.add_parser("isa", help="print the instruction-set reference")
+    isa.add_argument("--isa", default="xpulpnn",
+                     choices=("rv32imc", "ri5cy", "xpulpnn"))
+    isa.add_argument("--subset", help="only one subset (e.g. xpulpnn)")
+    isa.set_defaults(func=_cmd_isa)
+
+    report = sub.add_parser("report", help="regenerate paper tables/figures")
+    report.add_argument("experiments", nargs="*",
+                        help="fig6 fig7 fig8 fig9 table1 table3 (default all)")
+    report.add_argument("--full", action="store_true",
+                        help="use the paper's exact layer (slow)")
+    report.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,275 @@
+"""The core instruction-set simulator.
+
+:class:`Cpu` models a RI5CY-class 4-stage in-order single-issue core at
+instruction granularity with cycle-approximate timing (see
+:mod:`repro.core.timing`).  The same class simulates both cores of the
+paper, selected by the ISA configuration:
+
+>>> from repro.core import Cpu
+>>> baseline = Cpu(isa="ri5cy")       # RV32IMC + XpulpV2
+>>> extended = Cpu(isa="xpulpnn")     # ... + XpulpNN
+
+Programs come from :mod:`repro.asm` (text assembly or the builder DSL);
+data lives in the attached :class:`~repro.soc.memory.Memory`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..errors import SimError, TrapError
+from ..isa.registers import RegisterFile
+from ..isa.registry import Isa, build_isa
+from ..soc.memory import Memory
+from .hwloop import HwLoopController
+from .perf import PerfCounters
+from .timing import TimingModel, TimingParams
+
+#: Default standalone data/instruction memory size (matches PULPissimo's
+#: 512 kB of SRAM).
+DEFAULT_MEM_SIZE = 512 * 1024
+
+
+class Cpu:
+    """Cycle-approximate functional model of the (extended) RI5CY core."""
+
+    def __init__(
+        self,
+        isa: str | Isa = "xpulpnn",
+        mem: Optional[Memory] = None,
+        timing: Optional[TimingParams] = None,
+        trace: Optional[Callable] = None,
+    ) -> None:
+        self.isa = build_isa(isa) if isinstance(isa, str) else isa
+        self.mem = mem if mem is not None else Memory(DEFAULT_MEM_SIZE, base=0)
+        self.regs = RegisterFile()
+        self.pc = 0
+        self.hwloops = HwLoopController()
+        self.perf = PerfCounters()
+        self.timing = TimingModel(timing)
+        self.trace = trace
+        self.collect_mnemonics = False
+
+        self._imem: dict = {}
+        self._halted: Optional[str] = None
+        self._misaligned = 0
+        self._extra_stalls = 0
+        self._csrs: dict = {}
+
+        #: Optional list of (lo, hi) address spans; cycles spent executing
+        #: instructions inside any span accumulate in profiled_cycles
+        #: (used to attribute e.g. quantization-epilogue cost, Fig 6).
+        self.profile_spans = None
+        self.profiled_cycles = 0
+
+    # ------------------------------------------------------------------
+    # Program loading
+    # ------------------------------------------------------------------
+
+    def load_program(self, program) -> None:
+        """Attach a linked :class:`~repro.asm.program.Program`.
+
+        Instructions are indexed by address for fetch; use
+        :meth:`materialize` as well if the run should also place encoded
+        bytes into data memory (needed only when code reads itself).
+        """
+        imem = {}
+        for ins in program.instructions:
+            if ins.addr is None:
+                raise SimError(
+                    f"instruction {ins!r} has no address; link the program first"
+                )
+            imem[ins.addr] = ins
+        self._imem = imem
+        self.pc = program.entry
+
+    def materialize(self, program) -> None:
+        """Write the program's encoded bytes into data memory."""
+        self.mem.write_bytes(program.base, program.encode())
+
+    def load_from_memory(self, base: int, size: int, entry: Optional[int] = None) -> None:
+        """Decode *size* bytes of memory at *base* and fetch from them.
+
+        This is the fetch-from-encoded-image path: the binary placed in
+        memory (e.g. by :meth:`materialize` or a loader) is decoded with
+        the core's own decoder, closing the encode -> store -> decode ->
+        execute loop end to end.
+        """
+        from ..asm.disassembler import disassemble_bytes
+
+        blob = self.mem.read_bytes(base, size)
+        imem = {}
+        for ins in disassemble_bytes(blob, isa=self.isa, base=base):
+            imem[ins.addr] = ins
+        self._imem = imem
+        self.pc = entry if entry is not None else base
+
+    # ------------------------------------------------------------------
+    # Memory interface used by instruction semantics
+    # ------------------------------------------------------------------
+
+    def load(self, addr: int, size: int, signed: bool = False) -> int:
+        if size > 1 and addr % size:
+            self._misaligned += 1
+        return self.mem.load(addr, size, signed)
+
+    def store(self, addr: int, size: int, value: int) -> None:
+        if size > 1 and addr % size:
+            self._misaligned += 1
+        self.mem.store(addr, size, value)
+
+    def add_stall_cycles(self, cycles: int) -> None:
+        """Charge extra stall cycles from a multicycle unit (e.g. the
+        quantization FSM hitting a misaligned threshold)."""
+        self._extra_stalls += cycles
+
+    # ------------------------------------------------------------------
+    # Control and status registers (Zicsr)
+    # ------------------------------------------------------------------
+
+    def csr_read(self, addr: int) -> int:
+        """Read a CSR: live counters, hardware-loop mirrors, or storage."""
+        from ..isa import zicsr as z
+
+        if addr in (z.CSR_MCYCLE, z.CSR_CYCLE):
+            return self.perf.cycles & 0xFFFF_FFFF
+        if addr in (z.CSR_MINSTRET, z.CSR_INSTRET):
+            return self.perf.instructions & 0xFFFF_FFFF
+        if addr == z.CSR_MHARTID:
+            return 0
+        hwloop_map = {
+            z.CSR_LPSTART0: ("start", 0), z.CSR_LPEND0: ("end", 0),
+            z.CSR_LPCOUNT0: ("count", 0), z.CSR_LPSTART1: ("start", 1),
+            z.CSR_LPEND1: ("end", 1), z.CSR_LPCOUNT1: ("count", 1),
+        }
+        if addr in hwloop_map:
+            attr, level = hwloop_map[addr]
+            return getattr(self.hwloops, attr)[level]
+        return self._csrs.get(addr, 0)
+
+    def csr_write(self, addr: int, value: int) -> None:
+        from ..isa import zicsr as z
+
+        value &= 0xFFFF_FFFF
+        hwloop_map = {
+            z.CSR_LPSTART0: ("start", 0), z.CSR_LPEND0: ("end", 0),
+            z.CSR_LPCOUNT0: ("count", 0), z.CSR_LPSTART1: ("start", 1),
+            z.CSR_LPEND1: ("end", 1), z.CSR_LPCOUNT1: ("count", 1),
+        }
+        if addr in hwloop_map:
+            attr, level = hwloop_map[addr]
+            self.hwloops.configure(level, **{attr: value})
+            return
+        self._csrs[addr] = value
+
+    def halt(self, reason: str) -> None:
+        self._halted = reason
+
+    @property
+    def halted(self) -> Optional[str]:
+        return self._halted
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def reset(self, pc: int = 0) -> None:
+        self.regs = RegisterFile()
+        self.pc = pc
+        self.hwloops.reset()
+        self.perf.reset()
+        self.timing.reset()
+        self._halted = None
+        self._misaligned = 0
+        self._extra_stalls = 0
+        self._csrs.clear()
+
+    def step(self) -> None:
+        """Execute one instruction and account its cycles."""
+        ins = self._imem.get(self.pc)
+        if ins is None:
+            raise TrapError("instruction fetch fault", self.pc)
+
+        self._misaligned = 0
+        self._extra_stalls = 0
+        next_pc = ins.spec.execute(self, ins)
+        taken = next_pc is not None
+
+        fall_through = self.pc + ins.spec.size
+        if next_pc is None:
+            redirect = self.hwloops.redirect(fall_through)
+            if redirect is not None:
+                next_pc = redirect
+                self.perf.hwloop_backedges += 1
+            else:
+                next_pc = fall_through
+
+        timing = self.timing.step(ins, taken, self._misaligned)
+        if self.profile_spans is not None:
+            pc = self.pc
+            for lo, hi in self.profile_spans:
+                if lo <= pc < hi:
+                    self.profiled_cycles += timing.total + self._extra_stalls
+                    break
+        perf = self.perf
+        perf.cycles += timing.total + self._extra_stalls
+        perf.instructions += 1
+        perf.by_class[ins.spec.timing] += 1
+        perf.stall_load_use += timing.load_use_stall
+        perf.stall_branch += timing.branch_stall
+        perf.stall_jump += timing.jump_stall
+        perf.stall_misaligned += timing.misaligned_stall + self._extra_stalls
+        if self.collect_mnemonics:
+            perf.by_mnemonic[ins.mnemonic] += 1
+        if self.trace is not None:
+            self.trace(self.pc, ins)
+        self.pc = next_pc
+
+    def run(
+        self,
+        entry: Optional[int] = None,
+        max_instructions: int = 200_000_000,
+    ) -> PerfCounters:
+        """Run until the program halts (``ebreak``/``ecall``).
+
+        Returns the performance counters.  Raises :class:`SimError` if the
+        instruction budget is exhausted (runaway loop guard).
+        """
+        if entry is not None:
+            self.pc = entry
+        self._halted = None
+        step = self.step
+        for _ in range(max_instructions):
+            step()
+            if self._halted is not None:
+                return self.perf
+        raise SimError(
+            f"program did not halt within {max_instructions} instructions "
+            f"(pc={self.pc:#010x})"
+        )
+
+    def run_program(self, program, **kwargs) -> PerfCounters:
+        """Convenience: load, reset perf, and run a linked program."""
+        self.load_program(program)
+        self.perf.reset()
+        self.timing.reset()
+        return self.run(entry=program.entry, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Register convenience (tests and harnesses)
+    # ------------------------------------------------------------------
+
+    def set_args(self, *values: int) -> None:
+        """Place call arguments in a0..a7 (the kernel calling convention)."""
+        if len(values) > 8:
+            raise SimError("at most 8 register arguments (a0..a7)")
+        for i, value in enumerate(values):
+            self.regs[10 + i] = value
+
+    def result(self, index: int = 0) -> int:
+        """Return aN after a run (a0 by default)."""
+        return self.regs[10 + index]
+
+    def __repr__(self) -> str:
+        state = self._halted or "running"
+        return f"Cpu(isa={self.isa.name}, pc={self.pc:#010x}, {state})"

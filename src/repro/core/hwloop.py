@@ -1,0 +1,73 @@
+"""Hardware-loop controller (XpulpV2, two nesting levels).
+
+Convention (matching our assembler): a loop's ``end`` address points to the
+instruction *after* the last body instruction.  After an instruction whose
+fall-through address equals an active loop's ``end``, the controller
+redirects fetch to ``start`` and decrements the iteration count — with zero
+cycle overhead, which is what makes the MatMul inner loops in the paper
+branch-free.
+
+Level 0 is the innermost loop and takes priority, as in RI5CY.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import SimError
+
+LEVELS = 2
+
+
+class HwLoopController:
+    """State and back-edge logic for the two hardware loops."""
+
+    __slots__ = ("start", "end", "count")
+
+    def __init__(self) -> None:
+        self.start: List[int] = [0] * LEVELS
+        self.end: List[int] = [0] * LEVELS
+        self.count: List[int] = [0] * LEVELS
+
+    def reset(self) -> None:
+        for level in range(LEVELS):
+            self.start[level] = self.end[level] = self.count[level] = 0
+
+    def configure(
+        self,
+        level: int,
+        start: Optional[int] = None,
+        end: Optional[int] = None,
+        count: Optional[int] = None,
+    ) -> None:
+        """Update one loop level's registers (``lp.*`` semantics)."""
+        if not 0 <= level < LEVELS:
+            raise SimError(f"hardware loop level {level} out of range")
+        if start is not None:
+            self.start[level] = start
+        if end is not None:
+            self.end[level] = end
+        if count is not None:
+            if count < 0:
+                raise SimError(f"negative hardware loop count {count}")
+            self.count[level] = count
+
+    def redirect(self, fall_through: int) -> Optional[int]:
+        """Return the loop-start address if *fall_through* hits an active
+        loop end, else ``None``.  Decrements the iteration counter."""
+        for level in range(LEVELS):
+            if self.count[level] > 0 and fall_through == self.end[level]:
+                self.count[level] -= 1
+                if self.count[level] > 0:
+                    return self.start[level]
+                return None
+        return None
+
+    def active(self, level: int) -> bool:
+        return self.count[level] > 0
+
+    def __repr__(self) -> str:
+        return (
+            f"HwLoop(L0 {self.start[0]:#x}..{self.end[0]:#x} x{self.count[0]}, "
+            f"L1 {self.start[1]:#x}..{self.end[1]:#x} x{self.count[1]})"
+        )

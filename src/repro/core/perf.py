@@ -1,0 +1,103 @@
+"""Performance counters for the core model.
+
+Mirrors the event set a RI5CY-style perf-counter unit exposes: total
+cycles, retired instructions, per-timing-class instruction counts, and the
+stall breakdown the timing model produces.  All figures in the paper's
+evaluation (Figs 6 and 8) are cycle counts read from these counters.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class PerfCounters:
+    """Cycle / instruction / stall accounting for one simulation run."""
+
+    cycles: int = 0
+    instructions: int = 0
+    by_class: Counter = field(default_factory=Counter)
+    by_mnemonic: Counter = field(default_factory=Counter)
+    stall_load_use: int = 0
+    stall_branch: int = 0
+    stall_jump: int = 0
+    stall_misaligned: int = 0
+    hwloop_backedges: int = 0
+
+    def reset(self) -> None:
+        self.cycles = 0
+        self.instructions = 0
+        self.by_class.clear()
+        self.by_mnemonic.clear()
+        self.stall_load_use = 0
+        self.stall_branch = 0
+        self.stall_jump = 0
+        self.stall_misaligned = 0
+        self.hwloop_backedges = 0
+
+    @property
+    def total_stalls(self) -> int:
+        return (
+            self.stall_load_use
+            + self.stall_branch
+            + self.stall_jump
+            + self.stall_misaligned
+        )
+
+    @property
+    def ipc(self) -> float:
+        """Retired instructions per cycle."""
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    def snapshot(self) -> Dict[str, int]:
+        """Plain-dict view (stable keys) for reports and tests."""
+        data = {
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "stall_load_use": self.stall_load_use,
+            "stall_branch": self.stall_branch,
+            "stall_jump": self.stall_jump,
+            "stall_misaligned": self.stall_misaligned,
+            "hwloop_backedges": self.hwloop_backedges,
+        }
+        for cls, count in sorted(self.by_class.items()):
+            data[f"class_{cls}"] = count
+        return data
+
+    def delta_since(self, other: "PerfCounters") -> "PerfCounters":
+        """Counters accumulated since *other* was snapshotted."""
+        delta = PerfCounters(
+            cycles=self.cycles - other.cycles,
+            instructions=self.instructions - other.instructions,
+            stall_load_use=self.stall_load_use - other.stall_load_use,
+            stall_branch=self.stall_branch - other.stall_branch,
+            stall_jump=self.stall_jump - other.stall_jump,
+            stall_misaligned=self.stall_misaligned - other.stall_misaligned,
+            hwloop_backedges=self.hwloop_backedges - other.hwloop_backedges,
+        )
+        delta.by_class = self.by_class - other.by_class
+        delta.by_mnemonic = self.by_mnemonic - other.by_mnemonic
+        return delta
+
+    def copy(self) -> "PerfCounters":
+        clone = PerfCounters(
+            cycles=self.cycles,
+            instructions=self.instructions,
+            stall_load_use=self.stall_load_use,
+            stall_branch=self.stall_branch,
+            stall_jump=self.stall_jump,
+            stall_misaligned=self.stall_misaligned,
+            hwloop_backedges=self.hwloop_backedges,
+        )
+        clone.by_class = Counter(self.by_class)
+        clone.by_mnemonic = Counter(self.by_mnemonic)
+        return clone
+
+    def __repr__(self) -> str:
+        return (
+            f"PerfCounters(cycles={self.cycles}, instructions={self.instructions}, "
+            f"ipc={self.ipc:.3f}, stalls={self.total_stalls})"
+        )

@@ -1,0 +1,90 @@
+"""Execution profiling helpers built on the CPU's counters.
+
+:func:`profile_program` runs a program with per-mnemonic collection
+enabled and produces a :class:`ProfileReport`: cycle share per timing
+class, the hottest mnemonics, and the stall breakdown — the view used to
+sanity-check that a generated kernel spends its cycles where the paper
+says it should (dot products and loads, not bookkeeping).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .cpu import Cpu
+
+#: Pipeline occupancy per timing class (multicycle classes).
+_CLASS_CYCLES = {"qnt_n": 9, "qnt_c": 5, "div": 35}
+
+
+@dataclass
+class ProfileReport:
+    cycles: int
+    instructions: int
+    class_cycles: Dict[str, int]
+    top_mnemonics: List[Tuple[str, int]]
+    stalls: Dict[str, int]
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    def class_share(self, cls: str) -> float:
+        return self.class_cycles.get(cls, 0) / self.cycles if self.cycles else 0.0
+
+    def render(self) -> str:
+        lines = [
+            f"cycles {self.cycles:,}  instructions {self.instructions:,}  "
+            f"IPC {self.ipc:.3f}",
+            "cycle share by class:",
+        ]
+        for cls, cycles in sorted(self.class_cycles.items(),
+                                  key=lambda kv: -kv[1]):
+            lines.append(f"  {cls:<8s} {cycles:>10,}  "
+                         f"({100 * cycles / self.cycles:5.1f}%)")
+        stall_total = sum(self.stalls.values())
+        lines.append(f"stalls: {stall_total:,} "
+                     f"({100 * stall_total / self.cycles:.1f}%)  " +
+                     "  ".join(f"{k}={v:,}" for k, v in self.stalls.items() if v))
+        lines.append("hottest instructions:")
+        for mnemonic, count in self.top_mnemonics:
+            lines.append(f"  {mnemonic:<16s} x{count:,}")
+        return "\n".join(lines)
+
+
+def profile_counters(cpu: Cpu, top: int = 8) -> ProfileReport:
+    """Build a report from the CPU's current counters."""
+    perf = cpu.perf
+    class_cycles = {
+        cls: count * _CLASS_CYCLES.get(cls, 1)
+        for cls, count in perf.by_class.items()
+    }
+    top_mnemonics = sorted(perf.by_mnemonic.items(), key=lambda kv: -kv[1])[:top]
+    return ProfileReport(
+        cycles=perf.cycles,
+        instructions=perf.instructions,
+        class_cycles=class_cycles,
+        top_mnemonics=top_mnemonics,
+        stalls={
+            "load_use": perf.stall_load_use,
+            "branch": perf.stall_branch,
+            "jump": perf.stall_jump,
+            "misaligned": perf.stall_misaligned,
+        },
+    )
+
+
+def profile_program(program, isa: str = "xpulpnn",
+                    setup=None, top: int = 8) -> ProfileReport:
+    """Run *program* on a fresh core with mnemonic collection enabled.
+
+    *setup(cpu)* may place data and registers before the run.
+    """
+    cpu = Cpu(isa=isa)
+    cpu.collect_mnemonics = True
+    cpu.load_program(program)
+    if setup is not None:
+        setup(cpu)
+    cpu.run()
+    return profile_counters(cpu, top=top)

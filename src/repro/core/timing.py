@@ -1,0 +1,111 @@
+"""Cycle-approximate timing model of the (extended) RI5CY pipeline.
+
+The paper's performance results are cycle counts on a 4-stage in-order
+single-issue core.  On such a core, kernel cycle counts decompose into
+per-instruction occupancy plus a small set of hazards; this module encodes
+exactly those, with every parameter documented and overridable:
+
+* single-cycle ALU/SIMD/MUL/dot-product ops (the extended dot-product unit
+  is designed *not* to add pipeline stages — paper §III-B1);
+* loads/stores: 1-cycle occupancy against single-cycle TCDM, plus a 1-cycle
+  load-use stall when the next instruction consumes the loaded register;
+* taken branches flush the front-end (+2), jumps always do (+1);
+* zero-overhead hardware-loop back-edges;
+* ``pv.qnt.n`` / ``pv.qnt.c``: 9 / 5 cycles total for two activations, the
+  pipelined quantization-FSM latency of §III-B2;
+* misaligned data accesses split into two transactions (+1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..isa.instruction import Instruction
+
+
+def _default_class_cycles() -> Dict[str, int]:
+    return {
+        "alu": 1,
+        "mul": 1,
+        "div": 35,
+        "load": 1,
+        "store": 1,
+        "branch": 1,     # not-taken occupancy; taken adds branch_penalty
+        "jump": 1,       # plus jump_penalty (always)
+        "hwloop": 1,
+        "qnt_n": 9,      # two 4-bit activations (paper §III-B2)
+        "qnt_c": 5,      # two 2-bit activations
+        "system": 1,
+        "csr": 1,
+    }
+
+
+@dataclass
+class TimingParams:
+    """Tunable pipeline parameters (defaults model RI5CY in PULPissimo)."""
+
+    class_cycles: Dict[str, int] = field(default_factory=_default_class_cycles)
+    branch_taken_penalty: int = 2
+    jump_penalty: int = 1
+    load_use_penalty: int = 1
+    misaligned_penalty: int = 1
+
+
+@dataclass
+class StepTiming:
+    """Cycle breakdown of one retired instruction."""
+
+    base: int
+    branch_stall: int = 0
+    jump_stall: int = 0
+    load_use_stall: int = 0
+    misaligned_stall: int = 0
+
+    @property
+    def total(self) -> int:
+        return (
+            self.base
+            + self.branch_stall
+            + self.jump_stall
+            + self.load_use_stall
+            + self.misaligned_stall
+        )
+
+
+class TimingModel:
+    """Stateful per-step cycle accounting (tracks the previous load)."""
+
+    def __init__(self, params: Optional[TimingParams] = None) -> None:
+        self.params = params or TimingParams()
+        self._pending_load_rd: Optional[int] = None
+
+    def reset(self) -> None:
+        self._pending_load_rd = None
+
+    def step(
+        self,
+        ins: Instruction,
+        taken: bool,
+        misaligned_accesses: int,
+    ) -> StepTiming:
+        """Account one instruction; *taken* flags a non-fall-through next PC
+        for control transfers, *misaligned_accesses* counts split data
+        transactions performed by the instruction."""
+        params = self.params
+        timing = StepTiming(base=params.class_cycles[ins.spec.timing])
+
+        if self._pending_load_rd is not None:
+            if self._pending_load_rd != 0 and self._pending_load_rd in ins.source_registers():
+                timing.load_use_stall = params.load_use_penalty
+        cls = ins.spec.timing
+        self._pending_load_rd = ins.rd if cls == "load" else None
+
+        if cls == "branch" and taken:
+            timing.branch_stall = params.branch_taken_penalty
+        elif cls == "jump":
+            timing.jump_stall = params.jump_penalty
+
+        if misaligned_accesses:
+            timing.misaligned_stall = misaligned_accesses * params.misaligned_penalty
+        return timing

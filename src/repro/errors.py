@@ -1,0 +1,58 @@
+"""Exception hierarchy for the XpulpNN reproduction library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type at an API boundary.  Subtypes separate the three
+layers where things can go wrong: describing instructions (ISA), building
+programs (assembly), and running them (simulation).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class IsaError(ReproError):
+    """Malformed instruction definition, encoding, or decoding failure."""
+
+
+class EncodingError(IsaError):
+    """A value does not fit the encoding field it is assigned to."""
+
+
+class DecodeError(IsaError):
+    """A word does not decode to any known instruction."""
+
+
+class AsmError(ReproError):
+    """Assembly-time failure: bad syntax, unknown mnemonic, bad operand."""
+
+
+class LinkError(AsmError):
+    """Symbol resolution failure (undefined or duplicate label)."""
+
+
+class SimError(ReproError):
+    """Runtime simulation failure."""
+
+
+class MemoryAccessError(SimError):
+    """Access outside a mapped region or with an unsupported width."""
+
+
+class TrapError(SimError):
+    """The simulated core raised a trap (ebreak/ecall/illegal instruction)."""
+
+    def __init__(self, cause: str, pc: int) -> None:
+        super().__init__(f"trap '{cause}' at pc={pc:#010x}")
+        self.cause = cause
+        self.pc = pc
+
+
+class KernelError(ReproError):
+    """A kernel generator was asked for an unsupported configuration."""
+
+
+class ModelError(ReproError):
+    """A physical (area/power) model was queried outside its valid domain."""

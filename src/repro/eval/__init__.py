@@ -1,0 +1,34 @@
+"""Evaluation harness: one module per table/figure of the paper."""
+
+from . import fig6, fig7, fig8, fig9, roofline, table1, table3
+from .reporting import format_series, format_table
+from .workloads import (
+    SCALED_LAYER,
+    SUITE_CONFIGS,
+    ConvPoint,
+    benchmark_geometry,
+    build_gp_app,
+    conv_suite,
+    run_gp_app,
+    use_full_layer,
+)
+
+__all__ = [
+    "ConvPoint",
+    "SCALED_LAYER",
+    "SUITE_CONFIGS",
+    "benchmark_geometry",
+    "build_gp_app",
+    "conv_suite",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "roofline",
+    "format_series",
+    "format_table",
+    "run_gp_app",
+    "table1",
+    "table3",
+    "use_full_layer",
+]

@@ -1,0 +1,100 @@
+"""Fig. 6 — sub-byte kernel cycles, software vs hardware quantization.
+
+Reproduces the three findings of the figure:
+
+* the stacked quantization share of each kernel's execution cycles —
+  ``pv.qnt`` reduces it to a few percent (paper: 4 % at 4-bit, 11 % at
+  2-bit);
+* the whole-kernel speedup from ``pv.qnt`` over software staircase
+  quantization (paper: 1.21x at 4-bit, 1.16x at 2-bit);
+* near-linear scaling of sub-byte kernel performance versus the 8-bit
+  kernel (paper: "scales almost linearly").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..qnn import ConvGeometry
+from .reporting import format_table
+from .workloads import benchmark_geometry, conv_suite
+
+#: Paper-reported values for side-by-side comparison.
+PAPER = {
+    "quant_share": {4: 0.04, 2: 0.11},
+    "speedup_hw_quant": {4: 1.21, 2: 1.16},
+}
+
+
+@dataclass
+class Fig6Result:
+    geometry: ConvGeometry
+    cycles: Dict[tuple, int]          # (bits, quant) -> cycles, ext core
+    quant_cycles: Dict[tuple, int]
+    speedup_hw_quant: Dict[int, float]
+    quant_share: Dict[tuple, float]
+    scaling_vs_8bit: Dict[tuple, float]
+
+
+def run(geometry: ConvGeometry | None = None) -> Fig6Result:
+    g = geometry or benchmark_geometry()
+    suite = conv_suite(g)
+    cycles = {}
+    quant_cycles = {}
+    for bits in (8, 4, 2):
+        for quant in (("shift",) if bits == 8 else ("hw", "sw")):
+            point = suite[(bits, "xpulpnn", quant)]
+            cycles[(bits, quant)] = point.cycles
+            quant_cycles[(bits, quant)] = point.quant_cycles
+    speedup = {
+        bits: cycles[(bits, "sw")] / cycles[(bits, "hw")] for bits in (4, 2)
+    }
+    share = {
+        key: quant_cycles[key] / cycles[key] for key in cycles
+    }
+    base8 = cycles[(8, "shift")]
+    scaling = {
+        (bits, quant): base8 / value
+        for (bits, quant), value in cycles.items()
+        if bits != 8
+    }
+    return Fig6Result(
+        geometry=g,
+        cycles=cycles,
+        quant_cycles=quant_cycles,
+        speedup_hw_quant=speedup,
+        quant_share=share,
+        scaling_vs_8bit=scaling,
+    )
+
+
+def render(result: Fig6Result) -> str:
+    rows = []
+    for (bits, quant), cyc in sorted(result.cycles.items(), reverse=True):
+        label = {"shift": "shift+clamp", "hw": "pv.qnt", "sw": "sw tree"}[quant]
+        rows.append(
+            (
+                f"{bits}-bit ({label})",
+                cyc,
+                result.quant_cycles[(bits, quant)],
+                f"{100 * result.quant_share[(bits, quant)]:.1f}%",
+                f"{result.scaling_vs_8bit.get((bits, quant), 1.0):.2f}x",
+            )
+        )
+    table = format_table(
+        ("kernel", "cycles", "quant cycles", "quant share", "vs 8-bit"),
+        rows,
+        title=f"Fig 6 — extended core, layer {result.geometry.describe()}",
+    )
+    extra = [
+        "",
+        f"pv.qnt whole-kernel speedup: 4-bit {result.speedup_hw_quant[4]:.2f}x "
+        f"(paper {PAPER['speedup_hw_quant'][4]}x), "
+        f"2-bit {result.speedup_hw_quant[2]:.2f}x "
+        f"(paper {PAPER['speedup_hw_quant'][2]}x)",
+        f"quant share with pv.qnt: 4-bit "
+        f"{100 * result.quant_share[(4, 'hw')]:.1f}% (paper 4%), 2-bit "
+        f"{100 * result.quant_share[(2, 'hw')]:.1f}% (paper 11%)",
+    ]
+    return table + "\n" + "\n".join(extra)

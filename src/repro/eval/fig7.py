@@ -1,0 +1,84 @@
+"""Fig. 7 — energy-efficiency gain of the extended core over RI5CY.
+
+Efficiency = throughput / SoC power, with cycles measured on the ISS and
+power from the calibrated Table III model.  The paper reports gains from
+5.5x (4-bit) up to 9x (2-bit) with *no* regression at 8-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..physical import NOMINAL, EfficiencyPoint, efficiency, model_for
+from ..qnn import ConvGeometry
+from .reporting import format_table
+from .workloads import benchmark_geometry, conv_suite
+
+PAPER = {"gain": {8: 1.0, 4: 5.5, 2: 9.0}}
+
+_WORKLOAD_CLASS = {8: "matmul8", 4: "matmul4", 2: "matmul2"}
+
+
+@dataclass
+class Fig7Result:
+    geometry: ConvGeometry
+    points: Dict[tuple, EfficiencyPoint]     # (bits, core) -> point
+    soc_power_mw: Dict[tuple, float]
+    gain: Dict[int, float]
+
+
+def run(geometry: ConvGeometry | None = None) -> Fig7Result:
+    g = geometry or benchmark_geometry()
+    suite = conv_suite(g)
+    points: Dict[tuple, EfficiencyPoint] = {}
+    power_mw: Dict[tuple, float] = {}
+    for bits in (8, 4, 2):
+        for core in ("ri5cy", "xpulpnn"):
+            quant = "shift" if bits == 8 else ("hw" if core == "xpulpnn" else "sw")
+            run_point = suite[(bits, core, quant)]
+            model = model_for(core)
+            breakdown = model.evaluate(
+                run_point.perf,
+                sub_byte_bits=bits if core == "xpulpnn" else 8,
+                workload_class=_WORKLOAD_CLASS[bits],
+            )
+            power_mw[(bits, core)] = breakdown.soc_total_mw
+            points[(bits, core)] = efficiency(
+                name=f"{core} {bits}-bit",
+                macs=run_point.macs,
+                cycles=run_point.cycles,
+                power_w=breakdown.soc_total_w,
+                point=NOMINAL,
+            )
+    gain = {
+        bits: points[(bits, "xpulpnn")].efficiency_ratio(points[(bits, "ri5cy")])
+        for bits in (8, 4, 2)
+    }
+    return Fig7Result(geometry=g, points=points, soc_power_mw=power_mw, gain=gain)
+
+
+def render(result: Fig7Result) -> str:
+    rows = []
+    for bits in (8, 4, 2):
+        for core in ("ri5cy", "xpulpnn"):
+            p = result.points[(bits, core)]
+            rows.append(
+                (
+                    f"{bits}-bit {core}",
+                    p.cycles,
+                    f"{result.soc_power_mw[(bits, core)]:.2f}",
+                    f"{p.gmacs_per_s_per_w:.1f}",
+                )
+            )
+    table = format_table(
+        ("kernel", "cycles", "SoC power [mW]", "GMAC/s/W"),
+        rows,
+        title=f"Fig 7 — energy efficiency @ {NOMINAL.freq_hz/1e6:.0f} MHz, "
+              f"layer {result.geometry.describe()}",
+    )
+    gains = ", ".join(
+        f"{bits}-bit {result.gain[bits]:.2f}x (paper ~{PAPER['gain'][bits]}x)"
+        for bits in (8, 4, 2)
+    )
+    return table + f"\n\nefficiency gain extended vs baseline: {gains}"

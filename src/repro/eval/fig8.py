@@ -1,0 +1,82 @@
+"""Fig. 8 — execution cycles across the four platforms.
+
+Extended core and baseline RI5CY cycles come from the ISS; STM32L4/H7
+cycles from the CMSIS-NN instruction-mix model.  Paper headline ratios:
+sub-byte kernels run 5.3x (4-bit) and 8.9x (2-bit) faster than the
+baseline RI5CY, and one order of magnitude faster than the STM32s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..baselines import CORES, CmsisConvModel
+from ..qnn import ConvGeometry
+from .reporting import format_series
+from .workloads import benchmark_geometry, conv_suite
+
+PAPER = {"speedup_vs_ri5cy": {4: 5.3, 2: 8.9}}
+
+PLATFORMS = ("xpulpnn", "ri5cy", "STM32L4", "STM32H7")
+
+
+@dataclass
+class Fig8Result:
+    geometry: ConvGeometry
+    cycles: Dict[tuple, int]           # (bits, platform) -> cycles
+    speedup_vs_ri5cy: Dict[int, float]
+    speedup_vs_stm32: Dict[tuple, float]
+
+
+def run(geometry: ConvGeometry | None = None) -> Fig8Result:
+    g = geometry or benchmark_geometry()
+    suite = conv_suite(g)
+    cycles: Dict[tuple, int] = {}
+    for bits in (8, 4, 2):
+        quant_ext = "shift" if bits == 8 else "hw"
+        quant_base = "shift" if bits == 8 else "sw"
+        cycles[(bits, "xpulpnn")] = suite[(bits, "xpulpnn", quant_ext)].cycles
+        cycles[(bits, "ri5cy")] = suite[(bits, "ri5cy", quant_base)].cycles
+        model = CmsisConvModel(g, bits)
+        for name, core in CORES.items():
+            cycles[(bits, name)] = model.cycles(core)
+    speedup = {
+        bits: cycles[(bits, "ri5cy")] / cycles[(bits, "xpulpnn")]
+        for bits in (4, 2)
+    }
+    speedup_stm = {
+        (bits, name): cycles[(bits, name)] / cycles[(bits, "xpulpnn")]
+        for bits in (8, 4, 2)
+        for name in ("STM32L4", "STM32H7")
+    }
+    return Fig8Result(
+        geometry=g,
+        cycles=cycles,
+        speedup_vs_ri5cy=speedup,
+        speedup_vs_stm32=speedup_stm,
+    )
+
+
+def render(result: Fig8Result) -> str:
+    blocks = [f"Fig 8 — execution cycles, layer {result.geometry.describe()}"]
+    for bits in (8, 4, 2):
+        labels = list(PLATFORMS)
+        values = [float(result.cycles[(bits, p)]) for p in labels]
+        blocks.append(format_series(f"{bits}-bit convolution", labels, values,
+                                    unit="cycles"))
+    lines = [
+        "",
+        f"speedup vs baseline RI5CY: 4-bit "
+        f"{result.speedup_vs_ri5cy[4]:.2f}x (paper {PAPER['speedup_vs_ri5cy'][4]}x), "
+        f"2-bit {result.speedup_vs_ri5cy[2]:.2f}x "
+        f"(paper {PAPER['speedup_vs_ri5cy'][2]}x)",
+    ]
+    for bits in (4, 2):
+        lines.append(
+            f"speedup vs STM32 at {bits}-bit: "
+            f"L4 {result.speedup_vs_stm32[(bits, 'STM32L4')]:.1f}x, "
+            f"H7 {result.speedup_vs_stm32[(bits, 'STM32H7')]:.1f}x "
+            f"(paper: one order of magnitude)"
+        )
+    return "\n\n".join(blocks) + "\n" + "\n".join(lines)

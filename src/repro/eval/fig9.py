@@ -1,0 +1,95 @@
+"""Fig. 9 — energy efficiency across the four platforms.
+
+Efficiency of the RISC-V cores uses ISS cycles + the Table III power
+model at 250 MHz; the STM32 points use the CMSIS-NN cycle model at the
+datasheet operating points.  Paper headlines: 103x better than STM32L4
+and 354x better than STM32H7 on the 2-bit kernel; 279 GMAC/s/W peak.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..baselines import CORES, CmsisConvModel
+from ..physical import NOMINAL, EfficiencyPoint, efficiency, model_for
+from ..qnn import ConvGeometry
+from .reporting import format_series
+from .workloads import benchmark_geometry, conv_suite
+
+PAPER = {
+    "gain_2bit": {"STM32L4": 103.0, "STM32H7": 354.0},
+    "peak_gmacs_w": 279.0,
+}
+
+_WORKLOAD_CLASS = {8: "matmul8", 4: "matmul4", 2: "matmul2"}
+PLATFORMS = ("xpulpnn", "ri5cy", "STM32L4", "STM32H7")
+
+
+@dataclass
+class Fig9Result:
+    geometry: ConvGeometry
+    points: Dict[tuple, EfficiencyPoint]    # (bits, platform)
+    gain_vs_stm32_2bit: Dict[str, float]
+    peak_gmacs_w: float
+
+
+def run(geometry: ConvGeometry | None = None) -> Fig9Result:
+    g = geometry or benchmark_geometry()
+    suite = conv_suite(g)
+    points: Dict[tuple, EfficiencyPoint] = {}
+    for bits in (8, 4, 2):
+        for core in ("xpulpnn", "ri5cy"):
+            quant = "shift" if bits == 8 else ("hw" if core == "xpulpnn" else "sw")
+            run_point = suite[(bits, core, quant)]
+            breakdown = model_for(core).evaluate(
+                run_point.perf,
+                sub_byte_bits=bits if core == "xpulpnn" else 8,
+                workload_class=_WORKLOAD_CLASS[bits],
+            )
+            points[(bits, core)] = efficiency(
+                name=f"{core} {bits}-bit",
+                macs=run_point.macs,
+                cycles=run_point.cycles,
+                power_w=breakdown.soc_total_w,
+                point=NOMINAL,
+            )
+        model = CmsisConvModel(g, bits)
+        for name, core in CORES.items():
+            points[(bits, name)] = EfficiencyPoint(
+                name=f"{name} {bits}-bit",
+                macs=g.macs,
+                cycles=model.cycles(core),
+                freq_hz=core.freq_hz,
+                power_w=core.power_w,
+            )
+    gains = {
+        name: points[(2, "xpulpnn")].efficiency_ratio(points[(2, name)])
+        for name in ("STM32L4", "STM32H7")
+    }
+    peak = max(
+        points[(bits, "xpulpnn")].gmacs_per_s_per_w for bits in (8, 4, 2)
+    )
+    return Fig9Result(
+        geometry=g, points=points, gain_vs_stm32_2bit=gains, peak_gmacs_w=peak
+    )
+
+
+def render(result: Fig9Result) -> str:
+    blocks = [f"Fig 9 — energy efficiency, layer {result.geometry.describe()}"]
+    for bits in (8, 4, 2):
+        labels = list(PLATFORMS)
+        values = [result.points[(bits, p)].gmacs_per_s_per_w for p in labels]
+        blocks.append(
+            format_series(f"{bits}-bit convolution", labels, values,
+                          unit="GMAC/s/W")
+        )
+    lines = [
+        "",
+        f"2-bit efficiency gain: vs STM32L4 "
+        f"{result.gain_vs_stm32_2bit['STM32L4']:.0f}x (paper 103x), "
+        f"vs STM32H7 {result.gain_vs_stm32_2bit['STM32H7']:.0f}x (paper 354x)",
+        f"peak efficiency: {result.peak_gmacs_w:.0f} GMAC/s/W "
+        f"(paper {PAPER['peak_gmacs_w']:.0f})",
+    ]
+    return "\n\n".join(blocks) + "\n" + "\n".join(lines)

@@ -1,0 +1,55 @@
+"""Plain-text rendering of experiment results (tables and bar series).
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers keep the formatting consistent and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence],
+                 title: str = "") -> str:
+    """Fixed-width ASCII table."""
+    str_rows: List[List[str]] = [
+        [_fmt(cell) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, labels: Sequence[str], values: Sequence[float],
+                  unit: str = "", bar_width: int = 40) -> str:
+    """A labelled bar series (log-friendly textual bar chart)."""
+    peak = max(values) if values else 1.0
+    lines = [name]
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, int(round(bar_width * value / peak))) if peak else ""
+        lines.append(f"  {label:<24s} {_fmt(value):>12s} {unit:<10s} {bar}")
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3g}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)

@@ -1,0 +1,101 @@
+"""Roofline-style utilization analysis (library extension).
+
+For each kernel configuration, compare achieved MAC/cycle against two
+ceilings:
+
+* the **dot-product-unit peak**: one ``pv.sdot*`` per cycle, i.e. 32/bits
+  MACs/cycle;
+* the **load-balanced peak** of the 2x2-blocked MatMul: the inner loop
+  must feed 2 weight + 2 activation words per 4 dot products (native) —
+  8 instructions per 4*(32/bits) MACs — so the structural ceiling is half
+  the unit peak.
+
+This quantifies where each kernel's cycles go (inner loop vs im2col,
+requantization, control) and makes regressions in the generated code
+visible as utilization drops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..qnn import ConvGeometry
+from .reporting import format_table
+from .workloads import benchmark_geometry, conv_suite
+
+
+def unit_peak_macs_per_cycle(bits: int) -> float:
+    """One sum-of-dot-product per cycle at full SIMD width."""
+    return 32 / bits
+
+
+def matmul_peak_macs_per_cycle(bits: int, native: bool = True) -> float:
+    """Structural ceiling of the 2x2 inner loop (loads included)."""
+    if native:
+        # 8 instructions (4 loads + 4 sdotp) cover 4 words of MACs.
+        return 4 * (32 / bits) / 8
+    # Baseline widening path: see repro.kernels.matmul emitters.
+    if bits == 4:
+        return 32 / 46
+    if bits == 2:
+        return 64 / 100
+    return 4 * (32 / bits) / 8
+
+
+@dataclass
+class RooflinePoint:
+    name: str
+    bits: int
+    achieved: float
+    matmul_peak: float
+    unit_peak: float
+
+    @property
+    def utilization(self) -> float:
+        """Achieved / structural-MatMul-peak (1.0 = perfect inner loop
+        with zero im2col/requant/control overhead)."""
+        return self.achieved / self.matmul_peak
+
+
+def run(geometry: ConvGeometry | None = None) -> Dict[str, RooflinePoint]:
+    g = geometry or benchmark_geometry()
+    suite = conv_suite(g)
+    points: Dict[str, RooflinePoint] = {}
+    table = [
+        ("8-bit (both cores)", (8, "xpulpnn", "shift"), True),
+        ("4-bit extended", (4, "xpulpnn", "hw"), True),
+        ("2-bit extended", (2, "xpulpnn", "hw"), True),
+        ("4-bit baseline", (4, "ri5cy", "sw"), False),
+        ("2-bit baseline", (2, "ri5cy", "sw"), False),
+    ]
+    for name, key, native in table:
+        point = suite[key]
+        bits = key[0]
+        points[name] = RooflinePoint(
+            name=name,
+            bits=bits,
+            achieved=point.macs_per_cycle,
+            matmul_peak=matmul_peak_macs_per_cycle(bits, native),
+            unit_peak=unit_peak_macs_per_cycle(bits),
+        )
+    return points
+
+
+def render(points: Dict[str, RooflinePoint]) -> str:
+    rows = []
+    for point in points.values():
+        rows.append(
+            (
+                point.name,
+                f"{point.achieved:.2f}",
+                f"{point.matmul_peak:.2f}",
+                f"{point.unit_peak:.1f}",
+                f"{100 * point.utilization:.0f}%",
+            )
+        )
+    return format_table(
+        ("kernel", "MAC/cyc", "loop peak", "unit peak", "utilization"),
+        rows,
+        title="Roofline utilization (conv kernels)",
+    )

@@ -1,0 +1,96 @@
+"""Table I — landscape of embedded QNN computing platforms.
+
+The literature rows (ASICs, FPGAs, MCUs) are ranges quoted from the
+paper's references; the "This Work" row is *computed* from our measured
+kernel cycles and the power model, which is the point of the table: the
+extended MCU reaches the 1-5 Gop/s / 80-550 Gop/s/W band at full software
+programmability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..physical import NOMINAL, OPS_PER_MAC, model_for
+from ..qnn import ConvGeometry
+from .reporting import format_table
+from .workloads import benchmark_geometry, conv_suite
+
+#: Literature rows: (performance Gop/s, efficiency Gop/s/W, power mW).
+LITERATURE = (
+    ("ASICs [2,9]", "1K - 50K", "10K - 100K", "1 - 1K", "Low"),
+    ("FPGAs [8]", "10 - 200", "1 - 10", "1 - 1K", "Medium"),
+    ("MCUs [3]", "0.1 - 2", "1 - 50", "1 - 1K", "High"),
+)
+
+PAPER_THIS_WORK = {"gops_min": 1.0, "gops_max": 5.0,
+                   "eff_min": 80.0, "eff_max": 550.0}
+
+_WORKLOAD_CLASS = {8: "matmul8", 4: "matmul4", 2: "matmul2"}
+
+
+@dataclass
+class Table1Result:
+    geometry: ConvGeometry
+    this_work: Dict[int, Tuple[float, float, float]]  # bits -> (Gop/s, Gop/s/W, mW)
+    gops_range: Tuple[float, float]
+    eff_range: Tuple[float, float]
+
+
+def run(geometry: ConvGeometry | None = None) -> Table1Result:
+    g = geometry or benchmark_geometry()
+    suite = conv_suite(g)
+    this_work: Dict[int, Tuple[float, float, float]] = {}
+    for bits in (8, 4, 2):
+        quant = "shift" if bits == 8 else "hw"
+        point = suite[(bits, "xpulpnn", quant)]
+        power = model_for("xpulpnn").evaluate(
+            point.perf, sub_byte_bits=bits,
+            workload_class=_WORKLOAD_CLASS[bits],
+        )
+        gops = point.macs_per_cycle * NOMINAL.freq_hz * OPS_PER_MAC / 1e9
+        eff = gops / power.soc_total_w
+        this_work[bits] = (gops, eff, power.soc_total_mw)
+    gops_values = [v[0] for v in this_work.values()]
+    eff_values = [v[1] for v in this_work.values()]
+    return Table1Result(
+        geometry=g,
+        this_work=this_work,
+        gops_range=(min(gops_values), max(gops_values)),
+        eff_range=(min(eff_values), max(eff_values)),
+    )
+
+
+def render(result: Table1Result) -> str:
+    rows: List[Tuple] = list(LITERATURE)
+    lo_g, hi_g = result.gops_range
+    lo_e, hi_e = result.eff_range
+    rows.append(
+        (
+            "This Work (measured)",
+            f"{lo_g:.1f} - {hi_g:.1f}",
+            f"{lo_e:.0f} - {hi_e:.0f}",
+            "1 - 100",
+            "High",
+        )
+    )
+    table = format_table(
+        ("Platform", "Perf [Gop/s]", "Eff [Gop/s/W]", "Power [mW]", "Flexibility"),
+        rows,
+        title="Table I — QNN embedded computing platforms",
+    )
+    detail = [
+        "",
+        "This-Work breakdown (extended core, conv kernels @ 250 MHz):",
+    ]
+    for bits, (gops, eff, mw) in sorted(result.this_work.items(), reverse=True):
+        detail.append(
+            f"  {bits}-bit: {gops:.2f} Gop/s, {eff:.0f} Gop/s/W, {mw:.2f} mW "
+        )
+    detail.append(
+        f"paper band: {PAPER_THIS_WORK['gops_min']:.0f}-"
+        f"{PAPER_THIS_WORK['gops_max']:.0f} Gop/s, "
+        f"{PAPER_THIS_WORK['eff_min']:.0f}-{PAPER_THIS_WORK['eff_max']:.0f} Gop/s/W"
+    )
+    return table + "\n" + "\n".join(detail)

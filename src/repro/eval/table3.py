@@ -1,0 +1,151 @@
+"""Table III — area and power of the baseline and extended cores.
+
+Area comes from the composition model (:mod:`repro.physical.area`); power
+evaluates the calibrated activity model on the instruction mixes our
+kernels actually produce, so the table is a genuine model output — if a
+kernel's mix drifts, so does its power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..physical import AreaModel, model_for
+from ..qnn import ConvGeometry
+from .reporting import format_table
+from .workloads import benchmark_geometry, conv_suite, run_gp_app
+
+#: Paper-measured values (for the comparison columns).
+PAPER_POWER = {
+    "core_8bit": {"ri5cy": 1.15, "ext-nopm": 1.41, "ext-pm": 1.22},
+    "soc": {
+        ("matmul8", "ri5cy"): 5.93,
+        ("matmul8", "ext-nopm"): 6.28,
+        ("matmul8", "ext-pm"): 6.04,
+        ("matmul4", "ext-nopm"): 8.14,
+        ("matmul4", "ext-pm"): 5.71,
+        ("matmul2", "ext-nopm"): 8.99,
+        ("matmul2", "ext-pm"): 5.87,
+        ("gp", "ri5cy"): 5.65,
+        ("gp", "ext-nopm"): 8.20,
+        ("gp", "ext-pm"): 5.85,
+    },
+    "core_overhead_pm_pct": 5.9,
+    "core_overhead_nopm_pct": 22.5,
+    "pm_savings_pct": 13.5,
+}
+
+
+@dataclass
+class Table3Result:
+    geometry: ConvGeometry
+    area_rows: Dict[str, Dict[str, float]]
+    core_power_8bit: Dict[str, float]       # config -> mW
+    soc_power: Dict[tuple, float]           # (workload, config) -> mW
+    core_overhead_pm_pct: float
+    core_overhead_nopm_pct: float
+    pm_savings_pct: float
+
+
+def run(geometry: ConvGeometry | None = None) -> Table3Result:
+    g = geometry or benchmark_geometry()
+    suite = conv_suite(g)
+    area = AreaModel().table3_area()
+
+    perf8 = suite[(8, "xpulpnn", "shift")].perf
+    perf4 = suite[(4, "xpulpnn", "hw")].perf
+    perf2 = suite[(2, "xpulpnn", "hw")].perf
+    perf_gp = run_gp_app()
+    perf_gp_base = run_gp_app(isa="ri5cy")
+    perf8_base = suite[(8, "ri5cy", "shift")].perf
+
+    core_power: Dict[str, float] = {}
+    soc_power: Dict[tuple, float] = {}
+
+    configs = {
+        "ri5cy": model_for("ri5cy"),
+        "ext-nopm": model_for("xpulpnn", power_mgmt=False),
+        "ext-pm": model_for("xpulpnn", power_mgmt=True),
+    }
+    for name, model in configs.items():
+        bd = model.evaluate(perf8 if name != "ri5cy" else perf8_base,
+                            sub_byte_bits=8, workload_class="matmul8")
+        core_power[name] = bd.core_total_mw
+        soc_power[("matmul8", name)] = bd.soc_total_mw
+        gp_perf = perf_gp_base if name == "ri5cy" else perf_gp
+        bd_gp = model.evaluate(gp_perf, sub_byte_bits=8, workload_class="gp")
+        soc_power[("gp", name)] = bd_gp.soc_total_mw
+    for name in ("ext-nopm", "ext-pm"):
+        model = configs[name]
+        soc_power[("matmul4", name)] = model.evaluate(
+            perf4, sub_byte_bits=4, workload_class="matmul4").soc_total_mw
+        soc_power[("matmul2", name)] = model.evaluate(
+            perf2, sub_byte_bits=2, workload_class="matmul2").soc_total_mw
+
+    overhead_pm = 100 * (core_power["ext-pm"] - core_power["ri5cy"]) / core_power["ri5cy"]
+    overhead_nopm = 100 * (core_power["ext-nopm"] - core_power["ri5cy"]) / core_power["ri5cy"]
+    pm_savings = 100 * (core_power["ext-nopm"] - core_power["ext-pm"]) / core_power["ext-nopm"]
+    return Table3Result(
+        geometry=g,
+        area_rows=area,
+        core_power_8bit=core_power,
+        soc_power=soc_power,
+        core_overhead_pm_pct=overhead_pm,
+        core_overhead_nopm_pct=overhead_nopm,
+        pm_savings_pct=pm_savings,
+    )
+
+
+def render(result: Table3Result) -> str:
+    area_rows = []
+    for block, row in result.area_rows.items():
+        area_rows.append(
+            (
+                block,
+                f"{row['RI5CY']:.1f}",
+                f"{row['Ext_noPM']:.1f} ({row['Ext_noPM_overhead_%']:.1f}%)",
+                f"{row['Ext_PM']:.1f} ({row['Ext_PM_overhead_%']:.1f}%)",
+            )
+        )
+    area_table = format_table(
+        ("block [um^2]", "RI5CY", "Ext. no PM", "Ext. PM"),
+        area_rows,
+        title="Table III (area)",
+    )
+
+    power_rows = []
+    for name, label in (("ri5cy", "RI5CY"), ("ext-nopm", "Ext. no PM"),
+                        ("ext-pm", "Ext. PM")):
+        paper = PAPER_POWER["core_8bit"][name]
+        power_rows.append(
+            (f"core, 8-bit MatMul ({label})",
+             f"{result.core_power_8bit[name]:.2f}", f"{paper:.2f}")
+        )
+    for workload in ("matmul8", "matmul4", "matmul2", "gp"):
+        for name, label in (("ri5cy", "RI5CY"), ("ext-nopm", "Ext. no PM"),
+                            ("ext-pm", "Ext. PM")):
+            if (workload, name) not in result.soc_power:
+                continue
+            paper = PAPER_POWER["soc"].get((workload, name))
+            power_rows.append(
+                (
+                    f"SoC, {workload} ({label})",
+                    f"{result.soc_power[(workload, name)]:.2f}",
+                    f"{paper:.2f}" if paper else "-",
+                )
+            )
+    power_table = format_table(
+        ("operating point", "model [mW]", "paper [mW]"),
+        power_rows,
+        title="Table III (power) @ 0.75 V, 250 MHz",
+    )
+    summary = (
+        f"core power overhead: PM {result.core_overhead_pm_pct:.1f}% "
+        f"(paper {PAPER_POWER['core_overhead_pm_pct']}%), "
+        f"no-PM {result.core_overhead_nopm_pct:.1f}% "
+        f"(paper {PAPER_POWER['core_overhead_nopm_pct']}%); "
+        f"PM savings {result.pm_savings_pct:.1f}% "
+        f"(paper {PAPER_POWER['pm_savings_pct']}%)"
+    )
+    return area_table + "\n\n" + power_table + "\n\n" + summary

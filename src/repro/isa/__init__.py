@@ -1,0 +1,28 @@
+"""Instruction-set layer: RV32IMC base, XpulpV2 DSP, XpulpNN QNN extensions.
+
+Public entry points:
+
+* :func:`repro.isa.build_isa` — assemble a named core configuration
+  (``"rv32imc"``, ``"ri5cy"``, ``"xpulpnn"``).
+* :class:`repro.isa.Instruction` / :class:`repro.isa.InstrSpec` — the
+  instruction model shared by the assembler, decoder, and simulator.
+* :func:`repro.isa.encode` / :class:`repro.isa.Decoder` — binary codec.
+"""
+
+from .encoding import Decoder, encode
+from .instruction import Instruction, InstrSpec
+from .registry import CORE_CONFIGS, Isa, build_isa
+from .registers import RegisterFile, parse_register, register_name
+
+__all__ = [
+    "CORE_CONFIGS",
+    "Decoder",
+    "Instruction",
+    "InstrSpec",
+    "Isa",
+    "RegisterFile",
+    "build_isa",
+    "encode",
+    "parse_register",
+    "register_name",
+]

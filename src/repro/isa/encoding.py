@@ -1,0 +1,382 @@
+"""Binary encoding and decoding of instructions.
+
+Standard RV32 formats (R/I/S/B/U/J and the compressed subset) follow the
+RISC-V specification bit-for-bit.  The PULP extensions use the custom
+opcode space; since the paper publishes no bit-level encodings for the
+XpulpNN instructions, this module defines a clean, documented scheme (see
+``OPC_*`` constants) and guarantees encode→decode round trips for every
+registered instruction — which is the property the rest of the system
+relies on.
+
+PULP SIMD encoding (opcode ``0x57``)::
+
+    31    27 26  25 24  20 19  15 14  12 11   7 6      0
+    [ op5   ][width ][ rs2  ][ rs1  ][ var  ][  rd  ][opcode]
+
+``op5`` selects the operation, ``width`` the element size
+(0=h, 1=b, 2=n, 3=c), ``var`` the addressing variant (0 = vector-vector,
+1 = ``.sc`` scalar-replicated, 2 = ``.sci`` immediate — XpulpV2 only).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from ..errors import DecodeError, EncodingError
+from .bits import get_field, fits_signed, fits_unsigned, set_field, to_signed
+from .instruction import Instruction, InstrSpec
+
+# ---------------------------------------------------------------------------
+# Opcode allocation
+# ---------------------------------------------------------------------------
+
+OPC_LOAD = 0x03
+OPC_STORE = 0x23
+OPC_OP_IMM = 0x13
+OPC_OP = 0x33
+OPC_LUI = 0x37
+OPC_AUIPC = 0x17
+OPC_JAL = 0x6F
+OPC_JALR = 0x67
+OPC_BRANCH = 0x63
+OPC_SYSTEM = 0x73
+OPC_MISC_MEM = 0x0F
+
+#: PULP post-increment loads, immediate offset (I format).
+OPC_PULP_LOAD_POST = 0x0B
+#: PULP post-increment stores, immediate offset (S format).
+OPC_PULP_STORE_POST = 0x2B
+#: PULP register-register loads, with and without post-increment (R format).
+OPC_PULP_LOAD_RR = 0x3B
+#: PULP scalar ALU extensions (R / I formats, selected by funct3+funct7).
+OPC_PULP_ALU = 0x5B
+#: PULP hardware-loop setup instructions.
+OPC_PULP_HWLOOP = 0x7B
+#: PULP packed-SIMD operations (XpulpV2 8/16-bit and XpulpNN 4/2-bit).
+OPC_PULP_SIMD = 0x57
+
+#: Field name -> (hi, lo) bit positions for 32-bit encodings.
+FIELD_BITS: Dict[str, Tuple[int, int]] = {
+    "opcode": (6, 0),
+    "rd": (11, 7),
+    "funct3": (14, 12),
+    "rs1": (19, 15),
+    "rs2": (24, 20),
+    "funct7": (31, 25),
+    "funct7h": (31, 30),
+    "op5": (31, 27),
+    "width2": (26, 25),
+    "funct12": (31, 20),
+}
+
+
+def _fixed_mask_match(fixed: Dict[str, int]) -> Tuple[int, int]:
+    """Compute the (mask, match) pair for a spec's fixed encoding fields."""
+    mask = 0
+    match = 0
+    for name, value in fixed.items():
+        hi, lo = FIELD_BITS[name]
+        mask |= ((1 << (hi - lo + 1)) - 1) << lo
+        match = set_field(match, hi, lo, value)
+    return mask, match
+
+
+# ---------------------------------------------------------------------------
+# Operand placement per format
+# ---------------------------------------------------------------------------
+#
+# Each format provides:
+#   place(word, ins) -> word with operand fields inserted
+#   extract(word, ins) -> mutate ins with decoded operand values
+# Immediate legality is validated at placement time so assembly errors
+# surface with the offending instruction, not as a corrupt binary.
+
+
+def _place_r(word: int, ins: Instruction) -> int:
+    word = set_field(word, 11, 7, ins.rd)
+    word = set_field(word, 19, 15, ins.rs1)
+    return set_field(word, 24, 20, ins.rs2)
+
+
+def _extract_r(word: int, ins: Instruction) -> None:
+    ins.rd = get_field(word, 11, 7)
+    ins.rs1 = get_field(word, 19, 15)
+    ins.rs2 = get_field(word, 24, 20)
+
+
+def _place_i(word: int, ins: Instruction) -> int:
+    if not fits_signed(ins.imm, 12):
+        raise EncodingError(f"{ins.mnemonic}: immediate {ins.imm} exceeds 12-bit signed range")
+    word = set_field(word, 11, 7, ins.rd)
+    word = set_field(word, 19, 15, ins.rs1)
+    return set_field(word, 31, 20, ins.imm & 0xFFF)
+
+
+def _extract_i(word: int, ins: Instruction) -> None:
+    ins.rd = get_field(word, 11, 7)
+    ins.rs1 = get_field(word, 19, 15)
+    ins.imm = to_signed(get_field(word, 31, 20), 12)
+
+
+def _place_iu(word: int, ins: Instruction) -> int:
+    if not fits_unsigned(ins.imm, 12):
+        raise EncodingError(f"{ins.mnemonic}: immediate {ins.imm} exceeds 12-bit unsigned range")
+    word = set_field(word, 11, 7, ins.rd)
+    word = set_field(word, 19, 15, ins.rs1)
+    return set_field(word, 31, 20, ins.imm)
+
+
+def _extract_iu(word: int, ins: Instruction) -> None:
+    ins.rd = get_field(word, 11, 7)
+    ins.rs1 = get_field(word, 19, 15)
+    ins.imm = get_field(word, 31, 20)
+
+
+def _place_sh(word: int, ins: Instruction) -> int:
+    if not fits_unsigned(ins.imm, 5):
+        raise EncodingError(f"{ins.mnemonic}: shift amount {ins.imm} exceeds 5 bits")
+    word = set_field(word, 11, 7, ins.rd)
+    word = set_field(word, 19, 15, ins.rs1)
+    return set_field(word, 24, 20, ins.imm)
+
+
+def _extract_sh(word: int, ins: Instruction) -> None:
+    ins.rd = get_field(word, 11, 7)
+    ins.rs1 = get_field(word, 19, 15)
+    ins.imm = get_field(word, 24, 20)
+
+
+def _place_s(word: int, ins: Instruction) -> int:
+    if not fits_signed(ins.imm, 12):
+        raise EncodingError(f"{ins.mnemonic}: immediate {ins.imm} exceeds 12-bit signed range")
+    imm = ins.imm & 0xFFF
+    word = set_field(word, 19, 15, ins.rs1)
+    word = set_field(word, 24, 20, ins.rs2)
+    word = set_field(word, 31, 25, imm >> 5)
+    return set_field(word, 11, 7, imm & 0x1F)
+
+
+def _extract_s(word: int, ins: Instruction) -> None:
+    ins.rs1 = get_field(word, 19, 15)
+    ins.rs2 = get_field(word, 24, 20)
+    imm = (get_field(word, 31, 25) << 5) | get_field(word, 11, 7)
+    ins.imm = to_signed(imm, 12)
+
+
+def _place_b(word: int, ins: Instruction) -> int:
+    if ins.imm % 2:
+        raise EncodingError(f"{ins.mnemonic}: branch offset {ins.imm} is odd")
+    if not fits_signed(ins.imm, 13):
+        raise EncodingError(f"{ins.mnemonic}: branch offset {ins.imm} exceeds 13-bit range")
+    imm = ins.imm & 0x1FFF
+    word = set_field(word, 19, 15, ins.rs1)
+    word = set_field(word, 24, 20, ins.rs2)
+    word = set_field(word, 31, 31, (imm >> 12) & 1)
+    word = set_field(word, 30, 25, (imm >> 5) & 0x3F)
+    word = set_field(word, 11, 8, (imm >> 1) & 0xF)
+    return set_field(word, 7, 7, (imm >> 11) & 1)
+
+
+def _extract_b(word: int, ins: Instruction) -> None:
+    ins.rs1 = get_field(word, 19, 15)
+    ins.rs2 = get_field(word, 24, 20)
+    imm = (
+        (get_field(word, 31, 31) << 12)
+        | (get_field(word, 7, 7) << 11)
+        | (get_field(word, 30, 25) << 5)
+        | (get_field(word, 11, 8) << 1)
+    )
+    ins.imm = to_signed(imm, 13)
+
+
+def _place_u(word: int, ins: Instruction) -> int:
+    if not fits_unsigned(ins.imm, 20):
+        raise EncodingError(f"{ins.mnemonic}: immediate {ins.imm} exceeds 20 bits")
+    word = set_field(word, 11, 7, ins.rd)
+    return set_field(word, 31, 12, ins.imm)
+
+
+def _extract_u(word: int, ins: Instruction) -> None:
+    ins.rd = get_field(word, 11, 7)
+    ins.imm = get_field(word, 31, 12)
+
+
+def _place_j(word: int, ins: Instruction) -> int:
+    if ins.imm % 2:
+        raise EncodingError(f"{ins.mnemonic}: jump offset {ins.imm} is odd")
+    if not fits_signed(ins.imm, 21):
+        raise EncodingError(f"{ins.mnemonic}: jump offset {ins.imm} exceeds 21-bit range")
+    imm = ins.imm & 0x1FFFFF
+    word = set_field(word, 11, 7, ins.rd)
+    word = set_field(word, 31, 31, (imm >> 20) & 1)
+    word = set_field(word, 30, 21, (imm >> 1) & 0x3FF)
+    word = set_field(word, 20, 20, (imm >> 11) & 1)
+    return set_field(word, 19, 12, (imm >> 12) & 0xFF)
+
+
+def _extract_j(word: int, ins: Instruction) -> None:
+    ins.rd = get_field(word, 11, 7)
+    imm = (
+        (get_field(word, 31, 31) << 20)
+        | (get_field(word, 19, 12) << 12)
+        | (get_field(word, 20, 20) << 11)
+        | (get_field(word, 30, 21) << 1)
+    )
+    ins.imm = to_signed(imm, 21)
+
+
+def _place_r1(word: int, ins: Instruction) -> int:
+    word = set_field(word, 11, 7, ins.rd)
+    return set_field(word, 19, 15, ins.rs1)
+
+
+def _extract_r1(word: int, ins: Instruction) -> None:
+    ins.rd = get_field(word, 11, 7)
+    ins.rs1 = get_field(word, 19, 15)
+
+
+def _place_none(word: int, ins: Instruction) -> int:
+    return word
+
+
+def _extract_none(word: int, ins: Instruction) -> None:
+    pass
+
+
+def _place_pvi(word: int, ins: Instruction) -> int:
+    """PULP SIMD ``.sci`` variant: 5-bit signed immediate in the rs2 field."""
+    if not fits_signed(ins.imm, 5):
+        raise EncodingError(f"{ins.mnemonic}: SIMD immediate {ins.imm} exceeds 5-bit signed range")
+    word = set_field(word, 11, 7, ins.rd)
+    word = set_field(word, 19, 15, ins.rs1)
+    return set_field(word, 24, 20, ins.imm & 0x1F)
+
+
+def _extract_pvi(word: int, ins: Instruction) -> None:
+    ins.rd = get_field(word, 11, 7)
+    ins.rs1 = get_field(word, 19, 15)
+    ins.imm = to_signed(get_field(word, 24, 20), 5)
+
+
+def _place_rn(word: int, ins: Instruction) -> int:
+    """R-format plus a 5-bit shift amount in bits [29:25] (p.addN family)."""
+    if not fits_unsigned(ins.imm, 5):
+        raise EncodingError(f"{ins.mnemonic}: normalization shift {ins.imm} exceeds 5 bits")
+    word = set_field(word, 11, 7, ins.rd)
+    word = set_field(word, 19, 15, ins.rs1)
+    word = set_field(word, 24, 20, ins.rs2)
+    return set_field(word, 29, 25, ins.imm)
+
+
+def _extract_rn(word: int, ins: Instruction) -> None:
+    ins.rd = get_field(word, 11, 7)
+    ins.rs1 = get_field(word, 19, 15)
+    ins.rs2 = get_field(word, 24, 20)
+    ins.imm = get_field(word, 29, 25)
+
+
+def _place_lp(word: int, ins: Instruction) -> int:
+    """Hardware-loop format: loop index in rd bit 0, 12-bit unsigned offset."""
+    if ins.rd not in (0, 1):
+        raise EncodingError(f"{ins.mnemonic}: hardware loop index must be 0 or 1")
+    if ins.imm % 2:
+        raise EncodingError(f"{ins.mnemonic}: loop offset {ins.imm} is odd")
+    if not fits_unsigned(ins.imm // 2, 12):
+        raise EncodingError(f"{ins.mnemonic}: loop offset {ins.imm} exceeds encodable range")
+    word = set_field(word, 11, 7, ins.rd)
+    word = set_field(word, 19, 15, ins.rs1)
+    return set_field(word, 31, 20, ins.imm // 2)
+
+
+def _extract_lp(word: int, ins: Instruction) -> None:
+    ins.rd = get_field(word, 11, 7)
+    ins.rs1 = get_field(word, 19, 15)
+    ins.imm = get_field(word, 31, 20) * 2
+
+
+def _place_lpi(word: int, ins: Instruction) -> int:
+    """Immediate-count hardware-loop format: count in the rs1 field."""
+    if ins.rd not in (0, 1):
+        raise EncodingError(f"{ins.mnemonic}: hardware loop index must be 0 or 1")
+    if not fits_unsigned(ins.rs1, 5):
+        raise EncodingError(f"{ins.mnemonic}: immediate loop count {ins.rs1} exceeds 5 bits")
+    if ins.imm % 2 or not fits_unsigned(ins.imm // 2, 12):
+        raise EncodingError(f"{ins.mnemonic}: loop offset {ins.imm} not encodable")
+    word = set_field(word, 11, 7, ins.rd)
+    word = set_field(word, 19, 15, ins.rs1)
+    return set_field(word, 31, 20, ins.imm // 2)
+
+
+def _extract_lpi(word: int, ins: Instruction) -> None:
+    ins.rd = get_field(word, 11, 7)
+    ins.rs1 = get_field(word, 19, 15)
+    ins.imm = get_field(word, 31, 20) * 2
+
+
+#: Format registry: name -> (place, extract).
+FORMATS: Dict[str, Tuple[Callable, Callable]] = {
+    "R": (_place_r, _extract_r),
+    "R1": (_place_r1, _extract_r1),
+    "I": (_place_i, _extract_i),
+    "IU": (_place_iu, _extract_iu),
+    "SH": (_place_sh, _extract_sh),
+    "S": (_place_s, _extract_s),
+    "B": (_place_b, _extract_b),
+    "U": (_place_u, _extract_u),
+    "J": (_place_j, _extract_j),
+    "PV": (_place_r, _extract_r),
+    "PVI": (_place_pvi, _extract_pvi),
+    "LP": (_place_lp, _extract_lp),
+    "LPI": (_place_lpi, _extract_lpi),
+    "RN": (_place_rn, _extract_rn),
+    "NONE": (_place_none, _extract_none),
+}
+
+
+def encode(ins: Instruction) -> int:
+    """Encode one (non-compressed) instruction into its 32-bit word."""
+    spec = ins.spec
+    if spec.size != 4:
+        raise EncodingError(f"{spec.mnemonic}: compressed encoding handled by rv32c module")
+    if spec.fmt not in FORMATS:
+        raise EncodingError(f"{spec.mnemonic}: unknown format {spec.fmt!r}")
+    word = 0
+    for name, value in spec.fixed.items():
+        hi, lo = FIELD_BITS[name]
+        word = set_field(word, hi, lo, value)
+    place, _ = FORMATS[spec.fmt]
+    return place(word, ins)
+
+
+class Decoder:
+    """Decode 32-bit words against a set of instruction specs.
+
+    Construction builds a per-opcode table of (mask, match, spec) triples;
+    decoding scans only the bucket for the word's opcode.  Specs with more
+    fixed bits are tried first so that, e.g., ``srai`` wins over ``srli``
+    only through its distinct funct7 rather than by registration order.
+    """
+
+    def __init__(self, specs: List[InstrSpec]) -> None:
+        self._buckets: Dict[int, List[Tuple[int, int, InstrSpec]]] = {}
+        for spec in specs:
+            if spec.size != 4:
+                continue  # compressed handled separately
+            mask, match = _fixed_mask_match(spec.fixed)
+            opcode = spec.fixed.get("opcode")
+            if opcode is None:
+                raise EncodingError(f"{spec.mnemonic}: spec lacks an opcode field")
+            self._buckets.setdefault(opcode, []).append((mask, match, spec))
+        for bucket in self._buckets.values():
+            bucket.sort(key=lambda entry: bin(entry[0]).count("1"), reverse=True)
+
+    def decode(self, word: int) -> Instruction:
+        """Decode *word*; raise :class:`DecodeError` if no spec matches."""
+        opcode = word & 0x7F
+        for mask, match, spec in self._buckets.get(opcode, ()):
+            if word & mask == match:
+                ins = Instruction(spec=spec)
+                _, extract = FORMATS[spec.fmt]
+                extract(word, ins)
+                return ins
+        raise DecodeError(f"cannot decode word {word:#010x} (opcode {opcode:#04x})")

@@ -1,0 +1,142 @@
+"""Instruction and instruction-specification model.
+
+The ISA layer separates *what an instruction is* (:class:`InstrSpec`:
+mnemonic, encoding fields, operand syntax, semantics, timing class) from
+*one occurrence of it* (:class:`Instruction`: a spec plus concrete operand
+values and, once linked, an address).
+
+Semantics are plain functions ``execute(cpu, ins) -> int | None`` that
+mutate the CPU state and return the next program counter, or ``None`` to
+fall through to ``pc + ins.size``.  The timing model never lives in the
+semantic function; it is driven by ``InstrSpec.timing`` (see
+:mod:`repro.core.timing`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Tuple
+
+#: Timing classes understood by the core timing model.
+TIMING_CLASSES = frozenset(
+    {
+        "alu",      # single-cycle integer/SIMD arithmetic
+        "mul",      # single-cycle multiplier (RI5CY mul/ dotp family)
+        "div",      # iterative divider
+        "load",     # data memory read
+        "store",    # data memory write
+        "branch",   # conditional branch (penalty when taken)
+        "jump",     # unconditional control transfer (always flushes)
+        "hwloop",   # hardware-loop setup instructions
+        "qnt_n",    # pv.qnt.n multicycle quantization (two nibbles)
+        "qnt_c",    # pv.qnt.c multicycle quantization (two crumbs)
+        "system",   # fence/ecall/ebreak
+        "csr",      # CSR access
+    }
+)
+
+
+@dataclass(frozen=True)
+class InstrSpec:
+    """Static description of one instruction mnemonic.
+
+    Attributes:
+        mnemonic: canonical assembler mnemonic, e.g. ``pv.sdotsp.n``.
+        fmt: encoding-format key registered in :mod:`repro.isa.encoding`.
+        fixed: fixed encoding field values (``opcode``, ``funct3``, ...).
+        syntax: operand syntax signature used by the assembler and
+            disassembler, e.g. ``("rd", "rs1", "rs2")`` or
+            ``("rd", "imm(rs1!)",)``.
+        execute: semantic function ``(cpu, ins) -> next_pc | None``.
+        timing: timing class (one of :data:`TIMING_CLASSES`).
+        rd_is_src: the destination register is also read (accumulating
+            ops such as ``pv.sdotsp`` and ``p.mac``); used by the hazard
+            model and by the builder's liveness checks.
+        size: encoded size in bytes (2 for compressed, else 4).
+        isa: name of the ISA subset this spec belongs to (``rv32i``,
+            ``xpulpv2``, ``xpulpnn``, ...), used to build per-core
+            instruction registries.
+    """
+
+    mnemonic: str
+    fmt: str
+    fixed: dict
+    syntax: Tuple[str, ...]
+    execute: Callable[["object", "Instruction"], Optional[int]]
+    timing: str = "alu"
+    rd_is_src: bool = False
+    size: int = 4
+    isa: str = "rv32i"
+
+    def __post_init__(self) -> None:
+        if self.timing not in TIMING_CLASSES:
+            raise ValueError(
+                f"{self.mnemonic}: unknown timing class {self.timing!r}"
+            )
+
+    def __repr__(self) -> str:
+        return f"InstrSpec({self.mnemonic})"
+
+
+@dataclass
+class Instruction:
+    """One concrete instruction: a spec plus operand values.
+
+    ``imm`` holds the immediate in its *semantic* form (byte offsets for
+    branches/jumps, the 20-bit value for ``lui``/``auipc``).  ``target``
+    carries an unresolved label name between assembly and linking; the
+    linker replaces it with a concrete ``imm`` relative to ``addr``.
+    """
+
+    spec: InstrSpec
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    rs3: int = 0
+    imm: int = 0
+    addr: Optional[int] = None
+    target: Optional[str] = None
+    comment: str = ""
+
+    @property
+    def mnemonic(self) -> str:
+        return self.spec.mnemonic
+
+    @property
+    def size(self) -> int:
+        return self.spec.size
+
+    def source_registers(self) -> Tuple[int, ...]:
+        """Register indices read by this instruction (for hazard checks)."""
+        regs = []
+        syntax = self.spec.syntax
+        if any("rs1" in part for part in syntax):
+            regs.append(self.rs1)
+        if any("rs2" in part for part in syntax):
+            regs.append(self.rs2)
+        if self.spec.rd_is_src:
+            regs.append(self.rd)
+        return tuple(regs)
+
+    def writes_register(self) -> Optional[int]:
+        """Destination register index, or ``None`` if none is written."""
+        if any("rd" in part for part in self.spec.syntax):
+            return self.rd
+        # Post-increment addressing writes back the base register.
+        if any("!" in part for part in self.spec.syntax):
+            return self.rs1
+        return None
+
+    def __repr__(self) -> str:
+        ops = []
+        for part in self.spec.syntax:
+            if part == "rd":
+                ops.append(f"x{self.rd}")
+            elif "rs1" in part:
+                ops.append(part.replace("rs1", f"x{self.rs1}").replace("imm", str(self.imm)))
+            elif "rs2" in part:
+                ops.append(f"x{self.rs2}")
+            elif "imm" in part or part in {"label", "uimm"}:
+                ops.append(self.target if self.target else str(self.imm))
+        loc = f"@{self.addr:#x}" if self.addr is not None else ""
+        return f"<{self.mnemonic} {', '.join(ops)}{loc}>"

@@ -1,0 +1,87 @@
+"""RISC-V integer register file and ABI naming.
+
+The simulator uses plain integer indices ``0..31`` internally; this module
+provides the ABI-name mapping used by the assembler, disassembler, and the
+:class:`~repro.asm.builder.KernelBuilder` DSL, plus the :class:`RegisterFile`
+container that pins ``x0`` to zero.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from ..errors import AsmError
+from .bits import u32
+
+#: Canonical ABI names indexed by register number.
+ABI_NAMES: List[str] = [
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+    "s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+    "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+    "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+]
+
+_NAME_TO_INDEX: Dict[str, int] = {name: i for i, name in enumerate(ABI_NAMES)}
+_NAME_TO_INDEX["fp"] = 8  # frame pointer alias for s0
+_NAME_TO_INDEX.update({f"x{i}": i for i in range(32)})
+
+#: Registers the standard calling convention treats as callee-saved.
+CALLEE_SAVED = frozenset([2, 8, 9] + list(range(18, 28)))
+
+#: Registers freely usable inside a leaf kernel (caller-saved + args).
+CALLER_SAVED = frozenset(
+    i for i in range(1, 32) if i not in CALLEE_SAVED
+)
+
+
+def parse_register(name: str) -> int:
+    """Translate an ABI or ``xN`` register name into its index.
+
+    Raises :class:`AsmError` for unknown names or out-of-range indices.
+    """
+    key = name.strip().lower()
+    if key in _NAME_TO_INDEX:
+        return _NAME_TO_INDEX[key]
+    raise AsmError(f"unknown register name {name!r}")
+
+
+def register_name(index: int) -> str:
+    """Return the canonical ABI name of register *index*."""
+    if not 0 <= index < 32:
+        raise AsmError(f"register index {index} out of range")
+    return ABI_NAMES[index]
+
+
+class RegisterFile:
+    """A 32-entry integer register file with ``x0`` hard-wired to zero.
+
+    Values are stored as unsigned 32-bit integers.  Reads and writes accept
+    indices only; name translation belongs to the assembler layer.
+    """
+
+    __slots__ = ("_regs",)
+
+    def __init__(self, initial: Iterable[int] = ()) -> None:
+        self._regs = [0] * 32
+        for i, value in enumerate(initial):
+            if i >= 32:
+                raise ValueError("too many initial register values")
+            if i != 0:
+                self._regs[i] = u32(value)
+
+    def __getitem__(self, index: int) -> int:
+        return self._regs[index]
+
+    def __setitem__(self, index: int, value: int) -> None:
+        if index != 0:
+            self._regs[index] = value & 0xFFFF_FFFF
+
+    def snapshot(self) -> List[int]:
+        """Copy of all 32 register values (for tracing and tests)."""
+        return list(self._regs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        pairs = ", ".join(
+            f"{ABI_NAMES[i]}={v:#x}" for i, v in enumerate(self._regs) if v
+        )
+        return f"RegisterFile({pairs})"

@@ -1,0 +1,573 @@
+"""RV32C compressed instruction subset: specs, semantics, 16-bit codec.
+
+Compressed encodings do not fit the 32-bit field machinery in
+:mod:`repro.isa.encoding`, so this module carries its own encoder and
+decoder.  Each spec has ``size == 2`` and ``fmt == "C"``; the per-mnemonic
+encode/decode callbacks live in the private ``_CODECS`` table.
+
+The subset covers what a compiler emits for scalar control code: stack
+loads/stores, ALU ops on the compressed register set, immediates, and all
+control transfers.  The benchmark kernels themselves use 32-bit encodings,
+matching the paper's hand-optimized loops.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from ..errors import DecodeError, EncodingError
+from .bits import get_field, to_signed, u32
+from .instruction import Instruction, InstrSpec
+
+_ISA = "rv32c"
+
+#: Compressed register window: 3-bit fields address x8..x15.
+_CREG_BASE = 8
+
+
+def _creg(field: int) -> int:
+    return _CREG_BASE + field
+
+
+def _creg_field(reg: int, mnemonic: str) -> int:
+    if not 8 <= reg <= 15:
+        raise EncodingError(f"{mnemonic}: register x{reg} not addressable in compressed form")
+    return reg - _CREG_BASE
+
+
+# ---------------------------------------------------------------------------
+# Semantics (mirror the 32-bit equivalents, with compressed conventions)
+# ---------------------------------------------------------------------------
+
+def _exec_c_addi(cpu, ins):
+    cpu.regs[ins.rd] = u32(cpu.regs[ins.rd] + ins.imm)
+    return None
+
+
+def _exec_c_li(cpu, ins):
+    cpu.regs[ins.rd] = u32(ins.imm)
+    return None
+
+
+def _exec_c_lui(cpu, ins):
+    cpu.regs[ins.rd] = u32(ins.imm << 12)
+    return None
+
+
+def _exec_c_mv(cpu, ins):
+    cpu.regs[ins.rd] = cpu.regs[ins.rs2]
+    return None
+
+
+def _exec_c_add(cpu, ins):
+    cpu.regs[ins.rd] = u32(cpu.regs[ins.rd] + cpu.regs[ins.rs2])
+    return None
+
+
+def _exec_c_lw(cpu, ins):
+    cpu.regs[ins.rd] = cpu.load(u32(cpu.regs[ins.rs1] + ins.imm), 4, True)
+    return None
+
+
+def _exec_c_sw(cpu, ins):
+    cpu.store(u32(cpu.regs[ins.rs1] + ins.imm), 4, cpu.regs[ins.rs2])
+    return None
+
+
+def _exec_c_lwsp(cpu, ins):
+    cpu.regs[ins.rd] = cpu.load(u32(cpu.regs[2] + ins.imm), 4, True)
+    return None
+
+
+def _exec_c_swsp(cpu, ins):
+    cpu.store(u32(cpu.regs[2] + ins.imm), 4, cpu.regs[ins.rs2])
+    return None
+
+
+def _exec_c_j(cpu, ins):
+    return u32(cpu.pc + ins.imm)
+
+
+def _exec_c_jal(cpu, ins):
+    cpu.regs[1] = u32(cpu.pc + 2)
+    return u32(cpu.pc + ins.imm)
+
+
+def _exec_c_jr(cpu, ins):
+    return cpu.regs[ins.rs1] & ~1
+
+
+def _exec_c_jalr(cpu, ins):
+    target = cpu.regs[ins.rs1] & ~1
+    cpu.regs[1] = u32(cpu.pc + 2)
+    return target
+
+
+def _exec_c_beqz(cpu, ins):
+    return u32(cpu.pc + ins.imm) if cpu.regs[ins.rs1] == 0 else None
+
+
+def _exec_c_bnez(cpu, ins):
+    return u32(cpu.pc + ins.imm) if cpu.regs[ins.rs1] != 0 else None
+
+
+def _exec_c_addi16sp(cpu, ins):
+    cpu.regs[2] = u32(cpu.regs[2] + ins.imm)
+    return None
+
+
+def _exec_c_addi4spn(cpu, ins):
+    cpu.regs[ins.rd] = u32(cpu.regs[2] + ins.imm)
+    return None
+
+
+def _exec_c_slli(cpu, ins):
+    cpu.regs[ins.rd] = u32(cpu.regs[ins.rd] << ins.imm)
+    return None
+
+
+def _exec_c_srli(cpu, ins):
+    cpu.regs[ins.rd] = cpu.regs[ins.rd] >> ins.imm
+    return None
+
+
+def _exec_c_srai(cpu, ins):
+    cpu.regs[ins.rd] = u32(to_signed(cpu.regs[ins.rd]) >> ins.imm)
+    return None
+
+
+def _exec_c_andi(cpu, ins):
+    cpu.regs[ins.rd] = cpu.regs[ins.rd] & u32(ins.imm)
+    return None
+
+
+def _c_alu(fn):
+    def execute(cpu, ins):
+        cpu.regs[ins.rd] = u32(fn(cpu.regs[ins.rd], cpu.regs[ins.rs2]))
+        return None
+
+    return execute
+
+
+def _exec_c_nop(cpu, ins):
+    return None
+
+
+def _exec_c_ebreak(cpu, ins):
+    cpu.halt("ebreak")
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Immediate scramble/unscramble helpers
+# ---------------------------------------------------------------------------
+
+def _cj_imm_encode(imm: int) -> int:
+    bits = imm & 0xFFE
+    return (
+        (((imm >> 11) & 1) << 12)
+        | (((bits >> 4) & 1) << 11)
+        | (((bits >> 8) & 3) << 9)
+        | (((bits >> 10) & 1) << 8)
+        | (((bits >> 6) & 1) << 7)
+        | (((bits >> 7) & 1) << 6)
+        | (((bits >> 1) & 7) << 3)
+        | (((bits >> 5) & 1) << 2)
+    )
+
+
+def _cj_imm_decode(word: int) -> int:
+    imm = (
+        (get_field(word, 12, 12) << 11)
+        | (get_field(word, 11, 11) << 4)
+        | (get_field(word, 10, 9) << 8)
+        | (get_field(word, 8, 8) << 10)
+        | (get_field(word, 7, 7) << 6)
+        | (get_field(word, 6, 6) << 7)
+        | (get_field(word, 5, 3) << 1)
+        | (get_field(word, 2, 2) << 5)
+    )
+    return to_signed(imm, 12)
+
+
+def _cb_imm_encode(imm: int) -> Tuple[int, int]:
+    """Return the (high, low) scrambled parts of a CB branch offset."""
+    high = (((imm >> 8) & 1) << 2) | ((imm >> 3) & 3)
+    low = (((imm >> 6) & 3) << 3) | (((imm >> 1) & 3) << 1) | ((imm >> 5) & 1)
+    return high, low
+
+
+def _cb_imm_decode(word: int) -> int:
+    imm = (
+        (get_field(word, 12, 12) << 8)
+        | (get_field(word, 11, 10) << 3)
+        | (get_field(word, 6, 5) << 6)
+        | (get_field(word, 4, 3) << 1)
+        | (get_field(word, 2, 2) << 5)
+    )
+    return to_signed(imm, 9)
+
+
+def _check_range(mnemonic: str, imm: int, bits: int, signed: bool, scale: int = 1) -> None:
+    if imm % scale:
+        raise EncodingError(f"{mnemonic}: immediate {imm} not a multiple of {scale}")
+    value = imm // scale
+    if signed:
+        ok = -(1 << (bits - 1)) <= value < (1 << (bits - 1))
+    else:
+        ok = 0 <= value < (1 << bits)
+    if not ok:
+        raise EncodingError(f"{mnemonic}: immediate {imm} out of range")
+
+
+# ---------------------------------------------------------------------------
+# Per-instruction codecs
+# ---------------------------------------------------------------------------
+
+def _enc_ci(funct3: int, op: int):
+    def encode(ins: Instruction) -> int:
+        _check_range(ins.mnemonic, ins.imm, 6, signed=True)
+        imm = ins.imm & 0x3F
+        return (funct3 << 13) | ((imm >> 5) << 12) | (ins.rd << 7) | ((imm & 0x1F) << 2) | op
+
+    return encode
+
+
+def _enc_cshift(funct2: int):
+    def encode(ins: Instruction) -> int:
+        _check_range(ins.mnemonic, ins.imm, 5, signed=False)
+        rdp = _creg_field(ins.rd, ins.mnemonic)
+        return (4 << 13) | (funct2 << 10) | (rdp << 7) | ((ins.imm & 0x1F) << 2) | 0b01
+
+    return encode
+
+
+def _enc_calu(funct2: int):
+    def encode(ins: Instruction) -> int:
+        rdp = _creg_field(ins.rd, ins.mnemonic)
+        rs2p = _creg_field(ins.rs2, ins.mnemonic)
+        return (4 << 13) | (3 << 10) | (rdp << 7) | (funct2 << 5) | (rs2p << 2) | 0b01
+
+    return encode
+
+
+def _enc_c_addi4spn(ins: Instruction) -> int:
+    _check_range(ins.mnemonic, ins.imm, 8, signed=False, scale=4)
+    if ins.imm == 0:
+        raise EncodingError("c.addi4spn: immediate must be non-zero")
+    imm = ins.imm
+    rdp = _creg_field(ins.rd, ins.mnemonic)
+    word = (
+        (((imm >> 4) & 3) << 11)
+        | (((imm >> 6) & 0xF) << 7)
+        | (((imm >> 2) & 1) << 6)
+        | (((imm >> 3) & 1) << 5)
+    )
+    return word | (rdp << 2) | 0b00
+
+
+def _enc_c_lw_sw(funct3: int):
+    def encode(ins: Instruction) -> int:
+        _check_range(ins.mnemonic, ins.imm, 5, signed=False, scale=4)
+        imm = ins.imm
+        rs1p = _creg_field(ins.rs1, ins.mnemonic)
+        other = ins.rd if funct3 == 0b010 else ins.rs2
+        otherp = _creg_field(other, ins.mnemonic)
+        word = (funct3 << 13) | (((imm >> 3) & 7) << 10) | (rs1p << 7)
+        word |= (((imm >> 2) & 1) << 6) | (((imm >> 6) & 1) << 5)
+        return word | (otherp << 2) | 0b00
+
+    return encode
+
+
+def _enc_c_j(funct3: int):
+    def encode(ins: Instruction) -> int:
+        _check_range(ins.mnemonic, ins.imm, 11, signed=True, scale=2)
+        return (funct3 << 13) | _cj_imm_encode(ins.imm) | 0b01
+
+    return encode
+
+
+def _enc_c_branch(funct3: int):
+    def encode(ins: Instruction) -> int:
+        _check_range(ins.mnemonic, ins.imm, 8, signed=True, scale=2)
+        high, low = _cb_imm_encode(ins.imm)
+        rs1p = _creg_field(ins.rs1, ins.mnemonic)
+        return (funct3 << 13) | (high << 10) | (rs1p << 7) | (low << 2) | 0b01
+
+    return encode
+
+
+def _enc_c_addi16sp(ins: Instruction) -> int:
+    _check_range(ins.mnemonic, ins.imm, 6, signed=True, scale=16)
+    imm = ins.imm
+    word = (3 << 13) | (((imm >> 9) & 1) << 12) | (2 << 7)
+    word |= (((imm >> 4) & 1) << 6) | (((imm >> 6) & 1) << 5)
+    word |= (((imm >> 7) & 3) << 3) | (((imm >> 5) & 1) << 2)
+    return word | 0b01
+
+
+def _enc_c_lui(ins: Instruction) -> int:
+    if ins.rd in (0, 2):
+        raise EncodingError("c.lui: rd must not be x0 or x2")
+    _check_range(ins.mnemonic, ins.imm, 6, signed=True)
+    if ins.imm == 0:
+        raise EncodingError("c.lui: immediate must be non-zero")
+    imm = ins.imm & 0x3F
+    return (3 << 13) | ((imm >> 5) << 12) | (ins.rd << 7) | ((imm & 0x1F) << 2) | 0b01
+
+
+def _enc_c_lwsp(ins: Instruction) -> int:
+    _check_range(ins.mnemonic, ins.imm, 6, signed=False, scale=4)
+    imm = ins.imm
+    word = (2 << 13) | (((imm >> 5) & 1) << 12) | (ins.rd << 7)
+    word |= (((imm >> 2) & 7) << 4) | (((imm >> 6) & 3) << 2)
+    return word | 0b10
+
+
+def _enc_c_swsp(ins: Instruction) -> int:
+    _check_range(ins.mnemonic, ins.imm, 6, signed=False, scale=4)
+    imm = ins.imm
+    word = (6 << 13) | (((imm >> 2) & 0xF) << 9) | (((imm >> 6) & 3) << 7)
+    return word | (ins.rs2 << 2) | 0b10
+
+
+def _enc_c_slli(ins: Instruction) -> int:
+    _check_range(ins.mnemonic, ins.imm, 5, signed=False)
+    return (((ins.imm >> 5) & 1) << 12) | (ins.rd << 7) | ((ins.imm & 0x1F) << 2) | 0b10
+
+
+def _enc_cr(funct4: int, use_rs1: bool, use_rs2: bool):
+    def encode(ins: Instruction) -> int:
+        hi = ins.rs1 if use_rs1 else ins.rd
+        lo = ins.rs2 if use_rs2 else 0
+        return (funct4 << 12) | (hi << 7) | (lo << 2) | 0b10
+
+    return encode
+
+
+def _enc_c_nop(ins: Instruction) -> int:
+    return 0x0001
+
+
+def _enc_c_ebreak(ins: Instruction) -> int:
+    return 0x9002
+
+
+# ---------------------------------------------------------------------------
+# Spec table
+# ---------------------------------------------------------------------------
+
+def _cspec(mnemonic, syntax, execute, timing="alu", rd_is_src=False) -> InstrSpec:
+    return InstrSpec(
+        mnemonic=mnemonic,
+        fmt="C",
+        fixed={},
+        syntax=syntax,
+        execute=execute,
+        timing=timing,
+        rd_is_src=rd_is_src,
+        size=2,
+        isa=_ISA,
+    )
+
+
+SPECS: List[InstrSpec] = [
+    _cspec("c.nop", (), _exec_c_nop),
+    _cspec("c.addi", ("rd", "imm"), _exec_c_addi, rd_is_src=True),
+    _cspec("c.jal", ("label",), _exec_c_jal, timing="jump"),
+    _cspec("c.li", ("rd", "imm"), _exec_c_li),
+    _cspec("c.addi16sp", ("imm",), _exec_c_addi16sp),
+    _cspec("c.addi4spn", ("rd", "imm"), _exec_c_addi4spn),
+    _cspec("c.lui", ("rd", "imm"), _exec_c_lui),
+    _cspec("c.srli", ("rd", "imm"), _exec_c_srli, rd_is_src=True),
+    _cspec("c.srai", ("rd", "imm"), _exec_c_srai, rd_is_src=True),
+    _cspec("c.andi", ("rd", "imm"), _exec_c_andi, rd_is_src=True),
+    _cspec("c.sub", ("rd", "rs2"), _c_alu(lambda a, b: a - b), rd_is_src=True),
+    _cspec("c.xor", ("rd", "rs2"), _c_alu(lambda a, b: a ^ b), rd_is_src=True),
+    _cspec("c.or", ("rd", "rs2"), _c_alu(lambda a, b: a | b), rd_is_src=True),
+    _cspec("c.and", ("rd", "rs2"), _c_alu(lambda a, b: a & b), rd_is_src=True),
+    _cspec("c.j", ("label",), _exec_c_j, timing="jump"),
+    _cspec("c.beqz", ("rs1", "label"), _exec_c_beqz, timing="branch"),
+    _cspec("c.bnez", ("rs1", "label"), _exec_c_bnez, timing="branch"),
+    _cspec("c.lw", ("rd", "imm(rs1)"), _exec_c_lw, timing="load"),
+    _cspec("c.sw", ("rs2", "imm(rs1)"), _exec_c_sw, timing="store"),
+    _cspec("c.lwsp", ("rd", "imm"), _exec_c_lwsp, timing="load"),
+    _cspec("c.swsp", ("rs2", "imm"), _exec_c_swsp, timing="store"),
+    _cspec("c.slli", ("rd", "imm"), _exec_c_slli, rd_is_src=True),
+    _cspec("c.jr", ("rs1",), _exec_c_jr, timing="jump"),
+    _cspec("c.jalr", ("rs1",), _exec_c_jalr, timing="jump"),
+    _cspec("c.mv", ("rd", "rs2"), _exec_c_mv),
+    _cspec("c.add", ("rd", "rs2"), _exec_c_add, rd_is_src=True),
+    _cspec("c.ebreak", (), _exec_c_ebreak, timing="system"),
+]
+
+_SPEC_BY_NAME: Dict[str, InstrSpec] = {spec.mnemonic: spec for spec in SPECS}
+
+_ENCODERS: Dict[str, Callable[[Instruction], int]] = {
+    "c.nop": _enc_c_nop,
+    "c.addi": _enc_ci(0, 0b01),
+    "c.jal": _enc_c_j(1),
+    "c.li": _enc_ci(2, 0b01),
+    "c.addi16sp": _enc_c_addi16sp,
+    "c.addi4spn": _enc_c_addi4spn,
+    "c.lui": _enc_c_lui,
+    "c.srli": _enc_cshift(0),
+    "c.srai": _enc_cshift(1),
+    "c.andi": None,  # handled below: needs signed immediate in shift slot
+    "c.sub": _enc_calu(0),
+    "c.xor": _enc_calu(1),
+    "c.or": _enc_calu(2),
+    "c.and": _enc_calu(3),
+    "c.j": _enc_c_j(5),
+    "c.beqz": _enc_c_branch(6),
+    "c.bnez": _enc_c_branch(7),
+    "c.lw": _enc_c_lw_sw(0b010),
+    "c.sw": _enc_c_lw_sw(0b110),
+    "c.lwsp": _enc_c_lwsp,
+    "c.swsp": _enc_c_swsp,
+    "c.slli": _enc_c_slli,
+    "c.jr": _enc_cr(0b1000, True, False),
+    "c.jalr": _enc_cr(0b1001, True, False),
+    "c.mv": _enc_cr(0b1000, False, True),
+    "c.add": _enc_cr(0b1001, False, True),
+    "c.ebreak": _enc_c_ebreak,
+}
+
+
+def _enc_c_andi(ins: Instruction) -> int:
+    _check_range(ins.mnemonic, ins.imm, 6, signed=True)
+    imm = ins.imm & 0x3F
+    rdp = _creg_field(ins.rd, ins.mnemonic)
+    return (4 << 13) | ((imm >> 5) << 12) | (2 << 10) | (rdp << 7) | ((imm & 0x1F) << 2) | 0b01
+
+
+_ENCODERS["c.andi"] = _enc_c_andi
+
+
+def encode_c(ins: Instruction) -> int:
+    """Encode a compressed instruction into its 16-bit halfword."""
+    encoder = _ENCODERS.get(ins.mnemonic)
+    if encoder is None:
+        raise EncodingError(f"no compressed encoder for {ins.mnemonic}")
+    return encoder(ins)
+
+
+def _make(mnemonic: str, **fields) -> Instruction:
+    return Instruction(spec=_SPEC_BY_NAME[mnemonic], **fields)
+
+
+def decode_c(word: int) -> Instruction:
+    """Decode a 16-bit halfword into a compressed :class:`Instruction`."""
+    word &= 0xFFFF
+    op = word & 3
+    funct3 = get_field(word, 15, 13)
+    if op == 0b00:
+        return _decode_q0(word, funct3)
+    if op == 0b01:
+        return _decode_q1(word, funct3)
+    if op == 0b10:
+        return _decode_q2(word, funct3)
+    raise DecodeError(f"halfword {word:#06x} is not a compressed encoding")
+
+
+def _decode_q0(word: int, funct3: int) -> Instruction:
+    if funct3 == 0:
+        imm = (
+            (get_field(word, 12, 11) << 4)
+            | (get_field(word, 10, 7) << 6)
+            | (get_field(word, 6, 6) << 2)
+            | (get_field(word, 5, 5) << 3)
+        )
+        if imm == 0:
+            raise DecodeError(f"reserved compressed encoding {word:#06x}")
+        return _make("c.addi4spn", rd=_creg(get_field(word, 4, 2)), imm=imm)
+    if funct3 in (0b010, 0b110):
+        imm = (
+            (get_field(word, 12, 10) << 3)
+            | (get_field(word, 6, 6) << 2)
+            | (get_field(word, 5, 5) << 6)
+        )
+        rs1 = _creg(get_field(word, 9, 7))
+        other = _creg(get_field(word, 4, 2))
+        if funct3 == 0b010:
+            return _make("c.lw", rd=other, rs1=rs1, imm=imm)
+        return _make("c.sw", rs2=other, rs1=rs1, imm=imm)
+    raise DecodeError(f"unsupported compressed encoding {word:#06x}")
+
+
+def _decode_q1(word: int, funct3: int) -> Instruction:
+    if funct3 == 0:
+        if word == 0x0001:
+            return _make("c.nop")
+        rd = get_field(word, 11, 7)
+        imm = to_signed((get_field(word, 12, 12) << 5) | get_field(word, 6, 2), 6)
+        return _make("c.addi", rd=rd, imm=imm)
+    if funct3 == 1:
+        return _make("c.jal", imm=_cj_imm_decode(word))
+    if funct3 == 2:
+        rd = get_field(word, 11, 7)
+        imm = to_signed((get_field(word, 12, 12) << 5) | get_field(word, 6, 2), 6)
+        return _make("c.li", rd=rd, imm=imm)
+    if funct3 == 3:
+        rd = get_field(word, 11, 7)
+        if rd == 2:
+            imm = (
+                (get_field(word, 12, 12) << 9)
+                | (get_field(word, 6, 6) << 4)
+                | (get_field(word, 5, 5) << 6)
+                | (get_field(word, 4, 3) << 7)
+                | (get_field(word, 2, 2) << 5)
+            )
+            return _make("c.addi16sp", imm=to_signed(imm, 10))
+        imm = to_signed((get_field(word, 12, 12) << 5) | get_field(word, 6, 2), 6)
+        return _make("c.lui", rd=rd, imm=imm)
+    if funct3 == 4:
+        sub = get_field(word, 11, 10)
+        rd = _creg(get_field(word, 9, 7))
+        if sub in (0, 1):
+            shamt = (get_field(word, 12, 12) << 5) | get_field(word, 6, 2)
+            return _make("c.srli" if sub == 0 else "c.srai", rd=rd, imm=shamt)
+        if sub == 2:
+            imm = to_signed((get_field(word, 12, 12) << 5) | get_field(word, 6, 2), 6)
+            return _make("c.andi", rd=rd, imm=imm)
+        rs2 = _creg(get_field(word, 4, 2))
+        mnemonic = ("c.sub", "c.xor", "c.or", "c.and")[get_field(word, 6, 5)]
+        return _make(mnemonic, rd=rd, rs2=rs2)
+    if funct3 == 5:
+        return _make("c.j", imm=_cj_imm_decode(word))
+    rs1 = _creg(get_field(word, 9, 7))
+    mnemonic = "c.beqz" if funct3 == 6 else "c.bnez"
+    return _make(mnemonic, rs1=rs1, imm=_cb_imm_decode(word))
+
+
+def _decode_q2(word: int, funct3: int) -> Instruction:
+    if funct3 == 0:
+        rd = get_field(word, 11, 7)
+        shamt = (get_field(word, 12, 12) << 5) | get_field(word, 6, 2)
+        return _make("c.slli", rd=rd, imm=shamt)
+    if funct3 == 2:
+        rd = get_field(word, 11, 7)
+        imm = (
+            (get_field(word, 12, 12) << 5)
+            | (get_field(word, 6, 4) << 2)
+            | (get_field(word, 3, 2) << 6)
+        )
+        return _make("c.lwsp", rd=rd, imm=imm)
+    if funct3 == 4:
+        bit12 = get_field(word, 12, 12)
+        hi = get_field(word, 11, 7)
+        lo = get_field(word, 6, 2)
+        if bit12 == 0:
+            if lo == 0:
+                return _make("c.jr", rs1=hi)
+            return _make("c.mv", rd=hi, rs2=lo)
+        if hi == 0 and lo == 0:
+            return _make("c.ebreak")
+        if lo == 0:
+            return _make("c.jalr", rs1=hi)
+        return _make("c.add", rd=hi, rs2=lo)
+    if funct3 == 6:
+        imm = (get_field(word, 12, 9) << 2) | (get_field(word, 8, 7) << 6)
+        return _make("c.swsp", rs2=get_field(word, 6, 2), imm=imm)
+    raise DecodeError(f"unsupported compressed encoding {word:#06x}")

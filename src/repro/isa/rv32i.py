@@ -1,0 +1,270 @@
+"""RV32I base integer instruction set: specs and semantics.
+
+Semantic functions receive the executing core (anything that provides
+``regs``, ``pc``, ``load``/``store`` and ``halt``; see
+:class:`repro.core.cpu.Cpu`) and the decoded :class:`Instruction`.  They
+return the next program counter for control transfers, or ``None`` to fall
+through.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .bits import to_signed, u32
+from .encoding import (
+    OPC_AUIPC,
+    OPC_BRANCH,
+    OPC_JAL,
+    OPC_JALR,
+    OPC_LOAD,
+    OPC_LUI,
+    OPC_MISC_MEM,
+    OPC_OP,
+    OPC_OP_IMM,
+    OPC_STORE,
+    OPC_SYSTEM,
+)
+from .instruction import Instruction, InstrSpec
+
+_ISA = "rv32i"
+
+
+# ---------------------------------------------------------------------------
+# Semantics
+# ---------------------------------------------------------------------------
+
+def _exec_lui(cpu, ins: Instruction) -> Optional[int]:
+    cpu.regs[ins.rd] = u32(ins.imm << 12)
+    return None
+
+
+def _exec_auipc(cpu, ins: Instruction) -> Optional[int]:
+    cpu.regs[ins.rd] = u32(cpu.pc + (ins.imm << 12))
+    return None
+
+
+def _exec_jal(cpu, ins: Instruction) -> Optional[int]:
+    cpu.regs[ins.rd] = u32(cpu.pc + ins.size)
+    return u32(cpu.pc + ins.imm)
+
+
+def _exec_jalr(cpu, ins: Instruction) -> Optional[int]:
+    target = u32(cpu.regs[ins.rs1] + ins.imm) & ~1
+    cpu.regs[ins.rd] = u32(cpu.pc + ins.size)
+    return target
+
+
+def _branch(cond) -> callable:
+    def execute(cpu, ins: Instruction) -> Optional[int]:
+        if cond(cpu.regs[ins.rs1], cpu.regs[ins.rs2]):
+            return u32(cpu.pc + ins.imm)
+        return None
+
+    return execute
+
+
+def _load(size: int, signed: bool) -> callable:
+    def execute(cpu, ins: Instruction) -> Optional[int]:
+        addr = u32(cpu.regs[ins.rs1] + ins.imm)
+        cpu.regs[ins.rd] = cpu.load(addr, size, signed)
+        return None
+
+    return execute
+
+
+def _store(size: int) -> callable:
+    def execute(cpu, ins: Instruction) -> Optional[int]:
+        addr = u32(cpu.regs[ins.rs1] + ins.imm)
+        cpu.store(addr, size, cpu.regs[ins.rs2])
+        return None
+
+    return execute
+
+
+def _op_imm(fn) -> callable:
+    def execute(cpu, ins: Instruction) -> Optional[int]:
+        cpu.regs[ins.rd] = u32(fn(cpu.regs[ins.rs1], ins.imm))
+        return None
+
+    return execute
+
+
+def _op_rr(fn) -> callable:
+    def execute(cpu, ins: Instruction) -> Optional[int]:
+        cpu.regs[ins.rd] = u32(fn(cpu.regs[ins.rs1], cpu.regs[ins.rs2]))
+        return None
+
+    return execute
+
+
+def _exec_fence(cpu, ins: Instruction) -> Optional[int]:
+    return None
+
+
+def _exec_ecall(cpu, ins: Instruction) -> Optional[int]:
+    cpu.halt("ecall")
+    return None
+
+
+def _exec_ebreak(cpu, ins: Instruction) -> Optional[int]:
+    cpu.halt("ebreak")
+    return None
+
+
+def _srl(a: int, b: int) -> int:
+    return u32(a) >> (b & 31)
+
+
+def _sra(a: int, b: int) -> int:
+    return to_signed(a) >> (b & 31)
+
+
+def _slt(a: int, b: int) -> int:
+    return 1 if to_signed(a) < to_signed(b) else 0
+
+
+def _sltu(a: int, b: int) -> int:
+    return 1 if u32(a) < u32(b) else 0
+
+
+# ---------------------------------------------------------------------------
+# Spec table
+# ---------------------------------------------------------------------------
+
+def _spec(mnemonic, fmt, fixed, syntax, execute, timing="alu", **kw) -> InstrSpec:
+    return InstrSpec(
+        mnemonic=mnemonic,
+        fmt=fmt,
+        fixed=fixed,
+        syntax=syntax,
+        execute=execute,
+        timing=timing,
+        isa=_ISA,
+        **kw,
+    )
+
+
+def _build_specs() -> List[InstrSpec]:
+    specs: List[InstrSpec] = [
+        _spec("lui", "U", {"opcode": OPC_LUI}, ("rd", "imm"), _exec_lui),
+        _spec("auipc", "U", {"opcode": OPC_AUIPC}, ("rd", "imm"), _exec_auipc),
+        _spec("jal", "J", {"opcode": OPC_JAL}, ("rd", "label"), _exec_jal, timing="jump"),
+        _spec(
+            "jalr", "I", {"opcode": OPC_JALR, "funct3": 0},
+            ("rd", "imm(rs1)"), _exec_jalr, timing="jump",
+        ),
+    ]
+
+    branches = [
+        ("beq", 0, lambda a, b: a == b),
+        ("bne", 1, lambda a, b: a != b),
+        ("blt", 4, lambda a, b: to_signed(a) < to_signed(b)),
+        ("bge", 5, lambda a, b: to_signed(a) >= to_signed(b)),
+        ("bltu", 6, lambda a, b: u32(a) < u32(b)),
+        ("bgeu", 7, lambda a, b: u32(a) >= u32(b)),
+    ]
+    for mnemonic, funct3, cond in branches:
+        specs.append(
+            _spec(
+                mnemonic, "B", {"opcode": OPC_BRANCH, "funct3": funct3},
+                ("rs1", "rs2", "label"), _branch(cond), timing="branch",
+            )
+        )
+
+    loads = [
+        ("lb", 0, 1, True),
+        ("lh", 1, 2, True),
+        ("lw", 2, 4, True),
+        ("lbu", 4, 1, False),
+        ("lhu", 5, 2, False),
+    ]
+    for mnemonic, funct3, size, signed in loads:
+        specs.append(
+            _spec(
+                mnemonic, "I", {"opcode": OPC_LOAD, "funct3": funct3},
+                ("rd", "imm(rs1)"), _load(size, signed), timing="load",
+            )
+        )
+
+    for mnemonic, funct3, size in [("sb", 0, 1), ("sh", 1, 2), ("sw", 2, 4)]:
+        specs.append(
+            _spec(
+                mnemonic, "S", {"opcode": OPC_STORE, "funct3": funct3},
+                ("rs2", "imm(rs1)"), _store(size), timing="store",
+            )
+        )
+
+    op_imms = [
+        ("addi", 0, lambda a, b: a + b),
+        ("slti", 2, _slt),
+        ("sltiu", 3, lambda a, b: 1 if u32(a) < u32(b) else 0),
+        ("xori", 4, lambda a, b: a ^ u32(b)),
+        ("ori", 6, lambda a, b: a | u32(b)),
+        ("andi", 7, lambda a, b: a & u32(b)),
+    ]
+    for mnemonic, funct3, fn in op_imms:
+        specs.append(
+            _spec(
+                mnemonic, "I", {"opcode": OPC_OP_IMM, "funct3": funct3},
+                ("rd", "rs1", "imm"), _op_imm(fn),
+            )
+        )
+
+    shifts_imm = [
+        ("slli", 1, 0x00, lambda a, b: a << (b & 31)),
+        ("srli", 5, 0x00, _srl),
+        ("srai", 5, 0x20, _sra),
+    ]
+    for mnemonic, funct3, funct7, fn in shifts_imm:
+        specs.append(
+            _spec(
+                mnemonic, "SH",
+                {"opcode": OPC_OP_IMM, "funct3": funct3, "funct7": funct7},
+                ("rd", "rs1", "imm"), _op_imm(fn),
+            )
+        )
+
+    ops = [
+        ("add", 0, 0x00, lambda a, b: a + b),
+        ("sub", 0, 0x20, lambda a, b: a - b),
+        ("sll", 1, 0x00, lambda a, b: a << (b & 31)),
+        ("slt", 2, 0x00, _slt),
+        ("sltu", 3, 0x00, _sltu),
+        ("xor", 4, 0x00, lambda a, b: a ^ b),
+        ("srl", 5, 0x00, _srl),
+        ("sra", 5, 0x20, _sra),
+        ("or", 6, 0x00, lambda a, b: a | b),
+        ("and", 7, 0x00, lambda a, b: a & b),
+    ]
+    for mnemonic, funct3, funct7, fn in ops:
+        specs.append(
+            _spec(
+                mnemonic, "R",
+                {"opcode": OPC_OP, "funct3": funct3, "funct7": funct7},
+                ("rd", "rs1", "rs2"), _op_rr(fn),
+            )
+        )
+
+    specs.append(
+        _spec(
+            "fence", "NONE", {"opcode": OPC_MISC_MEM, "funct3": 0, "rd": 0, "rs1": 0},
+            (), _exec_fence, timing="system",
+        )
+    )
+    specs.append(
+        _spec(
+            "ecall", "NONE", {"opcode": OPC_SYSTEM, "funct12": 0, "funct3": 0, "rd": 0, "rs1": 0},
+            (), _exec_ecall, timing="system",
+        )
+    )
+    specs.append(
+        _spec(
+            "ebreak", "NONE", {"opcode": OPC_SYSTEM, "funct12": 1, "funct3": 0, "rd": 0, "rs1": 0},
+            (), _exec_ebreak, timing="system",
+        )
+    )
+    return specs
+
+
+SPECS: List[InstrSpec] = _build_specs()

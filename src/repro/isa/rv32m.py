@@ -1,0 +1,96 @@
+"""RV32M multiply/divide extension: specs and semantics."""
+
+from __future__ import annotations
+
+from typing import List
+
+from .bits import to_signed, u32
+from .encoding import OPC_OP
+from .instruction import Instruction, InstrSpec
+
+_ISA = "rv32m"
+_MULDIV_FUNCT7 = 0x01
+
+
+def _mul(a: int, b: int) -> int:
+    return u32(a * b)
+
+
+def _mulh(a: int, b: int) -> int:
+    return u32((to_signed(a) * to_signed(b)) >> 32)
+
+
+def _mulhsu(a: int, b: int) -> int:
+    return u32((to_signed(a) * u32(b)) >> 32)
+
+
+def _mulhu(a: int, b: int) -> int:
+    return u32((u32(a) * u32(b)) >> 32)
+
+
+def _div(a: int, b: int) -> int:
+    sa, sb = to_signed(a), to_signed(b)
+    if sb == 0:
+        return 0xFFFF_FFFF
+    if sa == -(1 << 31) and sb == -1:
+        return u32(sa)
+    quotient = abs(sa) // abs(sb)
+    return u32(-quotient if (sa < 0) != (sb < 0) else quotient)
+
+
+def _divu(a: int, b: int) -> int:
+    if b == 0:
+        return 0xFFFF_FFFF
+    return u32(a) // u32(b)
+
+
+def _rem(a: int, b: int) -> int:
+    sa, sb = to_signed(a), to_signed(b)
+    if sb == 0:
+        return u32(sa)
+    if sa == -(1 << 31) and sb == -1:
+        return 0
+    remainder = abs(sa) % abs(sb)
+    return u32(-remainder if sa < 0 else remainder)
+
+
+def _remu(a: int, b: int) -> int:
+    if b == 0:
+        return u32(a)
+    return u32(a) % u32(b)
+
+
+def _op_rr(fn):
+    def execute(cpu, ins: Instruction):
+        cpu.regs[ins.rd] = fn(cpu.regs[ins.rs1], cpu.regs[ins.rs2])
+        return None
+
+    return execute
+
+
+def _build_specs() -> List[InstrSpec]:
+    table = [
+        ("mul", 0, _mul, "mul"),
+        ("mulh", 1, _mulh, "mul"),
+        ("mulhsu", 2, _mulhsu, "mul"),
+        ("mulhu", 3, _mulhu, "mul"),
+        ("div", 4, _div, "div"),
+        ("divu", 5, _divu, "div"),
+        ("rem", 6, _rem, "div"),
+        ("remu", 7, _remu, "div"),
+    ]
+    return [
+        InstrSpec(
+            mnemonic=mnemonic,
+            fmt="R",
+            fixed={"opcode": OPC_OP, "funct3": funct3, "funct7": _MULDIV_FUNCT7},
+            syntax=("rd", "rs1", "rs2"),
+            execute=_op_rr(fn),
+            timing=timing,
+            isa=_ISA,
+        )
+        for mnemonic, funct3, fn, timing in table
+    ]
+
+
+SPECS: List[InstrSpec] = _build_specs()

@@ -1,0 +1,100 @@
+"""Zicsr: control and status register access.
+
+RI5CY exposes the standard machine counters plus its hardware-loop state
+through CSRs; programs use them for self-timing (the PULP `rt_time`
+primitives read ``mcycle``).  The CSR file itself lives on the CPU
+(:meth:`repro.core.cpu.Cpu.csr_read`); this module provides the six
+``csrr*`` instructions.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .encoding import OPC_SYSTEM
+from .instruction import Instruction, InstrSpec
+
+_ISA = "zicsr"
+
+# Well-known CSR addresses used by the core model.
+CSR_MCYCLE = 0xB00
+CSR_MINSTRET = 0xB02
+CSR_CYCLE = 0xC00
+CSR_INSTRET = 0xC02
+CSR_MHARTID = 0xF14
+#: RI5CY hardware-loop state (read-only mirror).
+CSR_LPSTART0 = 0x7C0
+CSR_LPEND0 = 0x7C1
+CSR_LPCOUNT0 = 0x7C2
+CSR_LPSTART1 = 0x7C4
+CSR_LPEND1 = 0x7C5
+CSR_LPCOUNT1 = 0x7C6
+
+
+def _csr_op(write_fn):
+    """Factory for register-sourced CSR ops."""
+
+    def execute(cpu, ins: Instruction):
+        old = cpu.csr_read(ins.imm)
+        source = cpu.regs[ins.rs1]
+        new = write_fn(old, source)
+        # csrrs/csrrc with rs1=x0 must not write (spec), csrrw always writes.
+        if new is not None and not (write_fn is not _w_swap and ins.rs1 == 0):
+            cpu.csr_write(ins.imm, new)
+        cpu.regs[ins.rd] = old
+        return None
+
+    return execute
+
+
+def _csr_imm_op(write_fn):
+    """Factory for immediate-sourced CSR ops (uimm5 in the rs1 field)."""
+
+    def execute(cpu, ins: Instruction):
+        old = cpu.csr_read(ins.imm)
+        source = ins.rs1  # zero-extended 5-bit immediate
+        new = write_fn(old, source)
+        if new is not None and not (write_fn is not _w_swap and source == 0):
+            cpu.csr_write(ins.imm, new)
+        cpu.regs[ins.rd] = old
+        return None
+
+    return execute
+
+
+def _w_swap(old: int, source: int) -> int:
+    return source
+
+
+def _w_set(old: int, source: int) -> int:
+    return old | source
+
+
+def _w_clear(old: int, source: int) -> int:
+    return old & ~source & 0xFFFFFFFF
+
+
+def _build_specs() -> List[InstrSpec]:
+    table = [
+        ("csrrw", 1, _csr_op(_w_swap), ("rd", "uimm", "rs1")),
+        ("csrrs", 2, _csr_op(_w_set), ("rd", "uimm", "rs1")),
+        ("csrrc", 3, _csr_op(_w_clear), ("rd", "uimm", "rs1")),
+        ("csrrwi", 5, _csr_imm_op(_w_swap), ("rd", "uimm", "count5")),
+        ("csrrsi", 6, _csr_imm_op(_w_set), ("rd", "uimm", "count5")),
+        ("csrrci", 7, _csr_imm_op(_w_clear), ("rd", "uimm", "count5")),
+    ]
+    return [
+        InstrSpec(
+            mnemonic=mnemonic,
+            fmt="IU",
+            fixed={"opcode": OPC_SYSTEM, "funct3": funct3},
+            syntax=syntax,
+            execute=execute,
+            timing="csr",
+            isa=_ISA,
+        )
+        for mnemonic, funct3, execute, syntax in table
+    ]
+
+
+SPECS: List[InstrSpec] = _build_specs()

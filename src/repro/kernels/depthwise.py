@@ -1,0 +1,186 @@
+"""Depthwise convolution kernel (extension beyond the paper's evaluation).
+
+Depthwise layers convolve each channel independently, so the packed-SIMD
+dot product — which reduces *across* lanes — cannot be used directly: the
+channel dimension must stay un-reduced.  PULP-NN's depthwise kernels fall
+back to scalar MACs over the kernel window, which is why depthwise layers
+are known to be far less efficient than standard convolutions on these
+cores; this kernel reproduces that structure:
+
+* software loops over output pixels and channels;
+* the kh x kw window unrolled as ``p.lbu`` (activation) + ``p.lbu``
+  (weight) + ``p.mac`` per tap, with post-increment addressing walking the
+  HWC rows;
+* shift+clamp requantization per output.
+
+Supported: 8-bit operands (as in PULP-NN — sub-byte depthwise would pay
+a per-element extract on top and is not part of the reference library).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..asm.builder import KernelBuilder
+from ..core.cpu import Cpu
+from ..errors import KernelError
+from ..qnn import pack, unpack
+from ..qnn.layers import conv_out_size
+from .common import KernelRun, align_up, plan_layout
+
+
+def depthwise_golden(activations: np.ndarray, weights: np.ndarray,
+                     stride: int = 1, pad: int = 0) -> np.ndarray:
+    """Golden depthwise convolution: ``(H, W, C) x (Kh, Kw, C) -> (Ho, Wo, C)``."""
+    activations = np.asarray(activations, dtype=np.int64)
+    weights = np.asarray(weights, dtype=np.int64)
+    kh, kw, c = weights.shape
+    h, w, ca = activations.shape
+    if ca != c:
+        raise KernelError(f"channel mismatch: activations {ca}, weights {c}")
+    ho = conv_out_size(h, kh, stride, pad)
+    wo = conv_out_size(w, kw, stride, pad)
+    padded = np.zeros((h + 2 * pad, w + 2 * pad, c), dtype=np.int64)
+    padded[pad:pad + h, pad:pad + w] = activations
+    out = np.zeros((ho, wo, c), dtype=np.int64)
+    for oy in range(ho):
+        for ox in range(wo):
+            patch = padded[oy * stride:oy * stride + kh,
+                           ox * stride:ox * stride + kw, :]
+            out[oy, ox] = (patch * weights).sum(axis=(0, 1))
+    return out
+
+
+@dataclass
+class DepthwiseConfig:
+    in_h: int
+    in_w: int
+    channels: int
+    kh: int = 3
+    kw: int = 3
+    stride: int = 1
+    pad: int = 1
+    shift: int = 0
+    isa: str = "xpulpnn"
+
+    def __post_init__(self) -> None:
+        if self.channels % 4:
+            raise KernelError("channels must fill whole 32-bit words (8-bit)")
+        if self.out_h <= 0 or self.out_w <= 0:
+            raise KernelError("depthwise output is empty for this geometry")
+
+    @property
+    def out_h(self) -> int:
+        return conv_out_size(self.in_h, self.kh, self.stride, self.pad)
+
+    @property
+    def out_w(self) -> int:
+        return conv_out_size(self.in_w, self.kw, self.stride, self.pad)
+
+    @property
+    def macs(self) -> int:
+        return self.out_h * self.out_w * self.channels * self.kh * self.kw
+
+
+class DepthwiseConvKernel:
+    """Generate and run one 8-bit depthwise convolution layer."""
+
+    def __init__(self, config: DepthwiseConfig, base: int = 0) -> None:
+        self.config = config
+        b = KernelBuilder(isa=config.isa, base=base)
+        self._emit(b)
+        self.program = b.build()
+        cfg = config
+        pad_h, pad_w = cfg.in_h + 2 * cfg.pad, cfg.in_w + 2 * cfg.pad
+        self.layout = plan_layout(
+            self.program.size,
+            {
+                "acts": (pad_h * pad_w * cfg.channels, 4),
+                "weights": (cfg.kh * cfg.kw * cfg.channels, 4),
+                "out": (align_up(cfg.out_h * cfg.out_w * cfg.channels, 4), 4),
+            },
+            base=base,
+        )
+
+    def _emit(self, b: KernelBuilder) -> None:
+        cfg = self.config
+        row_bytes = (cfg.in_w + 2 * cfg.pad) * cfg.channels
+        # a0 = padded acts base, a1 = weights, a3 = out ptr, a5 = shift
+        # s8 = patch top-left of the current pixel, s9/s11 = pixel counters,
+        # s10 = channel counter, t0/t1 = tap pointers, t2-t4 = scalars,
+        # s2 = accumulator.
+        b.li("s11", cfg.out_h)
+        b.label("row_loop")
+        b.li("s9", cfg.out_w)
+        b.label("pix_loop")
+        b.li("s10", cfg.channels)
+        b.mv("t5", "s8")                 # channel base within the patch
+        b.mv("t6", "a1")                 # weight base for channel 0
+        b.label("ch_loop")
+        b.emit("addi", "s2", "zero", 0)
+        b.mv("t0", "t5")                 # activation tap pointer
+        b.mv("t1", "t6")                 # weight tap pointer
+        for ky in range(cfg.kh):
+            for kx in range(cfg.kw):
+                # Post-increment by the channel stride walks the row; at
+                # row end jump to the next activation row.
+                last_in_row = kx == cfg.kw - 1
+                act_step = (row_bytes - (cfg.kw - 1) * cfg.channels
+                            if last_in_row else cfg.channels)
+                b.emit("p.lbu", "t2", act_step, "t0", inc=True)
+                b.emit("p.lb", "t3", cfg.channels, "t1", inc=True)
+                b.emit("p.mac", "s2", "t2", "t3")
+        b.emit("sra", "t2", "s2", "a5")
+        b.emit("p.clipu", "t2", "t2", 9)
+        b.emit("p.sb", "t2", 1, "a3", inc=True)
+        b.emit("addi", "t5", "t5", 1)    # next channel within the patch
+        b.emit("addi", "t6", "t6", 1)
+        b.emit("addi", "s10", "s10", -1)
+        b.bnez("s10", "ch_loop")
+        b.emit("addi", "s8", "s8", cfg.stride * cfg.channels)
+        b.emit("addi", "s9", "s9", -1)
+        b.bnez("s9", "pix_loop")
+        row_advance = cfg.stride * row_bytes - cfg.out_w * cfg.stride * cfg.channels
+        if row_advance:
+            b.emit("addi", "s8", "s8", row_advance)
+        b.emit("addi", "s11", "s11", -1)
+        b.bnez("s11", "row_loop")
+        b.ebreak()
+
+    def run(self, weights: np.ndarray, activations: np.ndarray,
+            shift: int = 0, cpu: Optional[Cpu] = None) -> KernelRun:
+        """Run the layer: unsigned 8-bit activations, signed weights."""
+        cfg = self.config
+        weights = np.asarray(weights)
+        activations = np.asarray(activations)
+        if weights.shape != (cfg.kh, cfg.kw, cfg.channels):
+            raise KernelError(f"weights must be {(cfg.kh, cfg.kw, cfg.channels)}")
+        if activations.shape != (cfg.in_h, cfg.in_w, cfg.channels):
+            raise KernelError(
+                f"activations must be {(cfg.in_h, cfg.in_w, cfg.channels)}")
+        if cpu is None:
+            cpu = Cpu(isa=cfg.isa)
+        lay = self.layout
+        padded = np.zeros((cfg.in_h + 2 * cfg.pad, cfg.in_w + 2 * cfg.pad,
+                           cfg.channels), dtype=np.int32)
+        padded[cfg.pad:cfg.pad + cfg.in_h, cfg.pad:cfg.pad + cfg.in_w] = activations
+        cpu.mem.write_bytes(lay.addr("acts"), pack(padded, 8, signed=False))
+        cpu.mem.write_bytes(lay.addr("weights"), pack(weights, 8, signed=True))
+        cpu.reset()
+        cpu.load_program(self.program)
+        cpu.regs[11] = lay.addr("weights")   # a1
+        cpu.regs[13] = lay.addr("out")       # a3
+        cpu.regs[15] = shift                 # a5
+        cpu.regs[24] = lay.addr("acts")      # s8
+        perf = cpu.run()
+        count = cfg.out_h * cfg.out_w * cfg.channels
+        data = cpu.mem.read_bytes(lay.addr("out"), count)
+        out = unpack(data, 8, signed=False, count=count)
+        return KernelRun(
+            output=out.reshape(cfg.out_h, cfg.out_w, cfg.channels),
+            perf=perf.copy(),
+            layout=lay,
+        )

@@ -1,0 +1,112 @@
+"""im2col emitters: arrange one output pixel's receptive field into a
+contiguous buffer (the first phase of the paper's QNN execution model).
+
+Activations are stored HWC and pre-padded in memory, so each of the Kh
+kernel rows is one contiguous segment of ``Kw * C`` elements; the emitted
+code copies Kh segments with a zero-overhead hardware loop (L0).
+
+Two copy bodies exist:
+
+* **packed copy** (native kernels, and 8-bit everywhere): ``p.lw``/``p.sw``
+  word pairs — sub-byte data stays packed, which is the whole point of the
+  XpulpNN ISA;
+* **unpack copy** (baseline RI5CY sub-byte kernels): each packed word is
+  widened to unsigned int8 vectors before storing, so the MatMul can use
+  the 8-bit dot-product unit.  This inflates both the cycle count and the
+  im2col buffer (by ``8/bits``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from ..asm.builder import KernelBuilder
+from ..errors import KernelError
+from ..qnn.layers import ConvGeometry
+from .unpack import emit_unpack, words_out
+
+
+def seg_words_packed(geom: ConvGeometry, bits: int) -> int:
+    """32-bit words per kernel-row segment of the packed input."""
+    seg_bits = geom.kw * geom.in_ch * bits
+    if seg_bits % 32:
+        raise KernelError(
+            f"segment of {geom.kw}x{geom.in_ch} {bits}-bit elements does not "
+            f"fill whole words; pad the channel count"
+        )
+    return seg_bits // 32
+
+
+def emit_im2col_pixel_packed(
+    b: KernelBuilder,
+    geom: ConvGeometry,
+    bits: int,
+    src: str,
+    dst: str,
+    tsrc: str,
+    tmp: str,
+    seg_count_reg: str | None,
+) -> None:
+    """Copy one pixel's Kh segments, keeping sub-byte data packed.
+
+    *src* holds the patch's top-left address; *dst* is advanced through the
+    whole buffer.  When *seg_count_reg* is ``None`` the segment word count
+    must fit ``lp.setupi`` (<= 31).
+    """
+    words = seg_words_packed(geom, bits)
+    row_bytes = padded_row_bytes(geom, bits)
+    for ky in range(geom.kh):
+        b.emit("addi", tsrc, src, ky * row_bytes)
+        with b.hardware_loop(0, seg_count_reg if seg_count_reg else words):
+            b.emit("p.lw", tmp, 4, tsrc, inc=True)
+            b.emit("p.sw", tmp, 4, dst, inc=True)
+
+
+def emit_im2col_pixel_unpack(
+    b: KernelBuilder,
+    geom: ConvGeometry,
+    bits: int,
+    src: str,
+    dst: str,
+    tsrc: str,
+    tmp: str,
+    dests: Sequence[str],
+    unpack_regs: Dict[str, str],
+    seg_count_reg: str | None,
+) -> None:
+    """Copy one pixel's segments, widening activations to unsigned int8."""
+    words = seg_words_packed(geom, bits)
+    row_bytes = padded_row_bytes(geom, bits)
+    n_out = words_out(bits)
+    for ky in range(geom.kh):
+        b.emit("addi", tsrc, src, ky * row_bytes)
+        with b.hardware_loop(0, seg_count_reg if seg_count_reg else words):
+            b.emit("p.lw", tmp, 4, tsrc, inc=True)
+            emit_unpack(b, bits, tmp, dests, signed=False, style="shuffle",
+                        regs=unpack_regs)
+            for reg in dests[:n_out]:
+                b.emit("p.sw", reg, 4, dst, inc=True)
+
+
+def padded_row_bytes(geom: ConvGeometry, bits: int) -> int:
+    """Bytes per row of the pre-padded activation tensor."""
+    width = geom.in_w + 2 * geom.pad
+    row_bits = width * geom.in_ch * bits
+    if row_bits % 8:
+        raise KernelError("activation rows must be byte-aligned")
+    return row_bits // 8
+
+
+def pixel_bytes(geom: ConvGeometry, bits: int) -> int:
+    """Bytes per pixel (all channels) of the packed activation tensor."""
+    bits_total = geom.in_ch * bits
+    if bits_total % 8:
+        raise KernelError("per-pixel channel data must be byte-aligned")
+    return bits_total // 8
+
+
+def im2col_buffer_bytes(geom: ConvGeometry, bits: int, unpacked: bool) -> int:
+    """Size of one im2col buffer."""
+    if unpacked:
+        return geom.reduction  # one byte per element
+    return geom.reduction * bits // 8

@@ -1,0 +1,137 @@
+"""Fully-connected (linear) layer kernel.
+
+A 2x1-blocked dot-product loop: two consecutive output neurons share the
+activation vector, so the inner loop issues 3 loads + 2 ``pv.sdotusp`` per
+word of reduction.  Requantization is shift+clamp to unsigned ``out_bits``
+(linear layers are usually the network tail, where staircase thresholds
+buy nothing — matching PULP-NN).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..asm.builder import KernelBuilder
+from ..core.cpu import Cpu
+from ..errors import KernelError
+from ..qnn import pack, unpack
+from .common import KernelRun, plan_layout
+from .matmul import SUFFIX, k_bytes, k_words
+
+
+@dataclass
+class LinearConfig:
+    in_features: int
+    out_features: int
+    bits: int                 # weight/activation width
+    out_bits: int = 8
+    isa: str = "xpulpnn"
+
+    def __post_init__(self) -> None:
+        if self.bits not in (2, 4, 8):
+            raise KernelError(f"unsupported operand width {self.bits}")
+        if self.out_features % 2:
+            raise KernelError("out_features must be even (2x1 blocking)")
+        if (self.in_features * self.bits) % 32:
+            raise KernelError("in_features must fill whole packed words")
+        if self.bits != 8 and self.isa != "xpulpnn":
+            raise KernelError(
+                "sub-byte SIMD linear layers require the XpulpNN ISA"
+            )
+        if self.out_bits != 8:
+            raise KernelError("linear kernels requantize to 8-bit outputs")
+
+    @property
+    def macs(self) -> int:
+        return self.in_features * self.out_features
+
+
+class LinearKernel:
+    """Generate and run one fully-connected layer."""
+
+    def __init__(self, config: LinearConfig, base: int = 0) -> None:
+        self.config = config
+        b = KernelBuilder(isa=config.isa, base=base)
+        self._emit(b)
+        self.program = b.build()
+        kb = k_bytes(config.in_features, config.bits)
+        self.layout = plan_layout(
+            self.program.size,
+            {
+                "weights": (config.out_features * kb, 4),
+                "x": (kb, 4),
+                "out": (config.out_features + 4, 4),
+            },
+            base=base,
+        )
+
+    def _emit(self, b: KernelBuilder) -> None:
+        cfg = self.config
+        suffix = SUFFIX[cfg.bits]
+        kw = k_words(cfg.in_features, cfg.bits)
+        kb = k_bytes(cfg.in_features, cfg.bits)
+        # a0 = weights, a1 = x base, a3 = out, a5 = shift.
+        b.mv("a6", "a0")
+        b.emit("addi", "a7", "a0", kb)
+        count = kw
+        if kw > 31:
+            b.li("gp", kw)
+            count = "gp"
+        pairs = cfg.out_features // 2
+        pair_count = pairs
+        if pairs > 31:
+            b.li("tp", pairs)
+            pair_count = "tp"
+        with b.hardware_loop(1, pair_count):
+            b.emit("addi", "s2", "zero", 0)
+            b.emit("addi", "s4", "zero", 0)
+            b.mv("s6", "a1")
+            with b.hardware_loop(0, count):
+                b.emit("p.lw", "t0", 4, "a6", inc=True)
+                b.emit("p.lw", "t1", 4, "a7", inc=True)
+                b.emit("p.lw", "t2", 4, "s6", inc=True)
+                b.emit(f"pv.sdotusp.{suffix}", "s2", "t2", "t0")
+                b.emit(f"pv.sdotusp.{suffix}", "s4", "t2", "t1")
+            b.emit("addi", "a6", "a6", kb)
+            b.emit("addi", "a7", "a7", kb)
+            for acc in ("s2", "s4"):
+                b.emit("sra", "t0", acc, "a5")
+                b.emit("p.clipu", "t0", "t0", 9)
+                b.emit("p.sb", "t0", 1, "a3", inc=True)
+        b.ebreak()
+
+    def run(
+        self,
+        weights: np.ndarray,
+        x: np.ndarray,
+        shift: int = 0,
+        cpu: Optional[Cpu] = None,
+    ) -> KernelRun:
+        """Compute ``clip((W @ x) >> shift, 0, 255)`` for all neurons."""
+        cfg = self.config
+        weights = np.asarray(weights)
+        x = np.asarray(x).ravel()
+        if weights.shape != (cfg.out_features, cfg.in_features):
+            raise KernelError(
+                f"weights must be {(cfg.out_features, cfg.in_features)}"
+            )
+        if x.size != cfg.in_features:
+            raise KernelError(f"input must have {cfg.in_features} elements")
+        if cpu is None:
+            cpu = Cpu(isa=cfg.isa)
+        lay = self.layout
+        cpu.mem.write_bytes(lay.addr("weights"), pack(weights, cfg.bits, signed=True))
+        cpu.mem.write_bytes(lay.addr("x"), pack(x, cfg.bits, signed=False))
+        cpu.reset()
+        cpu.load_program(self.program)
+        cpu.regs[10] = lay.addr("weights")
+        cpu.regs[11] = lay.addr("x")
+        cpu.regs[13] = lay.addr("out")
+        cpu.regs[15] = shift
+        perf = cpu.run()
+        data = cpu.mem.read_bytes(lay.addr("out"), cfg.out_features)
+        out = unpack(data, 8, signed=False, count=cfg.out_features)
+        return KernelRun(output=out, perf=perf.copy(), layout=lay)

@@ -1,0 +1,163 @@
+"""Pooling kernels: SIMD max / average pooling on packed activations.
+
+Because activations are stored HWC with channels packed along the fastest
+axis, pooling across spatial positions is a *lane-wise* operation between
+pixel words — exactly what ``pv.max(u)``/``pv.avg(u)`` provide (Table II
+lists them as the pooling/ReLU accelerators).  A 2x2/stride-2 window needs
+4 loads + 3 SIMD ops + 1 store per word of channels, at any element width
+on the extended core; the baseline core can only do this for 8-bit data.
+
+Average pooling reduces the window by cascaded pair averages
+(``(a + b) >> 1``), which is how the hardware instruction composes; the
+golden model (:func:`avgpool_cascade_golden`) mirrors that exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..asm.builder import KernelBuilder
+from ..core.cpu import Cpu
+from ..errors import KernelError
+from ..qnn import pack, unpack
+from .common import KernelRun, plan_layout
+
+_SUFFIX = {8: "b", 4: "n", 2: "c"}
+
+
+def avgpool_cascade_golden(activations: np.ndarray) -> np.ndarray:
+    """2x2/stride-2 average pooling with cascaded truncating averages.
+
+    ``out = avg(avg(tl, tr), avg(bl, br))`` with ``avg(a,b) = (a+b) >> 1``,
+    matching the ``pv.avgu`` composition the kernel executes.
+    """
+    h, w, c = activations.shape
+    a = activations.astype(np.int64)
+    tl = a[0:h:2, 0:w:2]
+    tr = a[0:h:2, 1:w:2]
+    bl = a[1:h:2, 0:w:2]
+    br = a[1:h:2, 1:w:2]
+    return (((tl + tr) >> 1) + ((bl + br) >> 1)) >> 1
+
+
+@dataclass
+class PoolConfig:
+    """2x2/stride-2 pooling over an ``(H, W, C)`` packed tensor."""
+
+    in_h: int
+    in_w: int
+    channels: int
+    bits: int
+    op: str = "max"          # "max" | "avg"
+    isa: str = "xpulpnn"
+
+    def __post_init__(self) -> None:
+        if self.op not in ("max", "avg"):
+            raise KernelError(f"unsupported pooling op {self.op!r}")
+        if self.bits not in (2, 4, 8):
+            raise KernelError(f"unsupported element width {self.bits}")
+        if self.in_h % 2 or self.in_w % 2:
+            raise KernelError("pooling input must have even spatial size")
+        if (self.channels * self.bits) % 32:
+            raise KernelError("channels must fill whole 32-bit words")
+        if self.bits != 8 and self.isa != "xpulpnn":
+            raise KernelError(
+                "sub-byte SIMD pooling requires the XpulpNN ISA; the "
+                "baseline must unpack (use the 8-bit kernel on widened data)"
+            )
+
+    @property
+    def out_h(self) -> int:
+        return self.in_h // 2
+
+    @property
+    def out_w(self) -> int:
+        return self.in_w // 2
+
+    @property
+    def words_per_pixel(self) -> int:
+        return self.channels * self.bits // 32
+
+
+class PoolKernel:
+    """Generate and run a 2x2/stride-2 pooling layer."""
+
+    def __init__(self, config: PoolConfig, base: int = 0) -> None:
+        self.config = config
+        b = KernelBuilder(isa=config.isa, base=base)
+        self._emit(b)
+        self.program = b.build()
+        pix = config.words_per_pixel * 4
+        self.layout = plan_layout(
+            self.program.size,
+            {
+                "in": (config.in_h * config.in_w * pix, 4),
+                "out": (config.out_h * config.out_w * pix, 4),
+            },
+            base=base,
+        )
+
+    def _emit(self, b: KernelBuilder) -> None:
+        cfg = self.config
+        suffix = _SUFFIX[cfg.bits]
+        mnemonic = f"pv.maxu.{suffix}" if cfg.op == "max" else f"pv.avgu.{suffix}"
+        pix = cfg.words_per_pixel * 4
+        row = cfg.in_w * pix
+        # a0 = input base, a1 = output pointer; per output pixel the four
+        # window pixels sit at a0, a0+pix, a0+row, a0+row+pix.
+        b.li("s11", cfg.out_h)
+        b.label("row_loop")
+        b.li("s9", cfg.out_w)
+        b.label("pix_loop")
+        b.mv("t0", "a0")
+        b.emit("addi", "t1", "a0", pix)
+        b.emit("addi", "t2", "a0", row)
+        b.emit("addi", "t3", "a0", row + pix)
+        count = cfg.words_per_pixel
+        if count > 31:
+            raise KernelError("channel word count exceeds the immediate loop count")
+        with b.hardware_loop(0, count):
+            b.emit("p.lw", "t4", 4, "t0", inc=True)
+            b.emit("p.lw", "t5", 4, "t1", inc=True)
+            b.emit("p.lw", "t6", 4, "t2", inc=True)
+            b.emit("p.lw", "s0", 4, "t3", inc=True)
+            b.emit(mnemonic, "t4", "t4", "t5")
+            b.emit(mnemonic, "t6", "t6", "s0")
+            b.emit(mnemonic, "t4", "t4", "t6")
+            b.emit("p.sw", "t4", 4, "a1", inc=True)
+        b.emit("addi", "a0", "a0", 2 * pix)
+        b.emit("addi", "s9", "s9", -1)
+        b.bnez("s9", "pix_loop")
+        b.emit("addi", "a0", "a0", row)  # skip the odd input row
+        b.emit("addi", "s11", "s11", -1)
+        b.bnez("s11", "row_loop")
+        b.ebreak()
+
+    def run(self, activations: np.ndarray, cpu: Optional[Cpu] = None) -> KernelRun:
+        """Pool an unsigned ``(H, W, C)`` tensor; returns ``(H/2, W/2, C)``."""
+        cfg = self.config
+        activations = np.asarray(activations)
+        if activations.shape != (cfg.in_h, cfg.in_w, cfg.channels):
+            raise KernelError(
+                f"activations must be {(cfg.in_h, cfg.in_w, cfg.channels)}"
+            )
+        if cpu is None:
+            cpu = Cpu(isa=cfg.isa)
+        lay = self.layout
+        cpu.mem.write_bytes(lay.addr("in"), pack(activations, cfg.bits, signed=False))
+        cpu.reset()
+        cpu.load_program(self.program)
+        cpu.regs[10] = lay.addr("in")    # a0
+        cpu.regs[11] = lay.addr("out")   # a1
+        perf = cpu.run()
+        count = cfg.out_h * cfg.out_w * cfg.channels
+        data = cpu.mem.read_bytes(lay.addr("out"), count * cfg.bits // 8)
+        out = unpack(data, cfg.bits, signed=False, count=count)
+        return KernelRun(
+            output=out.reshape(cfg.out_h, cfg.out_w, cfg.channels),
+            perf=perf.copy(),
+            layout=lay,
+        )

@@ -1,0 +1,60 @@
+"""Software staircase quantization: the inlined binary-tree walk.
+
+This is what a sub-byte kernel must do *without* ``pv.qnt``: compare the
+accumulator against the balanced threshold tree with explicit loads and
+branches (paper §III-A: ~18 cycles per activation at 4-bit versus 9 cycles
+for *two* activations with the hardware instruction).
+
+The tree is emitted fully unrolled: each node is an ``lh`` of the
+heap-ordered threshold plus a ``blt`` deciding the subtree, each leaf
+materializes its 4-/2-bit code.  Branch penalties and load-use stalls are
+what make this expensive on an in-order core — exactly the effect the
+paper quantifies in Fig. 6.
+"""
+
+from __future__ import annotations
+
+from ..asm.builder import KernelBuilder
+from ..errors import KernelError
+
+
+def emit_quantize_software(
+    b: KernelBuilder,
+    bits: int,
+    act: str,
+    base: str,
+    out: str,
+    scratch: str,
+) -> None:
+    """Inline a tree walk quantizing register *act* against the heap tree
+    at address *base*; the Q-bit code lands in *out*.
+
+    *act* must hold the sign-extended accumulator (the kernels guarantee
+    the int16 domain, matching the hardware unit's input width).
+    """
+    if bits not in (2, 4):
+        raise KernelError(f"software staircase quantization is for 4/2-bit, not {bits}")
+    merge = b.fresh_label("qsw_merge")
+
+    def node(index: int, depth_left: int, code: int) -> None:
+        if depth_left == 0:
+            b.emit("addi", out, "zero", code)
+            b.j(merge)
+            return
+        right = b.fresh_label(f"qsw_r{index}_")
+        b.emit("lh", scratch, index * 2, base)
+        # thr < act  <=>  act > thr: take the right subtree, code bit 1.
+        b.emit("blt", scratch, act, right)
+        node(2 * index + 1, depth_left - 1, code << 1)
+        b.label(right)
+        node(2 * index + 2, depth_left - 1, (code << 1) | 1)
+
+    node(0, bits, 0)
+    b.label(merge)
+
+
+def software_tree_instruction_count(bits: int) -> int:
+    """Static code size of one inlined tree (nodes*2 + leaves*2)."""
+    nodes = (1 << bits) - 1
+    leaves = 1 << bits
+    return nodes * 2 + leaves * 2

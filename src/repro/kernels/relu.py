@@ -1,0 +1,87 @@
+"""ReLU kernel: lane-wise ``max(x, 0)`` over signed packed activations.
+
+Uses the ``pv.max.sc`` scalar-replication variant against ``x0`` — one
+instruction per 32-bit word at any element width on the extended core,
+per 8-bit word on the baseline (Table II lists max among the ops extended
+to nibble/crumb precisely for ReLU and max-pooling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..asm.builder import KernelBuilder
+from ..core.cpu import Cpu
+from ..errors import KernelError
+from ..qnn import pack, unpack
+from .common import KernelRun, plan_layout
+
+_SUFFIX = {8: "b", 4: "n", 2: "c"}
+
+
+@dataclass
+class ReluConfig:
+    elements: int
+    bits: int
+    isa: str = "xpulpnn"
+
+    def __post_init__(self) -> None:
+        if self.bits not in (2, 4, 8):
+            raise KernelError(f"unsupported element width {self.bits}")
+        if (self.elements * self.bits) % 32:
+            raise KernelError("element count must fill whole 32-bit words")
+        if self.bits != 8 and self.isa != "xpulpnn":
+            raise KernelError("sub-byte SIMD ReLU requires the XpulpNN ISA")
+
+    @property
+    def words(self) -> int:
+        return self.elements * self.bits // 32
+
+
+class ReluKernel:
+    """In-place-style ReLU over a packed signed tensor."""
+
+    def __init__(self, config: ReluConfig, base: int = 0) -> None:
+        self.config = config
+        b = KernelBuilder(isa=config.isa, base=base)
+        self._emit(b)
+        self.program = b.build()
+        nbytes = config.words * 4
+        self.layout = plan_layout(
+            self.program.size, {"in": (nbytes, 4), "out": (nbytes, 4)}, base=base
+        )
+
+    def _emit(self, b: KernelBuilder) -> None:
+        cfg = self.config
+        mnemonic = f"pv.max.sc.{_SUFFIX[cfg.bits]}"
+        count = cfg.words
+        if count > 31:
+            b.li("t0", count)
+            count = "t0"
+        with b.hardware_loop(0, count):
+            b.emit("p.lw", "t1", 4, "a0", inc=True)
+            b.emit(mnemonic, "t1", "t1", "zero")
+            b.emit("p.sw", "t1", 4, "a1", inc=True)
+        b.ebreak()
+
+    def run(self, values: np.ndarray, cpu: Optional[Cpu] = None) -> KernelRun:
+        """Apply ReLU to a flat signed tensor."""
+        cfg = self.config
+        values = np.asarray(values).ravel()
+        if values.size != cfg.elements:
+            raise KernelError(f"expected {cfg.elements} elements, got {values.size}")
+        if cpu is None:
+            cpu = Cpu(isa=cfg.isa)
+        lay = self.layout
+        cpu.mem.write_bytes(lay.addr("in"), pack(values, cfg.bits, signed=True))
+        cpu.reset()
+        cpu.load_program(self.program)
+        cpu.regs[10] = lay.addr("in")
+        cpu.regs[11] = lay.addr("out")
+        perf = cpu.run()
+        data = cpu.mem.read_bytes(lay.addr("out"), cfg.words * 4)
+        out = unpack(data, cfg.bits, signed=True, count=cfg.elements)
+        return KernelRun(output=out, perf=perf.copy(), layout=lay)

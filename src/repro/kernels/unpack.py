@@ -1,0 +1,220 @@
+"""Sub-byte to byte unpack sequences for the *baseline* RI5CY core.
+
+The baseline ISA (RV32IMC + XpulpV2) has no 4-/2-bit SIMD, so its sub-byte
+kernels must widen packed operands to int8 vectors before using the 8-bit
+dot-product unit — the overhead the paper's extensions remove (§I, §IV-B).
+
+Two sequence families are emitted:
+
+* **ordered/extract** (``style="extract"``): one ``p.extract(u)`` +
+  ``pv.insert.b`` pair per element, preserving element order and sign —
+  the general-purpose sequence used for *signed weights* inside the MatMul
+  inner loop (16 instructions per nibble word, 32 per crumb word).
+* **shuffle** (``style="shuffle"``): SIMD shift/mask plus
+  ``pv.shuffle2.b`` interleaving — the hand-optimized variant (7
+  instructions per nibble word, 21 per crumb word).  The unsigned form is
+  what the im2col unpack of *activations* uses; the signed form serves as
+  an ablation showing even aggressive unpacking cannot reach native
+  sub-byte SIMD throughput.
+
+Emitters receive an explicit register map (see :data:`UNPACK_ROLES`) so
+kernel generators can place the constants wherever their allocation
+allows.  Every emitter returns the destination registers holding the int8
+vectors in element order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..asm.builder import KernelBuilder
+from ..errors import KernelError
+
+#: pv.shuffle2.b selector constants: lane values index the concatenation
+#: of rs1 (0..3) and old rd (4..7).
+SEL_INTERLEAVE_LO = 0x05_01_04_00   # [src0, old0, src1, old1]
+SEL_INTERLEAVE_HI = 0x07_03_06_02   # [src2, old2, src3, old3]
+SEL_HALF_LO = 0x05_04_01_00         # [src0, src1, old0, old1]
+SEL_HALF_HI = 0x07_06_03_02         # [src2, src3, old2, old3]
+
+MASK_NIBBLE_LO = 0x0F0F0F0F
+MASK_CRUMB_LO = 0x03030303
+
+#: Register roles an unpack register map may provide.  ``scratch0/1/2``
+#: are always required; the constant roles only for the styles that use
+#: them (see :func:`constants_needed`).
+UNPACK_ROLES = (
+    "scratch0", "scratch1", "scratch2",
+    "sel_lo", "sel_hi", "sel_half_lo", "sel_half_hi", "mask",
+)
+
+
+def constants_needed(bits: int, signed: bool, style: str) -> List[str]:
+    """Constant register roles the chosen sequence reads."""
+    if style == "extract":
+        return []
+    roles = ["sel_lo", "sel_hi"]
+    if not signed:
+        roles.append("mask")
+    if bits == 2:
+        roles += ["sel_half_lo", "sel_half_hi"]
+    return roles
+
+
+def emit_load_unpack_constants(
+    b: KernelBuilder, bits: int, signed: bool, style: str, regs: Dict[str, str],
+) -> None:
+    """Load the selector/mask constants the chosen sequences need."""
+    for role in constants_needed(bits, signed, style):
+        value = {
+            "sel_lo": SEL_INTERLEAVE_LO,
+            "sel_hi": SEL_INTERLEAVE_HI,
+            "sel_half_lo": SEL_HALF_LO,
+            "sel_half_hi": SEL_HALF_HI,
+            "mask": MASK_NIBBLE_LO if bits == 4 else MASK_CRUMB_LO,
+        }[role]
+        b.li(regs[role], value)
+
+
+# ---------------------------------------------------------------------------
+# Ordered extract/insert sequences (element order preserved)
+# ---------------------------------------------------------------------------
+
+def emit_unpack_extract(
+    b: KernelBuilder, bits: int, src: str, dests: Sequence[str],
+    signed: bool, regs: Dict[str, str],
+) -> List[str]:
+    """Per-element ``p.extract(u)`` + ``pv.insert.b`` widening."""
+    per_word = 32 // bits
+    words = per_word // 4
+    if len(dests) < words:
+        raise KernelError(f"need {words} destination registers, got {len(dests)}")
+    scratch = regs["scratch0"]
+    op = "p.extract" if signed else "p.extractu"
+    for w in range(words):
+        for lane in range(4):
+            element = w * 4 + lane
+            b.emit(op, scratch, src, element * bits, bits)
+            b.emit("pv.insert.b", dests[w], scratch, lane)
+    return list(dests[:words])
+
+
+# ---------------------------------------------------------------------------
+# Shuffle-based ordered sequences
+# ---------------------------------------------------------------------------
+
+def emit_unpack_nibble_shuffle(
+    b: KernelBuilder, src: str, dests: Sequence[str],
+    signed: bool, regs: Dict[str, str],
+) -> List[str]:
+    """Nibble word -> 2 ordered byte-words via shift + shuffle2.
+
+    Signed: 7 instructions; unsigned: 6 (mask replaces the shift pair).
+    """
+    lo, hi = dests[0], dests[1]
+    t_even, t_odd = regs["scratch0"], regs["scratch1"]
+    if signed:
+        b.emit("pv.sra.sci.b", t_odd, src, 4)      # [n1, n3, n5, n7]
+        b.emit("pv.sll.sci.b", t_even, src, 4)
+        b.emit("pv.sra.sci.b", t_even, t_even, 4)  # [n0, n2, n4, n6]
+    else:
+        b.emit("pv.srl.sci.b", t_odd, src, 4)
+        b.emit("and", t_even, src, regs["mask"])
+    b.mv(lo, t_odd)
+    b.emit("pv.shuffle2.b", lo, t_even, regs["sel_lo"])   # [n0, n1, n2, n3]
+    b.mv(hi, t_odd)
+    b.emit("pv.shuffle2.b", hi, t_even, regs["sel_hi"])   # [n4, n5, n6, n7]
+    return [lo, hi]
+
+
+def emit_unpack_crumb_shuffle(
+    b: KernelBuilder, src: str, dests: Sequence[str],
+    signed: bool, regs: Dict[str, str],
+) -> List[str]:
+    """Crumb word -> 4 ordered byte-words (21 instructions)."""
+    if len(dests) < 4:
+        raise KernelError("crumb unpack needs 4 destination registers")
+    out0, out1, out2, out3 = dests[:4]
+    t5, t6, t4 = regs["scratch0"], regs["scratch1"], regs["scratch2"]
+    # Stride-4 extraction: outK = [c_k, c_{k+4}, c_{k+8}, c_{k+12}].
+    if signed:
+        b.emit("pv.sll.sci.b", out0, src, 6)
+        b.emit("pv.sra.sci.b", out0, out0, 6)
+        b.emit("pv.sll.sci.b", out1, src, 4)
+        b.emit("pv.sra.sci.b", out1, out1, 6)
+        b.emit("pv.sll.sci.b", out2, src, 2)
+        b.emit("pv.sra.sci.b", out2, out2, 6)
+        b.emit("pv.sra.sci.b", out3, src, 6)
+    else:
+        b.emit("and", out0, src, regs["mask"])
+        b.emit("pv.srl.sci.b", out1, src, 2)
+        b.emit("and", out1, out1, regs["mask"])
+        b.emit("pv.srl.sci.b", out2, src, 4)
+        b.emit("and", out2, out2, regs["mask"])
+        b.emit("pv.srl.sci.b", out3, src, 6)
+        b.emit("and", out3, out3, regs["mask"])
+    # Pairwise interleaves: t5 = [c0,c1,c4,c5], t6 = [c8,c9,c12,c13],
+    # t4 = [c2,c3,c6,c7], out3 = [c10,c11,c14,c15].
+    b.mv(t5, out1)
+    b.emit("pv.shuffle2.b", t5, out0, regs["sel_lo"])
+    b.mv(t6, out1)
+    b.emit("pv.shuffle2.b", t6, out0, regs["sel_hi"])
+    b.mv(t4, out3)
+    b.emit("pv.shuffle2.b", t4, out2, regs["sel_lo"])
+    b.emit("pv.shuffle2.b", out3, out2, regs["sel_hi"])
+    # Half-merges into the ordered outputs.
+    b.mv(out0, t4)
+    b.emit("pv.shuffle2.b", out0, t5, regs["sel_half_lo"])   # [c0..c3]
+    b.mv(out1, t4)
+    b.emit("pv.shuffle2.b", out1, t5, regs["sel_half_hi"])   # [c4..c7]
+    b.mv(out2, out3)
+    b.emit("pv.shuffle2.b", out2, t6, regs["sel_half_lo"])   # [c8..c11]
+    b.emit("pv.shuffle2.b", out3, t6, regs["sel_half_hi"])   # [c12..c15]
+    return [out0, out1, out2, out3]
+
+
+def emit_unpack(
+    b: KernelBuilder, bits: int, src: str, dests: Sequence[str],
+    signed: bool, style: str, regs: Dict[str, str],
+) -> List[str]:
+    """Dispatch to the configured unpack sequence."""
+    if bits not in (2, 4):
+        raise KernelError(f"unpack is for sub-byte operands, not {bits}-bit")
+    if style == "extract":
+        return emit_unpack_extract(b, bits, src, dests, signed, regs)
+    if style == "shuffle":
+        if bits == 4:
+            return emit_unpack_nibble_shuffle(b, src, dests, signed, regs)
+        return emit_unpack_crumb_shuffle(b, src, dests, signed, regs)
+    raise KernelError(f"unknown unpack style {style!r}")
+
+
+def unpack_cost(bits: int, signed: bool, style: str) -> int:
+    """Instruction count of one unpack sequence (for cost models/tests)."""
+    if style == "extract":
+        return 2 * (32 // bits)
+    if bits == 4:
+        return 7 if signed else 6
+    return 21
+
+
+def words_out(bits: int) -> int:
+    """Byte-words produced per packed word."""
+    return (32 // bits) // 4
+
+
+# ---------------------------------------------------------------------------
+# Golden model
+# ---------------------------------------------------------------------------
+
+def golden_unpack_word(word: int, bits: int, signed: bool) -> np.ndarray:
+    """Reference element order for one packed 32-bit word."""
+    per_word = 32 // bits
+    mask = (1 << bits) - 1
+    values = [(word >> (i * bits)) & mask for i in range(per_word)]
+    if signed:
+        sign = 1 << (bits - 1)
+        values = [v - (1 << bits) if v & sign else v for v in values]
+    return np.asarray(values, dtype=np.int32)

@@ -1,0 +1,50 @@
+"""Physical models: area, power, energy efficiency, technology points."""
+
+from .area import AreaModel, AreaReport, BASELINE_TOTAL_UM2, EXTENSIONS, ExtensionAreas
+from .energy import OPS_PER_MAC, EfficiencyPoint, efficiency
+from .power import (
+    BASELINE,
+    EXTENDED_NOPM,
+    EXTENDED_PM,
+    NOPM_EXTRA_CORE_MW,
+    NOPM_EXTRA_SOC_MW,
+    SOC_BASE_MW,
+    SOC_MEM_MW_PER_ACCESS,
+    CorePowerParams,
+    PowerBreakdown,
+    PowerModel,
+    cycle_fractions,
+    memory_accesses_per_cycle,
+    model_for,
+)
+from .technology import NOMINAL, TECHNOLOGY, TYPICAL, WORST_CASE, Corner, OperatingPoint
+
+__all__ = [
+    "AreaModel",
+    "AreaReport",
+    "BASELINE",
+    "BASELINE_TOTAL_UM2",
+    "Corner",
+    "CorePowerParams",
+    "EXTENDED_NOPM",
+    "EXTENDED_PM",
+    "EXTENSIONS",
+    "EfficiencyPoint",
+    "ExtensionAreas",
+    "NOMINAL",
+    "NOPM_EXTRA_CORE_MW",
+    "NOPM_EXTRA_SOC_MW",
+    "OPS_PER_MAC",
+    "OperatingPoint",
+    "PowerBreakdown",
+    "PowerModel",
+    "SOC_BASE_MW",
+    "SOC_MEM_MW_PER_ACCESS",
+    "TECHNOLOGY",
+    "TYPICAL",
+    "WORST_CASE",
+    "cycle_fractions",
+    "efficiency",
+    "memory_accesses_per_cycle",
+    "model_for",
+]

@@ -1,0 +1,81 @@
+"""Energy and efficiency metrics derived from cycles x power.
+
+Every efficiency figure in the paper (Figs 7 and 9, the 279 GMAC/s/W
+peak, Table I's Gop/s/W band) is throughput divided by power; this module
+keeps those conversions in one place.  Note the paper counts 1 MAC = 2
+ops, so Gop/s/W = 2 x GMAC/s/W.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .technology import NOMINAL, OperatingPoint
+
+#: Multiply-accumulate counted as two operations (multiply + add).
+OPS_PER_MAC = 2
+
+
+@dataclass(frozen=True)
+class EfficiencyPoint:
+    """Throughput and efficiency of one kernel on one platform."""
+
+    name: str
+    macs: int
+    cycles: int
+    freq_hz: float
+    power_w: float
+
+    @property
+    def runtime_s(self) -> float:
+        return self.cycles / self.freq_hz
+
+    @property
+    def macs_per_cycle(self) -> float:
+        return self.macs / self.cycles
+
+    @property
+    def gmacs_per_s(self) -> float:
+        return self.macs / self.runtime_s / 1e9
+
+    @property
+    def gops_per_s(self) -> float:
+        return self.gmacs_per_s * OPS_PER_MAC
+
+    @property
+    def gmacs_per_s_per_w(self) -> float:
+        return self.gmacs_per_s / self.power_w
+
+    @property
+    def gops_per_s_per_w(self) -> float:
+        return self.gmacs_per_s_per_w * OPS_PER_MAC
+
+    @property
+    def energy_per_inference_uj(self) -> float:
+        return self.runtime_s * self.power_w * 1e6
+
+    def efficiency_ratio(self, other: "EfficiencyPoint") -> float:
+        """How many times more efficient this point is than *other*."""
+        return self.gmacs_per_s_per_w / other.gmacs_per_s_per_w
+
+    def speedup_over(self, other: "EfficiencyPoint") -> float:
+        """Cycle-count speedup (frequency-independent, as in Fig 8)."""
+        return other.cycles / self.cycles
+
+
+def efficiency(
+    name: str,
+    macs: int,
+    cycles: int,
+    power_w: float,
+    point: OperatingPoint = NOMINAL,
+    freq_hz: float | None = None,
+) -> EfficiencyPoint:
+    """Build an :class:`EfficiencyPoint` at an operating point."""
+    return EfficiencyPoint(
+        name=name,
+        macs=macs,
+        cycles=cycles,
+        freq_hz=freq_hz if freq_hz is not None else point.freq_hz,
+        power_w=power_w,
+    )

@@ -1,0 +1,40 @@
+"""Technology and operating-point definitions (22nm FDX, paper §IV).
+
+The paper implements both PULPissimo variants in GlobalFoundries 22FDX:
+synthesis at the worst-case corner (SS, 0.59 V, -40/125 C), power analysis
+at the typical corner (TT, 0.65 V, 25 C), with the core characterized at
+0.75 V / 250 MHz.  These dataclasses carry those operating points so every
+derived number states its conditions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Corner:
+    name: str
+    voltage_v: float
+    temperature_c: float
+
+
+WORST_CASE = Corner(name="SS", voltage_v=0.59, temperature_c=125.0)
+TYPICAL = Corner(name="TT", voltage_v=0.65, temperature_c=25.0)
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """Frequency/voltage point used for the power numbers."""
+
+    name: str
+    freq_hz: float
+    voltage_v: float
+    corner: Corner = TYPICAL
+
+
+#: The operating point of all Table III power figures.
+NOMINAL = OperatingPoint(name="nominal", freq_hz=250e6, voltage_v=0.75)
+
+#: Technology node descriptor (for reports).
+TECHNOLOGY = "22nm FD-SOI (22FDX)"

@@ -1,0 +1,78 @@
+"""QNN framework: quantization, thresholds, packing, golden layers."""
+
+from .layers import (
+    PAPER_LAYER,
+    ConvGeometry,
+    avgpool_golden,
+    conv2d_golden,
+    conv_out_size,
+    im2col_golden,
+    linear_golden,
+    matmul_golden,
+    maxpool_golden,
+)
+from .deploy import DeployResult, LayerExecution, NetworkDeployer
+from .network import (
+    AvgPool,
+    MaxPool,
+    QnnNetwork,
+    QuantizedConv,
+    QuantizedLinear,
+    random_activations,
+    random_weights,
+)
+from .packing import elements_per_word, pack, pack_words, unpack
+from .quantize import (
+    QuantParams,
+    choose_requant_shift,
+    int_range,
+    quantize_uniform,
+    relu,
+    requantize_shift,
+)
+from .thresholds import (
+    ThresholdTable,
+    heap_to_sorted,
+    random_threshold_table,
+    sorted_to_heap,
+    thresholds_from_accumulators,
+    tree_stride,
+)
+
+__all__ = [
+    "AvgPool",
+    "ConvGeometry",
+    "DeployResult",
+    "LayerExecution",
+    "MaxPool",
+    "NetworkDeployer",
+    "PAPER_LAYER",
+    "QnnNetwork",
+    "QuantParams",
+    "QuantizedConv",
+    "QuantizedLinear",
+    "ThresholdTable",
+    "avgpool_golden",
+    "choose_requant_shift",
+    "conv2d_golden",
+    "conv_out_size",
+    "elements_per_word",
+    "heap_to_sorted",
+    "im2col_golden",
+    "int_range",
+    "linear_golden",
+    "matmul_golden",
+    "maxpool_golden",
+    "pack",
+    "pack_words",
+    "quantize_uniform",
+    "random_activations",
+    "random_threshold_table",
+    "random_weights",
+    "relu",
+    "requantize_shift",
+    "sorted_to_heap",
+    "thresholds_from_accumulators",
+    "tree_stride",
+    "unpack",
+]

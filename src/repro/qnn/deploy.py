@@ -1,0 +1,243 @@
+"""Network deployer: run a whole :class:`QnnNetwork` on the simulated MCU.
+
+This is the adoption-level API on top of the kernel generators: give it a
+network description and an input, and it
+
+* calibrates each quantized layer on the golden model (thresholds/shifts),
+* generates the matching kernel for every layer,
+* checks the PULPissimo memory budget (512 kB L2) for every layer's
+  working set,
+* executes layer by layer on one simulated core, bridging bit-width
+  changes between layers (dropping LSBs when a layer narrows precision),
+* verifies each layer's output bit-exactly against the golden model,
+* and accounts cycles and energy per layer via the Table III power model.
+
+Example::
+
+    deployer = NetworkDeployer(network, input_shape=(16, 16, 16))
+    result = deployer.run(x)
+    print(result.render())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..core.perf import PerfCounters
+from ..errors import KernelError
+from .layers import ConvGeometry
+from .network import AvgPool, MaxPool, QnnNetwork, QuantizedConv, QuantizedLinear
+
+#: PULPissimo L2 budget (paper Fig. 5).
+L2_BUDGET_BYTES = 512 * 1024
+
+
+@dataclass
+class LayerExecution:
+    """One layer's measured execution."""
+
+    name: str
+    kind: str
+    bits: int
+    cycles: int
+    macs: int
+    energy_uj: float
+    output_shape: Tuple[int, ...]
+    verified: bool
+    perf: PerfCounters
+
+
+@dataclass
+class DeployResult:
+    layers: List[LayerExecution]
+    output: np.ndarray
+    freq_hz: float
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(layer.cycles for layer in self.layers)
+
+    @property
+    def total_energy_uj(self) -> float:
+        return sum(layer.energy_uj for layer in self.layers)
+
+    @property
+    def latency_ms(self) -> float:
+        return self.total_cycles / self.freq_hz * 1e3
+
+    @property
+    def verified(self) -> bool:
+        return all(layer.verified for layer in self.layers)
+
+    def render(self) -> str:
+        lines = [f"{'layer':<28s} {'kind':<10s} {'bits':>4s} "
+                 f"{'cycles':>10s} {'energy[uJ]':>10s} {'shape'}"]
+        for layer in self.layers:
+            lines.append(
+                f"{layer.name:<28s} {layer.kind:<10s} {layer.bits:>4d} "
+                f"{layer.cycles:>10,} {layer.energy_uj:>10.3f} "
+                f"{layer.output_shape}"
+            )
+        lines.append(
+            f"total: {self.total_cycles:,} cycles, "
+            f"{self.latency_ms:.2f} ms @ {self.freq_hz / 1e6:.0f} MHz, "
+            f"{self.total_energy_uj:.2f} uJ, "
+            f"verified={'yes' if self.verified else 'NO'}"
+        )
+        return "\n".join(lines)
+
+
+class NetworkDeployer:
+    """Map a sequential QNN onto generated kernels and run it."""
+
+    def __init__(self, network: QnnNetwork, input_shape: Tuple[int, int, int],
+                 input_bits: int = 8, isa: str = "xpulpnn") -> None:
+        self.network = network
+        self.input_shape = input_shape
+        self.input_bits = input_bits
+        self.isa = isa
+
+    # ------------------------------------------------------------------
+
+    def _bridge(self, x: np.ndarray, from_bits: int, to_bits: int) -> np.ndarray:
+        """Precision bridge between layers: drop LSBs when narrowing."""
+        if to_bits >= from_bits:
+            return x.astype(np.int32)
+        return (x >> (from_bits - to_bits)).astype(np.int32)
+
+    def _check_budget(self, name: str, nbytes: int) -> None:
+        if nbytes > L2_BUDGET_BYTES:
+            raise KernelError(
+                f"layer {name!r} needs {nbytes} B of L2, exceeding the "
+                f"{L2_BUDGET_BYTES} B PULPissimo budget; tile the layer"
+            )
+
+    def _check_conv_budget(self, name: str, geometry: ConvGeometry,
+                           bits: int) -> None:
+        """Estimate the conv working set before generating any code."""
+        pad_h = geometry.in_h + 2 * geometry.pad
+        pad_w = geometry.in_w + 2 * geometry.pad
+        acts = pad_h * pad_w * geometry.in_ch * bits // 8
+        weights = geometry.out_ch * geometry.reduction * bits // 8
+        out = geometry.out_pixels * geometry.out_ch * bits // 8
+        im2col = 2 * geometry.reduction * max(bits, 8) // 8
+        self._check_budget(name, acts + weights + out + im2col + 4096)
+
+    # ------------------------------------------------------------------
+
+    def run(self, x: np.ndarray, freq_hz: float = 250e6) -> DeployResult:
+        """Execute the network; raises if any layer diverges from golden."""
+        from ..kernels import (
+            ConvConfig,
+            ConvKernel,
+            LinearConfig,
+            LinearKernel,
+            PoolConfig,
+            PoolKernel,
+        )
+        from ..kernels.pooling import avgpool_cascade_golden
+        from ..physical import model_for
+        from .layers import conv2d_golden, maxpool_golden
+        from .quantize import requantize_shift
+        from .thresholds import thresholds_from_accumulators
+
+        x = np.asarray(x, dtype=np.int32)
+        if x.shape != tuple(self.input_shape):
+            raise KernelError(
+                f"input shape {x.shape} != declared {self.input_shape}")
+        bits = self.input_bits
+        power_model = model_for(self.isa)
+        executions: List[LayerExecution] = []
+
+        for index, layer in enumerate(self.network.layers):
+            name = f"{index}:{getattr(layer, 'name', type(layer).__name__)}"
+            if isinstance(layer, QuantizedConv):
+                k_bits = layer.weight_bits
+                x = self._bridge(x, bits, k_bits)
+                bits = k_bits
+                h, w, _ = x.shape
+                geometry = layer.geometry(h, w)
+                acc = conv2d_golden(x, layer.weights, stride=layer.stride,
+                                    pad=layer.pad)
+                self._check_conv_budget(name, geometry, k_bits)
+                if layer.out_bits == 8:
+                    if k_bits != 8:
+                        raise KernelError(
+                            f"layer {name!r}: mixed weight/output widths need "
+                            f"a staircase (out_bits={layer.out_bits})")
+                    layer.calibrate(acc)
+                    kernel = ConvKernel(ConvConfig(
+                        geometry=geometry, bits=8, isa=self.isa, quant="shift"))
+                    self._check_budget(name, kernel.layout.end)
+                    run = kernel.run(layer.weights, x, shift=layer.shift)
+                    expected = requantize_shift(acc, layer.shift, 8, signed=False)
+                else:
+                    thresholds = thresholds_from_accumulators(acc, layer.out_bits)
+                    layer.thresholds = thresholds
+                    kernel = ConvKernel(ConvConfig(
+                        geometry=geometry, bits=k_bits, isa=self.isa,
+                        quant="hw" if self.isa == "xpulpnn" else "sw"))
+                    self._check_budget(name, kernel.layout.end)
+                    run = kernel.run(layer.weights, x, thresholds=thresholds)
+                    expected = thresholds.quantize(acc, channel_axis=-1)
+                bits = layer.out_bits
+                kind, macs = "conv", geometry.macs
+                workload = f"matmul{k_bits}"
+                sub_bits = k_bits
+            elif isinstance(layer, (MaxPool, AvgPool)):
+                op = "max" if isinstance(layer, MaxPool) else "avg"
+                h, w, c = x.shape
+                # The baseline core has no sub-byte SIMD: it pools on
+                # widened 8-bit data (pooling commutes with widening).
+                pool_bits = bits if self.isa == "xpulpnn" else 8
+                kernel = PoolKernel(PoolConfig(h, w, c, bits=pool_bits, op=op,
+                                               isa=self.isa))
+                self._check_budget(name, kernel.layout.end)
+                run = kernel.run(x)
+                expected = (maxpool_golden(x, 2) if op == "max"
+                            else avgpool_cascade_golden(x))
+                kind, macs = "pool", 0
+                workload, sub_bits = "gp", 8
+            elif isinstance(layer, QuantizedLinear):
+                k_bits = layer.weight_bits
+                x = self._bridge(x, bits, k_bits)
+                bits = k_bits
+                flat = x.reshape(-1)
+                acc = layer.weights.astype(np.int64) @ flat
+                from .quantize import choose_requant_shift
+
+                if layer.shift is None:
+                    layer.shift = choose_requant_shift(acc, 8, signed=False)
+                # Baseline cores run sub-byte linear layers on widened
+                # 8-bit data (the values are identical, only wider).
+                lin_bits = k_bits if self.isa == "xpulpnn" else 8
+                kernel = LinearKernel(LinearConfig(
+                    flat.size, layer.weights.shape[0], lin_bits, isa=self.isa))
+                self._check_budget(name, kernel.layout.end)
+                run = kernel.run(layer.weights, flat, shift=layer.shift)
+                expected = requantize_shift(acc, layer.shift, 8, signed=False)
+                bits = 8
+                kind, macs = "linear", flat.size * layer.weights.shape[0]
+                workload, sub_bits = f"matmul{k_bits}", k_bits
+            else:
+                raise KernelError(f"no kernel mapping for layer {name!r}")
+
+            verified = bool(np.array_equal(run.output, expected))
+            if not verified:
+                raise KernelError(f"layer {name!r} diverged from golden")
+            power = power_model.evaluate(
+                run.perf, sub_byte_bits=sub_bits,
+                workload_class=workload if workload != "gp" else "gp",
+            ).soc_total_w
+            energy = run.cycles / freq_hz * power * 1e6
+            executions.append(LayerExecution(
+                name=name, kind=kind, bits=bits, cycles=run.cycles,
+                macs=macs, energy_uj=energy, output_shape=run.output.shape,
+                verified=verified, perf=run.perf,
+            ))
+            x = run.output.astype(np.int32)
+
+        return DeployResult(layers=executions, output=x, freq_hz=freq_hz)

@@ -1,0 +1,182 @@
+"""Golden (numpy) reference implementations of the QNN layers.
+
+Every ISS kernel in :mod:`repro.kernels` is validated bit-exactly against
+these.  Layouts follow PULP-NN / CMSIS-NN:
+
+* activations: ``(H, W, C)``, channel innermost (HWC);
+* weights: ``(C_out, Kh, Kw, C_in)``;
+* im2col columns: one row per output pixel, ``Kh*Kw*C_in`` long, in
+  ``(kh, kw, c)`` order — exactly the order the im2col kernel produces, so
+  a flattened filter dot an im2col row is one convolution output.
+
+Accumulators are int64 in the golden model; kernels accumulate in 32-bit
+registers, and geometry restrictions (documented per kernel) keep values
+inside 16 bits for sub-byte layers, as the paper requires for ``pv.qnt``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import KernelError
+
+
+def conv_out_size(size: int, kernel: int, stride: int, pad: int) -> int:
+    return (size + 2 * pad - kernel) // stride + 1
+
+
+def im2col_golden(
+    activations: np.ndarray, kh: int, kw: int, stride: int = 1, pad: int = 0,
+    pad_value: int = 0,
+) -> np.ndarray:
+    """Arrange conv input patches into rows (the paper's im2col step)."""
+    activations = np.asarray(activations)
+    if activations.ndim != 3:
+        raise KernelError(f"activations must be HWC, got shape {activations.shape}")
+    h, w, c = activations.shape
+    ho = conv_out_size(h, kh, stride, pad)
+    wo = conv_out_size(w, kw, stride, pad)
+    if ho <= 0 or wo <= 0:
+        raise KernelError("convolution output is empty for this geometry")
+    padded = np.full((h + 2 * pad, w + 2 * pad, c), pad_value, dtype=activations.dtype)
+    padded[pad:pad + h, pad:pad + w, :] = activations
+    rows = np.empty((ho * wo, kh * kw * c), dtype=activations.dtype)
+    index = 0
+    for oy in range(ho):
+        for ox in range(wo):
+            patch = padded[oy * stride:oy * stride + kh, ox * stride:ox * stride + kw, :]
+            rows[index] = patch.reshape(-1)
+            index += 1
+    return rows
+
+
+def matmul_golden(weights2d: np.ndarray, columns: np.ndarray) -> np.ndarray:
+    """Dot-product step: ``(C_out, K) @ (N, K).T -> (N, C_out)`` in int64."""
+    weights2d = np.asarray(weights2d, dtype=np.int64)
+    columns = np.asarray(columns, dtype=np.int64)
+    if weights2d.shape[1] != columns.shape[1]:
+        raise KernelError(
+            f"reduction length mismatch: weights K={weights2d.shape[1]}, "
+            f"columns K={columns.shape[1]}"
+        )
+    return columns @ weights2d.T
+
+
+def conv2d_golden(
+    activations: np.ndarray,
+    weights: np.ndarray,
+    stride: int = 1,
+    pad: int = 0,
+) -> np.ndarray:
+    """Integer convolution returning raw accumulators ``(Ho, Wo, C_out)``."""
+    weights = np.asarray(weights)
+    if weights.ndim != 4:
+        raise KernelError(f"weights must be (Co, Kh, Kw, Ci), got {weights.shape}")
+    co, kh, kw, ci = weights.shape
+    if activations.shape[2] != ci:
+        raise KernelError(
+            f"channel mismatch: activations C={activations.shape[2]}, weights Ci={ci}"
+        )
+    columns = im2col_golden(activations, kh, kw, stride, pad)
+    acc = matmul_golden(weights.reshape(co, -1), columns)
+    ho = conv_out_size(activations.shape[0], kh, stride, pad)
+    wo = conv_out_size(activations.shape[1], kw, stride, pad)
+    return acc.reshape(ho, wo, co)
+
+
+def linear_golden(activations: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Fully-connected layer: ``(C_out, C_in) @ x -> (C_out,)`` int64."""
+    weights = np.asarray(weights, dtype=np.int64)
+    x = np.asarray(activations, dtype=np.int64).reshape(-1)
+    if weights.shape[1] != x.size:
+        raise KernelError(
+            f"linear size mismatch: weights {weights.shape}, input {x.size}"
+        )
+    return weights @ x
+
+
+def maxpool_golden(activations: np.ndarray, size: int, stride: int | None = None) -> np.ndarray:
+    """Max pooling over HWC activations (``pv.max`` use case)."""
+    stride = stride or size
+    h, w, c = activations.shape
+    ho = conv_out_size(h, size, stride, 0)
+    wo = conv_out_size(w, size, stride, 0)
+    out = np.empty((ho, wo, c), dtype=activations.dtype)
+    for oy in range(ho):
+        for ox in range(wo):
+            window = activations[oy * stride:oy * stride + size,
+                                 ox * stride:ox * stride + size, :]
+            out[oy, ox] = window.reshape(-1, c).max(axis=0)
+    return out
+
+
+def avgpool_golden(activations: np.ndarray, size: int, stride: int | None = None) -> np.ndarray:
+    """Average pooling with the hardware's truncating arithmetic mean.
+
+    The ``pv.avg`` instruction computes ``(a + b) >> 1`` (arithmetic), so a
+    2x2 window averages as two cascaded pair-averages; for the golden model
+    we floor-divide the window sum, which matches for the power-of-two
+    window sizes the kernels support.
+    """
+    stride = stride or size
+    h, w, c = activations.shape
+    ho = conv_out_size(h, size, stride, 0)
+    wo = conv_out_size(w, size, stride, 0)
+    out = np.empty((ho, wo, c), dtype=np.int64)
+    for oy in range(ho):
+        for ox in range(wo):
+            window = activations[oy * stride:oy * stride + size,
+                                 ox * stride:ox * stride + size, :]
+            out[oy, ox] = np.floor_divide(window.reshape(-1, c).sum(axis=0), size * size)
+    return out
+
+
+@dataclass(frozen=True)
+class ConvGeometry:
+    """Geometry of one convolution layer (the paper's workload shape)."""
+
+    in_h: int
+    in_w: int
+    in_ch: int
+    out_ch: int
+    kh: int = 3
+    kw: int = 3
+    stride: int = 1
+    pad: int = 0
+
+    @property
+    def out_h(self) -> int:
+        return conv_out_size(self.in_h, self.kh, self.stride, self.pad)
+
+    @property
+    def out_w(self) -> int:
+        return conv_out_size(self.in_w, self.kw, self.stride, self.pad)
+
+    @property
+    def out_pixels(self) -> int:
+        return self.out_h * self.out_w
+
+    @property
+    def reduction(self) -> int:
+        """Dot-product length per output: Kh * Kw * C_in."""
+        return self.kh * self.kw * self.in_ch
+
+    @property
+    def macs(self) -> int:
+        """Total multiply-accumulates of the layer."""
+        return self.out_pixels * self.out_ch * self.reduction
+
+    def describe(self) -> str:
+        return (
+            f"{self.in_h}x{self.in_w}x{self.in_ch} -> "
+            f"{self.out_h}x{self.out_w}x{self.out_ch}, "
+            f"filter {self.out_ch}x{self.kh}x{self.kw}x{self.in_ch}"
+        )
+
+
+#: The convolution layer benchmarked throughout the paper's §IV:
+#: 16x16x32 input, 64x3x3x32 filters.
+PAPER_LAYER = ConvGeometry(in_h=16, in_w=16, in_ch=32, out_ch=64, kh=3, kw=3,
+                           stride=1, pad=1)

@@ -1,0 +1,159 @@
+"""Small QNN container: layer descriptors + golden sequential execution.
+
+This is the model-level API the examples use: describe a mixed-precision
+network, generate realistic thresholds from calibration data, run the
+golden integer inference, and (through :mod:`repro.kernels`) run the same
+layers instruction-by-instruction on the simulated cores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .layers import (
+    ConvGeometry,
+    avgpool_golden,
+    conv2d_golden,
+    linear_golden,
+    maxpool_golden,
+)
+from .quantize import choose_requant_shift, requantize_shift
+from .thresholds import ThresholdTable, thresholds_from_accumulators
+
+
+@dataclass
+class QuantizedConv:
+    """Convolution + requantization to ``out_bits`` unsigned activations.
+
+    ``out_bits == 8`` uses shift+clamp compression; 4/2-bit layers use a
+    staircase :class:`ThresholdTable` (auto-calibrated on first golden run
+    if not provided).
+    """
+
+    weights: np.ndarray           # (Co, Kh, Kw, Ci) signed ints
+    weight_bits: int
+    in_bits: int
+    out_bits: int
+    stride: int = 1
+    pad: int = 0
+    shift: Optional[int] = None
+    thresholds: Optional[ThresholdTable] = None
+    name: str = "conv"
+
+    def geometry(self, in_h: int, in_w: int) -> ConvGeometry:
+        co, kh, kw, ci = self.weights.shape
+        return ConvGeometry(in_h=in_h, in_w=in_w, in_ch=ci, out_ch=co,
+                            kh=kh, kw=kw, stride=self.stride, pad=self.pad)
+
+    def calibrate(self, acc: np.ndarray) -> None:
+        """Derive requantization parameters from observed accumulators."""
+        if self.out_bits == 8:
+            if self.shift is None:
+                self.shift = choose_requant_shift(acc, 8, signed=False)
+        elif self.thresholds is None:
+            self.thresholds = thresholds_from_accumulators(
+                acc, self.out_bits, channel_axis=-1
+            )
+
+    def golden(self, x: np.ndarray) -> np.ndarray:
+        acc = conv2d_golden(x, self.weights, stride=self.stride, pad=self.pad)
+        self.calibrate(acc)
+        if self.out_bits == 8:
+            return requantize_shift(acc, self.shift, 8, signed=False)
+        return self.thresholds.quantize(acc, channel_axis=-1).astype(np.int32)
+
+
+@dataclass
+class QuantizedLinear:
+    """Fully-connected layer with shift requantization."""
+
+    weights: np.ndarray           # (Co, Ci) signed ints
+    weight_bits: int
+    in_bits: int
+    out_bits: int
+    shift: Optional[int] = None
+    name: str = "linear"
+
+    def golden(self, x: np.ndarray) -> np.ndarray:
+        acc = linear_golden(x, self.weights)
+        if self.shift is None:
+            self.shift = choose_requant_shift(acc, self.out_bits, signed=False)
+        return requantize_shift(acc, self.shift, self.out_bits, signed=False)
+
+
+@dataclass
+class MaxPool:
+    size: int
+    stride: Optional[int] = None
+    name: str = "maxpool"
+
+    def golden(self, x: np.ndarray) -> np.ndarray:
+        return maxpool_golden(x, self.size, self.stride)
+
+
+@dataclass
+class AvgPool:
+    """2x2/stride-2 average pooling with the hardware's cascaded
+    pair-average semantics (``pv.avgu`` composition)."""
+
+    size: int = 2
+    stride: Optional[int] = None
+    name: str = "avgpool"
+
+    def golden(self, x: np.ndarray) -> np.ndarray:
+        if self.size == 2 and (self.stride or self.size) == 2:
+            from ..kernels.pooling import avgpool_cascade_golden
+
+            return avgpool_cascade_golden(np.asarray(x)).astype(np.int32)
+        return avgpool_golden(x, self.size, self.stride)
+
+
+@dataclass
+class QnnNetwork:
+    """A sequential quantized network."""
+
+    layers: List[object] = field(default_factory=list)
+    name: str = "qnn"
+
+    def add(self, layer) -> "QnnNetwork":
+        self.layers.append(layer)
+        return self
+
+    def golden(self, x: np.ndarray, record: Optional[list] = None) -> np.ndarray:
+        """Run golden inference; optionally record each layer's output."""
+        out = np.asarray(x)
+        for layer in self.layers:
+            out = layer.golden(out)
+            if record is not None:
+                record.append(out.copy())
+        return out
+
+    def describe(self) -> str:
+        lines = [f"network {self.name!r}:"]
+        for i, layer in enumerate(self.layers):
+            bits = getattr(layer, "weight_bits", None)
+            detail = f" w{bits}b" if bits else ""
+            out_bits = getattr(layer, "out_bits", None)
+            detail += f" -> a{out_bits}b" if out_bits else ""
+            lines.append(f"  [{i}] {layer.name}{detail}")
+        return "\n".join(lines)
+
+
+def random_weights(
+    shape: Sequence[int], bits: int, rng=None
+) -> np.ndarray:
+    """Random signed weights spanning the full representable range."""
+    rng = np.random.default_rng(rng)
+    lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    return rng.integers(lo, hi + 1, size=tuple(shape)).astype(np.int32)
+
+
+def random_activations(
+    shape: Sequence[int], bits: int, rng=None
+) -> np.ndarray:
+    """Random unsigned activations (the post-quantization domain)."""
+    rng = np.random.default_rng(rng)
+    return rng.integers(0, 1 << bits, size=tuple(shape)).astype(np.int32)

@@ -1,0 +1,94 @@
+"""Sub-byte tensor packing.
+
+Quantized tensors are stored packed: 8-bit elements one per byte, 4-bit
+*nibbles* two per byte, 2-bit *crumbs* four per byte — always lane 0 in the
+least significant bits, matching the SIMD lane order of
+:mod:`repro.isa.bits`.  These helpers convert between numpy integer arrays
+and the packed byte images placed in simulated memory.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import KernelError
+
+SUPPORTED_BITS = (2, 4, 8)
+
+
+def _check_bits(bits: int) -> None:
+    if bits not in SUPPORTED_BITS:
+        raise KernelError(f"unsupported element width {bits} (choose from {SUPPORTED_BITS})")
+
+
+def check_range(values: np.ndarray, bits: int, signed: bool) -> None:
+    """Validate that *values* fit the target element width."""
+    _check_bits(bits)
+    if signed:
+        lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    else:
+        lo, hi = 0, (1 << bits) - 1
+    if values.size and (values.min() < lo or values.max() > hi):
+        raise KernelError(
+            f"values outside {'signed' if signed else 'unsigned'} {bits}-bit "
+            f"range [{lo}, {hi}]: min={values.min()}, max={values.max()}"
+        )
+
+
+def pack(values: Sequence[int] | np.ndarray, bits: int, signed: bool) -> bytes:
+    """Pack a flat sequence of elements into bytes (lane 0 = LSB).
+
+    The element count must fill whole bytes (pad tensors to a multiple of
+    ``8 // bits`` elements — kernels require channel counts that do).
+    """
+    array = np.asarray(values).ravel()
+    check_range(array, bits, signed)
+    per_byte = 8 // bits
+    if array.size % per_byte:
+        raise KernelError(
+            f"{array.size} elements do not fill whole bytes at {bits}-bit packing"
+        )
+    unsigned = (array.astype(np.int64) & ((1 << bits) - 1)).astype(np.uint8)
+    if bits == 8:
+        return unsigned.tobytes()
+    grouped = unsigned.reshape(-1, per_byte)
+    shifts = np.arange(per_byte, dtype=np.uint8) * bits
+    packed = np.bitwise_or.reduce(grouped << shifts, axis=1).astype(np.uint8)
+    return packed.tobytes()
+
+
+def unpack(data: bytes, bits: int, signed: bool, count: int | None = None) -> np.ndarray:
+    """Unpack bytes into an int32 element array (inverse of :func:`pack`)."""
+    _check_bits(bits)
+    raw = np.frombuffer(bytes(data), dtype=np.uint8)
+    per_byte = 8 // bits
+    mask = (1 << bits) - 1
+    if bits == 8:
+        elements = raw.astype(np.int32)
+    else:
+        shifts = np.arange(per_byte, dtype=np.uint8) * bits
+        elements = ((raw[:, None] >> shifts) & mask).ravel().astype(np.int32)
+    if count is not None:
+        if count > elements.size:
+            raise KernelError(f"requested {count} elements, only {elements.size} packed")
+        elements = elements[:count]
+    if signed:
+        sign_bit = 1 << (bits - 1)
+        elements = np.where(elements >= sign_bit, elements - (1 << bits), elements)
+    return elements
+
+
+def pack_words(values: Sequence[int] | np.ndarray, bits: int, signed: bool) -> list:
+    """Pack elements into a list of little-endian 32-bit words."""
+    data = pack(values, bits, signed)
+    if len(data) % 4:
+        raise KernelError("packed data does not fill whole 32-bit words")
+    return [int.from_bytes(data[i:i + 4], "little") for i in range(0, len(data), 4)]
+
+
+def elements_per_word(bits: int) -> int:
+    """SIMD lane count of one 32-bit register at the given element width."""
+    _check_bits(bits)
+    return 32 // bits

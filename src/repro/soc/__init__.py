@@ -1,0 +1,24 @@
+"""SoC layer: memory model and the PULPissimo MCU wrapper."""
+
+from .memmap import (
+    L2_BASE,
+    L2_SIZE,
+    PERIPH_BASE,
+    ROM_BASE,
+    STDOUT_PUTC,
+    TIMER_CYCLES,
+)
+from .memory import Memory
+from .pulpissimo import Pulpissimo, SocMemory
+
+__all__ = [
+    "L2_BASE",
+    "L2_SIZE",
+    "Memory",
+    "PERIPH_BASE",
+    "Pulpissimo",
+    "ROM_BASE",
+    "STDOUT_PUTC",
+    "SocMemory",
+    "TIMER_CYCLES",
+]

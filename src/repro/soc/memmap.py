@@ -1,0 +1,27 @@
+"""PULPissimo memory map (paper Fig. 5).
+
+Only the regions that affect kernel execution are modelled as real
+memory; the peripheral subsystem (uDMA, timer, GPIO, ...) is an address
+space whose registers read as zero and swallow writes — during the
+paper's benchmarks the peripherals are idle, so they only matter for
+address decoding.
+"""
+
+from __future__ import annotations
+
+#: 512 kB of interleaved L2 SRAM.
+L2_BASE = 0x1C00_0000
+L2_SIZE = 512 * 1024
+
+#: Boot ROM (modelled as RAM the loader fills).
+ROM_BASE = 0x1A00_0000
+ROM_SIZE = 8 * 1024
+
+#: APB peripheral subsystem (uDMA, SoC control, timers, ...).
+PERIPH_BASE = 0x1A10_0000
+PERIPH_SIZE = 1024 * 1024
+
+#: Well-known peripheral register offsets (stub level).
+SOC_CTRL_INFO = PERIPH_BASE + 0x0000
+TIMER_CYCLES = PERIPH_BASE + 0x1_0000
+STDOUT_PUTC = PERIPH_BASE + 0x2_0000

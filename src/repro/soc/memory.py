@@ -1,0 +1,104 @@
+"""Byte-addressable memory model.
+
+A :class:`Memory` is a flat little-endian byte array mapped at a base
+address.  The PULPissimo SoC model (:mod:`repro.soc.pulpissimo`) composes
+these into a memory map.  Alignment is *not* enforced here: RI5CY supports
+misaligned accesses by splitting them into two memory transactions, and the
+core model charges the extra cycle (see :meth:`repro.core.cpu.Cpu.load`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..errors import MemoryAccessError
+from ..isa.bits import to_signed
+
+_SIZES = (1, 2, 4)
+
+
+class Memory:
+    """Flat little-endian RAM of *size* bytes mapped at *base*."""
+
+    def __init__(self, size: int, base: int = 0, name: str = "ram") -> None:
+        if size <= 0:
+            raise ValueError("memory size must be positive")
+        self.base = base
+        self.size = size
+        self.name = name
+        self._data = bytearray(size)
+
+    # -- accessors -----------------------------------------------------
+
+    def contains(self, addr: int, length: int = 1) -> bool:
+        """True if ``[addr, addr+length)`` lies inside this memory."""
+        return self.base <= addr and addr + length <= self.base + self.size
+
+    def _offset(self, addr: int, length: int) -> int:
+        if not self.contains(addr, length):
+            raise MemoryAccessError(
+                f"{self.name}: access of {length} B at {addr:#010x} outside "
+                f"[{self.base:#010x}, {self.base + self.size:#010x})"
+            )
+        return addr - self.base
+
+    def load(self, addr: int, size: int, signed: bool = False) -> int:
+        """Read *size* bytes at *addr*; returns an unsigned 32-bit value
+        unless *signed*, in which case the value is sign-extended (still
+        returned wrapped to 32 bits, matching register semantics)."""
+        if size not in _SIZES:
+            raise MemoryAccessError(f"unsupported load size {size}")
+        offset = self._offset(addr, size)
+        value = int.from_bytes(self._data[offset:offset + size], "little")
+        if signed:
+            value = to_signed(value, size * 8) & 0xFFFF_FFFF
+        return value
+
+    def store(self, addr: int, size: int, value: int) -> None:
+        """Write the low *size* bytes of *value* at *addr*."""
+        if size not in _SIZES:
+            raise MemoryAccessError(f"unsupported store size {size}")
+        offset = self._offset(addr, size)
+        self._data[offset:offset + size] = (value & ((1 << (size * 8)) - 1)).to_bytes(
+            size, "little"
+        )
+
+    # -- bulk helpers ----------------------------------------------------
+
+    def write_bytes(self, addr: int, data: bytes) -> None:
+        offset = self._offset(addr, len(data))
+        self._data[offset:offset + len(data)] = data
+
+    def read_bytes(self, addr: int, length: int) -> bytes:
+        offset = self._offset(addr, length)
+        return bytes(self._data[offset:offset + length])
+
+    def write_words(self, addr: int, words: Iterable[int]) -> None:
+        """Write a sequence of 32-bit words starting at *addr*."""
+        for i, word in enumerate(words):
+            self.store(addr + 4 * i, 4, word)
+
+    def read_words(self, addr: int, count: int) -> list:
+        return [self.load(addr + 4 * i, 4) for i in range(count)]
+
+    def write_i16(self, addr: int, values: Iterable[int]) -> None:
+        """Write a sequence of signed 16-bit values starting at *addr*."""
+        for i, value in enumerate(values):
+            self.store(addr + 2 * i, 2, value & 0xFFFF)
+
+    def read_i16(self, addr: int, count: int) -> list:
+        return [to_signed(self.load(addr + 2 * i, 2), 16) for i in range(count)]
+
+    def write_i8(self, addr: int, values: Iterable[int]) -> None:
+        for i, value in enumerate(values):
+            self.store(addr + i, 1, value & 0xFF)
+
+    def read_i8(self, addr: int, count: int) -> list:
+        return [to_signed(self.load(addr + i, 1), 8) for i in range(count)]
+
+    def fill(self, addr: int, length: int, byte: int = 0) -> None:
+        offset = self._offset(addr, length)
+        self._data[offset:offset + length] = bytes([byte & 0xFF]) * length
+
+    def __repr__(self) -> str:
+        return f"Memory({self.name}, {self.size} B @ {self.base:#010x})"

@@ -1,0 +1,193 @@
+"""Text assembler: syntax, pseudo-instructions, error reporting."""
+
+import pytest
+
+from repro.asm import Assembler, assemble
+from repro.errors import AsmError, LinkError
+
+
+class TestBasicSyntax:
+    def test_simple_program(self):
+        program = assemble("addi a0, zero, 1\nebreak")
+        assert len(program) == 2
+        assert program.instructions[0].mnemonic == "addi"
+
+    def test_comments_stripped(self):
+        program = assemble("addi a0, zero, 1  # comment\n// line\nebreak")
+        assert len(program) == 2
+
+    def test_semicolon_comment(self):
+        program = assemble("addi a0, zero, 1 ; note\nebreak")
+        assert len(program) == 2
+
+    def test_hex_immediates(self):
+        program = assemble("addi a0, zero, 0x7f\nebreak")
+        assert program.instructions[0].imm == 127
+
+    def test_negative_immediates(self):
+        program = assemble("addi a0, zero, -42\nebreak")
+        assert program.instructions[0].imm == -42
+
+    def test_memory_operand(self):
+        program = assemble("lw a0, 8(sp)\nebreak")
+        ins = program.instructions[0]
+        assert ins.rs1 == 2 and ins.imm == 8
+
+    def test_label_on_same_line(self):
+        program = assemble("start: addi a0, zero, 1\nebreak")
+        assert program.labels["start"] == 0
+
+    def test_directives_ignored(self):
+        program = assemble(".text\n.globl main\nmain:\nebreak")
+        assert len(program) == 1
+
+    def test_unknown_directive_raises(self):
+        with pytest.raises(AsmError):
+            assemble(".weird 1")
+
+    def test_empty_source(self):
+        program = assemble("")
+        assert len(program) == 0
+
+
+class TestPulpSyntax:
+    def test_post_increment_load(self):
+        program = assemble("p.lw a0, 4(a1!)\nebreak")
+        assert program.instructions[0].mnemonic == "p.lw"
+
+    def test_register_offset_load_selected(self):
+        program = assemble("p.lw a0, t0(a1)\nebreak")
+        assert program.instructions[0].mnemonic == "p.lwrr"
+
+    def test_register_postinc_load_selected(self):
+        program = assemble("p.lw a0, t0(a1!)\nebreak")
+        assert program.instructions[0].mnemonic == "p.lwrrpost"
+
+    def test_wrong_bang_raises(self):
+        with pytest.raises(AsmError):
+            assemble("p.lw a0, 4(a1)\nebreak")  # imm form requires '!'
+
+    def test_hwloop_operands(self):
+        program = assemble("lp.setupi 0, 5, end\nnop\nend:\nebreak")
+        ins = program.instructions[0]
+        assert ins.rd == 0 and ins.rs1 == 5
+
+    def test_bad_loop_level(self):
+        with pytest.raises(AsmError):
+            assemble("lp.setupi 2, 5, end\nnop\nend:\nebreak")
+
+    def test_bitfield_operands(self):
+        program = assemble("p.extract a0, a1, 4, 8\nebreak")
+        assert program.instructions[0].imm == 4 | (7 << 5)
+
+    def test_simd_sci(self):
+        program = assemble("pv.add.sci.b a0, a1, -3\nebreak")
+        assert program.instructions[0].imm == -3
+
+
+class TestPseudoInstructions:
+    def test_nop(self):
+        program = assemble("nop\nebreak")
+        assert program.instructions[0].mnemonic == "addi"
+
+    def test_li_small(self):
+        program = assemble("li a0, 100\nebreak")
+        assert len(program) == 2
+
+    def test_li_large_expands(self):
+        program = assemble("li a0, 0x12345678\nebreak")
+        assert [i.mnemonic for i in program.instructions[:2]] == ["lui", "addi"]
+
+    def test_li_rounds_correctly(self, cpu):
+        from tests.conftest import run_asm
+
+        for value in (0x12345678, 0xFFFFFFFF, 0x800, 0xFFFFF800, 0x7FFFFFFF):
+            run_asm(cpu, f"li a0, {value}\nebreak")
+            assert cpu.regs[10] == value, hex(value)
+
+    def test_mv_not_neg(self, cpu):
+        from tests.conftest import run_asm
+
+        run_asm(cpu, "mv a0, a1\nnot a2, a1\nneg a3, a1\nebreak", a1=5)
+        assert cpu.regs[10] == 5
+        assert cpu.regs[12] == 0xFFFFFFFA
+        assert cpu.regs[13] == 0xFFFFFFFB
+
+    def test_branch_pseudos(self, cpu):
+        from tests.conftest import run_asm
+
+        src = """
+            bgt a1, a2, big
+            addi a0, zero, 1
+            ebreak
+        big:
+            addi a0, zero, 2
+            ebreak
+        """
+        run_asm(cpu, src, a1=5, a2=3)
+        assert cpu.regs[10] == 2
+
+    def test_ret(self):
+        program = assemble("ret")
+        ins = program.instructions[0]
+        assert ins.mnemonic == "jalr" and ins.rs1 == 1 and ins.rd == 0
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AsmError, match="line 1"):
+            assemble("frobnicate a0")
+
+    def test_unknown_register(self):
+        with pytest.raises(AsmError):
+            assemble("addi q0, zero, 1")
+
+    def test_missing_operand(self):
+        with pytest.raises(AsmError):
+            assemble("addi a0, zero")
+
+    def test_extra_operand(self):
+        with pytest.raises(AsmError):
+            assemble("addi a0, zero, 1, 2")
+
+    def test_undefined_label(self):
+        with pytest.raises(LinkError):
+            assemble("j nowhere")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AsmError):
+            assemble("x:\nnop\nx:\nnop")
+
+    def test_isa_gating(self):
+        with pytest.raises(AsmError):
+            assemble("pv.qnt.n a0, a1, a2", isa="ri5cy")
+
+    def test_immediate_out_of_range(self):
+        with pytest.raises(LinkError):
+            assemble("addi a0, zero, 5000")
+
+
+class TestLinking:
+    def test_base_address(self):
+        program = assemble("nop\nebreak", base=0x100)
+        assert program.instructions[0].addr == 0x100
+        assert program.base == 0x100
+
+    def test_entry_label(self):
+        program = assemble("nop\nmain:\nebreak", entry_label="main")
+        assert program.entry == 4
+
+    def test_forward_and_backward_labels(self):
+        src = """
+        top:
+            j bottom
+        bottom:
+            j top
+        """
+        program = assemble(src)
+        assert program.instructions[0].imm == 4
+        assert program.instructions[1].imm == -4
+
+    def test_end_label_after_last_instruction(self):
+        program = assemble("lp.setupi 0, 2, end\nnop\nend:")
+        assert program.labels["end"] == 8

@@ -1,0 +1,167 @@
+"""KernelBuilder DSL tests."""
+
+import pytest
+
+from repro.asm import KernelBuilder
+from repro.core import Cpu
+from repro.errors import AsmError
+
+
+def _run(builder, **regs):
+    cpu = Cpu(isa=builder.isa.name)
+    program = builder.build()
+    cpu.load_program(program)
+    for name, value in regs.items():
+        from repro.isa.registers import parse_register
+
+        cpu.regs[parse_register(name)] = value
+    cpu.run()
+    return cpu
+
+
+class TestEmit:
+    def test_basic_emit(self):
+        b = KernelBuilder()
+        b.emit("addi", "a0", "zero", 5)
+        b.ebreak()
+        assert _run(b).regs[10] == 5
+
+    def test_register_by_index(self):
+        b = KernelBuilder()
+        b.emit("addi", 10, 0, 3)
+        b.ebreak()
+        assert _run(b).regs[10] == 3
+
+    def test_memory_operand_flattened(self):
+        b = KernelBuilder()
+        b.emit("lw", "a0", 4, "a1")
+        b.ebreak()
+        cpu = Cpu()
+        cpu.mem.store(0x104, 4, 42)
+        program = b.build()
+        cpu.load_program(program)
+        cpu.regs[11] = 0x100
+        cpu.run()
+        assert cpu.regs[10] == 42
+
+    def test_post_increment_flag(self):
+        b = KernelBuilder()
+        b.emit("p.lw", "a0", 4, "a1", inc=True)
+        b.ebreak()
+        cpu = _run_with_mem(b)
+        assert cpu.regs[11] == 0x104
+
+    def test_bitfield_pair(self):
+        b = KernelBuilder()
+        b.emit("p.extractu", "a0", "a1", 8, 4)
+        b.ebreak()
+        cpu = _run(b, a1=0xABCD)
+        assert cpu.regs[10] == 0xB  # bits [11:8]
+
+    def test_missing_operand_raises(self):
+        b = KernelBuilder()
+        with pytest.raises(AsmError):
+            b.emit("addi", "a0", "zero")
+
+    def test_extra_operand_raises(self):
+        b = KernelBuilder()
+        with pytest.raises(AsmError):
+            b.emit("addi", "a0", "zero", 1, 2)
+
+    def test_unknown_mnemonic_raises(self):
+        b = KernelBuilder()
+        with pytest.raises(Exception):
+            b.emit("bogus", "a0")
+
+
+def _run_with_mem(builder):
+    cpu = Cpu()
+    program = builder.build()
+    cpu.load_program(program)
+    cpu.regs[11] = 0x100
+    cpu.run()
+    return cpu
+
+
+class TestHelpers:
+    def test_li_values(self):
+        for value in (0, 1, -1, 2047, -2048, 2048, 0x12345678, 0x80000000,
+                      0xFFFFF7FF, 0x7FFFFFFF):
+            b = KernelBuilder()
+            b.li("a0", value)
+            b.ebreak()
+            assert _run(b).regs[10] == value & 0xFFFFFFFF, hex(value)
+
+    def test_mv_nop(self):
+        b = KernelBuilder()
+        b.mv("a0", "a1")
+        b.nop()
+        b.ebreak()
+        assert _run(b, a1=9).regs[10] == 9
+
+    def test_branch_helpers(self):
+        b = KernelBuilder()
+        b.beqz("a1", "zero_case")
+        b.li("a0", 1)
+        b.ebreak()
+        b.label("zero_case")
+        b.li("a0", 2)
+        b.ebreak()
+        assert _run(b, a1=0).regs[10] == 2
+        assert _run(b, a1=5).regs[10] == 1
+
+    def test_fresh_labels_unique(self):
+        b = KernelBuilder()
+        assert b.fresh_label() != b.fresh_label()
+
+
+class TestHardwareLoopContext:
+    def test_loop_with_register_count(self):
+        b = KernelBuilder()
+        b.li("t0", 6)
+        b.li("a0", 0)
+        with b.hardware_loop(0, "t0"):
+            b.emit("addi", "a0", "a0", 2)
+        b.ebreak()
+        assert _run(b).regs[10] == 12
+
+    def test_loop_with_immediate_count(self):
+        b = KernelBuilder()
+        b.li("a0", 0)
+        with b.hardware_loop(0, 4):
+            b.emit("addi", "a0", "a0", 1)
+        b.ebreak()
+        assert _run(b).regs[10] == 4
+
+    def test_nested_loops(self):
+        b = KernelBuilder()
+        b.li("a0", 0)
+        with b.hardware_loop(1, 3):
+            with b.hardware_loop(0, 5):
+                b.emit("addi", "a0", "a0", 1)
+            b.emit("addi", "a0", "a0", 100)
+        b.ebreak()
+        assert _run(b).regs[10] == 3 * 105
+
+    def test_empty_body_raises(self):
+        b = KernelBuilder()
+        with pytest.raises(AsmError):
+            with b.hardware_loop(0, 3):
+                pass
+
+
+class TestLabels:
+    def test_duplicate_label_raises(self):
+        b = KernelBuilder()
+        b.label("x")
+        with pytest.raises(AsmError):
+            b.label("x")
+
+    def test_entry_label(self):
+        b = KernelBuilder()
+        b.nop()
+        b.label("main")
+        b.li("a0", 1)
+        b.ebreak()
+        program = b.build(entry_label="main")
+        assert program.entry == 4

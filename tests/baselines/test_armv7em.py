@@ -1,0 +1,83 @@
+"""Cortex-M4/M7 CMSIS-NN cost model tests."""
+
+import pytest
+
+from repro.baselines import CORES, STM32H743, STM32L476, CmsisConvModel, conv_cycles
+from repro.errors import ModelError
+from repro.qnn import PAPER_LAYER, ConvGeometry
+from tests.conftest import TINY_GEOMETRY
+
+
+class TestCores:
+    def test_operating_points(self):
+        assert STM32L476.freq_hz == 80e6
+        assert STM32H743.freq_hz == 400e6
+        assert STM32H743.power_w > STM32L476.power_w
+
+    def test_m7_faster_per_cycle(self):
+        assert STM32H743.alu < STM32L476.alu
+        assert STM32H743.load < STM32L476.load
+
+    def test_cycles_for_mix(self):
+        mix = {"alu": 10, "load": 5}
+        assert STM32L476.cycles_for_mix(mix) == 10 + 10
+
+    def test_unknown_class_raises(self):
+        with pytest.raises(ModelError):
+            STM32L476.cycles_for_mix({"teleport": 1})
+
+
+class TestConvModel:
+    def test_macs_per_cycle_plausible_8bit(self):
+        """CMSIS-NN 8-bit conv on M4 runs at roughly 0.4-0.7 MAC/cycle."""
+        model = CmsisConvModel(PAPER_LAYER, 8)
+        assert 0.3 <= model.macs_per_cycle(STM32L476) <= 0.8
+
+    def test_subbyte_slower_than_8bit(self):
+        """Unpacking makes sub-byte kernels *slower* despite less data —
+        the paper's core motivation (§I)."""
+        for core in CORES.values():
+            c8 = CmsisConvModel(PAPER_LAYER, 8).cycles(core)
+            c4 = CmsisConvModel(PAPER_LAYER, 4).cycles(core)
+            c2 = CmsisConvModel(PAPER_LAYER, 2).cycles(core)
+            assert c4 > c8
+            assert c2 > c8
+
+    def test_m7_fewer_cycles_than_m4(self):
+        for bits in (8, 4, 2):
+            model = CmsisConvModel(PAPER_LAYER, bits)
+            assert model.cycles(STM32H743) < model.cycles(STM32L476)
+
+    def test_cycles_scale_with_geometry(self):
+        small = CmsisConvModel(TINY_GEOMETRY, 8).cycles(STM32L476)
+        large = CmsisConvModel(PAPER_LAYER, 8).cycles(STM32L476)
+        assert large / small == pytest.approx(
+            PAPER_LAYER.macs / TINY_GEOMETRY.macs, rel=0.3
+        )
+
+    def test_efficiency_orders_of_magnitude_below_xpulpnn(self):
+        """Fig 9 shape: low single-digit GMAC/s/W at best."""
+        for bits in (8, 4, 2):
+            model = CmsisConvModel(PAPER_LAYER, bits)
+            assert model.gmacs_per_watt(STM32L476) < 10
+            assert model.gmacs_per_watt(STM32H743) < 5
+
+    def test_l4_more_efficient_than_h7(self):
+        """The low-power L4 wins on efficiency, the H7 on speed (paper
+        Fig 9 vs Fig 8)."""
+        model = CmsisConvModel(PAPER_LAYER, 2)
+        assert model.gmacs_per_watt(STM32L476) > model.gmacs_per_watt(STM32H743)
+        assert model.runtime_s(STM32H743) < model.runtime_s(STM32L476)
+
+    def test_mix_is_positive(self):
+        mix = CmsisConvModel(PAPER_LAYER, 4).total_mix()
+        assert all(v > 0 for v in mix.values())
+        assert mix["mac"] == PAPER_LAYER.macs / 2  # SMLAD = 2 MACs
+
+    def test_bad_bits(self):
+        with pytest.raises(ModelError):
+            CmsisConvModel(PAPER_LAYER, 3)
+
+    def test_convenience_wrapper(self):
+        assert conv_cycles("STM32L4", TINY_GEOMETRY, 8) == \
+            CmsisConvModel(TINY_GEOMETRY, 8).cycles(STM32L476)

@@ -1,0 +1,302 @@
+"""Functional Thumb-2 machine and the CMSIS MatMul validation kernel."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CmsisConvModel,
+    CmsisMatmulKernel,
+    STM32H743,
+    STM32L476,
+    Thumb2Builder,
+    Thumb2Machine,
+)
+from repro.errors import KernelError, SimError
+from repro.qnn import ConvGeometry
+
+
+def run_ops(ops, regs=None, core=STM32L476):
+    b = Thumb2Builder()
+    for op in ops:
+        b.emit(*op)
+    machine = Thumb2Machine(core=core)
+    for index, value in (regs or {}).items():
+        machine.regs[index] = value & 0xFFFFFFFF
+    machine.run(b)
+    return machine
+
+
+class TestDataProcessing:
+    def test_mov_add_sub(self):
+        m = run_ops([("mov", "r0", 5), ("add", "r0", "r0", 3),
+                     ("sub", "r1", "r0", 10)])
+        assert m.regs[0] == 8
+        assert m.regs[1] == 0xFFFFFFFE
+
+    def test_flags_from_subs(self):
+        m = run_ops([("mov", "r0", 5), ("subs", "r0", "r0", 5)])
+        assert m.z and not m.n
+        m = run_ops([("mov", "r0", 3), ("subs", "r0", "r0", 5)])
+        assert m.n and not m.z
+
+    def test_shifts(self):
+        m = run_ops([("mov", "r0", 0x80000000), ("lsr", "r1", "r0", 4),
+                     ("asr", "r2", "r0", 4), ("lsl", "r3", "r0", 1)])
+        assert m.regs[1] == 0x08000000
+        assert m.regs[2] == 0xF8000000
+        assert m.regs[3] == 0
+
+    def test_logic(self):
+        m = run_ops([("mov", "r0", 0b1100), ("mov", "r1", 0b1010),
+                     ("and", "r2", "r0", "r1"), ("orr", "r3", "r0", "r1"),
+                     ("eor", "r4", "r0", "r1"), ("bic", "r5", "r0", "r1")])
+        assert (m.regs[2], m.regs[3], m.regs[4], m.regs[5]) == (8, 14, 6, 4)
+
+    def test_usat(self):
+        m = run_ops([("mov", "r0", 300), ("usat", "r1", 8, "r0"),
+                     ("mov", "r2", -5 & 0xFFFFFFFF), ("usat", "r3", 8, "r2")])
+        assert m.regs[1] == 255
+        assert m.regs[3] == 0
+
+
+class TestDspOps:
+    def test_smlad_dual_mac(self):
+        # rn = (3, -2), rm = (10, 5), ra = 100 -> 100 + 30 - 10 = 120
+        rn = (0xFFFE << 16) | 3
+        rm = (5 << 16) | 10
+        m = run_ops([("smlad", "r0", "r1", "r2", "r3")],
+                    regs={1: rn, 2: rm, 3: 100})
+        assert m.regs[0] == 120
+
+    def test_smuad(self):
+        rn = (2 << 16) | 3
+        rm = (4 << 16) | 5
+        m = run_ops([("smuad", "r0", "r1", "r2")], regs={1: rn, 2: rm})
+        assert m.regs[0] == 3 * 5 + 2 * 4
+
+    def test_sxtb16(self):
+        m = run_ops([("sxtb16", "r0", "r1")], regs={1: 0x1280FE7F})
+        # bytes 0 and 2: 0x7F and 0x80 -> 0x007F and 0xFF80
+        assert m.regs[0] == 0xFF80_007F
+
+    def test_sxtb16_ror8(self):
+        m = run_ops([("sxtb16", "r0", "r1", 8)], regs={1: 0x1280FE7F})
+        # bytes 1 and 3: 0xFE and 0x12
+        assert m.regs[0] == 0x0012_FFFE
+
+    def test_uxtb16(self):
+        m = run_ops([("uxtb16", "r0", "r1")], regs={1: 0x1280FE7F})
+        # bytes 0 and 2 zero-extended: 0x7F and 0x80
+        assert m.regs[0] == 0x0080_007F
+
+    def test_pkhbt_pkhtb(self):
+        m = run_ops([("pkhbt", "r0", "r1", "r2", 16),
+                     ("pkhtb", "r3", "r1", "r2", 16)],
+                    regs={1: 0xAAAA_BBBB, 2: 0xCCCC_DDDD})
+        assert m.regs[0] == 0xDDDD_BBBB
+        assert m.regs[3] == 0xAAAA_CCCC
+
+
+class TestMemoryAndControl:
+    def test_ldr_str_postindex(self):
+        b = Thumb2Builder()
+        b.emit("mov", "r0", 0x100)
+        b.emit("mov", "r1", 42)
+        b.emit("str", "r1", "r0", 4, True)
+        b.emit("mov", "r2", 0x100)
+        b.emit("ldr", "r3", "r2", 0)
+        machine = Thumb2Machine()
+        machine.run(b)
+        assert machine.regs[3] == 42
+        assert machine.regs[0] == 0x104
+
+    def test_signed_loads(self):
+        machine = Thumb2Machine()
+        machine.mem.store(0x100, 2, 0x8001)
+        b = Thumb2Builder()
+        b.emit("mov", "r0", 0x100)
+        b.emit("ldrsh", "r1", "r0", 0)
+        b.emit("ldrh", "r2", "r0", 0)
+        machine.run(b)
+        assert machine.regs[1] == 0xFFFF8001
+        assert machine.regs[2] == 0x8001
+
+    def test_count_down_loop(self):
+        b = Thumb2Builder()
+        b.emit("mov", "r0", 0)
+        b.emit("mov", "r1", 5)
+        b.label("loop")
+        b.emit("add", "r0", "r0", 2)
+        b.emit("subs", "r1", "r1", 1)
+        b.branch("ne", "loop")
+        machine = Thumb2Machine()
+        machine.run(b)
+        assert machine.regs[0] == 10
+
+    def test_branch_cycle_costs(self):
+        b = Thumb2Builder()
+        b.emit("mov", "r0", 2)
+        b.label("loop")
+        b.emit("subs", "r0", "r0", 1)
+        b.branch("ne", "loop")
+        machine = Thumb2Machine(core=STM32L476)
+        perf = machine.run(b)
+        # 1 mov + 2 subs + 1 taken (3) + 1 not-taken (1)
+        assert perf.cycles == 1 + 2 + 3 + 1
+
+    def test_runaway_guard(self):
+        b = Thumb2Builder()
+        b.label("forever")
+        b.branch("al", "forever")
+        with pytest.raises(SimError):
+            Thumb2Machine().run(b, max_instructions=100)
+
+    def test_unimplemented_raises(self):
+        b = Thumb2Builder()
+        b.emit("vfma.f32", "r0", "r1", "r2")
+        with pytest.raises(SimError):
+            Thumb2Machine().run(b)
+
+
+class TestCmsisMatmulKernel:
+    @pytest.fixture(scope="class")
+    def case(self):
+        rng = np.random.default_rng(9)
+        K, CO = 64, 8
+        w = rng.integers(-128, 128, (CO, K)).astype(np.int32)
+        x0 = rng.integers(0, 256, K).astype(np.int32)
+        x1 = rng.integers(0, 256, K).astype(np.int32)
+        return K, CO, w, x0, x1
+
+    def test_functional_vs_golden(self, case):
+        K, CO, w, x0, x1 = case
+        result = CmsisMatmulKernel(K, CO).run(w, x0, x1)
+        expected = np.stack([x0.astype(np.int64) @ w.T,
+                             x1.astype(np.int64) @ w.T])
+        assert np.array_equal(result.output, expected)
+
+    def test_cost_model_validated_m4(self, case):
+        """The analytic matmul phase must agree with the executing kernel
+        within 10 % — the cost model's key calibration check."""
+        K, CO, w, x0, x1 = case
+        result = CmsisMatmulKernel(K, CO).run(w, x0, x1, core=STM32L476)
+        g = ConvGeometry(8, 8, 32, 16, 3, 3, 1, 1)
+        model = CmsisConvModel(g, 8)
+        model_cpm = STM32L476.cycles_for_mix(model.matmul_mix()) / g.macs
+        measured_cpm = result.cycles / (K * CO * 2)
+        assert measured_cpm == pytest.approx(model_cpm, rel=0.10)
+
+    def test_cost_model_validated_m7(self, case):
+        K, CO, w, x0, x1 = case
+        result = CmsisMatmulKernel(K, CO).run(w, x0, x1, core=STM32H743)
+        g = ConvGeometry(8, 8, 32, 16, 3, 3, 1, 1)
+        model = CmsisConvModel(g, 8)
+        model_cpm = STM32H743.cycles_for_mix(model.matmul_mix()) / g.macs
+        measured_cpm = result.cycles / (K * CO * 2)
+        assert measured_cpm == pytest.approx(model_cpm, rel=0.10)
+
+    def test_m7_faster_than_m4(self, case):
+        K, CO, w, x0, x1 = case
+        kern = CmsisMatmulKernel(K, CO)
+        m4 = kern.run(w, x0, x1, core=STM32L476).cycles
+        m7 = kern.run(w, x0, x1, core=STM32H743).cycles
+        assert m7 < m4
+
+    def test_much_slower_than_xpulpnn(self, case):
+        """Cross-stack check: the ARM q7 MatMul needs several times the
+        cycles of the RISC-V 8-bit kernel (Fig 8's 8-bit column)."""
+        from repro.kernels import MatmulConfig, MatmulKernel
+
+        K, CO, w, x0, x1 = case
+        arm = CmsisMatmulKernel(K, CO).run(w, x0, x1, core=STM32L476)
+        riscv = MatmulKernel(MatmulConfig(reduction=K, out_ch=CO, bits=8,
+                                          quant="none")).run(w, x0, x1)
+        assert arm.cycles > 2.0 * riscv.cycles
+
+    def test_validation(self):
+        with pytest.raises(KernelError):
+            CmsisMatmulKernel(65, 8)
+        with pytest.raises(KernelError):
+            CmsisMatmulKernel(64, 7)
+
+
+class TestCmsisSubbyteKernel:
+    """Extended-CMSIS-NN int4/int2 kernels: functional + the paper's
+    key qualitative claim that quantization does NOT speed up ARM MCUs."""
+
+    @pytest.fixture(scope="class")
+    def case(self):
+        rng = np.random.default_rng(10)
+        K, CO = 64, 8
+        x0 = rng.integers(0, 256, K).astype(np.int32)
+        x1 = rng.integers(0, 256, K).astype(np.int32)
+        return K, CO, rng, x0, x1
+
+    @pytest.mark.parametrize("bits", [4, 2])
+    def test_functional_vs_golden(self, case, bits):
+        from repro.baselines.cmsis_kernels import CmsisSubbyteMatmulKernel
+
+        K, CO, rng, x0, x1 = case
+        lo = -(1 << (bits - 1))
+        w = rng.integers(lo, 1 << (bits - 1), (CO, K)).astype(np.int32)
+        result = CmsisSubbyteMatmulKernel(K, CO, bits).run(w, x0, x1)
+        expected = np.stack([x0.astype(np.int64) @ w.T,
+                             x1.astype(np.int64) @ w.T])
+        assert np.array_equal(result.output, expected)
+
+    @pytest.mark.parametrize("bits", [4, 2])
+    def test_subbyte_slower_than_8bit_per_mac(self, case, bits):
+        """§I of the paper: without ISA support, quantization saves memory
+        but costs time.  The widening amortizes over one pixel pair here
+        (the memory-preserving configuration of ref [12])."""
+        from repro.baselines.cmsis_kernels import (
+            CmsisMatmulKernel,
+            CmsisSubbyteMatmulKernel,
+        )
+
+        K, CO, rng, x0, x1 = case
+        lo = -(1 << (bits - 1))
+        w = rng.integers(lo, 1 << (bits - 1), (CO, K)).astype(np.int32)
+        w8 = rng.integers(-128, 128, (CO, K)).astype(np.int32)
+        sub = CmsisSubbyteMatmulKernel(K, CO, bits).run(w, x0, x1)
+        ref = CmsisMatmulKernel(K, CO).run(w8, x0, x1)
+        assert sub.cycles > 1.5 * ref.cycles
+
+    def test_riscv_subbyte_goes_the_other_way(self, case):
+        """The same comparison on the extended RISC-V core flips: 4-bit is
+        FASTER than 8-bit — the whole point of XpulpNN."""
+        from repro.kernels import MatmulConfig, MatmulKernel
+
+        K, CO, rng, x0, x1 = case
+        w4 = rng.integers(-8, 8, (CO, K)).astype(np.int32)
+        w8 = rng.integers(-128, 128, (CO, K)).astype(np.int32)
+        x0s = rng.integers(0, 16, K).astype(np.int32)
+        x1s = rng.integers(0, 16, K).astype(np.int32)
+        r4 = MatmulKernel(MatmulConfig(reduction=K, out_ch=CO, bits=4,
+                                       quant="none")).run(w4, x0s, x1s)
+        r8 = MatmulKernel(MatmulConfig(reduction=K, out_ch=CO, bits=8,
+                                       quant="none")).run(w8, x0s, x1s)
+        assert r4.cycles < r8.cycles
+
+    def test_cost_model_same_order(self, case):
+        """The analytic sub-byte cost stays within 2x of the executing
+        kernel (the micro kernel widens per pixel pair; the model's
+        amortization matches the layer-level accounting)."""
+        from repro.baselines.cmsis_kernels import CmsisSubbyteMatmulKernel
+
+        K, CO, rng, x0, x1 = case
+        w = rng.integers(-8, 8, (CO, K)).astype(np.int32)
+        measured = CmsisSubbyteMatmulKernel(K, CO, 4).run(w, x0, x1)
+        measured_cpm = measured.cycles / (K * CO * 2)
+        model = CmsisConvModel(ConvGeometry(8, 8, 32, 16, 3, 3, 1, 1), 4)
+        mix = model.matmul_mix()
+        model_cpm = STM32L476.cycles_for_mix(mix) / model.geometry.macs
+        assert 0.5 < measured_cpm / model_cpm < 2.0
+
+    def test_validation(self):
+        from repro.baselines.cmsis_kernels import CmsisSubbyteMatmulKernel
+
+        with pytest.raises(KernelError):
+            CmsisSubbyteMatmulKernel(60, 8, 4)
+        with pytest.raises(KernelError):
+            CmsisSubbyteMatmulKernel(64, 8, 8)

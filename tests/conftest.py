@@ -1,0 +1,48 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.core import Cpu
+from repro.qnn import ConvGeometry
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0xDA7E)
+
+
+@pytest.fixture
+def cpu():
+    """Extended-core CPU with a fresh flat memory."""
+    return Cpu(isa="xpulpnn")
+
+
+@pytest.fixture
+def baseline_cpu():
+    return Cpu(isa="ri5cy")
+
+
+#: Small geometry satisfying every kernel's packing constraints at all of
+#: 8/4/2-bit (even out_w, out_ch % 4 == 0, segments fill words).
+TINY_GEOMETRY = ConvGeometry(in_h=6, in_w=6, in_ch=16, out_ch=8,
+                             kh=3, kw=3, stride=1, pad=1)
+
+
+@pytest.fixture
+def tiny_geometry():
+    return TINY_GEOMETRY
+
+
+def run_asm(cpu, source, **regs):
+    """Assemble *source* for the CPU's ISA, preload registers, run."""
+    from repro.asm import assemble
+    from repro.isa.registers import parse_register
+
+    program = assemble(source, isa=cpu.isa)
+    cpu.reset()
+    cpu.load_program(program)
+    for name, value in regs.items():
+        cpu.regs[parse_register(name)] = value & 0xFFFFFFFF
+    cpu.run()
+    return cpu

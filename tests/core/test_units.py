@@ -1,0 +1,83 @@
+"""Microarchitectural unit models: extended dotp unit, quantization FSM."""
+
+import numpy as np
+import pytest
+
+from repro.core.units import DotpUnit, QuantUnit
+from repro.errors import ModelError
+from repro.isa.bits import join_lanes
+from repro.isa.simd import simd_dotp
+from repro.qnn import random_threshold_table, sorted_to_heap
+
+
+class TestDotpUnit:
+    def test_region_multiplier_counts(self):
+        unit = DotpUnit()
+        assert unit.multipliers_in(16) == 2
+        assert unit.multipliers_in(8) == 4
+        assert unit.multipliers_in(4) == 8
+        assert unit.multipliers_in(2) == 16
+
+    def test_unknown_region_raises(self):
+        unit = DotpUnit(regions=(16, 8))
+        with pytest.raises(ModelError):
+            unit.dotp(4, 0, 0, True, True)
+
+    @pytest.mark.parametrize("width", [16, 8, 4, 2])
+    def test_dotp_matches_isa_semantics(self, width):
+        unit = DotpUnit()
+        a, b = 0x12345678, 0x9ABCDEF0
+        result = unit.dotp(width, a, b, a_signed=False, b_signed=True, acc=77)
+        assert result.value == simd_dotp(a, b, width, False, True, acc=77)
+        assert result.latency == 1  # single cycle by design (paper §III-B1)
+
+    def test_clock_gating_isolates_regions(self):
+        gated = DotpUnit(input_registers=True)
+        gated.dotp(4, 1, 1, True, True)
+        assert gated.toggles == {16: 0, 8: 0, 4: 1, 2: 0}
+
+    def test_no_gating_toggles_all_regions(self):
+        free = DotpUnit(input_registers=False)
+        free.dotp(4, 1, 1, True, True)
+        assert all(count == 1 for count in free.toggles.values())
+
+
+class TestQuantUnit:
+    def test_pipelined_latencies_match_paper(self):
+        unit = QuantUnit(pipelined=True)
+        assert unit.latency(4) == 9  # two 4-bit activations
+        assert unit.latency(2) == 5  # two 2-bit activations
+        assert unit.activations_per_invocation() == 2
+
+    def test_combinatorial_latencies(self):
+        unit = QuantUnit(pipelined=False)
+        assert unit.latency(4) == 5
+        assert unit.latency(2) == 3
+        assert unit.activations_per_invocation() == 1
+
+    def test_combinatorial_critical_path_penalty(self):
+        assert QuantUnit.COMBINATORIAL_CRITICAL_PATH_FACTOR == pytest.approx(1.9)
+
+    def test_quantize_pair_matches_table(self):
+        table = random_threshold_table(2, 4, rng=np.random.default_rng(3))
+        image = {}
+        for ch in range(2):
+            heap = sorted_to_heap(table.thresholds[ch])
+            for i, v in enumerate(heap):
+                image[32 * ch + 2 * i] = int(v)
+        unit = QuantUnit()
+        result = unit.quantize_pair(lambda a: image[a], 0, 32, -500, 1200, 4)
+        expected = table.quantize(np.array([[-500, 1200]]))[0]
+        assert result.codes == (expected[0], expected[1])
+        assert result.memory_reads == 8
+
+    def test_quantize_single_requires_combinatorial(self):
+        unit = QuantUnit(pipelined=True)
+        with pytest.raises(ModelError):
+            unit.quantize_single(lambda a: 0, 0, 0, 4)
+
+    def test_address_update_bits(self):
+        """Paper: only 6 bits are needed for the in-tree address update."""
+        unit = QuantUnit()
+        assert unit.address_update_bits(4) <= 6
+        assert unit.address_update_bits(2) <= 6

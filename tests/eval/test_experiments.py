@@ -1,0 +1,160 @@
+"""Experiment harnesses, run on the tiny geometry for speed.
+
+These check that every figure/table module runs end-to-end and that the
+reproduced relationships have the paper's *shape* (the full-scale numbers
+live in the benchmark harness / EXPERIMENTS.md).
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval import conv_suite, fig6, fig7, fig8, fig9, table1, table3
+from tests.conftest import TINY_GEOMETRY
+
+G = TINY_GEOMETRY
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return conv_suite(G)
+
+
+class TestConvSuite:
+    def test_all_points_verified(self, suite):
+        assert all(point.verified for point in suite.values())
+
+    def test_expected_matrix(self, suite):
+        assert (8, "xpulpnn", "shift") in suite
+        assert (8, "ri5cy", "shift") in suite
+        assert (4, "ri5cy", "sw") in suite
+        assert (2, "xpulpnn", "hw") in suite
+
+    def test_cached_across_calls(self, suite):
+        again = conv_suite(G)
+        assert again[(4, "xpulpnn", "hw")] is suite[(4, "xpulpnn", "hw")]
+
+
+class TestFig6:
+    def test_runs_and_renders(self):
+        result = fig6.run(G)
+        text = fig6.render(result)
+        assert "pv.qnt" in text and "quant share" in text
+
+    def test_hw_quant_speedup_positive(self):
+        result = fig6.run(G)
+        assert result.speedup_hw_quant[4] > 1.05
+        assert result.speedup_hw_quant[2] > 1.05
+
+    def test_quant_share_ordering(self):
+        result = fig6.run(G)
+        assert result.quant_share[(4, "hw")] < result.quant_share[(4, "sw")]
+        assert result.quant_share[(2, "hw")] < result.quant_share[(2, "sw")]
+
+    def test_subbyte_scaling_toward_linear(self):
+        result = fig6.run(G)
+        assert result.scaling_vs_8bit[(4, "hw")] > 1.4
+        assert result.scaling_vs_8bit[(2, "hw")] > 2.2
+
+
+class TestFig7:
+    def test_gains_shape(self):
+        result = fig7.run(G)
+        assert result.gain[8] == pytest.approx(1.0, abs=0.05)
+        assert 4.0 <= result.gain[4] <= 7.0
+        assert 7.0 <= result.gain[2] <= 12.0
+
+    def test_power_in_milliwatt_band(self):
+        result = fig7.run(G)
+        for power in result.soc_power_mw.values():
+            assert 5.0 <= power <= 7.0
+
+    def test_render(self):
+        assert "GMAC/s/W" in fig7.render(fig7.run(G))
+
+
+class TestFig8:
+    def test_platform_ordering_subbyte(self):
+        result = fig8.run(G)
+        for bits in (4, 2):
+            assert result.cycles[(bits, "xpulpnn")] < result.cycles[(bits, "ri5cy")]
+            assert result.cycles[(bits, "ri5cy")] < result.cycles[(bits, "STM32L4")]
+
+    def test_stm32_order_of_magnitude(self):
+        result = fig8.run(G)
+        for bits in (4, 2):
+            assert result.speedup_vs_stm32[(bits, "STM32L4")] > 5
+
+    def test_8bit_cores_equal(self):
+        result = fig8.run(G)
+        assert result.cycles[(8, "xpulpnn")] == result.cycles[(8, "ri5cy")]
+
+    def test_render(self):
+        assert "cycles" in fig8.render(fig8.run(G))
+
+
+class TestFig9:
+    def test_efficiency_hierarchy(self):
+        result = fig9.run(G)
+        for bits in (4, 2):
+            ext = result.points[(bits, "xpulpnn")].gmacs_per_s_per_w
+            base = result.points[(bits, "ri5cy")].gmacs_per_s_per_w
+            l4 = result.points[(bits, "STM32L4")].gmacs_per_s_per_w
+            h7 = result.points[(bits, "STM32H7")].gmacs_per_s_per_w
+            assert ext > base > l4 > h7
+
+    def test_two_orders_of_magnitude_vs_stm32(self):
+        result = fig9.run(G)
+        assert result.gain_vs_stm32_2bit["STM32L4"] > 50
+        assert result.gain_vs_stm32_2bit["STM32H7"] > 200
+
+    def test_peak_efficiency_band(self):
+        """Paper: 279 GMAC/s/W peak; geometry-dependent band."""
+        result = fig9.run(G)
+        assert 150 <= result.peak_gmacs_w <= 350
+
+    def test_render(self):
+        assert "peak" in fig9.render(fig9.run(G))
+
+
+class TestTable1:
+    def test_this_work_in_paper_band(self):
+        result = table1.run(G)
+        lo_e, hi_e = result.eff_range
+        assert hi_e > 80   # Gop/s/W, paper band 80-550
+        assert hi_e < 700
+
+    def test_render_contains_rows(self):
+        text = table1.render(table1.run(G))
+        assert "ASICs" in text and "This Work" in text
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table3.run(G)
+
+    def test_area_headline(self, result):
+        assert result.area_rows["total"]["Ext_PM_overhead_%"] == pytest.approx(
+            11.1, abs=0.1)
+
+    def test_core_power_overhead_near_paper(self, result):
+        assert result.core_overhead_pm_pct == pytest.approx(5.9, abs=2.0)
+
+    def test_pm_savings_near_paper(self, result):
+        assert result.pm_savings_pct == pytest.approx(13.5, abs=3.0)
+
+    def test_soc_power_points(self, result):
+        assert result.soc_power[("matmul8", "ext-pm")] == pytest.approx(6.04, rel=0.04)
+        assert result.soc_power[("matmul4", "ext-pm")] == pytest.approx(5.71, rel=0.04)
+        assert result.soc_power[("matmul2", "ext-pm")] == pytest.approx(5.87, rel=0.04)
+
+    def test_gp_app_envelope(self, result):
+        """PM keeps the GP mix in the baseline power envelope (paper §IV-A)."""
+        gp_ext = result.soc_power[("gp", "ext-pm")]
+        gp_base = result.soc_power[("gp", "ri5cy")]
+        assert gp_ext == pytest.approx(gp_base, rel=0.05)
+        assert result.soc_power[("gp", "ext-nopm")] > gp_ext + 1.5
+
+    def test_render(self, result):
+        text = table3.render(result)
+        assert "Table III" in text and "paper" in text

@@ -1,0 +1,43 @@
+"""Roofline utilization analysis tests."""
+
+import pytest
+
+from repro.eval import roofline
+from tests.conftest import TINY_GEOMETRY
+
+
+class TestPeaks:
+    def test_unit_peak(self):
+        assert roofline.unit_peak_macs_per_cycle(8) == 4
+        assert roofline.unit_peak_macs_per_cycle(4) == 8
+        assert roofline.unit_peak_macs_per_cycle(2) == 16
+
+    def test_matmul_peak_is_half_unit_peak(self):
+        for bits in (8, 4, 2):
+            assert roofline.matmul_peak_macs_per_cycle(bits, native=True) == \
+                pytest.approx(roofline.unit_peak_macs_per_cycle(bits) / 2)
+
+    def test_baseline_peak_below_one(self):
+        assert roofline.matmul_peak_macs_per_cycle(4, native=False) < 1.0
+        assert roofline.matmul_peak_macs_per_cycle(2, native=False) < 1.0
+
+
+class TestAnalysis:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return roofline.run(TINY_GEOMETRY)
+
+    def test_achieved_below_peak(self, points):
+        for point in points.values():
+            assert point.achieved <= point.matmul_peak
+            assert point.matmul_peak <= point.unit_peak
+
+    def test_utilization_reasonable(self, points):
+        """The generated kernels should reach >50 % of the structural
+        inner-loop peak — a regression guard on code quality."""
+        for point in points.values():
+            assert point.utilization > 0.5, point.name
+
+    def test_render(self, points):
+        text = roofline.render(points)
+        assert "utilization" in text and "unit peak" in text

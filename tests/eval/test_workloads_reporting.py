@@ -1,0 +1,74 @@
+"""Workload helpers and text reporting."""
+
+import os
+
+import pytest
+
+from repro.eval import (
+    SCALED_LAYER,
+    benchmark_geometry,
+    build_gp_app,
+    format_series,
+    format_table,
+    run_gp_app,
+    use_full_layer,
+)
+from repro.qnn import PAPER_LAYER
+
+
+class TestGeometrySelection:
+    def test_default_is_scaled(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        assert not use_full_layer()
+        assert benchmark_geometry() == SCALED_LAYER
+
+    def test_env_enables_full(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert use_full_layer()
+        assert benchmark_geometry() == PAPER_LAYER
+
+    def test_scaled_preserves_shape(self):
+        assert SCALED_LAYER.kh == PAPER_LAYER.kh
+        assert SCALED_LAYER.pad == PAPER_LAYER.pad
+        assert SCALED_LAYER.in_ch == PAPER_LAYER.in_ch
+        # identical packing constraints at 2-bit
+        assert SCALED_LAYER.out_ch % 4 == 0
+
+
+class TestGpApp:
+    def test_runs_on_both_cores(self):
+        for isa in ("xpulpnn", "ri5cy"):
+            perf = run_gp_app(isa=isa, iterations=50)
+            assert perf.instructions > 500
+
+    def test_mix_is_general_purpose(self):
+        perf = run_gp_app(iterations=100)
+        fractions = {cls: count / perf.instructions
+                     for cls, count in perf.by_class.items()}
+        assert 0.35 <= fractions.get("alu", 0) <= 0.65
+        assert 0.10 <= fractions.get("load", 0) <= 0.30
+        assert fractions.get("mul", 0) <= 0.10
+
+    def test_program_is_loopy(self):
+        program = build_gp_app(iterations=10)
+        assert any(ins.spec.timing == "branch" for ins in program)
+
+
+class TestReporting:
+    def test_table_alignment(self):
+        text = format_table(("a", "bbbb"), [(1, 2.5), ("xx", 10000.0)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[1:2])
+
+    def test_table_title(self):
+        assert format_table(("x",), [(1,)], title="T").startswith("T")
+
+    def test_series_bars_scale(self):
+        text = format_series("s", ["a", "b"], [1.0, 10.0])
+        lines = text.splitlines()
+        assert lines[2].count("#") > lines[1].count("#")
+
+    def test_series_handles_zero(self):
+        text = format_series("s", ["a"], [0.0])
+        assert "a" in text

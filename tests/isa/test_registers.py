@@ -1,0 +1,72 @@
+"""Register file and ABI naming tests."""
+
+import pytest
+
+from repro.errors import AsmError
+from repro.isa.registers import (
+    ABI_NAMES,
+    RegisterFile,
+    parse_register,
+    register_name,
+)
+
+
+class TestNames:
+    def test_abi_roundtrip(self):
+        for i, name in enumerate(ABI_NAMES):
+            assert parse_register(name) == i
+            assert register_name(i) == name
+
+    def test_numeric_names(self):
+        assert parse_register("x0") == 0
+        assert parse_register("x31") == 31
+
+    def test_fp_alias(self):
+        assert parse_register("fp") == 8
+        assert parse_register("s0") == 8
+
+    def test_case_insensitive(self):
+        assert parse_register("A0") == 10
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(AsmError):
+            parse_register("q7")
+
+    def test_register_name_out_of_range(self):
+        with pytest.raises(AsmError):
+            register_name(32)
+
+
+class TestRegisterFile:
+    def test_x0_reads_zero(self):
+        regs = RegisterFile()
+        assert regs[0] == 0
+
+    def test_x0_write_ignored(self):
+        regs = RegisterFile()
+        regs[0] = 123
+        assert regs[0] == 0
+
+    def test_write_wraps_32bit(self):
+        regs = RegisterFile()
+        regs[5] = -1
+        assert regs[5] == 0xFFFFFFFF
+        regs[5] = 1 << 33
+        assert regs[5] == 0
+
+    def test_initial_values(self):
+        regs = RegisterFile([9, 1, 2])
+        assert regs[0] == 0  # pinned even if initialized
+        assert regs[1] == 1
+        assert regs[2] == 2
+
+    def test_too_many_initial_values(self):
+        with pytest.raises(ValueError):
+            RegisterFile(range(40))
+
+    def test_snapshot_is_copy(self):
+        regs = RegisterFile()
+        snap = regs.snapshot()
+        regs[3] = 7
+        assert snap[3] == 0
+        assert regs.snapshot()[3] == 7

@@ -1,0 +1,167 @@
+"""RV32C compressed-subset semantics (executed via decode_c programs)."""
+
+import pytest
+
+from repro.asm.program import Program, link
+from repro.isa import rv32c
+from repro.isa.instruction import Instruction
+from repro.errors import DecodeError, EncodingError
+
+
+def _spec(name):
+    for spec in rv32c.SPECS:
+        if spec.mnemonic == name:
+            return spec
+    raise KeyError(name)
+
+
+def _run(cpu, instructions, regs=None):
+    ebreak = Instruction(spec=_spec("c.ebreak"))
+    program = link(list(instructions) + [ebreak], {}, base=0)
+    cpu.reset()
+    cpu.load_program(program)
+    for idx, value in (regs or {}).items():
+        cpu.regs[idx] = value
+    cpu.run()
+    return cpu
+
+
+def C(name, **fields):
+    return Instruction(spec=_spec(name), **fields)
+
+
+class TestCompressedAlu:
+    def test_c_li(self, cpu):
+        _run(cpu, [C("c.li", rd=10, imm=-5)])
+        assert cpu.regs[10] == 0xFFFFFFFB
+
+    def test_c_addi(self, cpu):
+        _run(cpu, [C("c.addi", rd=10, imm=7)], regs={10: 5})
+        assert cpu.regs[10] == 12
+
+    def test_c_lui(self, cpu):
+        _run(cpu, [C("c.lui", rd=10, imm=3)])
+        assert cpu.regs[10] == 0x3000
+
+    def test_c_lui_negative(self, cpu):
+        _run(cpu, [C("c.lui", rd=10, imm=-1)])
+        assert cpu.regs[10] == 0xFFFFF000
+
+    def test_c_mv_add(self, cpu):
+        _run(cpu, [C("c.mv", rd=10, rs2=11), C("c.add", rd=10, rs2=11)],
+             regs={11: 21})
+        assert cpu.regs[10] == 42
+
+    def test_c_logic(self, cpu):
+        _run(cpu, [C("c.and", rd=8, rs2=9), C("c.or", rd=10, rs2=9)],
+             regs={8: 0b1100, 9: 0b1010, 10: 0b0100})
+        assert cpu.regs[8] == 0b1000
+        assert cpu.regs[10] == 0b1110
+
+    def test_c_sub_xor(self, cpu):
+        _run(cpu, [C("c.sub", rd=8, rs2=9), C("c.xor", rd=10, rs2=9)],
+             regs={8: 10, 9: 4, 10: 0xFF})
+        assert cpu.regs[8] == 6
+        assert cpu.regs[10] == 0xFB
+
+    def test_c_shifts(self, cpu):
+        _run(cpu, [C("c.slli", rd=10, imm=4), C("c.srli", rd=8, imm=2),
+                   C("c.srai", rd=9, imm=1)],
+             regs={10: 1, 8: 0x80000000, 9: 0x80000000})
+        assert cpu.regs[10] == 16
+        assert cpu.regs[8] == 0x20000000
+        assert cpu.regs[9] == 0xC0000000
+
+    def test_c_andi(self, cpu):
+        _run(cpu, [C("c.andi", rd=8, imm=0xF - 16)], regs={8: 0x1234})
+        # imm -1 => all ones: unchanged low bits
+        assert cpu.regs[8] == 0x1234 & 0xFFFFFFFF
+
+    def test_c_addi16sp_addi4spn(self, cpu):
+        _run(cpu, [C("c.addi16sp", imm=-32), C("c.addi4spn", rd=8, imm=16)],
+             regs={2: 0x1000})
+        assert cpu.regs[2] == 0x1000 - 32
+        assert cpu.regs[8] == 0x1000 - 32 + 16
+
+
+class TestCompressedMemory:
+    def test_c_sw_lw(self, cpu):
+        _run(cpu, [C("c.sw", rs2=9, rs1=8, imm=4), C("c.lw", rd=10, rs1=8, imm=4)],
+             regs={8: 0x100, 9: 0xCAFEBABE})
+        assert cpu.regs[10] == 0xCAFEBABE
+
+    def test_c_swsp_lwsp(self, cpu):
+        _run(cpu, [C("c.swsp", rs2=11, imm=8), C("c.lwsp", rd=12, imm=8)],
+             regs={2: 0x200, 11: 1234})
+        assert cpu.regs[12] == 1234
+
+
+class TestCompressedControl:
+    def test_c_j_skips(self, cpu):
+        body = [
+            C("c.j", imm=4),
+            C("c.li", rd=10, imm=1),   # skipped
+            C("c.li", rd=11, imm=2),
+        ]
+        _run(cpu, body)
+        assert cpu.regs[10] == 0
+        assert cpu.regs[11] == 2
+
+    def test_c_beqz_taken(self, cpu):
+        body = [
+            C("c.beqz", rs1=8, imm=4),
+            C("c.li", rd=10, imm=1),
+            C("c.li", rd=11, imm=2),
+        ]
+        _run(cpu, body, regs={8: 0})
+        assert cpu.regs[10] == 0 and cpu.regs[11] == 2
+
+    def test_c_bnez_not_taken(self, cpu):
+        body = [
+            C("c.bnez", rs1=8, imm=4),
+            C("c.li", rd=10, imm=1),
+            C("c.li", rd=11, imm=2),
+        ]
+        _run(cpu, body, regs={8: 0})
+        assert cpu.regs[10] == 1 and cpu.regs[11] == 2
+
+    def test_c_jal_links(self, cpu):
+        body = [
+            C("c.jal", imm=4),
+            C("c.li", rd=10, imm=1),
+            C("c.li", rd=11, imm=2),
+        ]
+        _run(cpu, body)
+        assert cpu.regs[1] == 2  # return address after the 2-byte c.jal
+        assert cpu.regs[10] == 0
+
+    def test_c_jr(self, cpu):
+        body = [
+            C("c.jr", rs1=8),
+            C("c.li", rd=10, imm=1),
+            C("c.li", rd=11, imm=2),
+        ]
+        _run(cpu, body, regs={8: 4})
+        assert cpu.regs[10] == 0 and cpu.regs[11] == 2
+
+
+class TestCodecErrors:
+    def test_creg_out_of_window(self):
+        with pytest.raises(EncodingError):
+            rv32c.encode_c(C("c.lw", rd=5, rs1=8, imm=4))
+
+    def test_addi4spn_zero_imm_rejected(self):
+        with pytest.raises(EncodingError):
+            rv32c.encode_c(C("c.addi4spn", rd=8, imm=0))
+
+    def test_lui_rd_x2_rejected(self):
+        with pytest.raises(EncodingError):
+            rv32c.encode_c(C("c.lui", rd=2, imm=1))
+
+    def test_decode_reserved_raises(self):
+        with pytest.raises(DecodeError):
+            rv32c.decode_c(0x0000)
+
+    def test_imm_scale_enforced(self):
+        with pytest.raises(EncodingError):
+            rv32c.encode_c(C("c.lw", rd=8, rs1=9, imm=3))

@@ -1,0 +1,225 @@
+"""RV32I semantics, executed through the assembler + CPU."""
+
+import pytest
+
+from repro.errors import TrapError
+from tests.conftest import run_asm
+
+
+def result(cpu, reg=10):
+    return cpu.regs[reg]
+
+
+class TestArithmetic:
+    def test_addi(self, cpu):
+        assert result(run_asm(cpu, "addi a0, zero, 42\nebreak")) == 42
+
+    def test_addi_negative(self, cpu):
+        assert result(run_asm(cpu, "addi a0, zero, -1\nebreak")) == 0xFFFFFFFF
+
+    def test_add_wraps(self, cpu):
+        run_asm(cpu, "add a0, a1, a2\nebreak", a1=0xFFFFFFFF, a2=2)
+        assert result(cpu) == 1
+
+    def test_sub(self, cpu):
+        run_asm(cpu, "sub a0, a1, a2\nebreak", a1=5, a2=9)
+        assert result(cpu) == 0xFFFFFFFC
+
+    def test_slt_signed(self, cpu):
+        run_asm(cpu, "slt a0, a1, a2\nebreak", a1=0xFFFFFFFF, a2=0)
+        assert result(cpu) == 1  # -1 < 0
+
+    def test_sltu_unsigned(self, cpu):
+        run_asm(cpu, "sltu a0, a1, a2\nebreak", a1=0xFFFFFFFF, a2=0)
+        assert result(cpu) == 0
+
+    def test_slti(self, cpu):
+        run_asm(cpu, "slti a0, a1, -4\nebreak", a1=0xFFFFFFF0)
+        assert result(cpu) == 1  # -16 < -4
+
+    def test_sltiu(self, cpu):
+        run_asm(cpu, "sltiu a0, a1, 1\nebreak", a1=0)
+        assert result(cpu) == 1
+
+    def test_logic_ops(self, cpu):
+        run_asm(cpu, "xor a0, a1, a2\nor a3, a1, a2\nand a4, a1, a2\nebreak",
+                a1=0b1100, a2=0b1010)
+        assert cpu.regs[10] == 0b0110
+        assert cpu.regs[13] == 0b1110
+        assert cpu.regs[14] == 0b1000
+
+    def test_immediates_logic(self, cpu):
+        run_asm(cpu, "xori a0, a1, -1\nebreak", a1=0x0F0F0F0F)
+        assert result(cpu) == 0xF0F0F0F0
+
+
+class TestShifts:
+    def test_slli(self, cpu):
+        run_asm(cpu, "slli a0, a1, 4\nebreak", a1=1)
+        assert result(cpu) == 16
+
+    def test_srli_logical(self, cpu):
+        run_asm(cpu, "srli a0, a1, 4\nebreak", a1=0x80000000)
+        assert result(cpu) == 0x08000000
+
+    def test_srai_arithmetic(self, cpu):
+        run_asm(cpu, "srai a0, a1, 4\nebreak", a1=0x80000000)
+        assert result(cpu) == 0xF8000000
+
+    def test_sll_uses_low_5_bits(self, cpu):
+        run_asm(cpu, "sll a0, a1, a2\nebreak", a1=1, a2=33)
+        assert result(cpu) == 2
+
+    def test_sra_register(self, cpu):
+        run_asm(cpu, "sra a0, a1, a2\nebreak", a1=0xFFFFFF00, a2=4)
+        assert result(cpu) == 0xFFFFFFF0
+
+
+class TestUpperImmediates:
+    def test_lui(self, cpu):
+        run_asm(cpu, "lui a0, 0x12345\nebreak")
+        assert result(cpu) == 0x12345000
+
+    def test_auipc(self, cpu):
+        run_asm(cpu, "nop\nauipc a0, 1\nebreak")
+        assert result(cpu) == 0x1000 + 4  # pc of auipc is 4
+
+
+class TestLoadsStores:
+    def test_sw_lw_roundtrip(self, cpu):
+        run_asm(cpu, "sw a1, 0(a2)\nlw a0, 0(a2)\nebreak",
+                a1=0xDEADBEEF, a2=0x100)
+        assert result(cpu) == 0xDEADBEEF
+
+    def test_lb_sign_extends(self, cpu):
+        cpu.mem.store(0x100, 1, 0x80)
+        run_asm(cpu, "lb a0, 0(a2)\nebreak", a2=0x100)
+        assert result(cpu) == 0xFFFFFF80
+
+    def test_lbu_zero_extends(self, cpu):
+        cpu.mem.store(0x100, 1, 0x80)
+        run_asm(cpu, "lbu a0, 0(a2)\nebreak", a2=0x100)
+        assert result(cpu) == 0x80
+
+    def test_lh_lhu(self, cpu):
+        cpu.mem.store(0x100, 2, 0x8001)
+        run_asm(cpu, "lh a0, 0(a2)\nlhu a1, 0(a2)\nebreak", a2=0x100)
+        assert cpu.regs[10] == 0xFFFF8001
+        assert cpu.regs[11] == 0x8001
+
+    def test_sb_stores_low_byte(self, cpu):
+        run_asm(cpu, "sb a1, 0(a2)\nebreak", a1=0x1234, a2=0x100)
+        assert cpu.mem.load(0x100, 1) == 0x34
+
+    def test_sh(self, cpu):
+        run_asm(cpu, "sh a1, 2(a2)\nebreak", a1=0xABCD, a2=0x100)
+        assert cpu.mem.load(0x102, 2) == 0xABCD
+
+    def test_negative_offset(self, cpu):
+        cpu.mem.store(0xF8, 4, 77)
+        run_asm(cpu, "lw a0, -8(a2)\nebreak", a2=0x100)
+        assert result(cpu) == 77
+
+
+class TestBranches:
+    @pytest.mark.parametrize(
+        "op,a,b,taken",
+        [
+            ("beq", 5, 5, True), ("beq", 5, 6, False),
+            ("bne", 5, 6, True), ("bne", 5, 5, False),
+            ("blt", 0xFFFFFFFF, 0, True), ("blt", 0, 0xFFFFFFFF, False),
+            ("bge", 0, 0xFFFFFFFF, True), ("bge", 0xFFFFFFFF, 0, False),
+            ("bltu", 0, 0xFFFFFFFF, True), ("bltu", 0xFFFFFFFF, 0, False),
+            ("bgeu", 0xFFFFFFFF, 0, True), ("bgeu", 0, 1, False),
+        ],
+    )
+    def test_branch_conditions(self, cpu, op, a, b, taken):
+        src = f"""
+            {op} a1, a2, target
+            addi a0, zero, 1
+            ebreak
+        target:
+            addi a0, zero, 2
+            ebreak
+        """
+        run_asm(cpu, src, a1=a, a2=b)
+        assert result(cpu) == (2 if taken else 1)
+
+    def test_backward_branch_loop(self, cpu):
+        src = """
+            addi a0, zero, 0
+            addi a1, zero, 5
+        loop:
+            addi a0, a0, 3
+            addi a1, a1, -1
+            bne a1, zero, loop
+            ebreak
+        """
+        assert result(run_asm(cpu, src)) == 15
+
+
+class TestJumps:
+    def test_jal_links(self, cpu):
+        src = """
+            jal ra, target
+            ebreak
+        target:
+            addi a0, zero, 9
+            ebreak
+        """
+        run_asm(cpu, src)
+        assert result(cpu) == 9
+        assert cpu.regs[1] == 4  # return address after the jal
+
+    def test_jalr_indirect(self, cpu):
+        src = """
+            jalr ra, 0(a1)
+            ebreak
+        """
+        # jump to an ebreak at 0x40
+        from repro.asm import assemble
+
+        program = assemble(src, isa=cpu.isa.name)
+        cpu.load_program(program)
+        cpu.mem.store(0, 4, 0)
+        # place target manually: assemble second program at 0x40
+        target = assemble("addi a0, zero, 3\nebreak", isa=cpu.isa.name, base=0x40)
+        for ins in target.instructions:
+            cpu._imem[ins.addr] = ins
+        cpu.regs[11] = 0x40
+        cpu.run()
+        assert cpu.regs[10] == 3
+        assert cpu.regs[1] == 4
+
+    def test_jalr_clears_bit0(self, cpu):
+        from repro.asm import assemble
+
+        program = assemble("jalr zero, 1(a1)\nebreak", isa=cpu.isa.name)
+        target = assemble("addi a0, zero, 8\nebreak", isa=cpu.isa.name, base=0x40)
+        cpu.load_program(program)
+        for ins in target.instructions:
+            cpu._imem[ins.addr] = ins
+        cpu.regs[11] = 0x40
+        cpu.run()
+        assert cpu.regs[10] == 8
+
+
+class TestSystem:
+    def test_ebreak_halts(self, cpu):
+        run_asm(cpu, "ebreak")
+        assert cpu.halted == "ebreak"
+
+    def test_ecall_halts(self, cpu):
+        run_asm(cpu, "ecall")
+        assert cpu.halted == "ecall"
+
+    def test_fence_is_noop(self, cpu):
+        run_asm(cpu, "fence\naddi a0, zero, 1\nebreak")
+        assert result(cpu) == 1
+
+    def test_fetch_fault_raises(self, cpu):
+        from repro.asm import assemble
+
+        cpu.load_program(assemble("addi a0, zero, 1", isa=cpu.isa.name))
+        with pytest.raises(TrapError):
+            cpu.run()  # falls off the end

@@ -1,0 +1,70 @@
+"""RV32M multiply/divide semantics, including the spec's edge cases."""
+
+import pytest
+
+from tests.conftest import run_asm
+
+
+def _run_op(cpu, op, a, b):
+    run_asm(cpu, f"{op} a0, a1, a2\nebreak", a1=a, a2=b)
+    return cpu.regs[10]
+
+
+class TestMultiply:
+    def test_mul(self, cpu):
+        assert _run_op(cpu, "mul", 7, 6) == 42
+
+    def test_mul_wraps(self, cpu):
+        assert _run_op(cpu, "mul", 0x10000, 0x10000) == 0
+
+    def test_mul_negative(self, cpu):
+        assert _run_op(cpu, "mul", 0xFFFFFFFF, 5) == 0xFFFFFFFB  # -1*5
+
+    def test_mulh_signed(self, cpu):
+        assert _run_op(cpu, "mulh", 0x80000000, 0x80000000) == 0x40000000
+
+    def test_mulhu(self, cpu):
+        assert _run_op(cpu, "mulhu", 0xFFFFFFFF, 0xFFFFFFFF) == 0xFFFFFFFE
+
+    def test_mulhsu(self, cpu):
+        # -1 (signed) * 0xFFFFFFFF (unsigned) = -0xFFFFFFFF
+        assert _run_op(cpu, "mulhsu", 0xFFFFFFFF, 0xFFFFFFFF) == 0xFFFFFFFF
+
+
+class TestDivide:
+    def test_div(self, cpu):
+        assert _run_op(cpu, "div", 42, 7) == 6
+
+    def test_div_rounds_toward_zero(self, cpu):
+        assert _run_op(cpu, "div", 0xFFFFFFF9, 2) == 0xFFFFFFFD  # -7/2 = -3
+
+    def test_div_by_zero(self, cpu):
+        assert _run_op(cpu, "div", 10, 0) == 0xFFFFFFFF
+
+    def test_div_overflow(self, cpu):
+        assert _run_op(cpu, "div", 0x80000000, 0xFFFFFFFF) == 0x80000000
+
+    def test_divu(self, cpu):
+        assert _run_op(cpu, "divu", 0xFFFFFFFE, 2) == 0x7FFFFFFF
+
+    def test_divu_by_zero(self, cpu):
+        assert _run_op(cpu, "divu", 10, 0) == 0xFFFFFFFF
+
+    def test_rem(self, cpu):
+        assert _run_op(cpu, "rem", 43, 7) == 1
+
+    def test_rem_sign_follows_dividend(self, cpu):
+        assert _run_op(cpu, "rem", 0xFFFFFFF9, 2) == 0xFFFFFFFF  # -7%2 = -1
+
+    def test_rem_by_zero_returns_dividend(self, cpu):
+        assert _run_op(cpu, "rem", 10, 0) == 10
+
+    def test_rem_overflow(self, cpu):
+        assert _run_op(cpu, "rem", 0x80000000, 0xFFFFFFFF) == 0
+
+    def test_remu(self, cpu):
+        assert _run_op(cpu, "remu", 0xFFFFFFFF, 10) == 5
+
+    def test_div_costs_many_cycles(self, cpu):
+        run_asm(cpu, "div a0, a1, a2\nebreak", a1=100, a2=3)
+        assert cpu.perf.cycles >= 35

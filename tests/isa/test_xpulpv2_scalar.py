@@ -1,0 +1,155 @@
+"""XpulpV2 scalar DSP ops: min/max/abs/clip/extension/bit-manipulation."""
+
+import pytest
+
+from tests.conftest import run_asm
+
+
+def _op(cpu, src, **regs):
+    run_asm(cpu, src + "\nebreak", **regs)
+    return cpu.regs[10]
+
+
+class TestMinMaxAbs:
+    def test_p_abs(self, cpu):
+        assert _op(cpu, "p.abs a0, a1", a1=0xFFFFFFF6) == 10
+
+    def test_p_abs_positive(self, cpu):
+        assert _op(cpu, "p.abs a0, a1", a1=10) == 10
+
+    def test_p_min_signed(self, cpu):
+        assert _op(cpu, "p.min a0, a1, a2", a1=0xFFFFFFFF, a2=1) == 0xFFFFFFFF
+
+    def test_p_minu(self, cpu):
+        assert _op(cpu, "p.minu a0, a1, a2", a1=0xFFFFFFFF, a2=1) == 1
+
+    def test_p_max_signed(self, cpu):
+        assert _op(cpu, "p.max a0, a1, a2", a1=0xFFFFFFFF, a2=1) == 1
+
+    def test_p_maxu(self, cpu):
+        assert _op(cpu, "p.maxu a0, a1, a2", a1=0xFFFFFFFF, a2=1) == 0xFFFFFFFF
+
+    def test_p_slet(self, cpu):
+        assert _op(cpu, "p.slet a0, a1, a2", a1=0xFFFFFFFF, a2=0) == 1
+        assert _op(cpu, "p.slet a0, a1, a2", a1=1, a2=0) == 0
+
+    def test_p_sletu(self, cpu):
+        assert _op(cpu, "p.sletu a0, a1, a2", a1=0xFFFFFFFF, a2=0) == 0
+
+
+class TestClip:
+    def test_p_clip_upper(self, cpu):
+        assert _op(cpu, "p.clip a0, a1, 8", a1=1000) == 127
+
+    def test_p_clip_lower(self, cpu):
+        assert _op(cpu, "p.clip a0, a1, 8", a1=0xFFFFF000) == 0xFFFFFF80
+
+    def test_p_clip_within(self, cpu):
+        assert _op(cpu, "p.clip a0, a1, 8", a1=100) == 100
+
+    def test_p_clipu(self, cpu):
+        assert _op(cpu, "p.clipu a0, a1, 9", a1=300) == 255
+        assert _op(cpu, "p.clipu a0, a1, 9", a1=0xFFFFFFFE) == 0
+
+
+class TestExtension:
+    def test_p_exths(self, cpu):
+        assert _op(cpu, "p.exths a0, a1", a1=0x8000) == 0xFFFF8000
+
+    def test_p_exthz(self, cpu):
+        assert _op(cpu, "p.exthz a0, a1", a1=0xFFFF8000) == 0x8000
+
+    def test_p_extbs(self, cpu):
+        assert _op(cpu, "p.extbs a0, a1", a1=0x80) == 0xFFFFFF80
+
+    def test_p_extbz(self, cpu):
+        assert _op(cpu, "p.extbz a0, a1", a1=0xFF80) == 0x80
+
+
+class TestBitManipulation:
+    def test_p_extract_signed(self, cpu):
+        # bits [7:4] of 0x90 = 0b1001 -> sign-extended = -7
+        assert _op(cpu, "p.extract a0, a1, 4, 4", a1=0x90) == 0xFFFFFFF9
+
+    def test_p_extractu(self, cpu):
+        assert _op(cpu, "p.extractu a0, a1, 4, 4", a1=0x90) == 9
+
+    def test_p_insert(self, cpu):
+        run_asm(cpu, "p.insert a0, a1, 8, 8\nebreak", a0=0xFFFF00FF, a1=0xAB)
+        assert cpu.regs[10] == 0xFFFFABFF
+
+    def test_p_bclr(self, cpu):
+        assert _op(cpu, "p.bclr a0, a1, 4, 8", a1=0xFFFFFFFF) == 0xFFFFF00F
+
+    def test_p_bset(self, cpu):
+        assert _op(cpu, "p.bset a0, a1, 4, 8", a1=0) == 0x00000FF0
+
+    def test_p_cnt(self, cpu):
+        assert _op(cpu, "p.cnt a0, a1", a1=0xF0F0) == 8
+
+    def test_p_ff1(self, cpu):
+        assert _op(cpu, "p.ff1 a0, a1", a1=0b101000) == 3
+
+    def test_p_ff1_zero(self, cpu):
+        assert _op(cpu, "p.ff1 a0, a1", a1=0) == 32
+
+    def test_p_fl1(self, cpu):
+        assert _op(cpu, "p.fl1 a0, a1", a1=0b101000) == 5
+
+    def test_p_clb(self, cpu):
+        assert _op(cpu, "p.clb a0, a1", a1=0xFFFFFFF0) == 27
+
+    def test_p_ror(self, cpu):
+        assert _op(cpu, "p.ror a0, a1, a2", a1=0x80000001, a2=1) == 0xC0000000
+
+
+class TestMac:
+    def test_p_mac(self, cpu):
+        run_asm(cpu, "p.mac a0, a1, a2\nebreak", a0=10, a1=3, a2=4)
+        assert cpu.regs[10] == 22
+
+    def test_p_mac_negative(self, cpu):
+        run_asm(cpu, "p.mac a0, a1, a2\nebreak", a0=10, a1=0xFFFFFFFF, a2=4)
+        assert cpu.regs[10] == 6
+
+    def test_p_msu(self, cpu):
+        run_asm(cpu, "p.msu a0, a1, a2\nebreak", a0=10, a1=3, a2=4)
+        assert cpu.regs[10] == 0xFFFFFFFE  # 10 - 12
+
+
+class TestPostIncrementMemory:
+    def test_p_lw_post_increment(self, cpu):
+        cpu.mem.write_words(0x100, [11, 22])
+        run_asm(cpu, "p.lw a0, 4(a1!)\np.lw a2, 4(a1!)\nebreak", a1=0x100)
+        assert cpu.regs[10] == 11
+        assert cpu.regs[12] == 22
+        assert cpu.regs[11] == 0x108
+
+    def test_p_lbu_post_increment(self, cpu):
+        cpu.mem.write_i8(0x100, [-1, 2])
+        run_asm(cpu, "p.lbu a0, 1(a1!)\np.lb a2, 1(a1!)\nebreak", a1=0x100)
+        assert cpu.regs[10] == 0xFF
+        assert cpu.regs[12] == 2
+
+    def test_p_sw_post_increment(self, cpu):
+        run_asm(cpu, "p.sw a2, 4(a1!)\np.sw a3, 4(a1!)\nebreak",
+                a1=0x100, a2=5, a3=6)
+        assert cpu.mem.read_words(0x100, 2) == [5, 6]
+        assert cpu.regs[11] == 0x108
+
+    def test_p_lw_register_offset(self, cpu):
+        cpu.mem.write_words(0x110, [99])
+        run_asm(cpu, "p.lw a0, a2(a1)\nebreak", a1=0x100, a2=0x10)
+        assert cpu.regs[10] == 99
+        assert cpu.regs[11] == 0x100  # base unchanged
+
+    def test_p_lw_register_postinc(self, cpu):
+        cpu.mem.write_words(0x100, [7])
+        run_asm(cpu, "p.lw a0, a2(a1!)\nebreak", a1=0x100, a2=0x10)
+        assert cpu.regs[10] == 7
+        assert cpu.regs[11] == 0x110
+
+    def test_negative_post_increment(self, cpu):
+        cpu.mem.write_words(0x100, [42])
+        run_asm(cpu, "p.lw a0, -4(a1!)\nebreak", a1=0x100)
+        assert cpu.regs[11] == 0xFC

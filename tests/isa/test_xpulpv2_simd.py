@@ -1,0 +1,149 @@
+"""XpulpV2 8/16-bit packed SIMD semantics versus a numpy-style model."""
+
+import numpy as np
+import pytest
+
+from repro.isa.bits import join_lanes, replicate_scalar, split_lanes
+from repro.isa.simd import LANE_OPS, simd_dotp, simd_lane_op
+from tests.conftest import run_asm
+
+WORD_A = 0x81_7F_02_FE  # bytes: [-2, 2, 127, -127]
+WORD_B = 0x10_F0_05_03
+
+
+def _run(cpu, mnemonic, a, b=None, imm=None):
+    if imm is not None:
+        src = f"{mnemonic} a0, a1, {imm}\nebreak"
+        run_asm(cpu, src, a1=a)
+    elif b is None:
+        run_asm(cpu, f"{mnemonic} a0, a1\nebreak", a1=a)
+    else:
+        run_asm(cpu, f"{mnemonic} a0, a1, a2\nebreak", a1=a, a2=b)
+    return cpu.regs[10]
+
+
+ALL_LANE_OPS = sorted(LANE_OPS)
+
+
+@pytest.mark.parametrize("op", ALL_LANE_OPS)
+@pytest.mark.parametrize("width,suffix", [(8, "b"), (16, "h")])
+def test_lane_ops_match_model(cpu, op, width, suffix):
+    got = _run(cpu, f"pv.{op}.{suffix}", WORD_A, WORD_B)
+    assert got == simd_lane_op(op, WORD_A, WORD_B, width)
+
+
+@pytest.mark.parametrize("op", ["add", "max", "srl"])
+@pytest.mark.parametrize("width,suffix", [(8, "b"), (16, "h")])
+def test_sc_variant_replicates_scalar(cpu, op, width, suffix):
+    got = _run(cpu, f"pv.{op}.sc.{suffix}", WORD_A, WORD_B)
+    expected = simd_lane_op(op, WORD_A, replicate_scalar(WORD_B, width), width)
+    assert got == expected
+
+
+@pytest.mark.parametrize("op,imm", [("add", -3), ("sub", 5), ("sll", 2)])
+def test_sci_variant_uses_immediate(cpu, op, imm):
+    got = _run(cpu, f"pv.{op}.sci.b", WORD_A, imm=imm)
+    expected = simd_lane_op(op, WORD_A, replicate_scalar(imm & 0xFF, 8), 8)
+    assert got == expected
+
+
+class TestSpecificSemantics:
+    def test_pv_add_b_wraps_per_lane(self, cpu):
+        got = _run(cpu, "pv.add.b", 0xFF000000 | 0x7F, 0x01000000 | 0x01)
+        lanes = split_lanes(got, 8)
+        assert lanes[0] == 0x80  # 127+1 wraps in the lane
+        assert lanes[3] == 0x00  # 255+1 wraps
+
+    def test_pv_avg_signed(self, cpu):
+        # avg(-2, 4) = 1 (arithmetic shift)
+        a = join_lanes([0xFE, 0, 0, 0], 8)
+        b = join_lanes([4, 0, 0, 0], 8)
+        got = split_lanes(_run(cpu, "pv.avg.b", a, b), 8, signed=True)
+        assert got[0] == 1
+
+    def test_pv_avgu_unsigned(self, cpu):
+        a = join_lanes([0xFE, 0, 0, 0], 8)
+        b = join_lanes([4, 0, 0, 0], 8)
+        got = split_lanes(_run(cpu, "pv.avgu.b", a, b), 8)
+        assert got[0] == (0xFE + 4) >> 1
+
+    def test_pv_abs_b(self, cpu):
+        got = split_lanes(_run(cpu, "pv.abs.b", WORD_A), 8)
+        assert got == [2, 2, 127, 127]
+
+    def test_pv_max_relu(self, cpu):
+        """ReLU = pv.max.sc with zero scalar (paper Table II use case)."""
+        got = _run(cpu, "pv.max.sc.b", WORD_A, 0)
+        assert split_lanes(got, 8, signed=True) == [0, 2, 127, 0]
+
+    def test_pv_sra_vs_srl(self, cpu):
+        a = join_lanes([0x80, 0x80, 0, 0], 8)
+        b = join_lanes([4, 4, 0, 0], 8)
+        sra = split_lanes(_run(cpu, "pv.sra.b", a, b), 8)
+        srl = split_lanes(_run(cpu, "pv.srl.b", a, b), 8)
+        assert sra[0] == 0xF8
+        assert srl[0] == 0x08
+
+    def test_pv_shuffle(self, cpu):
+        sel = join_lanes([3, 2, 1, 0], 8)
+        got = _run(cpu, "pv.shuffle.b", 0x04030201, sel)
+        assert got == 0x01020304
+
+    def test_pv_shuffle2_merges_two_sources(self, cpu):
+        sel = join_lanes([0, 4, 1, 5], 8)
+        run_asm(cpu, "pv.shuffle2.b a0, a1, a2\nebreak",
+                a0=0x0D0C0B0A, a1=0x04030201, a2=sel)
+        assert split_lanes(cpu.regs[10], 8) == [0x01, 0x0A, 0x02, 0x0B]
+
+    def test_pv_extract_insert(self, cpu):
+        got = _run(cpu, "pv.extract.b", WORD_A, imm=3)
+        assert got == 0xFFFFFF81  # sign-extended lane 3
+        got = _run(cpu, "pv.extractu.b", WORD_A, imm=3)
+        assert got == 0x81
+        run_asm(cpu, "pv.insert.b a0, a1, 2\nebreak", a0=0, a1=0xAB)
+        assert cpu.regs[10] == 0x00AB0000
+
+    def test_pv_extract_h(self, cpu):
+        got = _run(cpu, "pv.extract.h", 0x8000_0001, imm=1)
+        assert got == 0xFFFF8000
+
+
+class TestDotProducts:
+    @pytest.mark.parametrize("suffix,width", [("b", 8), ("h", 16)])
+    def test_dotsp(self, cpu, suffix, width):
+        got = _run(cpu, f"pv.dotsp.{suffix}", WORD_A, WORD_B)
+        assert got == simd_dotp(WORD_A, WORD_B, width, True, True)
+
+    @pytest.mark.parametrize("suffix,width", [("b", 8), ("h", 16)])
+    def test_dotup(self, cpu, suffix, width):
+        got = _run(cpu, f"pv.dotup.{suffix}", WORD_A, WORD_B)
+        assert got == simd_dotp(WORD_A, WORD_B, width, False, False)
+
+    def test_dotusp_mixed_signs(self, cpu):
+        got = _run(cpu, "pv.dotusp.b", WORD_A, WORD_B)
+        assert got == simd_dotp(WORD_A, WORD_B, 8, False, True)
+
+    def test_sdotsp_accumulates(self, cpu):
+        run_asm(cpu, "pv.sdotsp.b a0, a1, a2\nebreak",
+                a0=1000, a1=WORD_A, a2=WORD_B)
+        assert cpu.regs[10] == simd_dotp(WORD_A, WORD_B, 8, True, True, acc=1000)
+
+    def test_sdotup_accumulates(self, cpu):
+        run_asm(cpu, "pv.sdotup.h a0, a1, a2\nebreak",
+                a0=7, a1=WORD_A, a2=WORD_B)
+        assert cpu.regs[10] == simd_dotp(WORD_A, WORD_B, 16, False, False, acc=7)
+
+    def test_dot_sc_variant(self, cpu):
+        got = _run(cpu, "pv.dotusp.sc.b", WORD_A, 0x05)
+        expected = simd_dotp(WORD_A, replicate_scalar(5, 8), 8, False, True)
+        assert got == expected
+
+    def test_numpy_cross_check(self, cpu, rng):
+        """Random dot products match an independent numpy computation."""
+        for _ in range(20):
+            a = int(rng.integers(0, 1 << 32))
+            b = int(rng.integers(0, 1 << 32))
+            av = np.array(split_lanes(a, 8, signed=False), dtype=np.int64)
+            bv = np.array(split_lanes(b, 8, signed=True), dtype=np.int64)
+            expected = int(av @ bv) & 0xFFFFFFFF
+            assert _run(cpu, "pv.dotusp.b", a, b) == expected

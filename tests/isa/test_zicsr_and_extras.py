@@ -1,0 +1,172 @@
+"""Zicsr instructions and the extra XpulpV2 ops (immediate branches,
+pack, normalization adds)."""
+
+import pytest
+
+from repro.isa.zicsr import (
+    CSR_LPCOUNT0,
+    CSR_LPEND0,
+    CSR_LPSTART0,
+    CSR_MCYCLE,
+    CSR_MHARTID,
+    CSR_MINSTRET,
+)
+from tests.conftest import run_asm
+
+
+class TestCsrCounters:
+    def test_mcycle_counts(self, cpu):
+        run_asm(cpu, f"nop\nnop\nnop\ncsrr a0, {CSR_MCYCLE}\nebreak")
+        assert cpu.regs[10] == 3
+
+    def test_minstret_counts(self, cpu):
+        run_asm(cpu, f"nop\ncsrr a0, {CSR_MINSTRET}\nebreak")
+        assert cpu.regs[10] == 1
+
+    def test_mhartid_zero(self, cpu):
+        run_asm(cpu, f"csrr a0, {CSR_MHARTID}\nebreak")
+        assert cpu.regs[10] == 0
+
+    def test_timing_a_region_with_mcycle(self, cpu):
+        """The PULP rt_time idiom: read mcycle around a region."""
+        src = f"""
+            csrr a1, {CSR_MCYCLE}
+            lp.setupi 0, 10, end
+            addi a3, a3, 1
+        end:
+            csrr a2, {CSR_MCYCLE}
+            sub a0, a2, a1
+            ebreak
+        """
+        run_asm(cpu, src)
+        # first csrr's own cycle + lp.setup + 10 body cycles
+        assert cpu.regs[10] == 12
+
+
+class TestCsrReadWrite:
+    def test_csrrw_swaps(self, cpu):
+        run_asm(cpu, "csrrw a0, 0x340, a1\ncsrrw a2, 0x340, a3\nebreak",
+                a1=77, a3=88)
+        assert cpu.regs[10] == 0    # initial scratch value
+        assert cpu.regs[12] == 77   # previous write visible
+
+    def test_csrrs_sets_bits(self, cpu):
+        run_asm(cpu, "csrrw zero, 0x340, a1\ncsrrs zero, 0x340, a2\n"
+                     "csrr a0, 0x340\nebreak", a1=0b1100, a2=0b0011)
+        assert cpu.regs[10] == 0b1111
+
+    def test_csrrc_clears_bits(self, cpu):
+        run_asm(cpu, "csrrw zero, 0x340, a1\ncsrrc zero, 0x340, a2\n"
+                     "csrr a0, 0x340\nebreak", a1=0b1111, a2=0b0101)
+        assert cpu.regs[10] == 0b1010
+
+    def test_csrrwi(self, cpu):
+        run_asm(cpu, "csrrwi zero, 0x340, 21\ncsrr a0, 0x340\nebreak")
+        assert cpu.regs[10] == 21
+
+    def test_csrrsi_csrrci(self, cpu):
+        run_asm(cpu, "csrrwi zero, 0x340, 12\ncsrrsi zero, 0x340, 3\n"
+                     "csrrci zero, 0x340, 4\ncsrr a0, 0x340\nebreak")
+        assert cpu.regs[10] == 0b1011
+
+    def test_csrw_pseudo(self, cpu):
+        run_asm(cpu, "csrw 0x340, a1\ncsrr a0, 0x340\nebreak", a1=5)
+        assert cpu.regs[10] == 5
+
+
+class TestHwloopCsrMirror:
+    def test_count_visible(self, cpu):
+        run_asm(cpu, f"lp.counti 0, 7\ncsrr a0, {CSR_LPCOUNT0}\nebreak")
+        assert cpu.regs[10] == 7
+
+    def test_start_end_visible(self, cpu):
+        src = f"""
+            lp.starti 0, body
+            lp.endi 0, done
+        body:
+        done:
+            csrr a0, {CSR_LPSTART0}
+            csrr a1, {CSR_LPEND0}
+            ebreak
+        """
+        run_asm(cpu, src)
+        assert cpu.regs[10] == 8 and cpu.regs[11] == 8
+
+    def test_csr_write_configures_loop(self, cpu):
+        """RI5CY allows configuring hardware loops through CSR writes."""
+        src = f"""
+            li a1, 5
+            csrw {CSR_LPCOUNT0}, a1
+            csrr a0, {CSR_LPCOUNT0}
+            ebreak
+        """
+        run_asm(cpu, src)
+        assert cpu.regs[10] == 5
+        assert cpu.hwloops.count[0] == 5
+
+
+class TestImmediateBranches:
+    def test_beqimm_taken(self, cpu):
+        src = "p.beqimm a1, 5, t\nli a0, 1\nebreak\nt:\nli a0, 2\nebreak"
+        run_asm(cpu, src, a1=5)
+        assert cpu.regs[10] == 2
+
+    def test_beqimm_negative_immediate(self, cpu):
+        src = "p.beqimm a1, -16, t\nli a0, 1\nebreak\nt:\nli a0, 2\nebreak"
+        run_asm(cpu, src, a1=0xFFFFFFF0)
+        assert cpu.regs[10] == 2
+
+    def test_bneimm(self, cpu):
+        src = "p.bneimm a1, 0, t\nli a0, 1\nebreak\nt:\nli a0, 2\nebreak"
+        run_asm(cpu, src, a1=3)
+        assert cpu.regs[10] == 2
+        run_asm(cpu, src, a1=0)
+        assert cpu.regs[10] == 1
+
+    def test_immediate_range_checked(self):
+        from repro.asm import assemble
+        from repro.errors import AsmError
+
+        with pytest.raises(AsmError):
+            assemble("p.beqimm a1, 16, t\nt:\nebreak")
+
+
+class TestPackOps:
+    def test_pack_h(self, cpu):
+        run_asm(cpu, "pv.pack.h a0, a1, a2\nebreak",
+                a1=0x1234ABCD, a2=0x5678EF01)
+        assert cpu.regs[10] == 0xABCDEF01
+
+    def test_packhi_packlo_compose_word(self, cpu):
+        run_asm(cpu, "pv.packhi.b a0, a1, a2\npv.packlo.b a0, a3, a4\nebreak",
+                a0=0, a1=0x11, a2=0x22, a3=0x33, a4=0x44)
+        assert cpu.regs[10] == 0x11223344
+
+    def test_packhi_preserves_low_half(self, cpu):
+        run_asm(cpu, "pv.packhi.b a0, a1, a2\nebreak",
+                a0=0xAAAABBBB, a1=1, a2=2)
+        assert cpu.regs[10] == 0x0102BBBB
+
+
+class TestNormalizationAdds:
+    def test_addn(self, cpu):
+        run_asm(cpu, "p.addn a0, a1, a2, 4\nebreak", a1=100, a2=60)
+        assert cpu.regs[10] == 10  # 160 >> 4
+
+    def test_addrn_rounds(self, cpu):
+        run_asm(cpu, "p.addrn a0, a1, a2, 4\nebreak", a1=100, a2=60)
+        assert cpu.regs[10] == 10  # (160+8) >> 4
+        run_asm(cpu, "p.addrn a0, a1, a2, 4\nebreak", a1=100, a2=68)
+        assert cpu.regs[10] == 11  # (168+8) >> 4
+
+    def test_subn_arithmetic(self, cpu):
+        run_asm(cpu, "p.subn a0, a1, a2, 1\nebreak", a1=3, a2=10)
+        assert cpu.regs[10] == 0xFFFFFFFC  # -7 >> 1 = -4
+
+    def test_subrn(self, cpu):
+        run_asm(cpu, "p.subrn a0, a1, a2, 2\nebreak", a1=10, a2=3)
+        assert cpu.regs[10] == 2  # (7+2) >> 2
+
+    def test_zero_shift(self, cpu):
+        run_asm(cpu, "p.addn a0, a1, a2, 0\nebreak", a1=5, a2=6)
+        assert cpu.regs[10] == 11

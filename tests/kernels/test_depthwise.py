@@ -1,0 +1,97 @@
+"""Depthwise convolution kernel tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError
+from repro.kernels import DepthwiseConfig, DepthwiseConvKernel, depthwise_golden
+from repro.qnn import requantize_shift
+
+
+@pytest.fixture
+def data(rng):
+    def make(h=6, w=6, c=8):
+        weights = rng.integers(-128, 128, (3, 3, c)).astype(np.int32)
+        acts = rng.integers(0, 256, (h, w, c)).astype(np.int32)
+        return weights, acts
+
+    return make
+
+
+class TestGolden:
+    def test_single_channel_matches_dense(self, rng):
+        """With one channel, depthwise equals a dense conv."""
+        from repro.qnn import conv2d_golden
+
+        w = rng.integers(-8, 8, (3, 3, 1)).astype(np.int64)
+        x = rng.integers(0, 16, (5, 5, 1)).astype(np.int64)
+        dw = depthwise_golden(x, w, stride=1, pad=1)
+        dense = conv2d_golden(x, w.reshape(1, 3, 3, 1), stride=1, pad=1)
+        assert np.array_equal(dw, dense)
+
+    def test_channels_independent(self, rng):
+        w = rng.integers(-8, 8, (3, 3, 4)).astype(np.int64)
+        x = rng.integers(0, 16, (5, 5, 4)).astype(np.int64)
+        full = depthwise_golden(x, w, pad=1)
+        solo = depthwise_golden(x[:, :, :1], w[:, :, :1], pad=1)
+        assert np.array_equal(full[:, :, :1], solo)
+
+    def test_channel_mismatch_raises(self):
+        with pytest.raises(KernelError):
+            depthwise_golden(np.zeros((4, 4, 2)), np.zeros((3, 3, 3)))
+
+
+class TestKernel:
+    def test_matches_golden(self, data):
+        w, x = data()
+        cfg = DepthwiseConfig(in_h=6, in_w=6, channels=8)
+        run = DepthwiseConvKernel(cfg).run(w, x, shift=8)
+        expected = requantize_shift(depthwise_golden(x, w, 1, 1), 8, 8,
+                                    signed=False)
+        assert np.array_equal(run.output, expected)
+
+    def test_no_padding(self, data):
+        w, x = data()
+        cfg = DepthwiseConfig(in_h=6, in_w=6, channels=8, pad=0)
+        run = DepthwiseConvKernel(cfg).run(w, x, shift=8)
+        expected = requantize_shift(depthwise_golden(x, w, 1, 0), 8, 8,
+                                    signed=False)
+        assert run.output.shape == (4, 4, 8)
+        assert np.array_equal(run.output, expected)
+
+    def test_stride_2(self, data):
+        w, x = data(h=8, w=8)
+        cfg = DepthwiseConfig(in_h=8, in_w=8, channels=8, stride=2, pad=1)
+        run = DepthwiseConvKernel(cfg).run(w, x, shift=8)
+        expected = requantize_shift(depthwise_golden(x, w, 2, 1), 8, 8,
+                                    signed=False)
+        assert np.array_equal(run.output, expected)
+
+    def test_runs_on_baseline_core(self, data):
+        """Depthwise uses no XpulpNN instruction — identical on RI5CY."""
+        w, x = data()
+        cfg = DepthwiseConfig(in_h=6, in_w=6, channels=8, isa="ri5cy")
+        run = DepthwiseConvKernel(cfg).run(w, x, shift=8)
+        expected = requantize_shift(depthwise_golden(x, w, 1, 1), 8, 8,
+                                    signed=False)
+        assert np.array_equal(run.output, expected)
+
+    def test_much_slower_per_mac_than_dense(self, data):
+        """Scalar-MAC depthwise costs several cycles/MAC — the known
+        depthwise inefficiency of MCU-class cores."""
+        w, x = data()
+        cfg = DepthwiseConfig(in_h=6, in_w=6, channels=8)
+        run = DepthwiseConvKernel(cfg).run(w, x, shift=8)
+        assert run.cycles / cfg.macs > 3.0
+
+    def test_validation(self):
+        with pytest.raises(KernelError):
+            DepthwiseConfig(in_h=6, in_w=6, channels=6)  # partial word
+        with pytest.raises(KernelError):
+            DepthwiseConfig(in_h=2, in_w=2, channels=4, pad=0, kh=5, kw=5)
+
+    def test_shape_check(self, data):
+        w, x = data()
+        kern = DepthwiseConvKernel(DepthwiseConfig(in_h=6, in_w=6, channels=8))
+        with pytest.raises(KernelError):
+            kern.run(w[:, :, :4], x, shift=8)

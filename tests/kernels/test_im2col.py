@@ -1,0 +1,113 @@
+"""Focused tests of the im2col emitters (buffer content and cost)."""
+
+import numpy as np
+import pytest
+
+from repro.asm import KernelBuilder
+from repro.core import Cpu
+from repro.errors import KernelError
+from repro.kernels.im2col import (
+    emit_im2col_pixel_packed,
+    emit_im2col_pixel_unpack,
+    im2col_buffer_bytes,
+    padded_row_bytes,
+    pixel_bytes,
+    seg_words_packed,
+)
+from repro.kernels.unpack import emit_load_unpack_constants
+from repro.qnn import ConvGeometry, im2col_golden, pack, unpack
+
+G = ConvGeometry(in_h=4, in_w=4, in_ch=16, out_ch=4, kh=3, kw=3, stride=1, pad=1)
+
+ACTS, BUF = 0x1000, 0x3000
+
+_UNPACK_REGS = {
+    "scratch0": "t6", "scratch1": "s1", "scratch2": "ra",
+    "sel_lo": "s2", "sel_hi": "s3", "mask": "s4",
+    "sel_half_lo": "s5", "sel_half_hi": "a6",
+}
+
+
+def _padded(x, bits):
+    padded = np.zeros((G.in_h + 2, G.in_w + 2, G.in_ch), dtype=np.int32)
+    padded[1:-1, 1:-1] = x
+    return padded
+
+
+def _run_pixel(bits, x, pixel_yx, unpacked):
+    """Run one pixel's im2col and return the buffer contents."""
+    cpu = Cpu(isa="xpulpnn")
+    padded = _padded(x, bits)
+    cpu.mem.write_bytes(ACTS, pack(padded, bits, signed=False))
+    b = KernelBuilder(isa="xpulpnn")
+    oy, ox = pixel_yx
+    src = ACTS + (oy * padded_row_bytes(G, bits)
+                  + ox * pixel_bytes(G, bits))
+    b.li("s8", src)
+    b.li("t2", BUF)
+    if unpacked:
+        emit_load_unpack_constants(b, bits, False, "shuffle", _UNPACK_REGS)
+        dests = ["t3", "t4"] if bits == 4 else ["t3", "t4", "t5", "s0"]
+        emit_im2col_pixel_unpack(b, G, bits, "s8", "t2", "t0", "t1",
+                                 dests, _UNPACK_REGS, None)
+    else:
+        emit_im2col_pixel_packed(b, G, bits, "s8", "t2", "t0", "t1", None)
+    b.ebreak()
+    cpu.run_program(b.build())
+    if unpacked:
+        data = cpu.mem.read_bytes(BUF, G.reduction)
+        return unpack(data, 8, signed=False, count=G.reduction), cpu.perf
+    data = cpu.mem.read_bytes(BUF, G.reduction * bits // 8)
+    return unpack(data, bits, signed=False, count=G.reduction), cpu.perf
+
+
+class TestPackedIm2col:
+    @pytest.mark.parametrize("bits", [8, 4, 2])
+    @pytest.mark.parametrize("pixel", [(0, 0), (1, 2), (3, 3)])
+    def test_buffer_matches_golden_rows(self, rng, bits, pixel):
+        x = rng.integers(0, 1 << bits, (G.in_h, G.in_w, G.in_ch)).astype(np.int32)
+        got, _ = _run_pixel(bits, x, pixel, unpacked=False)
+        rows = im2col_golden(x, 3, 3, 1, 1)
+        index = pixel[0] * G.out_w + pixel[1]
+        assert np.array_equal(got, rows[index])
+
+    def test_cost_is_two_instr_per_word(self, rng):
+        x = rng.integers(0, 256, (G.in_h, G.in_w, G.in_ch)).astype(np.int32)
+        _, perf = _run_pixel(8, x, (1, 1), unpacked=False)
+        words = G.kh * seg_words_packed(G, 8)
+        # loads + stores per word, one lp.setup + one addi per segment, setup
+        assert perf.by_class["load"] == words
+        assert perf.by_class["store"] == words
+
+
+class TestUnpackIm2col:
+    @pytest.mark.parametrize("bits", [4, 2])
+    @pytest.mark.parametrize("pixel", [(0, 0), (2, 1)])
+    def test_buffer_is_widened_golden(self, rng, bits, pixel):
+        x = rng.integers(0, 1 << bits, (G.in_h, G.in_w, G.in_ch)).astype(np.int32)
+        got, _ = _run_pixel(bits, x, pixel, unpacked=True)
+        rows = im2col_golden(x, 3, 3, 1, 1)
+        index = pixel[0] * G.out_w + pixel[1]
+        assert np.array_equal(got, rows[index])
+
+    def test_unpack_copy_costs_more(self, rng):
+        x4 = rng.integers(0, 16, (G.in_h, G.in_w, G.in_ch)).astype(np.int32)
+        _, packed_perf = _run_pixel(4, x4, (1, 1), unpacked=False)
+        _, unpack_perf = _run_pixel(4, x4, (1, 1), unpacked=True)
+        assert unpack_perf.cycles > 2 * packed_perf.cycles
+
+
+class TestHelpers:
+    def test_buffer_bytes(self):
+        assert im2col_buffer_bytes(G, 4, unpacked=False) == G.reduction // 2
+        assert im2col_buffer_bytes(G, 4, unpacked=True) == G.reduction
+
+    def test_pixel_and_row_bytes(self):
+        assert pixel_bytes(G, 8) == 16
+        assert pixel_bytes(G, 2) == 4
+        assert padded_row_bytes(G, 8) == 6 * 16
+
+    def test_segment_word_check(self):
+        bad = ConvGeometry(in_h=4, in_w=4, in_ch=2, out_ch=4, kh=3, kw=3)
+        with pytest.raises(KernelError):
+            seg_words_packed(bad, 4)

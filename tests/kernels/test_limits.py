@@ -1,0 +1,93 @@
+"""Failure-injection and structural-limit tests across the kernel layer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError, MemoryAccessError, SimError
+from repro.kernels import ConvConfig, ConvKernel, MatmulConfig, MatmulKernel
+from repro.qnn import ConvGeometry
+
+
+class TestStructuralLimits:
+    def test_wide_rows_rejected(self):
+        """im2col row offsets must fit the addi immediate."""
+        g = ConvGeometry(in_h=8, in_w=128, in_ch=32, out_ch=8, kh=3, kw=3,
+                         stride=1, pad=1)
+        with pytest.raises(KernelError, match="rows too wide"):
+            ConvConfig(geometry=g, bits=8, quant="shift")
+
+    def test_baseline_large_reduction_rejected(self):
+        """Baseline sub-byte MatMul requires an immediate loop count."""
+        with pytest.raises(KernelError, match="immediate loop count"):
+            MatmulKernel(MatmulConfig(reduction=8 * 40, out_ch=2, bits=4,
+                                      isa="ri5cy", quant="none"))
+
+    def test_native_large_reduction_uses_count_register(self, rng):
+        """The native path handles reductions beyond the setupi range."""
+        K = 8 * 40  # 40 packed words > 31
+        w = rng.integers(-8, 8, (2, K)).astype(np.int32)
+        x0 = rng.integers(0, 16, K).astype(np.int32)
+        x1 = rng.integers(0, 16, K).astype(np.int32)
+        kern = MatmulKernel(MatmulConfig(reduction=K, out_ch=2, bits=4,
+                                         quant="none"))
+        run = kern.run(w, x0, x1)
+        expected = np.stack([x0.astype(np.int64) @ w.T,
+                             x1.astype(np.int64) @ w.T])
+        assert np.array_equal(run.output, expected)
+
+    def test_pixel_advance_limit(self):
+        g = ConvGeometry(in_h=8, in_w=8, in_ch=1024, out_ch=8, kh=1, kw=1,
+                         stride=1, pad=0)
+        with pytest.raises(KernelError):
+            ConvConfig(geometry=g, bits=8, quant="shift")
+
+
+class TestRuntimeFaults:
+    def test_unmapped_fetch_traps(self):
+        from repro.core import Cpu
+        from repro.errors import TrapError
+
+        cpu = Cpu(isa="xpulpnn")
+        cpu.pc = 0x500
+        with pytest.raises(TrapError):
+            cpu.step()
+
+    def test_out_of_memory_data_access(self):
+        from repro.asm import assemble
+        from repro.core import Cpu
+
+        cpu = Cpu(isa="xpulpnn")
+        program = assemble("lw a0, 0(a1)\nebreak", isa="xpulpnn")
+        cpu.load_program(program)
+        cpu.regs[11] = 0x7FFF_FFF0  # far outside the 512 kB memory
+        with pytest.raises(MemoryAccessError):
+            cpu.run()
+
+    def test_soc_unmapped_region_fault(self):
+        from repro.asm import assemble
+        from repro.soc import L2_BASE, Pulpissimo
+
+        soc = Pulpissimo()
+        program = assemble("lw a0, 0(a1)\nebreak", base=L2_BASE)
+        soc.cpu.load_program(program)
+        soc.cpu.regs[11] = 0x0000_1000  # below every mapped region
+        with pytest.raises(MemoryAccessError):
+            soc.cpu.run()
+
+    def test_runaway_kernel_guard(self):
+        """A corrupted loop count cannot hang the harness."""
+        from repro.asm import assemble
+        from repro.core import Cpu
+
+        cpu = Cpu(isa="xpulpnn")
+        cpu.load_program(assemble("loop:\nj loop", isa="xpulpnn"))
+        with pytest.raises(SimError):
+            cpu.run(max_instructions=1000)
+
+    def test_threshold_corruption_detected_by_harness(self, rng):
+        """If thresholds are unsorted the table constructor refuses —
+        corrupt staircases never reach the hardware walk silently."""
+        from repro.qnn import ThresholdTable
+
+        with pytest.raises(KernelError):
+            ThresholdTable(bits=2, thresholds=np.array([[10, 5, 20]]))

@@ -1,0 +1,131 @@
+"""Pooling, ReLU, and linear kernels."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError
+from repro.kernels import (
+    LinearConfig,
+    LinearKernel,
+    PoolConfig,
+    PoolKernel,
+    ReluConfig,
+    ReluKernel,
+    avgpool_cascade_golden,
+)
+from repro.qnn import maxpool_golden, requantize_shift
+
+
+class TestMaxPool:
+    @pytest.mark.parametrize("bits", [8, 4, 2])
+    def test_matches_golden(self, rng, bits):
+        x = rng.integers(0, 1 << bits, (6, 8, 32 if bits != 2 else 16)).astype(np.int32)
+        cfg = PoolConfig(in_h=6, in_w=8, channels=x.shape[2], bits=bits, op="max")
+        run = PoolKernel(cfg).run(x)
+        assert np.array_equal(run.output, maxpool_golden(x, 2))
+
+    def test_output_shape(self, rng):
+        x = rng.integers(0, 255, (4, 4, 8)).astype(np.int32)
+        run = PoolKernel(PoolConfig(4, 4, 8, 8)).run(x)
+        assert run.output.shape == (2, 2, 8)
+
+    def test_cycles_scale_with_bits(self, rng):
+        cycles = {}
+        for bits in (8, 4, 2):
+            x = rng.integers(0, 1 << bits, (8, 8, 32)).astype(np.int32)
+            run = PoolKernel(PoolConfig(8, 8, 32, bits)).run(x)
+            cycles[bits] = run.cycles
+        assert cycles[8] > cycles[4] > cycles[2]
+
+
+class TestAvgPool:
+    @pytest.mark.parametrize("bits", [8, 4, 2])
+    def test_matches_cascade_golden(self, rng, bits):
+        x = rng.integers(0, 1 << bits, (4, 4, 16)).astype(np.int32)
+        run = PoolKernel(PoolConfig(4, 4, 16, bits, op="avg")).run(x)
+        assert np.array_equal(run.output, avgpool_cascade_golden(x))
+
+    def test_cascade_vs_floor_difference(self):
+        """Regression pin: the documented cascade semantics."""
+        x = np.zeros((2, 2, 16), dtype=np.int32)
+        x[0, 0, 0], x[1, 0, 0] = 1, 3  # avg(avg(1,0), avg(3,0)) = 0
+        run = PoolKernel(PoolConfig(2, 2, 16, 4, op="avg")).run(x)
+        assert run.output[0, 0, 0] == 0
+
+
+class TestPoolValidation:
+    def test_odd_spatial_rejected(self):
+        with pytest.raises(KernelError):
+            PoolConfig(5, 4, 16, 8)
+
+    def test_partial_word_channels_rejected(self):
+        with pytest.raises(KernelError):
+            PoolConfig(4, 4, 3, 8)
+
+    def test_subbyte_needs_extended_isa(self):
+        with pytest.raises(KernelError):
+            PoolConfig(4, 4, 16, 4, isa="ri5cy")
+
+    def test_bad_op(self):
+        with pytest.raises(KernelError):
+            PoolConfig(4, 4, 16, 8, op="median")
+
+    def test_shape_mismatch(self, rng):
+        kern = PoolKernel(PoolConfig(4, 4, 16, 8))
+        with pytest.raises(KernelError):
+            kern.run(np.zeros((4, 4, 8), dtype=np.int32))
+
+
+class TestRelu:
+    @pytest.mark.parametrize("bits", [8, 4, 2])
+    def test_matches_golden(self, rng, bits):
+        lo = -(1 << (bits - 1))
+        values = rng.integers(lo, 1 << (bits - 1), 128).astype(np.int32)
+        run = ReluKernel(ReluConfig(elements=128, bits=bits)).run(values)
+        assert np.array_equal(run.output, np.maximum(values, 0))
+
+    def test_one_simd_op_per_word(self, rng):
+        values = rng.integers(-8, 8, 248).astype(np.int32)
+        run = ReluKernel(ReluConfig(elements=248, bits=4)).run(values)
+        # 31 words, one pv.max.sc per word; no other ALU work in the loop
+        assert run.perf.by_class["alu"] == 31
+
+    def test_baseline_8bit_allowed(self, rng):
+        values = rng.integers(-128, 128, 64).astype(np.int32)
+        run = ReluKernel(ReluConfig(elements=64, bits=8, isa="ri5cy")).run(values)
+        assert np.array_equal(run.output, np.maximum(values, 0))
+
+    def test_partial_word_rejected(self):
+        with pytest.raises(KernelError):
+            ReluConfig(elements=5, bits=8)
+
+
+class TestLinear:
+    @pytest.mark.parametrize("bits", [8, 4, 2])
+    def test_matches_golden(self, rng, bits):
+        in_f, out_f = 128, 16
+        lo = -(1 << (bits - 1))
+        w = rng.integers(lo, 1 << (bits - 1), (out_f, in_f)).astype(np.int32)
+        x = rng.integers(0, 1 << bits, in_f).astype(np.int32)
+        run = LinearKernel(LinearConfig(in_f, out_f, bits)).run(w, x, shift=6)
+        expected = requantize_shift(w.astype(np.int64) @ x, 6, 8, signed=False)
+        assert np.array_equal(run.output, expected)
+
+    def test_cycles_scale_with_bits(self, rng):
+        cycles = {}
+        for bits in (8, 4, 2):
+            lo = -(1 << (bits - 1))
+            w = rng.integers(lo, 1 << (bits - 1), (8, 128)).astype(np.int32)
+            x = rng.integers(0, 1 << bits, 128).astype(np.int32)
+            run = LinearKernel(LinearConfig(128, 8, bits)).run(w, x, shift=6)
+            cycles[bits] = run.cycles
+        assert cycles[8] > cycles[4] > cycles[2]
+
+    def test_odd_out_features_rejected(self):
+        with pytest.raises(KernelError):
+            LinearConfig(128, 9, 8)
+
+    def test_input_size_checked(self, rng):
+        kern = LinearKernel(LinearConfig(128, 8, 8))
+        with pytest.raises(KernelError):
+            kern.run(np.zeros((8, 128), dtype=np.int32), np.zeros(64, dtype=np.int32))

@@ -1,0 +1,73 @@
+"""Inlined software binary-tree quantization (the pv.qnt alternative)."""
+
+import numpy as np
+import pytest
+
+from repro.asm import KernelBuilder
+from repro.core import Cpu
+from repro.kernels import emit_quantize_software, software_tree_instruction_count
+from repro.qnn import random_threshold_table
+
+
+def _quantize_sw(act, table, bits, channel=0):
+    cpu = Cpu(isa="ri5cy")
+    table.write_to_memory(cpu.mem, 0x4000)
+    b = KernelBuilder(isa="ri5cy")
+    b.li("a1", act)
+    b.li("a2", table.channel_base(0x4000, channel))
+    emit_quantize_software(b, bits, "a1", "a2", "a0", "t0")
+    b.ebreak()
+    cpu.run_program(b.build())
+    return cpu.regs[10], cpu.perf.cycles
+
+
+@pytest.mark.parametrize("bits", [4, 2])
+def test_matches_golden_table(rng, bits):
+    table = random_threshold_table(2, bits, rng=rng)
+    for act in (-5000, -1, 0, 1, 300, 5000, 32767, -32768):
+        got, _ = _quantize_sw(act, table, bits)
+        expected = int(np.searchsorted(table.thresholds[0], act, side="left"))
+        assert got == expected, f"act={act}"
+
+
+@pytest.mark.parametrize("bits", [4, 2])
+def test_second_channel_tree(rng, bits):
+    table = random_threshold_table(2, bits, rng=rng)
+    act = 42
+    got, _ = _quantize_sw(act, table, bits, channel=1)
+    expected = int(np.searchsorted(table.thresholds[1], act, side="left"))
+    assert got == expected
+
+
+def test_average_cost_matches_paper(rng):
+    """Paper §III-A: ~18 cycles on average per 4-bit activation in software
+    versus 9 cycles for two activations with pv.qnt."""
+    table = random_threshold_table(1, 4, rng=rng)
+    costs = []
+    for act in np.linspace(-6000, 6000, 33).astype(int):
+        _, cycles = _quantize_sw(int(act), table, 4)
+        # subtract li setup (4 instructions = 4 cycles) and ebreak (1)
+        costs.append(cycles - 5)
+    average = float(np.mean(costs))
+    assert 12 <= average <= 24, average
+
+
+def test_2bit_tree_cheaper_than_4bit(rng):
+    t4 = random_threshold_table(1, 4, rng=rng)
+    t2 = random_threshold_table(1, 2, rng=rng)
+    _, c4 = _quantize_sw(100, t4, 4)
+    _, c2 = _quantize_sw(100, t2, 2)
+    assert c2 < c4
+
+
+def test_static_code_size():
+    assert software_tree_instruction_count(4) == 15 * 2 + 16 * 2
+    assert software_tree_instruction_count(2) == 3 * 2 + 4 * 2
+
+
+def test_rejects_8bit():
+    from repro.errors import KernelError
+
+    b = KernelBuilder(isa="ri5cy")
+    with pytest.raises(KernelError):
+        emit_quantize_software(b, 8, "a1", "a2", "a0", "t0")

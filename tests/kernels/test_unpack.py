@@ -1,0 +1,102 @@
+"""Baseline unpack sequences: element order, sign handling, cost model."""
+
+import numpy as np
+import pytest
+
+from repro.asm import KernelBuilder
+from repro.core import Cpu
+from repro.kernels.unpack import (
+    constants_needed,
+    emit_load_unpack_constants,
+    emit_unpack,
+    golden_unpack_word,
+    unpack_cost,
+    words_out,
+)
+
+REGS = {
+    "scratch0": "t5", "scratch1": "t6", "scratch2": "t4",
+    "sel_lo": "s0", "sel_hi": "s1", "mask": "gp",
+    "sel_half_lo": "t3", "sel_half_hi": "ra",
+}
+DEST_INDEX = {"a0": 10, "a1": 11, "a2": 12, "a3": 13}
+
+
+def _run_unpack(word, bits, signed, style):
+    b = KernelBuilder(isa="ri5cy")
+    emit_load_unpack_constants(b, bits, signed, style, REGS)
+    b.li("t1", word)
+    before = b.instruction_count
+    dests = list(DEST_INDEX)[: words_out(bits)]
+    emit_unpack(b, bits, "t1", dests, signed, style, REGS)
+    emitted = b.instruction_count - before
+    b.ebreak()
+    cpu = Cpu(isa="ri5cy")
+    cpu.run_program(b.build())
+    out = []
+    for dest in dests:
+        value = cpu.regs[DEST_INDEX[dest]]
+        out += [(value >> (8 * i)) & 0xFF for i in range(4)]
+    out = np.array(out, dtype=np.int32)
+    return np.where(out >= 128, out - 256, out), emitted
+
+
+@pytest.mark.parametrize("style", ["extract", "shuffle"])
+@pytest.mark.parametrize("signed", [True, False])
+@pytest.mark.parametrize("bits", [4, 2])
+def test_unpack_matches_golden(rng, bits, signed, style):
+    for _ in range(5):
+        word = int(rng.integers(0, 1 << 32))
+        got, emitted = _run_unpack(word, bits, signed, style)
+        assert np.array_equal(got, golden_unpack_word(word, bits, signed)), (
+            f"word={word:#010x}"
+        )
+        assert emitted == unpack_cost(bits, signed, style)
+
+
+class TestCostModel:
+    def test_extract_cost_is_2_per_element(self):
+        assert unpack_cost(4, True, "extract") == 16
+        assert unpack_cost(2, True, "extract") == 32
+
+    def test_shuffle_cheaper_than_extract(self):
+        for bits in (4, 2):
+            for signed in (True, False):
+                assert unpack_cost(bits, signed, "shuffle") < unpack_cost(
+                    bits, signed, "extract"
+                )
+
+    def test_unsigned_nibble_shuffle_saves_one(self):
+        assert unpack_cost(4, False, "shuffle") == unpack_cost(4, True, "shuffle") - 1
+
+
+class TestConstants:
+    def test_extract_needs_no_constants(self):
+        assert constants_needed(4, True, "extract") == []
+
+    def test_shuffle_signed_needs_selectors(self):
+        assert set(constants_needed(4, True, "shuffle")) == {"sel_lo", "sel_hi"}
+
+    def test_shuffle_unsigned_needs_mask(self):
+        assert "mask" in constants_needed(4, False, "shuffle")
+
+    def test_crumb_needs_half_selectors(self):
+        roles = constants_needed(2, True, "shuffle")
+        assert "sel_half_lo" in roles and "sel_half_hi" in roles
+
+
+class TestGoldenModel:
+    def test_golden_unpack_signed(self):
+        got = golden_unpack_word(0x8F, 4, signed=True)
+        assert got[0] == -1 and got[1] == -8
+
+    def test_golden_unpack_unsigned(self):
+        got = golden_unpack_word(0b11100100, 2, signed=False)
+        assert list(got[:4]) == [0, 1, 2, 3]
+
+    def test_bad_bits_raises(self):
+        from repro.errors import KernelError
+
+        b = KernelBuilder(isa="ri5cy")
+        with pytest.raises(KernelError):
+            emit_unpack(b, 8, "t0", ["a0"], True, "extract", REGS)

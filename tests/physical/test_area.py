@@ -1,0 +1,65 @@
+"""Area model: Table III composition must match the paper exactly."""
+
+import pytest
+
+from repro.physical import AreaModel
+
+#: Paper Table III (area half): block -> (noPM um^2, PM um^2).
+PAPER = {
+    "total": (21424.9, 21912.8),
+    "dotp_unit": (6755.8, 6844.4),
+    "id_stage": (6530.2, 6677.8),
+    "ex_stage": (11129.1, 11251.6),
+    "lsu": (610.8, 591.2),
+}
+
+
+@pytest.fixture(scope="module")
+def model():
+    return AreaModel()
+
+
+class TestBaseline:
+    def test_total(self, model):
+        assert model.baseline().total == pytest.approx(19729.9)
+
+    def test_blocks(self, model):
+        base = model.baseline()
+        assert base.blocks["dotp_unit"] == pytest.approx(5708.9)
+        assert base.blocks["lsu"] == pytest.approx(518.0)
+
+
+class TestExtended:
+    @pytest.mark.parametrize("block", sorted(PAPER))
+    def test_no_pm_matches_paper(self, model, block):
+        report = model.extended(power_mgmt=False)
+        value = report.total if block == "total" else report.blocks[block]
+        assert value == pytest.approx(PAPER[block][0], abs=0.2)
+
+    @pytest.mark.parametrize("block", sorted(PAPER))
+    def test_pm_matches_paper(self, model, block):
+        report = model.extended(power_mgmt=True)
+        value = report.total if block == "total" else report.blocks[block]
+        assert value == pytest.approx(PAPER[block][1], abs=0.2)
+
+    def test_headline_overheads(self, model):
+        rows = model.table3_area()
+        assert rows["total"]["Ext_PM_overhead_%"] == pytest.approx(11.1, abs=0.1)
+        assert rows["dotp_unit"]["Ext_PM_overhead_%"] == pytest.approx(19.9, abs=0.1)
+        assert rows["total"]["Ext_noPM_overhead_%"] == pytest.approx(8.59, abs=0.05)
+
+    def test_pm_shrinks_lsu(self, model):
+        """Operand isolation lets synthesis shrink the LSU port (paper:
+        610.8 -> 591.2 um^2)."""
+        assert model.extended(True).blocks["lsu"] < \
+            model.extended(False).blocks["lsu"]
+
+    def test_core_area_mm2(self, model):
+        assert model.core_area_mm2() == pytest.approx(0.022, abs=0.001)
+
+    def test_soc_area(self, model):
+        assert model.SOC_AREA_MM2 == pytest.approx(0.998)
+
+    def test_overhead_vs_helper(self, model):
+        overhead = model.extended(True).overhead_vs(model.baseline())
+        assert overhead["total"] == pytest.approx(11.1, abs=0.1)

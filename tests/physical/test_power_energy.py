@@ -1,0 +1,130 @@
+"""Power and energy models: calibration points and derived metrics."""
+
+import pytest
+
+from repro.core.perf import PerfCounters
+from repro.errors import ModelError
+from repro.physical import (
+    EfficiencyPoint,
+    NOMINAL,
+    OPS_PER_MAC,
+    PowerModel,
+    cycle_fractions,
+    efficiency,
+    memory_accesses_per_cycle,
+    model_for,
+)
+
+
+def _perf(**classes) -> PerfCounters:
+    perf = PerfCounters()
+    for cls, count in classes.items():
+        perf.by_class[cls] = count
+    weights = {"qnt_n": 9, "qnt_c": 5, "div": 35}
+    perf.cycles = sum(count * weights.get(cls, 1) for cls, count in classes.items())
+    perf.instructions = sum(classes.values())
+    return perf
+
+
+#: A MatMul-like mix: half loads, half dot products.
+MATMUL_PERF = _perf(load=450, mul=450, alu=80, store=30, hwloop=10)
+
+
+class TestFractions:
+    def test_fractions_sum_close_to_one(self):
+        fracs = cycle_fractions(MATMUL_PERF)
+        assert sum(v for k, v in fracs.items() if k != "stall") == pytest.approx(1.0)
+
+    def test_qnt_weighted_by_occupancy(self):
+        perf = _perf(alu=1, qnt_n=1)
+        fracs = cycle_fractions(perf)
+        assert fracs["qnt_n"] == pytest.approx(9 / 10)
+
+    def test_empty_perf_raises(self):
+        with pytest.raises(ModelError):
+            cycle_fractions(PerfCounters())
+
+    def test_memory_accesses_include_qnt_reads(self):
+        perf = _perf(load=10, store=5, qnt_n=2, qnt_c=1)
+        accesses = memory_accesses_per_cycle(perf) * perf.cycles
+        assert accesses == 10 + 5 + 16 + 4
+
+
+class TestCalibration:
+    """The model must reproduce the paper's Table III operating points
+    when fed MatMul-shaped mixes (tolerances ~5 %)."""
+
+    def test_extended_core_8bit_near_paper(self):
+        bd = model_for("xpulpnn").evaluate(MATMUL_PERF, sub_byte_bits=8)
+        assert bd.core_total_mw == pytest.approx(1.22, rel=0.06)
+
+    def test_baseline_core_8bit_near_paper(self):
+        bd = model_for("ri5cy").evaluate(MATMUL_PERF, sub_byte_bits=8)
+        assert bd.core_total_mw == pytest.approx(1.15, rel=0.06)
+
+    def test_soc_8bit_near_paper(self):
+        bd = model_for("xpulpnn").evaluate(MATMUL_PERF, sub_byte_bits=8)
+        assert bd.soc_total_mw == pytest.approx(6.04, rel=0.05)
+
+    def test_nopm_overhead_on_8bit(self):
+        pm = model_for("xpulpnn").evaluate(MATMUL_PERF, sub_byte_bits=8)
+        nopm = model_for("xpulpnn", power_mgmt=False).evaluate(
+            MATMUL_PERF, sub_byte_bits=8, workload_class="matmul8")
+        assert nopm.core_total_mw - pm.core_total_mw == pytest.approx(0.20, abs=0.03)
+
+    def test_nopm_subbyte_penalty_large(self):
+        nopm = model_for("xpulpnn", power_mgmt=False)
+        pm = model_for("xpulpnn")
+        delta4 = (nopm.evaluate(MATMUL_PERF, 4, "matmul4").soc_total_mw
+                  - pm.evaluate(MATMUL_PERF, 4, "matmul4").soc_total_mw)
+        assert delta4 == pytest.approx(2.43, abs=0.05)
+
+    def test_nibble_region_cheaper_than_byte(self):
+        pm = model_for("xpulpnn")
+        p8 = pm.evaluate(MATMUL_PERF, sub_byte_bits=8).core_total_mw
+        p4 = pm.evaluate(MATMUL_PERF, sub_byte_bits=4).core_total_mw
+        assert p4 < p8
+
+    def test_crumb_region_above_nibble(self):
+        """Paper: 2-bit MatMul measures *above* 4-bit (5.87 vs 5.71 mW)."""
+        pm = model_for("xpulpnn")
+        p4 = pm.evaluate(MATMUL_PERF, sub_byte_bits=4).soc_total_mw
+        p2 = pm.evaluate(MATMUL_PERF, sub_byte_bits=2).soc_total_mw
+        assert p2 > p4
+
+    def test_unknown_core_raises(self):
+        with pytest.raises(ModelError):
+            model_for("cortex-a72")
+
+    def test_unknown_workload_class_raises(self):
+        with pytest.raises(ModelError):
+            model_for("xpulpnn", power_mgmt=False).evaluate(
+                MATMUL_PERF, 8, workload_class="crypto")
+
+
+class TestEfficiency:
+    def test_basic_metrics(self):
+        point = efficiency("x", macs=1_000_000, cycles=500_000, power_w=0.005)
+        assert point.macs_per_cycle == 2.0
+        assert point.runtime_s == pytest.approx(500_000 / 250e6)
+        assert point.gmacs_per_s == pytest.approx(0.5)
+        assert point.gmacs_per_s_per_w == pytest.approx(100.0)
+
+    def test_ops_double_macs(self):
+        point = efficiency("x", macs=100, cycles=100, power_w=1.0)
+        assert point.gops_per_s == OPS_PER_MAC * point.gmacs_per_s
+
+    def test_ratio_and_speedup(self):
+        fast = efficiency("fast", macs=100, cycles=100, power_w=0.001)
+        slow = efficiency("slow", macs=100, cycles=1000, power_w=0.001)
+        assert fast.speedup_over(slow) == pytest.approx(10.0)
+        assert fast.efficiency_ratio(slow) == pytest.approx(10.0)
+
+    def test_custom_frequency(self):
+        point = EfficiencyPoint("stm", macs=100, cycles=100,
+                                freq_hz=80e6, power_w=0.01)
+        assert point.runtime_s == pytest.approx(100 / 80e6)
+
+    def test_energy_per_inference(self):
+        point = efficiency("x", macs=1, cycles=250_000, power_w=0.006)
+        assert point.energy_per_inference_uj == pytest.approx(6.0)

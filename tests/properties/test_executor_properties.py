@@ -1,0 +1,106 @@
+"""Property-based tests on the executor: ALU semantics and encodings."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.asm import KernelBuilder
+from repro.core import Cpu
+from repro.isa import build_isa, encode
+from repro.isa.bits import to_signed, u32
+from repro.isa.instruction import Instruction
+
+u32s = st.integers(0, 0xFFFFFFFF)
+
+_ISA = build_isa("xpulpnn")
+_CPU = Cpu(isa=_ISA)
+
+
+def _alu(mnemonic, a, b):
+    b_builder = KernelBuilder(isa=_ISA)
+    b_builder.emit(mnemonic, "a0", "a1", "a2")
+    b_builder.ebreak()
+    _CPU.reset()
+    _CPU.load_program(b_builder.build())
+    _CPU.regs[11] = a
+    _CPU.regs[12] = b
+    _CPU.run()
+    return _CPU.regs[10]
+
+
+@settings(max_examples=40)
+@given(a=u32s, b=u32s)
+def test_add_sub_inverse(a, b):
+    assert _alu("sub", _alu("add", a, b), b) == a
+
+
+@settings(max_examples=40)
+@given(a=u32s, b=u32s)
+def test_and_or_absorption(a, b):
+    assert _alu("and", _alu("or", a, b), a) == a
+
+
+@settings(max_examples=40)
+@given(a=u32s, b=u32s)
+def test_xor_involution(a, b):
+    assert _alu("xor", _alu("xor", a, b), b) == a
+
+
+@settings(max_examples=40)
+@given(a=u32s, b=u32s)
+def test_slt_matches_python(a, b):
+    assert _alu("slt", a, b) == (1 if to_signed(a) < to_signed(b) else 0)
+    assert _alu("sltu", a, b) == (1 if a < b else 0)
+
+
+@settings(max_examples=40)
+@given(a=u32s, b=u32s)
+def test_mul_matches_python(a, b):
+    assert _alu("mul", a, b) == u32(a * b)
+
+
+@settings(max_examples=30)
+@given(a=u32s, b=st.integers(0, 31))
+def test_shifts_match_python(a, b):
+    assert _alu("sll", a, b) == u32(a << b)
+    assert _alu("srl", a, b) == a >> b
+    assert _alu("sra", a, b) == u32(to_signed(a) >> b)
+
+
+@settings(max_examples=40)
+@given(rd=st.integers(0, 31), rs1=st.integers(0, 31), rs2=st.integers(0, 31))
+def test_r_format_encoding_roundtrip(rd, rs1, rs2):
+    spec = _ISA.spec("add")
+    ins = Instruction(spec=spec, rd=rd, rs1=rs1, rs2=rs2)
+    decoded = _ISA.decoder.decode(encode(ins))
+    assert (decoded.rd, decoded.rs1, decoded.rs2) == (rd, rs1, rs2)
+
+
+@settings(max_examples=40)
+@given(imm=st.integers(-2048, 2047))
+def test_i_format_immediate_roundtrip(imm):
+    spec = _ISA.spec("addi")
+    ins = Instruction(spec=spec, rd=1, rs1=2, imm=imm)
+    assert _ISA.decoder.decode(encode(ins)).imm == imm
+
+
+@settings(max_examples=40)
+@given(imm=st.integers(-2048, 2047))
+def test_s_format_immediate_roundtrip(imm):
+    spec = _ISA.spec("sw")
+    ins = Instruction(spec=spec, rs1=2, rs2=3, imm=imm)
+    assert _ISA.decoder.decode(encode(ins)).imm == imm
+
+
+@settings(max_examples=40)
+@given(imm=st.integers(-2048, 2046).map(lambda v: v & ~1))
+def test_b_format_immediate_roundtrip(imm):
+    spec = _ISA.spec("beq")
+    ins = Instruction(spec=spec, rs1=2, rs2=3, imm=imm)
+    assert _ISA.decoder.decode(encode(ins)).imm == imm
+
+
+@settings(max_examples=40)
+@given(imm=st.integers(-(1 << 19), (1 << 19) - 1).map(lambda v: v * 2))
+def test_j_format_immediate_roundtrip(imm):
+    spec = _ISA.spec("jal")
+    ins = Instruction(spec=spec, rd=1, imm=imm)
+    assert _ISA.decoder.decode(encode(ins)).imm == imm

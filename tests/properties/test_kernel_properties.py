@@ -1,0 +1,132 @@
+"""Property-based kernel tests: random geometries and tensors stay
+bit-exact against the golden models (bounded sizes for speed)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernels import (
+    ConvConfig,
+    ConvKernel,
+    LinearConfig,
+    LinearKernel,
+    MatmulConfig,
+    MatmulKernel,
+    PoolConfig,
+    PoolKernel,
+)
+from repro.qnn import (
+    ConvGeometry,
+    conv2d_golden,
+    maxpool_golden,
+    random_threshold_table,
+    requantize_shift,
+    thresholds_from_accumulators,
+)
+
+_SETTINGS = dict(max_examples=5, deadline=None)
+
+
+@st.composite
+def matmul_cases(draw):
+    bits = draw(st.sampled_from([8, 4, 2]))
+    k = draw(st.sampled_from([32, 64, 96, 160]))
+    out_ch = draw(st.sampled_from([4, 8, 12]))
+    seed = draw(st.integers(0, 2**31))
+    return bits, k, out_ch, seed
+
+
+@settings(**_SETTINGS)
+@given(matmul_cases())
+def test_matmul_raw_matches_golden(case):
+    bits, k, out_ch, seed = case
+    rng = np.random.default_rng(seed)
+    lo = -(1 << (bits - 1))
+    w = rng.integers(lo, 1 << (bits - 1), (out_ch, k)).astype(np.int32)
+    x0 = rng.integers(0, 1 << bits, k).astype(np.int32)
+    x1 = rng.integers(0, 1 << bits, k).astype(np.int32)
+    kern = MatmulKernel(MatmulConfig(reduction=k, out_ch=out_ch, bits=bits,
+                                     quant="none"))
+    run = kern.run(w, x0, x1)
+    expected = np.stack([x0.astype(np.int64) @ w.T, x1.astype(np.int64) @ w.T])
+    assert np.array_equal(run.output, expected)
+
+
+@st.composite
+def conv_cases(draw):
+    in_hw = draw(st.sampled_from([4, 6]))
+    in_ch = 16
+    out_ch = draw(st.sampled_from([4, 8]))
+    bits = draw(st.sampled_from([8, 4, 2]))
+    pad = draw(st.sampled_from([0, 1]))
+    seed = draw(st.integers(0, 2**31))
+    if pad == 0 and in_hw == 4:
+        in_hw = 6  # keep the output even and non-empty
+    return in_hw, in_ch, out_ch, bits, pad, seed
+
+
+@settings(**_SETTINGS)
+@given(conv_cases())
+def test_conv_matches_golden(case):
+    in_hw, in_ch, out_ch, bits, pad, seed = case
+    rng = np.random.default_rng(seed)
+    g = ConvGeometry(in_h=in_hw, in_w=in_hw, in_ch=in_ch, out_ch=out_ch,
+                     kh=3, kw=3, stride=1, pad=pad)
+    lo = -(1 << (bits - 1))
+    w = rng.integers(lo, 1 << (bits - 1),
+                     (out_ch, 3, 3, in_ch)).astype(np.int32)
+    x = rng.integers(0, 1 << bits, (in_hw, in_hw, in_ch)).astype(np.int32)
+    acc = conv2d_golden(x, w, stride=1, pad=pad)
+    if bits == 8:
+        kern = ConvKernel(ConvConfig(geometry=g, bits=8, quant="shift"))
+        run = kern.run(w, x, shift=8)
+        expected = requantize_shift(acc, 8, 8, signed=False)
+    else:
+        table = thresholds_from_accumulators(acc, bits)
+        kern = ConvKernel(ConvConfig(geometry=g, bits=bits, quant="hw"))
+        run = kern.run(w, x, thresholds=table)
+        expected = table.quantize(acc, channel_axis=-1)
+    assert np.array_equal(run.output, expected)
+
+
+@settings(**_SETTINGS)
+@given(st.sampled_from([8, 4, 2]), st.sampled_from([4, 8]),
+       st.integers(0, 2**31))
+def test_maxpool_matches_golden(bits, hw, seed):
+    rng = np.random.default_rng(seed)
+    channels = 16
+    x = rng.integers(0, 1 << bits, (hw, hw, channels)).astype(np.int32)
+    run = PoolKernel(PoolConfig(hw, hw, channels, bits, op="max")).run(x)
+    assert np.array_equal(run.output, maxpool_golden(x, 2))
+
+
+@settings(**_SETTINGS)
+@given(st.sampled_from([8, 4, 2]), st.sampled_from([32, 64, 128]),
+       st.integers(0, 10), st.integers(0, 2**31))
+def test_linear_matches_golden(bits, in_f, shift, seed):
+    rng = np.random.default_rng(seed)
+    out_f = 8
+    lo = -(1 << (bits - 1))
+    w = rng.integers(lo, 1 << (bits - 1), (out_f, in_f)).astype(np.int32)
+    x = rng.integers(0, 1 << bits, in_f).astype(np.int32)
+    run = LinearKernel(LinearConfig(in_f, out_f, bits)).run(w, x, shift=shift)
+    expected = requantize_shift(w.astype(np.int64) @ x, shift, 8, signed=False)
+    assert np.array_equal(run.output, expected)
+
+
+@settings(**_SETTINGS)
+@given(st.integers(0, 2**31))
+def test_staircase_kernel_vs_table_random_thresholds(seed):
+    """Random threshold tables (not derived from the data) still agree."""
+    rng = np.random.default_rng(seed)
+    k, out_ch = 64, 4
+    w = rng.integers(-8, 8, (out_ch, k)).astype(np.int32)
+    x0 = rng.integers(0, 16, k).astype(np.int32)
+    x1 = rng.integers(0, 16, k).astype(np.int32)
+    table = random_threshold_table(out_ch, 4, spread=900, rng=rng)
+    kern = MatmulKernel(MatmulConfig(reduction=k, out_ch=out_ch, bits=4,
+                                     quant="hw"))
+    run = kern.run(w, x0, x1, thresholds=table)
+    expected = table.quantize(
+        np.stack([x0.astype(np.int64) @ w.T, x1.astype(np.int64) @ w.T]))
+    assert np.array_equal(run.output, expected)

@@ -1,0 +1,70 @@
+"""Property-based tests: packing, thresholds, and encoding invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.qnn import pack, unpack, sorted_to_heap, heap_to_sorted, ThresholdTable
+from repro.isa.xpulpnn import walk_threshold_tree
+
+
+@st.composite
+def packed_tensors(draw):
+    bits = draw(st.sampled_from([2, 4, 8]))
+    signed = draw(st.booleans())
+    count = draw(st.integers(1, 16)) * (8 // bits)
+    lo = -(1 << (bits - 1)) if signed else 0
+    hi = (1 << (bits - 1)) - 1 if signed else (1 << bits) - 1
+    values = draw(arrays(np.int32, count, elements=st.integers(lo, hi)))
+    return bits, signed, values
+
+
+@given(packed_tensors())
+def test_pack_unpack_roundtrip(case):
+    bits, signed, values = case
+    data = pack(values, bits, signed)
+    assert len(data) == values.size * bits // 8
+    assert np.array_equal(unpack(data, bits, signed, count=values.size), values)
+
+
+@given(packed_tensors())
+def test_pack_deterministic(case):
+    bits, signed, values = case
+    assert pack(values, bits, signed) == pack(values.copy(), bits, signed)
+
+
+@st.composite
+def sorted_thresholds(draw):
+    bits = draw(st.sampled_from([2, 4]))
+    count = (1 << bits) - 1
+    base = draw(st.lists(st.integers(-30000, 30000), min_size=count,
+                         max_size=count, unique=True))
+    return bits, np.sort(np.array(base, dtype=np.int64))
+
+
+@given(sorted_thresholds())
+def test_heap_roundtrip(case):
+    _, thresholds = case
+    assert np.array_equal(heap_to_sorted(sorted_to_heap(thresholds)), thresholds)
+
+
+@given(sorted_thresholds(), st.integers(-32768, 32767))
+def test_tree_walk_equals_rank(case, act):
+    """The hardware walk must equal the staircase rank for any input —
+    the core correctness property of pv.qnt."""
+    bits, thresholds = case
+    heap = sorted_to_heap(thresholds)
+    memory = {2 * i: int(v) for i, v in enumerate(heap)}
+    code = walk_threshold_tree(lambda a: memory[a], 0, act, bits)
+    assert code == int(np.searchsorted(thresholds, act, side="left"))
+
+
+@given(sorted_thresholds())
+def test_quantize_monotone(case):
+    """Staircase quantization is monotone non-decreasing."""
+    bits, thresholds = case
+    table = ThresholdTable(bits=bits, thresholds=thresholds[None, :])
+    xs = np.linspace(-32768, 32767, 201).astype(np.int64)[:, None]
+    levels = table.quantize(xs, channel_axis=-1).ravel()
+    assert np.all(np.diff(levels) >= 0)
+    assert levels.min() >= 0 and levels.max() <= (1 << bits) - 1

@@ -1,0 +1,150 @@
+"""Property-based tests: SIMD lane semantics vs independent numpy models."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.bits import join_lanes, split_lanes, to_signed
+from repro.isa.simd import simd_abs, simd_dotp, simd_lane_op, simd_shuffle2
+
+words = st.integers(min_value=0, max_value=0xFFFFFFFF)
+widths = st.sampled_from([2, 4, 8, 16])
+
+
+@given(a=words, b=words, width=widths)
+def test_add_matches_numpy(a, b, width):
+    got = split_lanes(simd_lane_op("add", a, b, width), width)
+    av = np.array(split_lanes(a, width), dtype=np.int64)
+    bv = np.array(split_lanes(b, width), dtype=np.int64)
+    expected = (av + bv) % (1 << width)
+    assert got == list(expected)
+
+
+@given(a=words, b=words, width=widths)
+def test_sub_then_add_roundtrip(a, b, width):
+    diff = simd_lane_op("sub", a, b, width)
+    assert simd_lane_op("add", diff, b, width) == a
+
+
+@given(a=words, b=words, width=widths)
+def test_min_max_partition(a, b, width):
+    """Per lane, {min, max} == {a, b} as multisets (signed)."""
+    lo = split_lanes(simd_lane_op("min", a, b, width), width, signed=True)
+    hi = split_lanes(simd_lane_op("max", a, b, width), width, signed=True)
+    av = split_lanes(a, width, signed=True)
+    bv = split_lanes(b, width, signed=True)
+    for x, y, m, M in zip(av, bv, lo, hi):
+        assert sorted((x, y)) == [m, M]
+
+
+@given(a=words, b=words, width=widths)
+def test_minu_le_maxu(a, b, width):
+    lo = split_lanes(simd_lane_op("minu", a, b, width), width)
+    hi = split_lanes(simd_lane_op("maxu", a, b, width), width)
+    assert all(m <= M for m, M in zip(lo, hi))
+
+
+@given(a=words, width=widths)
+def test_abs_is_nonnegative_except_min(a, width):
+    out = split_lanes(simd_abs(a, width), width, signed=True)
+    lane_min = -(1 << (width - 1))
+    for value in out:
+        assert value >= 0 or value == lane_min  # |INT_MIN| wraps
+
+
+@given(a=words, b=words, width=widths)
+def test_avg_between_operands(a, b, width):
+    out = split_lanes(simd_lane_op("avg", a, b, width), width, signed=True)
+    av = split_lanes(a, width, signed=True)
+    bv = split_lanes(b, width, signed=True)
+    for x, y, m in zip(av, bv, out):
+        assert min(x, y) <= m <= max(x, y)
+
+
+@given(a=words, b=words, width=widths,
+       sa=st.booleans(), sb=st.booleans(), acc=words)
+def test_dotp_matches_numpy(a, b, width, sa, sb, acc):
+    got = simd_dotp(a, b, width, sa, sb, acc)
+    av = np.array(split_lanes(a, width, signed=sa), dtype=np.int64)
+    bv = np.array(split_lanes(b, width, signed=sb), dtype=np.int64)
+    expected = (int(av @ bv) + acc) & 0xFFFFFFFF
+    assert got == expected
+
+
+@given(a=words, b=words, width=widths)
+def test_dotp_commutes_when_same_signedness(a, b, width):
+    assert simd_dotp(a, b, width, True, True) == simd_dotp(b, a, width, True, True)
+    assert simd_dotp(a, b, width, False, False) == simd_dotp(b, a, width, False, False)
+
+
+@given(a=words, width=widths, shift=st.integers(0, 31))
+def test_shift_roundtrip_lanes(a, width, shift):
+    """sll then srl recovers the lane's low bits."""
+    amount = shift % width
+    b = join_lanes([amount] * (32 // width), width)
+    shifted = simd_lane_op("sll", a, b, width)
+    back = split_lanes(simd_lane_op("srl", shifted, b, width), width)
+    original = split_lanes(a, width)
+    mask = (1 << (width - amount)) - 1
+    assert back == [v & mask for v in original]
+
+
+@given(rd=words, a=words, width=st.sampled_from([8, 16]))
+def test_shuffle2_identity_selector(rd, a, width):
+    lanes = 32 // width
+    sel = join_lanes(list(range(lanes)), width)
+    assert simd_shuffle2(rd, a, sel, width) == a
+
+
+@given(rd=words, a=words, width=st.sampled_from([8, 16]))
+def test_shuffle2_old_rd_selector(rd, a, width):
+    lanes = 32 // width
+    sel = join_lanes([lanes + i for i in range(lanes)], width)
+    assert simd_shuffle2(rd, a, sel, width) == rd
+
+
+# ---------------------------------------------------------------------------
+# Thumb-2 DSP ops vs numpy (the ARM validation machine's datapath)
+# ---------------------------------------------------------------------------
+
+def _smlad_model(rn, rm, ra):
+    def q15(v, hi):
+        h = (v >> 16) & 0xFFFF if hi else v & 0xFFFF
+        return h - 0x10000 if h & 0x8000 else h
+
+    return (ra + q15(rn, False) * q15(rm, False)
+            + q15(rn, True) * q15(rm, True)) & 0xFFFFFFFF
+
+
+@given(rn=words, rm=words, ra=words)
+def test_thumb2_smlad_matches_model(rn, rm, ra):
+    from repro.baselines import Thumb2Builder, Thumb2Machine
+
+    b = Thumb2Builder()
+    b.emit("smlad", "r0", "r1", "r2", "r3")
+    machine = Thumb2Machine()
+    machine.regs[1], machine.regs[2], machine.regs[3] = rn, rm, ra
+    machine.run(b)
+    assert machine.regs[0] == _smlad_model(rn, rm, ra)
+
+
+@given(value=words)
+def test_thumb2_sxtb16_pair_roundtrip(value):
+    """SXTB16 even + SXTB16,ROR#8 odd cover all four bytes, signed."""
+    from repro.baselines import Thumb2Builder, Thumb2Machine
+
+    b = Thumb2Builder()
+    b.emit("sxtb16", "r1", "r0")
+    b.emit("sxtb16", "r2", "r0", 8)
+    machine = Thumb2Machine()
+    machine.regs[0] = value
+    machine.run(b)
+    bytes_ = [(value >> (8 * i)) & 0xFF for i in range(4)]
+    signed = [v - 256 if v & 0x80 else v for v in bytes_]
+
+    def halves(word):
+        lo = word & 0xFFFF
+        hi = (word >> 16) & 0xFFFF
+        return [v - 0x10000 if v & 0x8000 else v for v in (lo, hi)]
+
+    assert halves(machine.regs[1]) == [signed[0], signed[2]]
+    assert halves(machine.regs[2]) == [signed[1], signed[3]]

@@ -1,0 +1,125 @@
+"""Golden layer implementations: conv/im2col/matmul/pool/linear."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError
+from repro.qnn import (
+    PAPER_LAYER,
+    ConvGeometry,
+    avgpool_golden,
+    conv2d_golden,
+    conv_out_size,
+    im2col_golden,
+    linear_golden,
+    matmul_golden,
+    maxpool_golden,
+)
+
+
+class TestGeometry:
+    def test_out_size(self):
+        assert conv_out_size(16, 3, 1, 1) == 16
+        assert conv_out_size(16, 3, 1, 0) == 14
+        assert conv_out_size(16, 3, 2, 1) == 8
+
+    def test_paper_layer_macs(self):
+        assert PAPER_LAYER.macs == 256 * 64 * 288  # 4.7 GMAC-ish
+
+    def test_reduction(self):
+        assert PAPER_LAYER.reduction == 3 * 3 * 32
+
+    def test_describe(self):
+        assert "16x16x32" in PAPER_LAYER.describe()
+
+
+class TestIm2col:
+    def test_identity_kernel(self):
+        x = np.arange(2 * 2 * 3).reshape(2, 2, 3)
+        rows = im2col_golden(x, 1, 1)
+        assert rows.shape == (4, 3)
+        assert np.array_equal(rows[0], x[0, 0])
+
+    def test_patch_order_kh_kw_c(self):
+        x = np.arange(3 * 3 * 2).reshape(3, 3, 2)
+        rows = im2col_golden(x, 2, 2)
+        # first patch covers pixels (0,0),(0,1),(1,0),(1,1)
+        expected = np.concatenate([x[0, 0], x[0, 1], x[1, 0], x[1, 1]])
+        assert np.array_equal(rows[0], expected)
+
+    def test_padding_zero_fills(self):
+        x = np.ones((2, 2, 1), dtype=np.int32)
+        rows = im2col_golden(x, 3, 3, pad=1)
+        assert rows.shape == (4, 9)
+        assert rows[0].sum() == 4  # corners padded
+
+    def test_stride(self):
+        x = np.arange(4 * 4 * 1).reshape(4, 4, 1)
+        rows = im2col_golden(x, 2, 2, stride=2)
+        assert rows.shape == (4, 4)
+
+    def test_bad_shape_raises(self):
+        with pytest.raises(KernelError):
+            im2col_golden(np.zeros((4, 4)), 3, 3)
+
+    def test_empty_output_raises(self):
+        with pytest.raises(KernelError):
+            im2col_golden(np.zeros((2, 2, 1)), 5, 5)
+
+
+class TestConvMatmul:
+    def test_conv_equals_im2col_matmul(self, rng):
+        x = rng.integers(0, 16, (6, 6, 4))
+        w = rng.integers(-8, 8, (3, 3, 3, 4))
+        acc = conv2d_golden(x, w, stride=1, pad=1)
+        cols = im2col_golden(x, 3, 3, 1, 1)
+        flat = matmul_golden(w.reshape(3, -1), cols)
+        assert np.array_equal(acc.reshape(-1, 3), flat)
+
+    def test_known_convolution(self):
+        x = np.ones((3, 3, 1), dtype=np.int64)
+        w = np.ones((1, 3, 3, 1), dtype=np.int64)
+        acc = conv2d_golden(x, w, pad=0)
+        assert acc.shape == (1, 1, 1) and acc[0, 0, 0] == 9
+
+    def test_channel_mismatch_raises(self):
+        with pytest.raises(KernelError):
+            conv2d_golden(np.zeros((4, 4, 2)), np.zeros((1, 3, 3, 3)))
+
+    def test_matmul_k_mismatch(self):
+        with pytest.raises(KernelError):
+            matmul_golden(np.zeros((2, 5)), np.zeros((3, 4)))
+
+    def test_linear(self, rng):
+        w = rng.integers(-8, 8, (10, 32))
+        x = rng.integers(0, 16, 32)
+        out = linear_golden(x, w)
+        assert np.array_equal(out, w.astype(np.int64) @ x)
+
+    def test_linear_size_mismatch(self):
+        with pytest.raises(KernelError):
+            linear_golden(np.zeros(3), np.zeros((2, 4)))
+
+
+class TestPooling:
+    def test_maxpool(self):
+        x = np.array([[[1], [5]], [[3], [2]]])
+        assert maxpool_golden(x, 2)[0, 0, 0] == 5
+
+    def test_maxpool_per_channel(self, rng):
+        x = rng.integers(0, 100, (4, 4, 3))
+        out = maxpool_golden(x, 2)
+        assert out.shape == (2, 2, 3)
+        assert out[0, 0, 1] == x[:2, :2, 1].max()
+
+    def test_avgpool_floor(self):
+        x = np.array([[[1], [2]], [[3], [5]]])
+        assert avgpool_golden(x, 2)[0, 0, 0] == 2  # 11//4
+
+    def test_pool_stride_defaults_to_size(self, rng):
+        x = rng.integers(0, 10, (6, 6, 2))
+        assert maxpool_golden(x, 2).shape == (3, 3, 2)
+
+    def test_pool_custom_stride(self, rng):
+        x = rng.integers(0, 10, (6, 6, 2))
+        assert maxpool_golden(x, 2, stride=1).shape == (5, 5, 2)

@@ -1,0 +1,85 @@
+"""QNN network container and golden sequential execution."""
+
+import numpy as np
+import pytest
+
+from repro.qnn import (
+    AvgPool,
+    MaxPool,
+    QnnNetwork,
+    QuantizedConv,
+    QuantizedLinear,
+    random_activations,
+    random_weights,
+)
+
+
+def _small_net(rng):
+    net = QnnNetwork(name="test")
+    net.add(QuantizedConv(
+        weights=random_weights((8, 3, 3, 4), 4, rng), weight_bits=4,
+        in_bits=4, out_bits=4, pad=1,
+    ))
+    net.add(MaxPool(size=2))
+    net.add(QuantizedLinear(
+        weights=random_weights((10, 8 * 4 * 4), 4, rng), weight_bits=4,
+        in_bits=4, out_bits=8,
+    ))
+    return net
+
+
+class TestGoldenExecution:
+    def test_shapes_flow(self, rng):
+        net = _small_net(rng)
+        x = random_activations((8, 8, 4), 4, rng)
+        out = net.golden(x)
+        assert out.shape == (10,)
+
+    def test_record_layers(self, rng):
+        net = _small_net(rng)
+        x = random_activations((8, 8, 4), 4, rng)
+        record = []
+        net.golden(x, record=record)
+        assert len(record) == 3
+        assert record[0].shape == (8, 8, 8)
+        assert record[1].shape == (4, 4, 8)
+
+    def test_conv_output_in_range(self, rng):
+        net = _small_net(rng)
+        x = random_activations((8, 8, 4), 4, rng)
+        record = []
+        net.golden(x, record=record)
+        assert record[0].min() >= 0 and record[0].max() <= 15
+
+    def test_calibration_is_sticky(self, rng):
+        """Thresholds derived on the first run are reused afterwards."""
+        conv = QuantizedConv(
+            weights=random_weights((4, 3, 3, 4), 4, rng), weight_bits=4,
+            in_bits=4, out_bits=4, pad=1,
+        )
+        x = random_activations((6, 6, 4), 4, rng)
+        first = conv.golden(x)
+        table = conv.thresholds
+        second = conv.golden(x)
+        assert table is conv.thresholds
+        assert np.array_equal(first, second)
+
+    def test_8bit_conv_uses_shift(self, rng):
+        conv = QuantizedConv(
+            weights=random_weights((4, 3, 3, 4), 8, rng), weight_bits=8,
+            in_bits=8, out_bits=8, pad=1,
+        )
+        x = random_activations((6, 6, 4), 8, rng)
+        conv.golden(x)
+        assert conv.shift is not None and conv.thresholds is None
+
+    def test_avgpool_cascade(self):
+        # Values chosen so cascade != floor-of-sum: [1,0,3,0]
+        x = np.array([[[1], [0]], [[3], [0]]])
+        out = AvgPool(size=2).golden(x)
+        assert out[0, 0, 0] == 0  # avg(avg(1,0), avg(3,0)) = avg(0,1)=0
+
+    def test_describe(self, rng):
+        net = _small_net(rng)
+        text = net.describe()
+        assert "conv" in text and "maxpool" in text and "linear" in text

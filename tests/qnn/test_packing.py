@@ -1,0 +1,79 @@
+"""Sub-byte packing/unpacking tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError
+from repro.qnn import elements_per_word, pack, pack_words, unpack
+
+
+class TestPack:
+    def test_pack_8bit_identity(self):
+        data = pack([1, 2, 255, 128], 8, signed=False)
+        assert data == bytes([1, 2, 255, 128])
+
+    def test_pack_nibbles_lane_order(self):
+        data = pack([0x1, 0x2, 0x3, 0x4], 4, signed=False)
+        # lane 0 is the least significant nibble
+        assert data == bytes([0x21, 0x43])
+
+    def test_pack_crumbs(self):
+        data = pack([0, 1, 2, 3], 2, signed=False)
+        assert data == bytes([0b11100100])
+
+    def test_pack_signed_nibbles(self):
+        data = pack([-1, -8, 7, 0], 4, signed=True)
+        assert data == bytes([0x8F, 0x07])
+
+    def test_pack_range_check_signed(self):
+        with pytest.raises(KernelError):
+            pack([8], 4, signed=True)
+
+    def test_pack_range_check_unsigned(self):
+        with pytest.raises(KernelError):
+            pack([16, 0], 4, signed=False)
+        with pytest.raises(KernelError):
+            pack([-1, 0], 4, signed=False)
+
+    def test_partial_byte_rejected(self):
+        with pytest.raises(KernelError):
+            pack([1], 4, signed=False)
+
+    def test_unsupported_width(self):
+        with pytest.raises(KernelError):
+            pack([1], 3, signed=False)
+
+
+class TestUnpack:
+    @pytest.mark.parametrize("bits", [2, 4, 8])
+    @pytest.mark.parametrize("signed", [True, False])
+    def test_roundtrip(self, rng, bits, signed):
+        lo = -(1 << (bits - 1)) if signed else 0
+        hi = (1 << (bits - 1)) if signed else (1 << bits)
+        values = rng.integers(lo, hi, 64).astype(np.int32)
+        data = pack(values, bits, signed)
+        assert np.array_equal(unpack(data, bits, signed, count=64), values)
+
+    def test_count_trims(self):
+        data = pack([1, 2, 3, 4], 4, signed=False)
+        assert list(unpack(data, 4, signed=False, count=3)) == [1, 2, 3]
+
+    def test_count_too_large_raises(self):
+        data = pack([1, 2], 4, signed=False)
+        with pytest.raises(KernelError):
+            unpack(data, 4, signed=False, count=5)
+
+
+class TestWords:
+    def test_pack_words(self):
+        words = pack_words(list(range(8)), 4, signed=False)
+        assert words == [0x76543210]
+
+    def test_pack_words_needs_full_words(self):
+        with pytest.raises(KernelError):
+            pack_words([1, 2], 8, signed=False)
+
+    def test_elements_per_word(self):
+        assert elements_per_word(8) == 4
+        assert elements_per_word(4) == 8
+        assert elements_per_word(2) == 16

@@ -1,0 +1,78 @@
+"""Uniform quantization and requantization helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError
+from repro.qnn import (
+    QuantParams,
+    choose_requant_shift,
+    int_range,
+    quantize_uniform,
+    relu,
+    requantize_shift,
+)
+
+
+class TestIntRange:
+    def test_signed(self):
+        assert int_range(8, True) == (-128, 127)
+        assert int_range(4, True) == (-8, 7)
+        assert int_range(2, True) == (-2, 1)
+
+    def test_unsigned(self):
+        assert int_range(8, False) == (0, 255)
+        assert int_range(2, False) == (0, 3)
+
+    def test_invalid(self):
+        with pytest.raises(KernelError):
+            int_range(0, True)
+
+
+class TestUniform:
+    def test_roundtrip_error_bounded(self, rng):
+        real = rng.normal(0, 1, 100)
+        q, params = quantize_uniform(real, 8)
+        err = np.abs(params.dequantize(q) - real)
+        assert err.max() <= params.scale / 2 + 1e-9
+
+    def test_range_respected(self, rng):
+        real = rng.normal(0, 1, 1000)
+        q, _ = quantize_uniform(real, 4)
+        assert q.min() >= -8 and q.max() <= 7
+
+    def test_zero_tensor(self):
+        q, params = quantize_uniform(np.zeros(4), 8)
+        assert np.all(q == 0) and params.scale > 0
+
+    def test_quant_params_clip(self):
+        params = QuantParams(bits=4, signed=True, scale=1.0)
+        assert params.quantize(np.array([100.0]))[0] == 7
+
+
+class TestRequantShift:
+    def test_basic(self):
+        acc = np.array([1024, 100, -50])
+        out = requantize_shift(acc, 2, 8, signed=False)
+        assert list(out) == [255, 25, 0]
+
+    def test_arithmetic_shift(self):
+        out = requantize_shift(np.array([-1024]), 4, 8, signed=True)
+        assert out[0] == -64
+
+    def test_bad_shift(self):
+        with pytest.raises(KernelError):
+            requantize_shift(np.array([1]), 40, 8)
+
+    def test_choose_shift_brings_in_range(self, rng):
+        acc = rng.integers(-(1 << 20), 1 << 20, 100)
+        shift = choose_requant_shift(acc, 8, signed=False)
+        assert (np.abs(acc) >> shift).max() <= 255
+
+    def test_choose_shift_zero_for_small(self):
+        assert choose_requant_shift(np.array([5, 10]), 8) == 0
+
+
+class TestRelu:
+    def test_relu(self):
+        assert list(relu(np.array([-3, 0, 4]))) == [0, 0, 4]

@@ -1,0 +1,121 @@
+"""Threshold table, heap layout, and golden staircase quantization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError
+from repro.qnn import (
+    ThresholdTable,
+    heap_to_sorted,
+    random_threshold_table,
+    sorted_to_heap,
+    thresholds_from_accumulators,
+    tree_stride,
+)
+from repro.soc import Memory
+
+
+class TestHeapLayout:
+    def test_sorted_to_heap_15(self):
+        heap = sorted_to_heap(np.arange(15))
+        assert heap[0] == 7           # root is the median
+        assert heap[1] == 3 and heap[2] == 11
+
+    def test_sorted_to_heap_3(self):
+        assert list(sorted_to_heap(np.array([10, 20, 30]))) == [20, 10, 30]
+
+    def test_heap_roundtrip(self, rng):
+        values = np.sort(rng.integers(-100, 100, 15))
+        assert np.array_equal(heap_to_sorted(sorted_to_heap(values)), values)
+
+    def test_non_power_count_rejected(self):
+        with pytest.raises(KernelError):
+            sorted_to_heap(np.arange(4))
+
+
+class TestThresholdTable:
+    def test_quantize_is_rank(self):
+        table = ThresholdTable(bits=2, thresholds=np.array([[0, 10, 20]]))
+        acc = np.array([[-5, 0, 5, 10, 15, 25]]).T  # one channel
+        out = table.quantize(acc.reshape(-1, 1), channel_axis=-1).ravel()
+        assert list(out) == [0, 0, 1, 1, 2, 3]
+
+    def test_strictly_greater_semantics(self):
+        """x > t counts, equality does not (matches pv.qnt's comparator)."""
+        table = ThresholdTable(bits=2, thresholds=np.array([[0, 10, 20]]))
+        assert table.quantize(np.array([[10]]))[0, 0] == 1
+        assert table.quantize(np.array([[11]]))[0, 0] == 2
+
+    def test_channel_mismatch_raises(self):
+        table = random_threshold_table(4, 4)
+        with pytest.raises(KernelError):
+            table.quantize(np.zeros((2, 3)))
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(KernelError):
+            ThresholdTable(bits=2, thresholds=np.array([[5, 3, 10]]))
+
+    def test_wrong_count_rejected(self):
+        with pytest.raises(KernelError):
+            ThresholdTable(bits=2, thresholds=np.array([[1, 2]]))
+
+    def test_int16_domain_enforced(self):
+        with pytest.raises(KernelError):
+            ThresholdTable(bits=2, thresholds=np.array([[0, 10, 40000]]))
+
+
+class TestMemoryImage:
+    def test_stride_constants(self):
+        assert tree_stride(4) == 32
+        assert tree_stride(2) == 8
+
+    def test_unsupported_bits(self):
+        with pytest.raises(KernelError):
+            tree_stride(8)
+
+    def test_image_layout(self):
+        table = ThresholdTable(bits=2, thresholds=np.array([[0, 10, 20],
+                                                            [5, 6, 7]]))
+        image = table.heap_image()
+        assert len(image) == 2 * 8
+        # channel 0 heap: [10, 0, 20]
+        assert int.from_bytes(image[0:2], "little") == 10
+        # channel 1 root at stride offset
+        assert int.from_bytes(image[8:10], "little") == 6
+
+    def test_write_requires_alignment(self):
+        mem = Memory(256)
+        table = random_threshold_table(2, 4)
+        with pytest.raises(KernelError):
+            table.write_to_memory(mem, 3)
+
+    def test_negative_thresholds_encoded_twos_complement(self):
+        table = ThresholdTable(bits=2, thresholds=np.array([[-5, 0, 5]]))
+        mem = Memory(64)
+        table.write_to_memory(mem, 0)
+        assert mem.read_i16(2, 1) == [-5]  # left child of root
+
+    def test_channel_base(self):
+        table = random_threshold_table(3, 4)
+        assert table.channel_base(0x1000, 2) == 0x1000 + 64
+
+
+class TestCalibration:
+    def test_thresholds_from_accumulators(self, rng):
+        acc = rng.normal(0, 300, (100, 4)).astype(np.int64)
+        table = thresholds_from_accumulators(acc, 4)
+        assert table.channels == 4
+        # strictly increasing per channel
+        assert np.all(np.diff(table.thresholds, axis=1) > 0)
+
+    def test_calibrated_levels_cover_range(self, rng):
+        acc = rng.normal(0, 300, (1000, 2)).astype(np.int64)
+        table = thresholds_from_accumulators(acc, 2)
+        levels = table.quantize(acc, channel_axis=-1)
+        assert levels.min() == 0 and levels.max() == 3
+
+    def test_random_table_valid(self, rng):
+        for bits in (2, 4):
+            table = random_threshold_table(8, bits, rng=rng)
+            assert table.channels == 8
+            assert np.all(np.diff(table.thresholds, axis=1) > 0)

@@ -1,0 +1,90 @@
+"""Flat memory model tests."""
+
+import pytest
+
+from repro.errors import MemoryAccessError
+from repro.soc import Memory
+
+
+class TestBounds:
+    def test_in_range_access(self):
+        mem = Memory(64, base=0x100)
+        mem.store(0x100, 4, 0xDEADBEEF)
+        assert mem.load(0x100, 4) == 0xDEADBEEF
+
+    def test_below_base_raises(self):
+        mem = Memory(64, base=0x100)
+        with pytest.raises(MemoryAccessError):
+            mem.load(0xFC, 4)
+
+    def test_past_end_raises(self):
+        mem = Memory(64, base=0x100)
+        with pytest.raises(MemoryAccessError):
+            mem.load(0x13D, 4)
+
+    def test_straddling_end_raises(self):
+        mem = Memory(64, base=0)
+        with pytest.raises(MemoryAccessError):
+            mem.load(62, 4)
+
+    def test_bad_size_raises(self):
+        mem = Memory(64)
+        with pytest.raises(MemoryAccessError):
+            mem.load(0, 3)
+        with pytest.raises(MemoryAccessError):
+            mem.store(0, 8, 0)
+
+    def test_zero_size_memory_rejected(self):
+        with pytest.raises(ValueError):
+            Memory(0)
+
+
+class TestEndianness:
+    def test_little_endian_word(self):
+        mem = Memory(16)
+        mem.store(0, 4, 0x11223344)
+        assert mem.load(0, 1) == 0x44
+        assert mem.load(3, 1) == 0x11
+
+    def test_signed_load(self):
+        mem = Memory(16)
+        mem.store(0, 2, 0x8000)
+        assert mem.load(0, 2, signed=True) == 0xFFFF8000
+
+    def test_store_masks_value(self):
+        mem = Memory(16)
+        mem.store(0, 1, 0x1FF)
+        assert mem.load(0, 1) == 0xFF
+
+
+class TestBulkHelpers:
+    def test_words_roundtrip(self):
+        mem = Memory(64)
+        mem.write_words(0, [1, 2, 3])
+        assert mem.read_words(0, 3) == [1, 2, 3]
+
+    def test_i16_roundtrip(self):
+        mem = Memory(64)
+        mem.write_i16(0, [-1, 32767, -32768])
+        assert mem.read_i16(0, 3) == [-1, 32767, -32768]
+
+    def test_i8_roundtrip(self):
+        mem = Memory(64)
+        mem.write_i8(0, [-128, 127, -1])
+        assert mem.read_i8(0, 3) == [-128, 127, -1]
+
+    def test_bytes_roundtrip(self):
+        mem = Memory(64)
+        mem.write_bytes(8, b"hello")
+        assert mem.read_bytes(8, 5) == b"hello"
+
+    def test_fill(self):
+        mem = Memory(64)
+        mem.fill(0, 8, 0xAA)
+        assert mem.read_bytes(0, 8) == b"\xaa" * 8
+
+    def test_misaligned_access_allowed(self):
+        """RI5CY supports misaligned data access (the core charges cycles)."""
+        mem = Memory(64)
+        mem.store(1, 4, 0x11223344)
+        assert mem.load(1, 4) == 0x11223344

@@ -1,0 +1,67 @@
+"""PULPissimo SoC model: memory map, peripherals stub, core wiring."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.errors import MemoryAccessError
+from repro.soc import L2_BASE, STDOUT_PUTC, TIMER_CYCLES, Pulpissimo
+
+
+class TestMemoryMap:
+    def test_l2_readwrite(self):
+        soc = Pulpissimo()
+        soc.mem.store(L2_BASE + 0x100, 4, 99)
+        assert soc.mem.load(L2_BASE + 0x100, 4) == 99
+
+    def test_unmapped_access_raises(self):
+        soc = Pulpissimo()
+        with pytest.raises(MemoryAccessError):
+            soc.mem.load(0x0000_0000, 4)
+
+    def test_peripheral_reads_zero(self):
+        soc = Pulpissimo()
+        assert soc.mem.load(STDOUT_PUTC + 0x40, 4) == 0
+
+    def test_peripheral_write_swallowed(self):
+        soc = Pulpissimo()
+        soc.mem.store(STDOUT_PUTC + 0x40, 4, 123)  # no exception
+
+
+class TestExecution:
+    def test_program_runs_from_l2(self):
+        soc = Pulpissimo(isa="xpulpnn")
+        program = assemble("addi a0, zero, 7\nebreak", base=L2_BASE)
+        perf = soc.run_program(program)
+        assert soc.cpu.regs[10] == 7
+        assert perf.instructions == 2
+
+    def test_uart_collects_output(self):
+        soc = Pulpissimo()
+        src = f"""
+            li a1, {STDOUT_PUTC}
+            li a0, 72      # 'H'
+            sw a0, 0(a1)
+            li a0, 105     # 'i'
+            sw a0, 0(a1)
+            ebreak
+        """
+        soc.run_program(assemble(src, base=L2_BASE))
+        assert soc.uart_text == "Hi"
+
+    def test_timer_returns_cycles(self):
+        soc = Pulpissimo()
+        src = f"""
+            li a1, {TIMER_CYCLES}
+            nop
+            nop
+            lw a0, 0(a1)
+            ebreak
+        """
+        soc.run_program(assemble(src, base=L2_BASE))
+        assert soc.cpu.regs[10] > 0
+
+    def test_baseline_core_selectable(self):
+        soc = Pulpissimo(isa="ri5cy")
+        assert soc.cpu.isa.name == "ri5cy"
+        with pytest.raises(Exception):
+            assemble("pv.qnt.n a0, a1, a2", isa="ri5cy")

@@ -1,0 +1,110 @@
+"""Command-line interface tests."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "prog.s"
+    path.write_text("""
+        li   a0, 0
+        li   t0, 4
+        lp.setup 0, t0, end
+        addi a0, a0, 3
+    end:
+        ebreak
+    """)
+    return path
+
+
+class TestAsm:
+    def test_assemble_to_binary(self, source_file, tmp_path, capsys):
+        out = tmp_path / "prog.bin"
+        assert main(["asm", str(source_file), "-o", str(out)]) == 0
+        blob = out.read_bytes()
+        assert len(blob) % 4 == 0 and len(blob) > 0
+        assert "instructions" in capsys.readouterr().out
+
+    def test_default_output_name(self, source_file, tmp_path):
+        assert main(["asm", str(source_file)]) == 0
+        assert (tmp_path / "prog.bin").exists()
+
+    def test_isa_gating(self, tmp_path, capsys):
+        path = tmp_path / "nn.s"
+        path.write_text("pv.qnt.n a0, a1, a2\nebreak")
+        assert main(["asm", str(path), "--isa", "ri5cy"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_file(self, capsys):
+        assert main(["asm", "/nonexistent.s"]) == 1
+
+
+class TestDisasm:
+    def test_roundtrip(self, source_file, tmp_path, capsys):
+        out = tmp_path / "prog.bin"
+        main(["asm", str(source_file), "-o", str(out)])
+        capsys.readouterr()
+        assert main(["disasm", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "lp.setup" in text
+        assert "ebreak" in text
+
+    def test_base_address(self, source_file, tmp_path, capsys):
+        out = tmp_path / "prog.bin"
+        main(["asm", str(source_file), "-o", str(out)])
+        capsys.readouterr()
+        main(["disasm", str(out), "--base", "0x100"])
+        assert "0x00000100" in capsys.readouterr().out
+
+
+class TestRun:
+    def test_executes_and_reports(self, source_file, capsys):
+        assert main(["run", str(source_file)]) == 0
+        text = capsys.readouterr().out
+        assert "halted: ebreak" in text
+        assert "a0 = 0x0000000c (12)" in text
+
+    def test_register_preload(self, tmp_path, capsys):
+        path = tmp_path / "add.s"
+        path.write_text("add a0, a1, a2\nebreak")
+        assert main(["run", str(path), "--reg", "a1=30", "--reg", "a2=0xc"]) == 0
+        assert "(42)" in capsys.readouterr().out
+
+    def test_trace(self, tmp_path, capsys):
+        path = tmp_path / "t.s"
+        path.write_text("nop\nebreak")
+        main(["run", str(path), "--trace"])
+        assert "addi" in capsys.readouterr().out
+
+
+class TestReport:
+    def test_table3_report(self, capsys):
+        assert main(["report", "table3"]) == 0
+        text = capsys.readouterr().out
+        assert "Table III" in text
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["report", "fig42"]) == 1
+        assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestIsaReference:
+    def test_lists_xpulpnn_subset(self, capsys):
+        assert main(["isa", "--subset", "xpulpnn"]) == 0
+        text = capsys.readouterr().out
+        assert "pv.qnt.n" in text and "pv.sdotusp.c" in text
+        assert "qnt_n" in text  # timing annotation
+
+    def test_baseline_has_no_xpulpnn(self, capsys):
+        assert main(["isa", "--isa", "ri5cy"]) == 0
+        text = capsys.readouterr().out
+        assert "pv.qnt" not in text
+        assert "pv.sdotsp.b" in text
+
+    def test_full_listing_grouped(self, capsys):
+        assert main(["isa"]) == 0
+        text = capsys.readouterr().out
+        for subset in ("rv32i", "rv32m", "rv32c", "zicsr", "xpulpv2", "xpulpnn"):
+            assert f"== {subset}" in text
