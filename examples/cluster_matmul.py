@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Parallel matmul on the 8-core PULP cluster.
+
+The paper's kernels run on one extended-RI5CY core; this example runs
+the same 4-bit MatMul microkernel on a modeled 8-core cluster
+(`repro.cluster`): every core executes one SPMD binary, shards output
+channels by its `mhartid`, accumulates with `pv.sdotusp.n`, quantizes
+with `pv.qnt.n`, and meets the others at the event-unit barrier.  The
+cluster DMA stages inputs from L2 into the shared banked TCDM first.
+
+The result is bit-identical to the single-core kernel at ~7x the speed —
+near-linear scaling because the kernels are MAC-bound and the banked
+TCDM (2 banks per core) keeps contention in the low percent.
+
+Run:  python examples/cluster_matmul.py
+"""
+
+import numpy as np
+
+from repro.kernels import (
+    MatmulConfig,
+    MatmulKernel,
+    ParallelMatmulConfig,
+    ParallelMatmulKernel,
+)
+from repro.physical import cluster_model_for
+from repro.qnn import random_threshold_table
+
+K, CO, BITS = 256, 64, 4
+
+# --- workload: 64 four-bit filters over a 256-deep reduction ------------
+
+rng = np.random.default_rng(42)
+weights = rng.integers(-8, 8, (CO, K)).astype(np.int32)
+x0 = rng.integers(0, 16, K).astype(np.int32)
+x1 = rng.integers(0, 16, K).astype(np.int32)
+table = random_threshold_table(CO, BITS, spread=600, rng=rng)
+
+# --- single core (the paper's setting) ----------------------------------
+
+single = MatmulKernel(MatmulConfig(
+    reduction=K, out_ch=CO, bits=BITS, isa="xpulpnn", quant="hw"))
+ref = single.run(weights, x0, x1, thresholds=table)
+print(f"1 core : {ref.cycles:>7,} cycles")
+
+# --- the same kernel across the cluster ---------------------------------
+
+power_model = cluster_model_for("xpulpnn")
+for cores in (2, 4, 8):
+    kern = ParallelMatmulKernel(ParallelMatmulConfig(
+        reduction=K, out_ch=CO, bits=BITS, num_cores=cores, quant="hw"))
+    run = kern.run(weights, x0, x1, thresholds=table)
+    assert np.array_equal(run.output, ref.output), "outputs must match"
+
+    speedup = ref.cycles / run.cycles
+    power = power_model.evaluate(run.run.per_core, sub_byte_bits=BITS)
+    print(f"{cores} cores: {run.cycles:>7,} cycles   "
+          f"{speedup:.2f}x  ({speedup / cores:.0%} efficiency)   "
+          f"contention {run.run.contention_share:.2%}   "
+          f"{power.cluster_total_mw:.1f} mW")
+
+print("\nEvery core count produced the exact same 4-bit outputs; the "
+      "8-core run also paid\nfor DMA staging "
+      f"({run.dma_in_cycles + run.dma_out_cycles} cycles) and one "
+      f"barrier ({max(p.idle_cycles for p in run.run.per_core)} peak "
+      "idle cycles).")

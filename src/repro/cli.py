@@ -90,20 +90,59 @@ def _cmd_isa(args: argparse.Namespace) -> int:
     return 0
 
 
+def _jsonify(value):
+    """Recursively convert experiment results to JSON-encodable data."""
+    import dataclasses
+
+    import numpy as np
+
+    if hasattr(value, "to_dict"):
+        return _jsonify(value.to_dict())
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _jsonify(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {
+            k if isinstance(k, str) else "/".join(str(p) for p in k)
+            if isinstance(k, tuple) else str(k): _jsonify(v)
+            for k, v in value.items()
+        }
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    return value
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     if args.full:
         os.environ["REPRO_FULL"] = "1"
-    from .eval import fig6, fig7, fig8, fig9, table1, table3
+    from .eval import cluster_scaling, fig6, fig7, fig8, fig9, table1, table3
 
     modules = {
         "fig6": fig6, "fig7": fig7, "fig8": fig8, "fig9": fig9,
-        "table1": table1, "table3": table3,
+        "table1": table1, "table3": table3, "cluster": cluster_scaling,
     }
     selected = args.experiments or sorted(modules)
     for name in selected:
         if name not in modules:
             raise ReproError(
                 f"unknown experiment {name!r}; choose from {sorted(modules)}")
+    if args.json:
+        import json
+
+        payload = {
+            name: _jsonify(modules[name].run()) for name in selected
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    for name in selected:
         module = modules[name]
         print("=" * 78)
         print(module.render(module.run()))
@@ -153,9 +192,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     report = sub.add_parser("report", help="regenerate paper tables/figures")
     report.add_argument("experiments", nargs="*",
-                        help="fig6 fig7 fig8 fig9 table1 table3 (default all)")
+                        help="fig6 fig7 fig8 fig9 table1 table3 cluster "
+                             "(default all)")
     report.add_argument("--full", action="store_true",
                         help="use the paper's exact layer (slow)")
+    report.add_argument("--json", action="store_true",
+                        help="emit results as JSON instead of tables")
     report.set_defaults(func=_cmd_report)
     return parser
 

@@ -1,0 +1,32 @@
+"""Multi-core PULP cluster model (see docs/CLUSTER.md).
+
+A cluster of N RI5CY+XpulpNN cores sharing a word-interleaved banked L1
+TCDM, synchronized by an event-unit barrier and fed by an MCHAN-style
+DMA — the platform that turns the paper's single-core kernels into
+PULP-NN-style parallel ones.
+"""
+
+from .cluster import (
+    Cluster,
+    ClusterConfig,
+    ClusterMemory,
+    ClusterRun,
+    CoreMemPort,
+)
+from .dma import BYTES_PER_CYCLE, SETUP_CYCLES, ClusterDma, DmaDescriptor
+from .event_unit import EventUnit
+from .tcdm import Tcdm
+
+__all__ = [
+    "BYTES_PER_CYCLE",
+    "Cluster",
+    "ClusterConfig",
+    "ClusterDma",
+    "ClusterMemory",
+    "ClusterRun",
+    "CoreMemPort",
+    "DmaDescriptor",
+    "EventUnit",
+    "SETUP_CYCLES",
+    "Tcdm",
+]

@@ -1,0 +1,158 @@
+"""Cluster DMA engine: L2 <-> L1 tile movement with cycle modeling.
+
+An MCHAN-style engine: software programs a descriptor (source,
+destination, bytes-per-row, strides, row count) and triggers it; the
+engine streams 64 bits per cycle over the cluster's AXI port while the
+cores keep computing — the mechanism behind double-buffered kernels.
+
+Data movement is functional-first: a transfer copies its bytes at launch
+(the ISS has no speculative readers), while completion *time* is modeled
+— ``SETUP_CYCLES`` of programming/arbitration per descriptor plus
+``ceil(row_bytes / BYTES_PER_CYCLE)`` per row, serialized after any
+transfer still in flight.  Cores observe the model through
+``DMA_STATUS``: it reads non-zero until the reader's local clock passes
+the engine's busy horizon.
+
+Two front-ends share the engine:
+
+* the **register file** (:data:`repro.soc.memmap.DMA_SRC` ...) for
+  programs running on the cluster cores;
+* the **host API** (:meth:`ClusterDma.transfer`) for Python harnesses
+  staging tensors before a run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..errors import SimError
+
+#: Descriptor programming + arbitration overhead per transfer.
+SETUP_CYCLES = 4
+#: AXI beat width between L2 and TCDM (64-bit port).
+BYTES_PER_CYCLE = 8
+
+
+@dataclass
+class DmaDescriptor:
+    """One programmed transfer (strides of 0 mean dense rows)."""
+
+    src: int = 0
+    dst: int = 0
+    length: int = 0
+    src_stride: int = 0
+    dst_stride: int = 0
+    reps: int = 1
+
+    @property
+    def total_bytes(self) -> int:
+        return self.length * self.reps
+
+    def cycles(self) -> int:
+        per_row = -(-self.length // BYTES_PER_CYCLE)  # ceil
+        return SETUP_CYCLES + per_row * self.reps
+
+
+@dataclass
+class DmaTransfer:
+    """A launched descriptor with its modeled completion time."""
+
+    desc: DmaDescriptor
+    start: int
+    done: int
+
+
+class ClusterDma:
+    """The engine: functional copies now, cycle accounting alongside.
+
+    *raw_mem* is an object with untimed ``read_bytes`` / ``write_bytes``
+    spanning every region the DMA may touch (the cluster's address
+    decoder).
+    """
+
+    def __init__(self, raw_mem) -> None:
+        self._mem = raw_mem
+        self._busy_until = 0
+        self._shadow = DmaDescriptor()
+        self.transfers: List[DmaTransfer] = []
+        self.bytes_moved = 0
+
+    # -- host / core-facing launch --------------------------------------
+
+    def transfer(
+        self,
+        src: int,
+        dst: int,
+        length: int,
+        src_stride: int = 0,
+        dst_stride: int = 0,
+        reps: int = 1,
+        when: int = 0,
+    ) -> int:
+        """Copy and account one descriptor; returns the completion time.
+
+        1D: ``length`` bytes from *src* to *dst* (``reps=1``).  2D:
+        ``reps`` rows of ``length`` bytes; after each row the source
+        advances by ``src_stride`` and the destination by ``dst_stride``
+        (0 = dense, rows laid back to back).
+        """
+        desc = DmaDescriptor(src, dst, length, src_stride, dst_stride, reps)
+        return self._launch(desc, when)
+
+    def _launch(self, desc: DmaDescriptor, when: int) -> int:
+        if desc.length <= 0 or desc.reps <= 0:
+            raise SimError(f"degenerate DMA descriptor {desc}")
+        src_step = desc.src_stride or desc.length
+        dst_step = desc.dst_stride or desc.length
+        for row in range(desc.reps):
+            blob = self._mem.read_bytes(desc.src + row * src_step, desc.length)
+            self._mem.write_bytes(desc.dst + row * dst_step, blob)
+        start = max(when, self._busy_until)
+        done = start + desc.cycles()
+        self._busy_until = done
+        self.bytes_moved += desc.total_bytes
+        self.transfers.append(DmaTransfer(desc=desc, start=start, done=done))
+        return done
+
+    # -- register-file front-end ----------------------------------------
+
+    def reg_store(self, addr_offset: int, value: int, when: int) -> None:
+        """Handle a store to the DMA register file (offset from DMA_SRC)."""
+        shadow = self._shadow
+        if addr_offset == 0x00:
+            shadow.src = value
+        elif addr_offset == 0x04:
+            shadow.dst = value
+        elif addr_offset == 0x08:
+            shadow.length = value
+        elif addr_offset == 0x0C:
+            shadow.src_stride = value
+        elif addr_offset == 0x10:
+            shadow.dst_stride = value
+        elif addr_offset == 0x14:
+            shadow.reps = value
+        elif addr_offset == 0x18:
+            self._launch(DmaDescriptor(**vars(shadow)), when)
+        # other offsets: swallow (reserved)
+
+    def reg_load(self, addr_offset: int, when: int) -> int:
+        """Handle a load from the DMA register file."""
+        if addr_offset == 0x1C:   # STATUS
+            return 1 if self._busy_until > when else 0
+        return 0
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def busy_until(self) -> int:
+        return self._busy_until
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(t.done - t.start for t in self.transfers)
+
+    def reset_timing(self) -> None:
+        self._busy_until = 0
+        self.transfers.clear()
+        self.bytes_moved = 0

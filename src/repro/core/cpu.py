@@ -39,9 +39,11 @@ class Cpu:
         mem: Optional[Memory] = None,
         timing: Optional[TimingParams] = None,
         trace: Optional[Callable] = None,
+        hart_id: int = 0,
     ) -> None:
         self.isa = build_isa(isa) if isinstance(isa, str) else isa
         self.mem = mem if mem is not None else Memory(DEFAULT_MEM_SIZE, base=0)
+        self.hart_id = hart_id
         self.regs = RegisterFile()
         self.pc = 0
         self.hwloops = HwLoopController()
@@ -54,6 +56,7 @@ class Cpu:
         self._halted: Optional[str] = None
         self._misaligned = 0
         self._extra_stalls = 0
+        self._tcdm_stalls = 0
         self._csrs: dict = {}
 
         #: Optional list of (lo, hi) address spans; cycles spent executing
@@ -123,6 +126,11 @@ class Cpu:
         quantization FSM hitting a misaligned threshold)."""
         self._extra_stalls += cycles
 
+    def add_tcdm_stall(self, cycles: int) -> None:
+        """Charge cycles lost to TCDM bank arbitration (cluster memory
+        ports call this when a same-bank access must wait its turn)."""
+        self._tcdm_stalls += cycles
+
     # ------------------------------------------------------------------
     # Control and status registers (Zicsr)
     # ------------------------------------------------------------------
@@ -136,7 +144,7 @@ class Cpu:
         if addr in (z.CSR_MINSTRET, z.CSR_INSTRET):
             return self.perf.instructions & 0xFFFF_FFFF
         if addr == z.CSR_MHARTID:
-            return 0
+            return self.hart_id
         hwloop_map = {
             z.CSR_LPSTART0: ("start", 0), z.CSR_LPEND0: ("end", 0),
             z.CSR_LPCOUNT0: ("count", 0), z.CSR_LPSTART1: ("start", 1),
@@ -182,6 +190,7 @@ class Cpu:
         self._halted = None
         self._misaligned = 0
         self._extra_stalls = 0
+        self._tcdm_stalls = 0
         self._csrs.clear()
 
     def step(self) -> None:
@@ -192,6 +201,7 @@ class Cpu:
 
         self._misaligned = 0
         self._extra_stalls = 0
+        self._tcdm_stalls = 0
         next_pc = ins.spec.execute(self, ins)
         taken = next_pc is not None
 
@@ -205,20 +215,22 @@ class Cpu:
                 next_pc = fall_through
 
         timing = self.timing.step(ins, taken, self._misaligned)
+        step_extra = self._extra_stalls + self._tcdm_stalls
         if self.profile_spans is not None:
             pc = self.pc
             for lo, hi in self.profile_spans:
                 if lo <= pc < hi:
-                    self.profiled_cycles += timing.total + self._extra_stalls
+                    self.profiled_cycles += timing.total + step_extra
                     break
         perf = self.perf
-        perf.cycles += timing.total + self._extra_stalls
+        perf.cycles += timing.total + step_extra
         perf.instructions += 1
         perf.by_class[ins.spec.timing] += 1
         perf.stall_load_use += timing.load_use_stall
         perf.stall_branch += timing.branch_stall
         perf.stall_jump += timing.jump_stall
         perf.stall_misaligned += timing.misaligned_stall + self._extra_stalls
+        perf.stall_tcdm_contention += self._tcdm_stalls
         if self.collect_mnemonics:
             perf.by_mnemonic[ins.mnemonic] += 1
         if self.trace is not None:

@@ -25,18 +25,27 @@ class PerfCounters:
     stall_branch: int = 0
     stall_jump: int = 0
     stall_misaligned: int = 0
+    #: Cycles lost arbitrating for a busy TCDM bank (cluster cores only;
+    #: a standalone core never conflicts).
+    stall_tcdm_contention: int = 0
+    #: Cycles spent parked at an event-unit barrier waiting for the other
+    #: cores.  Included in ``cycles`` (wall-clock per core) but burning no
+    #: datapath activity — the energy model discounts them.
+    idle_cycles: int = 0
     hwloop_backedges: int = 0
 
+    #: Integer fields summed by :meth:`merge` / emitted by :meth:`snapshot`.
+    _SCALARS = (
+        "cycles", "instructions", "stall_load_use", "stall_branch",
+        "stall_jump", "stall_misaligned", "stall_tcdm_contention",
+        "idle_cycles", "hwloop_backedges",
+    )
+
     def reset(self) -> None:
-        self.cycles = 0
-        self.instructions = 0
+        for name in self._SCALARS:
+            setattr(self, name, 0)
         self.by_class.clear()
         self.by_mnemonic.clear()
-        self.stall_load_use = 0
-        self.stall_branch = 0
-        self.stall_jump = 0
-        self.stall_misaligned = 0
-        self.hwloop_backedges = 0
 
     @property
     def total_stalls(self) -> int:
@@ -45,7 +54,13 @@ class PerfCounters:
             + self.stall_branch
             + self.stall_jump
             + self.stall_misaligned
+            + self.stall_tcdm_contention
         )
+
+    @property
+    def active_cycles(self) -> int:
+        """Cycles the core actually clocked the datapath (not parked)."""
+        return self.cycles - self.idle_cycles
 
     @property
     def ipc(self) -> float:
@@ -54,44 +69,46 @@ class PerfCounters:
 
     def snapshot(self) -> Dict[str, int]:
         """Plain-dict view (stable keys) for reports and tests."""
-        data = {
-            "cycles": self.cycles,
-            "instructions": self.instructions,
-            "stall_load_use": self.stall_load_use,
-            "stall_branch": self.stall_branch,
-            "stall_jump": self.stall_jump,
-            "stall_misaligned": self.stall_misaligned,
-            "hwloop_backedges": self.hwloop_backedges,
-        }
+        data = {name: getattr(self, name) for name in self._SCALARS}
         for cls, count in sorted(self.by_class.items()):
             data[f"class_{cls}"] = count
         return data
 
+    def to_dict(self) -> Dict:
+        """Full machine-readable view (JSON-friendly nested dicts)."""
+        data: Dict = {name: getattr(self, name) for name in self._SCALARS}
+        data["by_class"] = dict(sorted(self.by_class.items()))
+        data["by_mnemonic"] = dict(sorted(self.by_mnemonic.items()))
+        return data
+
+    def merge(self, other: "PerfCounters") -> "PerfCounters":
+        """Accumulate *other* into self (in place) and return self.
+
+        Used to aggregate per-core counters of a cluster run: every field
+        sums, so the merged ``cycles`` is total core-cycles (activity, for
+        the energy model), **not** wall-clock — wall-clock is the max over
+        cores, which barriers make equal anyway.
+        """
+        for name in self._SCALARS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        self.by_class.update(other.by_class)
+        self.by_mnemonic.update(other.by_mnemonic)
+        return self
+
     def delta_since(self, other: "PerfCounters") -> "PerfCounters":
         """Counters accumulated since *other* was snapshotted."""
-        delta = PerfCounters(
-            cycles=self.cycles - other.cycles,
-            instructions=self.instructions - other.instructions,
-            stall_load_use=self.stall_load_use - other.stall_load_use,
-            stall_branch=self.stall_branch - other.stall_branch,
-            stall_jump=self.stall_jump - other.stall_jump,
-            stall_misaligned=self.stall_misaligned - other.stall_misaligned,
-            hwloop_backedges=self.hwloop_backedges - other.hwloop_backedges,
-        )
+        delta = PerfCounters(**{
+            name: getattr(self, name) - getattr(other, name)
+            for name in self._SCALARS
+        })
         delta.by_class = self.by_class - other.by_class
         delta.by_mnemonic = self.by_mnemonic - other.by_mnemonic
         return delta
 
     def copy(self) -> "PerfCounters":
-        clone = PerfCounters(
-            cycles=self.cycles,
-            instructions=self.instructions,
-            stall_load_use=self.stall_load_use,
-            stall_branch=self.stall_branch,
-            stall_jump=self.stall_jump,
-            stall_misaligned=self.stall_misaligned,
-            hwloop_backedges=self.hwloop_backedges,
-        )
+        clone = PerfCounters(**{
+            name: getattr(self, name) for name in self._SCALARS
+        })
         clone.by_class = Counter(self.by_class)
         clone.by_mnemonic = Counter(self.by_mnemonic)
         return clone

@@ -1,6 +1,6 @@
 """Evaluation harness: one module per table/figure of the paper."""
 
-from . import fig6, fig7, fig8, fig9, roofline, table1, table3
+from . import cluster_scaling, fig6, fig7, fig8, fig9, roofline, table1, table3
 from .reporting import format_series, format_table
 from .workloads import (
     SCALED_LAYER,
@@ -19,6 +19,7 @@ __all__ = [
     "SUITE_CONFIGS",
     "benchmark_geometry",
     "build_gp_app",
+    "cluster_scaling",
     "conv_suite",
     "fig6",
     "fig7",

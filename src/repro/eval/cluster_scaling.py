@@ -1,0 +1,179 @@
+"""Cluster scaling — speedup vs cores for the parallel XpulpNN kernels.
+
+The paper evaluates XpulpNN on a single RI5CY core; its companion
+software stack (PULP-NN, arXiv:1908.11263) reports near-linear scaling
+of the same kernels across a PULP cluster of 8 cores.  This experiment
+closes that loop on our model: the parallel MatMul microkernel runs on
+1/2/4/8 cores per bitwidth, and the table reports
+
+* modeled compute cycles (wall-clock, barriers included),
+* speedup over the 1-core run and parallel efficiency (speedup / N),
+* the TCDM-contention share (bank-conflict stalls per core-cycle),
+* cluster power (idle-discounted) and the resulting Gop/s/W.
+
+Efficiency stays well above 75 % at 8 cores: the kernels are MAC-bound,
+so doubling the banked TCDM over cores (banking factor 2) keeps the
+conflict share in the low percent — the same argument PULP-NN makes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..kernels import ParallelMatmulConfig, ParallelMatmulKernel
+from ..physical import OPS_PER_MAC, cluster_model_for
+from ..physical.technology import NOMINAL
+from ..qnn import random_threshold_table
+from .reporting import format_table
+
+#: Default workload: one MatMul tile sized like the benchmark layer's
+#: im2col product (64 filters over a 256-deep reduction).
+DEFAULT_OUT_CH = 64
+DEFAULT_REDUCTION = 256
+
+CORE_COUNTS = (1, 2, 4, 8)
+BITWIDTHS = (8, 4, 2)
+
+
+@dataclass
+class ScalingPoint:
+    """One (bits, cores) measurement."""
+
+    bits: int
+    cores: int
+    cycles: int
+    instructions: int
+    speedup: float
+    efficiency: float
+    tcdm_conflicts: int
+    contention_share: float
+    idle_cycles: int
+    dma_cycles: int
+    power_mw: float
+    gops_per_s_per_w: float
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "bits": self.bits,
+            "cores": self.cores,
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "speedup": round(self.speedup, 4),
+            "efficiency": round(self.efficiency, 4),
+            "tcdm_conflicts": self.tcdm_conflicts,
+            "contention_share": round(self.contention_share, 6),
+            "idle_cycles": self.idle_cycles,
+            "dma_cycles": self.dma_cycles,
+            "power_mw": round(self.power_mw, 3),
+            "gops_per_s_per_w": round(self.gops_per_s_per_w, 2),
+        }
+
+
+@dataclass
+class ClusterScalingResult:
+    out_ch: int
+    reduction: int
+    points: Dict[Tuple[int, int], ScalingPoint] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "workload": {
+                "kind": "matmul",
+                "out_ch": self.out_ch,
+                "reduction": self.reduction,
+            },
+            "core_counts": list(CORE_COUNTS),
+            "points": [
+                self.points[(bits, n)].to_dict()
+                for bits in BITWIDTHS
+                for n in CORE_COUNTS
+                if (bits, n) in self.points
+            ],
+        }
+
+
+def _workload(bits: int, out_ch: int, reduction: int, seed: int = 7):
+    rng = np.random.default_rng(seed)
+    lo, hi = -(1 << (bits - 1)), 1 << (bits - 1)
+    w = rng.integers(lo, hi, (out_ch, reduction)).astype(np.int32)
+    x0 = rng.integers(0, 1 << bits, reduction).astype(np.int32)
+    x1 = rng.integers(0, 1 << bits, reduction).astype(np.int32)
+    if bits == 8:
+        return w, x0, x1, None
+    table = random_threshold_table(out_ch, bits, spread=600, rng=rng)
+    return w, x0, x1, table
+
+
+def run(out_ch: int = DEFAULT_OUT_CH,
+        reduction: int = DEFAULT_REDUCTION) -> ClusterScalingResult:
+    result = ClusterScalingResult(out_ch=out_ch, reduction=reduction)
+    power_model = cluster_model_for("xpulpnn")
+    for bits in BITWIDTHS:
+        w, x0, x1, table = _workload(bits, out_ch, reduction)
+        quant = "shift" if bits == 8 else "hw"
+        baseline_cycles = None
+        reference = None
+        for n in CORE_COUNTS:
+            kern = ParallelMatmulKernel(ParallelMatmulConfig(
+                reduction=reduction, out_ch=out_ch, bits=bits,
+                num_cores=n, quant=quant,
+            ))
+            kr = kern.run(w, x0, x1, thresholds=table, shift=10)
+            if reference is None:
+                reference = kr.output
+            elif not np.array_equal(kr.output, reference):
+                raise AssertionError(
+                    f"{bits}-bit output diverged at {n} cores")
+            if baseline_cycles is None:
+                baseline_cycles = kr.cycles
+            agg = kr.run.aggregate
+            breakdown = power_model.evaluate(
+                kr.run.per_core, sub_byte_bits=bits)
+            macs = kern.config.macs
+            runtime_s = kr.cycles / NOMINAL.freq_hz
+            gops = macs * OPS_PER_MAC / runtime_s / 1e9
+            speedup = baseline_cycles / kr.cycles
+            result.points[(bits, n)] = ScalingPoint(
+                bits=bits,
+                cores=n,
+                cycles=kr.cycles,
+                instructions=agg.instructions,
+                speedup=speedup,
+                efficiency=speedup / n,
+                tcdm_conflicts=kr.run.tcdm_conflicts,
+                contention_share=kr.run.contention_share,
+                idle_cycles=agg.idle_cycles,
+                dma_cycles=kr.dma_in_cycles + kr.dma_out_cycles,
+                power_mw=breakdown.cluster_total_mw,
+                gops_per_s_per_w=gops / breakdown.cluster_total_w,
+            )
+    return result
+
+
+def render(result: ClusterScalingResult) -> str:
+    blocks = [
+        f"Cluster scaling — parallel MatMul, {result.out_ch} filters x "
+        f"{result.reduction}-deep reduction, banking factor 2"
+    ]
+    for bits in BITWIDTHS:
+        rows: List[list] = []
+        for n in CORE_COUNTS:
+            p = result.points.get((bits, n))
+            if p is None:
+                continue
+            rows.append([
+                p.cores, p.cycles, f"{p.speedup:.2f}x",
+                f"{p.efficiency:.1%}", p.tcdm_conflicts,
+                f"{p.contention_share:.2%}", f"{p.power_mw:.2f}",
+                f"{p.gops_per_s_per_w:.1f}",
+            ])
+        blocks.append(format_table(
+            ["cores", "cycles", "speedup", "efficiency", "conflicts",
+             "contention", "power mW", "Gop/s/W"],
+            rows,
+            title=f"{bits}-bit MatMul",
+        ))
+    return "\n\n".join(blocks)

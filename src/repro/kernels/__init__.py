@@ -17,12 +17,20 @@ from .depthwise import DepthwiseConfig, DepthwiseConvKernel, depthwise_golden
 from .im2col import im2col_buffer_bytes, padded_row_bytes, pixel_bytes, seg_words_packed
 from .linear import LinearConfig, LinearKernel
 from .matmul import MatmulConfig, MatmulKernel, k_bytes, k_words
+from .parallel import (
+    ClusterKernelRun,
+    ParallelConvConfig,
+    ParallelConvKernel,
+    ParallelMatmulConfig,
+    ParallelMatmulKernel,
+)
 from .pooling import PoolConfig, PoolKernel, avgpool_cascade_golden
 from .quant_sw import emit_quantize_software, software_tree_instruction_count
 from .relu import ReluConfig, ReluKernel
 from .unpack import golden_unpack_word, unpack_cost
 
 __all__ = [
+    "ClusterKernelRun",
     "ConvConfig",
     "ConvKernel",
     "DepthwiseConfig",
@@ -34,6 +42,10 @@ __all__ = [
     "LinearKernel",
     "MatmulConfig",
     "MatmulKernel",
+    "ParallelConvConfig",
+    "ParallelConvKernel",
+    "ParallelMatmulConfig",
+    "ParallelMatmulKernel",
     "PoolConfig",
     "PoolKernel",
     "RegAlloc",

@@ -170,6 +170,14 @@ class ConvKernel:
             for i0, i1 in self._quant_idx_spans
         ]
 
+        self.layout = plan_layout(
+            self.program.size, self._layout_spec(), base=base,
+        )
+
+    def _layout_spec(self) -> dict:
+        """Region sizes of one run (overridden by the parallel variant)."""
+        config = self.config
+        g = config.geometry
         pad_h = g.in_h + 2 * g.pad
         pad_w = g.in_w + 2 * g.pad
         acts_bytes = pad_h * pad_w * pixel_bytes(g, config.bits)
@@ -180,24 +188,36 @@ class ConvKernel:
             g.out_ch * tree_stride(config.bits) if config.quant != "shift" else 4
         )
         out_bytes = g.out_pixels * g.out_ch * config.bits // 8
-        self.layout = plan_layout(
-            self.program.size,
-            {
-                "weights": (g.out_ch * k_bytes(g.reduction, config.bits), 4),
-                "acts": (align_up(acts_bytes, 4), 4),
-                "im2col0": (buf_bytes, 4),
-                "im2col1": (buf_bytes, 4),
-                "thr": (thr_bytes, 32),
-                "bias": (g.out_ch * 4 if config.with_bias else 4, 4),
-                "out": (align_up(out_bytes, 4), 4),
-                "spill": (16, 4),
-            },
-            base=base,
-        )
+        return {
+            "weights": (g.out_ch * k_bytes(g.reduction, config.bits), 4),
+            "acts": (align_up(acts_bytes, 4), 4),
+            "im2col0": (self._im2col_copies() * buf_bytes, 4),
+            "im2col1": (self._im2col_copies() * buf_bytes, 4),
+            "thr": (thr_bytes, 32),
+            "bias": (g.out_ch * 4 if config.with_bias else 4, 4),
+            "out": (align_up(out_bytes, 4), 4),
+            "spill": (16 * self._im2col_copies(), 4),
+        }
 
     # ------------------------------------------------------------------
     # Code generation
     # ------------------------------------------------------------------
+
+    # Hooks specialized by ParallelConvKernel (row sharding across harts).
+    def _im2col_copies(self) -> int:
+        """Private im2col/spill copies to lay out (one per hart)."""
+        return 1
+
+    def _row_count(self) -> int:
+        """Output rows this program instance processes."""
+        return self.config.geometry.out_h
+
+    def _emit_prologue(self, b: KernelBuilder) -> None:
+        """Emitted before any other instruction (hart sharding setup)."""
+
+    def _emit_epilogue(self, b: KernelBuilder) -> None:
+        """Emitted after the row loop (the parallel variant barriers)."""
+        b.ebreak()
 
     def _emit(self, b: KernelBuilder) -> None:
         cfg = self.config
@@ -216,6 +236,8 @@ class ConvKernel:
         pairs_per_iter = 2 if cfg.bits == 2 else 1
         filter_iters = g.out_ch // (2 * pairs_per_iter)
 
+        self._emit_prologue(b)
+
         # Persistent loop-count registers.
         use_k_reg = kw > 31
         if use_k_reg:
@@ -224,7 +246,7 @@ class ConvKernel:
             b.li("tp", filter_iters)
 
         b.emit("addi", "a4", "a3", out_ch_bytes)
-        b.li("s11", g.out_h)
+        b.li("s11", self._row_count())
 
         b.label("row_loop")
         b.li("s9", g.out_w // 2)
@@ -289,7 +311,7 @@ class ConvKernel:
             b.emit("addi", "s8", "s8", row_advance)
         b.emit("addi", "s11", "s11", -1)
         b.bnez("s11", "row_loop")
-        b.ebreak()
+        self._emit_epilogue(b)
 
     def _emit_im2col_pair(self, b: KernelBuilder, stride_pix: int) -> None:
         cfg = self.config

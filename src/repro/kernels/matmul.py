@@ -301,6 +301,65 @@ def emit_swquant_pair(
     b.emit("or", q_lo1, q_lo1, tmp)
 
 
+def emit_pair_epilogue(
+    b: KernelBuilder,
+    bits: int,
+    quant: str,
+    regs: MatmulRegs,
+    hold_label: Optional[str] = None,
+) -> None:
+    """Requantize-and-store epilogue of one channel pair's 2x2 block.
+
+    Uses the standalone-MatMul register convention (outputs via ``a4`` /
+    ``s11``, thresholds/shift in ``a5``, pair counter in ``tp``, 2-bit
+    hold registers ``gp``/``s8``).  Shared by :class:`MatmulKernel` and
+    the cluster-parallel variant; *hold_label* names the 2-bit
+    merge-skip label (auto-generated when None).
+    """
+    if quant == "none":
+        # Raw 32-bit accumulators, stored as (acc00, acc10, acc01, acc11).
+        for acc in (regs.acc00, regs.acc10, regs.acc01, regs.acc11):
+            b.emit("p.sw", acc, 4, "a4", inc=True)
+        return
+    if quant == "shift":
+        emit_requant_shift_store(b, regs, "a5", "a4", "s11", "t0")
+        return
+    if bits == 4:
+        if quant == "hw":
+            emit_hwquant_nibble_store(b, regs, "a5", "a4", "s11", "t0", "t1")
+        else:
+            emit_swquant_pair(b, 4, regs, "a5", "t2", "t0", "t1", "t4", "s0")
+            b.emit("p.sb", "t0", 1, "a4", inc=True)
+            b.emit("p.sb", "t1", 1, "s11", inc=True)
+        b.emit("addi", "a5", "a5", 2 * tree_stride(4))
+        return
+    # 2-bit: each pair yields half a byte per pixel; hold one pair in
+    # gp/s8 and store merged bytes on every second pair.
+    if quant == "hw":
+        emit_pack_qnt_input(b, regs.acc00, regs.acc10, "t0")
+        b.emit("pv.qnt.c", "t1", "t0", "a5")
+        emit_pack_qnt_input(b, regs.acc01, regs.acc11, "t0")
+        b.emit("pv.qnt.c", "t2", "t0", "a5")
+    else:
+        emit_swquant_pair(b, 2, regs, "a5", "t4", "t1", "t2", "t0", "s0")
+    b.emit("slli", "t2", "t2", 16)
+    b.emit("or", "gp", "t1", "t2")      # pixel0 in [3:0], pixel1 in [19:16]
+    b.emit("addi", "a5", "a5", 2 * tree_stride(2))
+    # tp counts down from an even pair count: odd tp = second of a pair.
+    label = hold_label or b.fresh_label("hold_halfbyte")
+    b.emit("andi", "t0", "tp", 1)
+    b.beqz("t0", label)
+    b.emit("slli", "t1", "gp", 4)       # current pair -> upper crumbs
+    b.emit("or", "t1", "t1", "s8")
+    b.emit("andi", "t0", "t1", 0xFF)
+    b.emit("p.sb", "t0", 1, "a4", inc=True)
+    b.emit("srli", "t0", "t1", 16)
+    b.emit("andi", "t0", "t0", 0xFF)
+    b.emit("p.sb", "t0", 1, "s11", inc=True)
+    b.label(label)
+    b.mv("s8", "gp")
+
+
 # ---------------------------------------------------------------------------
 # Standalone MatMul kernel (power workload / unpack ablations)
 # ---------------------------------------------------------------------------
@@ -446,48 +505,7 @@ class MatmulKernel:
         b.ebreak()
 
     def _emit_epilogue(self, b: KernelBuilder, regs: MatmulRegs) -> None:
-        cfg = self.config
-        if cfg.quant == "none":
-            # Raw 32-bit accumulators, stored as (acc00, acc10, acc01, acc11).
-            for acc in (regs.acc00, regs.acc10, regs.acc01, regs.acc11):
-                b.emit("p.sw", acc, 4, "a4", inc=True)
-            return
-        if cfg.quant == "shift":
-            emit_requant_shift_store(b, regs, "a5", "a4", "s11", "t0")
-            return
-        if cfg.bits == 4:
-            if cfg.quant == "hw":
-                emit_hwquant_nibble_store(b, regs, "a5", "a4", "s11", "t0", "t1")
-            else:
-                emit_swquant_pair(b, 4, regs, "a5", "t2", "t0", "t1", "t4", "s0")
-                b.emit("p.sb", "t0", 1, "a4", inc=True)
-                b.emit("p.sb", "t1", 1, "s11", inc=True)
-            b.emit("addi", "a5", "a5", 2 * tree_stride(4))
-            return
-        # 2-bit: each pair yields half a byte per pixel; hold one pair in
-        # gp/s8 and store merged bytes on every second pair.
-        if cfg.quant == "hw":
-            emit_pack_qnt_input(b, regs.acc00, regs.acc10, "t0")
-            b.emit("pv.qnt.c", "t1", "t0", "a5")
-            emit_pack_qnt_input(b, regs.acc01, regs.acc11, "t0")
-            b.emit("pv.qnt.c", "t2", "t0", "a5")
-        else:
-            emit_swquant_pair(b, 2, regs, "a5", "t4", "t1", "t2", "t0", "s0")
-        b.emit("slli", "t2", "t2", 16)
-        b.emit("or", "gp", "t1", "t2")      # pixel0 in [3:0], pixel1 in [19:16]
-        b.emit("addi", "a5", "a5", 2 * tree_stride(2))
-        # tp counts down from an even pair count: odd tp = second of a pair.
-        b.emit("andi", "t0", "tp", 1)
-        b.beqz("t0", "hold_halfbyte")
-        b.emit("slli", "t1", "gp", 4)       # current pair -> upper crumbs
-        b.emit("or", "t1", "t1", "s8")
-        b.emit("andi", "t0", "t1", 0xFF)
-        b.emit("p.sb", "t0", 1, "a4", inc=True)
-        b.emit("srli", "t0", "t1", 16)
-        b.emit("andi", "t0", "t0", 0xFF)
-        b.emit("p.sb", "t0", 1, "s11", inc=True)
-        b.label("hold_halfbyte")
-        b.mv("s8", "gp")
+        emit_pair_epilogue(b, self.config.bits, self.config.quant, regs)
 
     def _emit_4x2(self, b: KernelBuilder) -> None:
         """4x2-blocked variant: 8 accumulators, 4 weight pointers.

@@ -1,6 +1,7 @@
 """Physical models: area, power, energy efficiency, technology points."""
 
 from .area import AreaModel, AreaReport, BASELINE_TOTAL_UM2, EXTENSIONS, ExtensionAreas
+from .cluster import ClusterPowerBreakdown, ClusterPowerModel, cluster_model_for
 from .energy import OPS_PER_MAC, EfficiencyPoint, efficiency
 from .power import (
     BASELINE,
@@ -24,6 +25,8 @@ __all__ = [
     "AreaReport",
     "BASELINE",
     "BASELINE_TOTAL_UM2",
+    "ClusterPowerBreakdown",
+    "ClusterPowerModel",
     "Corner",
     "CorePowerParams",
     "EXTENDED_NOPM",
@@ -43,6 +46,7 @@ __all__ = [
     "TECHNOLOGY",
     "TYPICAL",
     "WORST_CASE",
+    "cluster_model_for",
     "cycle_fractions",
     "efficiency",
     "memory_accesses_per_cycle",

@@ -1,0 +1,103 @@
+"""Cluster-level power and energy aggregation.
+
+Extends the single-core activity model to N cores sharing one L1: each
+core contributes its own dynamic power weighted by how busy it actually
+was (barrier-parked cycles clock-gate the core down to leakage), the
+rest-of-SoC term is paid once, and the memory-traffic term sees the
+*combined* TCDM request stream.  This is the standard PULP cluster
+energy argument: parallelism leaves dynamic energy per op roughly flat
+while the fixed SoC power amortizes over N times the throughput — which
+is why cluster efficiency in Gop/s/W climbs with cores until TCDM
+contention erodes the speedup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..core.perf import PerfCounters
+from ..errors import ModelError
+from .power import (
+    SOC_BASE_MW,
+    SOC_MEM_MW_PER_ACCESS,
+    PowerModel,
+    cycle_fractions,
+    memory_accesses_per_cycle,
+    model_for,
+)
+
+
+@dataclass
+class ClusterPowerBreakdown:
+    """Power of one parallel workload on an N-core cluster (mW)."""
+
+    per_core_dynamic_mw: List[float]
+    per_core_leakage_mw: float
+    soc_rest_mw: float
+
+    @property
+    def num_cores(self) -> int:
+        return len(self.per_core_dynamic_mw)
+
+    @property
+    def cores_dynamic_mw(self) -> float:
+        return sum(self.per_core_dynamic_mw)
+
+    @property
+    def cores_leakage_mw(self) -> float:
+        return self.per_core_leakage_mw * self.num_cores
+
+    @property
+    def cluster_total_mw(self) -> float:
+        return self.cores_dynamic_mw + self.cores_leakage_mw + self.soc_rest_mw
+
+    @property
+    def cluster_total_w(self) -> float:
+        return self.cluster_total_mw * 1e-3
+
+
+class ClusterPowerModel:
+    """Activity-based power for a cluster run.
+
+    Wraps a per-core :class:`~repro.physical.power.PowerModel`; idle
+    (barrier-parked) cycles scale each core's dynamic contribution by its
+    active fraction — a parked core is clock-gated, so it burns leakage
+    only.  TCDM traffic from all cores (and their contention level) feeds
+    one shared memory term referenced to the cluster wall-clock.
+    """
+
+    def __init__(self, core_model: PowerModel) -> None:
+        self.core = core_model
+
+    def evaluate(
+        self,
+        per_core: Sequence[PerfCounters],
+        sub_byte_bits: int = 8,
+    ) -> ClusterPowerBreakdown:
+        if not per_core:
+            raise ModelError("cluster power needs at least one core's counters")
+        wall = max(p.cycles for p in per_core)
+        if wall <= 0:
+            raise ModelError("perf counters hold no cycles")
+        dynamics: List[float] = []
+        accesses_per_wall_cycle = 0.0
+        for perf in per_core:
+            fractions = cycle_fractions(perf)
+            busy = self.core.core_dynamic_mw(fractions, sub_byte_bits)
+            dynamics.append(busy * perf.active_cycles / wall)
+            accesses_per_wall_cycle += (
+                memory_accesses_per_cycle(perf) * perf.cycles / wall
+            )
+        rest = SOC_BASE_MW + SOC_MEM_MW_PER_ACCESS * accesses_per_wall_cycle
+        return ClusterPowerBreakdown(
+            per_core_dynamic_mw=dynamics,
+            per_core_leakage_mw=self.core.params.leakage_mw,
+            soc_rest_mw=rest,
+        )
+
+
+def cluster_model_for(core: str = "xpulpnn",
+                      power_mgmt: bool = True) -> ClusterPowerModel:
+    """Cluster power model built on the named core's coefficients."""
+    return ClusterPowerModel(model_for(core, power_mgmt))

@@ -48,6 +48,8 @@ class LayerExecution:
     output_shape: Tuple[int, ...]
     verified: bool
     perf: PerfCounters
+    #: Cores the layer actually ran on (1 = single-core / no shard fit).
+    cores: int = 1
 
 
 @dataclass
@@ -73,11 +75,12 @@ class DeployResult:
         return all(layer.verified for layer in self.layers)
 
     def render(self) -> str:
-        lines = [f"{'layer':<28s} {'kind':<10s} {'bits':>4s} "
+        lines = [f"{'layer':<28s} {'kind':<10s} {'bits':>4s} {'cores':>5s} "
                  f"{'cycles':>10s} {'energy[uJ]':>10s} {'shape'}"]
         for layer in self.layers:
             lines.append(
                 f"{layer.name:<28s} {layer.kind:<10s} {layer.bits:>4d} "
+                f"{layer.cores:>5d} "
                 f"{layer.cycles:>10,} {layer.energy_uj:>10.3f} "
                 f"{layer.output_shape}"
             )
@@ -94,11 +97,18 @@ class NetworkDeployer:
     """Map a sequential QNN onto generated kernels and run it."""
 
     def __init__(self, network: QnnNetwork, input_shape: Tuple[int, int, int],
-                 input_bits: int = 8, isa: str = "xpulpnn") -> None:
+                 input_bits: int = 8, isa: str = "xpulpnn",
+                 target: str = "single", num_cores: int = 8) -> None:
+        if target not in ("single", "cluster"):
+            raise KernelError(f"unknown deploy target {target!r}")
+        if target == "cluster" and isa != "xpulpnn":
+            raise KernelError("the cluster target runs XpulpNN cores")
         self.network = network
         self.input_shape = input_shape
         self.input_bits = input_bits
         self.isa = isa
+        self.target = target
+        self.num_cores = num_cores
 
     # ------------------------------------------------------------------
 
@@ -114,6 +124,36 @@ class NetworkDeployer:
                 f"layer {name!r} needs {nbytes} B of L2, exceeding the "
                 f"{L2_BUDGET_BYTES} B PULPissimo budget; tile the layer"
             )
+
+    def _make_conv_kernel(self, geometry: ConvGeometry, bits: int,
+                          quant: str):
+        """Build the conv kernel for the selected target.
+
+        On the cluster target, layers whose geometry shards cleanly run
+        on the parallel kernel; anything else (odd row counts, working
+        sets beyond the TCDM) falls back to one core — the graceful path
+        a real deployment flow takes when a layer does not tile.
+        """
+        from ..kernels import (
+            ConvConfig,
+            ConvKernel,
+            ParallelConvConfig,
+            ParallelConvKernel,
+        )
+
+        if self.target == "cluster":
+            from ..soc.memmap import TCDM_BASE, TCDM_SIZE
+
+            try:
+                kernel = ParallelConvKernel(ParallelConvConfig(
+                    geometry=geometry, bits=bits, isa=self.isa, quant=quant,
+                    num_cores=self.num_cores))
+                if kernel.layout.end - TCDM_BASE <= TCDM_SIZE:
+                    return kernel, self.num_cores
+            except KernelError:
+                pass
+        return ConvKernel(ConvConfig(
+            geometry=geometry, bits=bits, isa=self.isa, quant=quant)), 1
 
     def _check_conv_budget(self, name: str, geometry: ConvGeometry,
                            bits: int) -> None:
@@ -131,8 +171,6 @@ class NetworkDeployer:
     def run(self, x: np.ndarray, freq_hz: float = 250e6) -> DeployResult:
         """Execute the network; raises if any layer diverges from golden."""
         from ..kernels import (
-            ConvConfig,
-            ConvKernel,
             LinearConfig,
             LinearKernel,
             PoolConfig,
@@ -150,10 +188,16 @@ class NetworkDeployer:
                 f"input shape {x.shape} != declared {self.input_shape}")
         bits = self.input_bits
         power_model = model_for(self.isa)
+        cluster_power = None
+        if self.target == "cluster":
+            from ..physical import cluster_model_for
+
+            cluster_power = cluster_model_for(self.isa)
         executions: List[LayerExecution] = []
 
         for index, layer in enumerate(self.network.layers):
             name = f"{index}:{getattr(layer, 'name', type(layer).__name__)}"
+            cores = 1
             if isinstance(layer, QuantizedConv):
                 k_bits = layer.weight_bits
                 x = self._bridge(x, bits, k_bits)
@@ -169,18 +213,20 @@ class NetworkDeployer:
                             f"layer {name!r}: mixed weight/output widths need "
                             f"a staircase (out_bits={layer.out_bits})")
                     layer.calibrate(acc)
-                    kernel = ConvKernel(ConvConfig(
-                        geometry=geometry, bits=8, isa=self.isa, quant="shift"))
-                    self._check_budget(name, kernel.layout.end)
+                    kernel, cores = self._make_conv_kernel(
+                        geometry, 8, "shift")
+                    if cores == 1:
+                        self._check_budget(name, kernel.layout.end)
                     run = kernel.run(layer.weights, x, shift=layer.shift)
                     expected = requantize_shift(acc, layer.shift, 8, signed=False)
                 else:
                     thresholds = thresholds_from_accumulators(acc, layer.out_bits)
                     layer.thresholds = thresholds
-                    kernel = ConvKernel(ConvConfig(
-                        geometry=geometry, bits=k_bits, isa=self.isa,
-                        quant="hw" if self.isa == "xpulpnn" else "sw"))
-                    self._check_budget(name, kernel.layout.end)
+                    kernel, cores = self._make_conv_kernel(
+                        geometry, k_bits,
+                        "hw" if self.isa == "xpulpnn" else "sw")
+                    if cores == 1:
+                        self._check_budget(name, kernel.layout.end)
                     run = kernel.run(layer.weights, x, thresholds=thresholds)
                     expected = thresholds.quantize(acc, channel_axis=-1)
                 bits = layer.out_bits
@@ -228,15 +274,24 @@ class NetworkDeployer:
             verified = bool(np.array_equal(run.output, expected))
             if not verified:
                 raise KernelError(f"layer {name!r} diverged from golden")
-            power = power_model.evaluate(
-                run.perf, sub_byte_bits=sub_bits,
-                workload_class=workload if workload != "gp" else "gp",
-            ).soc_total_w
+            if cores > 1:
+                # Cluster execution: idle-discounted per-core power, one
+                # shared SoC term; counters recorded as the merged total.
+                perf_rec = run.run.aggregate
+                power = cluster_power.evaluate(
+                    run.run.per_core, sub_byte_bits=sub_bits,
+                ).cluster_total_w
+            else:
+                perf_rec = run.perf
+                power = power_model.evaluate(
+                    run.perf, sub_byte_bits=sub_bits,
+                    workload_class=workload if workload != "gp" else "gp",
+                ).soc_total_w
             energy = run.cycles / freq_hz * power * 1e6
             executions.append(LayerExecution(
                 name=name, kind=kind, bits=bits, cycles=run.cycles,
                 macs=macs, energy_uj=energy, output_shape=run.output.shape,
-                verified=verified, perf=run.perf,
+                verified=verified, perf=perf_rec, cores=cores,
             ))
             x = run.output.astype(np.int32)
 

@@ -25,3 +25,36 @@ PERIPH_SIZE = 1024 * 1024
 SOC_CTRL_INFO = PERIPH_BASE + 0x0000
 TIMER_CYCLES = PERIPH_BASE + 0x1_0000
 STDOUT_PUTC = PERIPH_BASE + 0x2_0000
+
+# ---------------------------------------------------------------------------
+# PULP cluster (the multi-core companion of PULPissimo; see docs/CLUSTER.md).
+# The region layout follows the PULP cluster convention: L1 TCDM at the
+# cluster base, cluster peripherals (event unit, DMA) 2 MB above it.
+# ---------------------------------------------------------------------------
+
+#: Cluster region base.
+CLUSTER_BASE = 0x1000_0000
+
+#: Shared L1 tightly-coupled data memory (word-interleaved banks).
+TCDM_BASE = CLUSTER_BASE
+TCDM_SIZE = 128 * 1024
+
+#: Cluster peripheral space (event unit + DMA front-ends).
+CLUSTER_PERIPH_BASE = CLUSTER_BASE + 0x20_0000
+CLUSTER_PERIPH_SIZE = 4 * 1024
+
+#: Event unit registers.
+EU_NUM_CORES = CLUSTER_PERIPH_BASE + 0x00    # R: cores in the cluster
+EU_BARRIER_WAIT = CLUSTER_PERIPH_BASE + 0x04  # R: arrive + park until release
+EU_BARRIER_COUNT = CLUSTER_PERIPH_BASE + 0x08  # R: barriers completed so far
+
+#: Cluster DMA (MCHAN-style) register file.
+DMA_BASE = CLUSTER_PERIPH_BASE + 0x400
+DMA_SRC = DMA_BASE + 0x00          # W: source byte address
+DMA_DST = DMA_BASE + 0x04          # W: destination byte address
+DMA_LEN = DMA_BASE + 0x08          # W: bytes per row
+DMA_SRC_STRIDE = DMA_BASE + 0x0C   # W: source row stride (2D)
+DMA_DST_STRIDE = DMA_BASE + 0x10   # W: destination row stride (2D)
+DMA_REPS = DMA_BASE + 0x14         # W: row count (1 = 1D transfer)
+DMA_START = DMA_BASE + 0x18        # W: any store launches the descriptor
+DMA_STATUS = DMA_BASE + 0x1C       # R: outstanding transfers (0 = idle)

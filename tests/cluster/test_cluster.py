@@ -1,0 +1,119 @@
+"""Cluster execution: SPMD stepping, contention, and aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.errors import SimError
+from repro.soc.memmap import TCDM_BASE
+
+
+def _assemble(src: str):
+    from repro.asm import assemble
+
+    return assemble(src, isa="xpulpnn", base=TCDM_BASE)
+
+
+class TestConfig:
+    def test_banking_factor(self):
+        assert ClusterConfig(num_cores=8).num_banks == 16
+        assert ClusterConfig(num_cores=4, banking_factor=4).num_banks == 16
+
+    def test_rejects_empty_cluster(self):
+        with pytest.raises(SimError):
+            ClusterConfig(num_cores=0)
+
+
+class TestSpmdExecution:
+    def test_hart_ids_distinct(self):
+        cluster = Cluster(num_cores=4)
+        run = cluster.run_program(_assemble("csrr a0, 0xF14\nebreak"))
+        assert [cpu.regs[10] for cpu in cluster.cores] == [0, 1, 2, 3]
+        assert run.cycles > 0
+
+    def test_sharded_stores_disjoint(self):
+        # Each core writes its hart id to its own TCDM word.
+        base = TCDM_BASE + 0x800
+        src = f"""
+            csrr t0, 0xF14
+            slli t1, t0, 2
+            li   t2, {base:#x}
+            add  t2, t2, t1
+            sw   t0, 0(t2)
+            ebreak
+        """
+        cluster = Cluster(num_cores=8)
+        cluster.run_program(_assemble(src))
+        words = cluster.mem.read_words(base, 8)
+        assert list(words) == list(range(8))
+
+    def test_lockstep_same_word_staggers_once(self):
+        # All cores hammer ONE shared word: the first encounter serializes
+        # them (N-1 conflicts), after which the stagger persists and the
+        # loop runs conflict-free.
+        src = f"""
+            li   t0, {TCDM_BASE + 0x700:#x}
+            li   t1, 32
+        loop:
+            lw   t2, 0(t0)
+            addi t1, t1, -1
+            bne  t1, zero, loop
+            ebreak
+        """
+        cluster = Cluster(num_cores=4)
+        run = cluster.run_program(_assemble(src))
+        assert run.tcdm_conflicts == 3
+        assert run.tcdm_conflict_cycles == 6  # stalls of 1+2+3
+        agg = run.aggregate
+        assert agg.stall_tcdm_contention == 6
+
+    def test_aggregate_merges_all_cores(self):
+        cluster = Cluster(num_cores=4)
+        run = cluster.run_program(_assemble("nop\nnop\nebreak"))
+        agg = run.aggregate
+        assert agg.instructions == sum(p.instructions for p in run.per_core)
+        assert agg.instructions == 4 * 3
+        assert run.cycles == max(p.cycles for p in run.per_core)
+
+    def test_instruction_budget_enforced(self):
+        src = """
+        spin:
+            j spin
+        """
+        cluster = Cluster(num_cores=2)
+        program = _assemble(src)
+        cluster.reset()
+        cluster.load_program(program)
+        with pytest.raises(SimError, match="exceeded"):
+            cluster.run(entry=program.entry, max_instructions=1000)
+
+    def test_single_core_cluster_matches_cpu(self):
+        """A 1-core cluster on private data must count like a bare Cpu."""
+        from repro.core import Cpu
+
+        src = "li a0, 5\nli a1, 7\nadd a2, a0, a1\nebreak"
+        cluster = Cluster(num_cores=1)
+        run = cluster.run_program(_assemble(src))
+
+        from repro.asm import assemble
+
+        cpu = Cpu(isa="xpulpnn")
+        cpu.load_program(assemble(src, isa="xpulpnn"))
+        perf = cpu.run()
+        assert run.per_core[0].cycles == perf.cycles
+        assert run.per_core[0].instructions == perf.instructions
+        assert cluster.cores[0].regs[12] == 12
+
+    def test_l2_visible_to_cores(self, rng):
+        from repro.soc.memmap import L2_BASE
+
+        cluster = Cluster(num_cores=2)
+        value = int(rng.integers(1, 2**31))
+        cluster.mem.store(L2_BASE + 0x40, 4, value)
+        src = f"""
+            li t0, {L2_BASE + 0x40:#x}
+            lw a0, 0(t0)
+            ebreak
+        """
+        cluster.run_program(_assemble(src))
+        assert all(cpu.regs[10] == value for cpu in cluster.cores)

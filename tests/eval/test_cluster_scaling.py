@@ -1,0 +1,69 @@
+"""Cluster scaling experiment: table shape and acceptance thresholds."""
+
+import json
+
+import pytest
+
+from repro.eval import cluster_scaling
+
+
+@pytest.fixture(scope="module")
+def result():
+    # Small workload keeps the 12-point sweep fast; 32 channels still
+    # split across 8 cores at every bitwidth (2-bit needs 4 per core).
+    return cluster_scaling.run(out_ch=32, reduction=64)
+
+
+class TestScalingSweep:
+    def test_all_points_present(self, result):
+        for bits in cluster_scaling.BITWIDTHS:
+            for n in cluster_scaling.CORE_COUNTS:
+                assert (bits, n) in result.points
+
+    def test_single_core_is_baseline(self, result):
+        for bits in cluster_scaling.BITWIDTHS:
+            p = result.points[(bits, 1)]
+            assert p.speedup == pytest.approx(1.0)
+            assert p.efficiency == pytest.approx(1.0)
+
+    def test_speedup_monotonic_in_cores(self, result):
+        for bits in cluster_scaling.BITWIDTHS:
+            speedups = [result.points[(bits, n)].speedup
+                        for n in cluster_scaling.CORE_COUNTS]
+            assert speedups == sorted(speedups)
+
+    def test_8core_efficiency_above_75pct(self, result):
+        for bits in cluster_scaling.BITWIDTHS:
+            assert result.points[(bits, 8)].efficiency >= 0.75
+
+    def test_power_grows_with_cores(self, result):
+        for bits in cluster_scaling.BITWIDTHS:
+            powers = [result.points[(bits, n)].power_mw
+                      for n in cluster_scaling.CORE_COUNTS]
+            assert powers == sorted(powers)
+            # ... but far sublinearly: 8 cores never cost 8x the power.
+            assert powers[-1] < 8 * powers[0]
+
+    def test_efficiency_in_gops_per_w_scales(self, result):
+        for bits in cluster_scaling.BITWIDTHS:
+            e1 = result.points[(bits, 1)].gops_per_s_per_w
+            e8 = result.points[(bits, 8)].gops_per_s_per_w
+            assert e8 > 2 * e1
+
+
+class TestSerialization:
+    def test_to_dict_round_trips_json(self, result):
+        payload = json.dumps(result.to_dict())
+        data = json.loads(payload)
+        assert data["workload"]["kind"] == "matmul"
+        assert len(data["points"]) == 12
+        point = data["points"][0]
+        for key in ("bits", "cores", "cycles", "speedup", "efficiency",
+                    "contention_share", "power_mw"):
+            assert key in point
+
+    def test_render_mentions_each_bitwidth(self, result):
+        text = cluster_scaling.render(result)
+        for bits in cluster_scaling.BITWIDTHS:
+            assert f"{bits}-bit MatMul" in text
+        assert "efficiency" in text

@@ -121,6 +121,48 @@ class TestDeployerChecks:
             random_activations((8, 8, 16), 8, rng))
         assert result.verified
 
+class TestClusterDeployment:
+    @pytest.fixture(scope="class")
+    def cluster_result(self, small_net):
+        rng = np.random.default_rng(56)
+        x = random_activations((8, 8, 16), 4, rng)
+        return NetworkDeployer(small_net, input_shape=(8, 8, 16),
+                               input_bits=4, target="cluster",
+                               num_cores=4).run(x)
+
+    def test_bit_identical_to_single_core(self, small_net, result,
+                                          cluster_result):
+        assert cluster_result.verified
+        assert np.array_equal(cluster_result.output, result.output)
+
+    def test_conv_layers_parallelized(self, cluster_result):
+        conv_cores = [l.cores for l in cluster_result.layers
+                      if l.kind == "conv"]
+        assert conv_cores == [4, 4]
+        # Pool and linear layers stay on one core.
+        other = [l.cores for l in cluster_result.layers
+                 if l.kind != "conv"]
+        assert all(c == 1 for c in other)
+
+    def test_cluster_runs_faster(self, result, cluster_result):
+        assert cluster_result.total_cycles < 0.5 * result.total_cycles
+
+    def test_cluster_target_needs_xpulpnn(self, small_net):
+        with pytest.raises(KernelError, match="cluster"):
+            NetworkDeployer(small_net, input_shape=(8, 8, 16),
+                            input_bits=4, isa="ri5cy", target="cluster")
+
+    def test_unknown_target_rejected(self, small_net):
+        with pytest.raises(KernelError):
+            NetworkDeployer(small_net, input_shape=(8, 8, 16),
+                            input_bits=4, target="gpu")
+
+    def test_render_shows_cores(self, cluster_result):
+        text = cluster_result.render()
+        assert "cores" in text
+
+
+class TestBridge:
     def test_bridge_drops_lsbs(self, small_net, result):
         """The 4->2 bit bridge must be a plain LSB drop."""
         deployer = NetworkDeployer(small_net, input_shape=(8, 8, 16),

@@ -89,6 +89,31 @@ class TestReport:
         assert main(["report", "fig42"]) == 1
         assert "unknown experiment" in capsys.readouterr().err
 
+    def test_cluster_report_table(self, capsys):
+        assert main(["report", "cluster"]) == 0
+        text = capsys.readouterr().out
+        assert "Cluster scaling" in text
+        assert "4-bit MatMul" in text
+
+    def test_cluster_json_report(self, capsys):
+        import json
+
+        assert main(["report", "cluster", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        points = data["cluster"]["points"]
+        assert len(points) == 12
+        eight_core = [p for p in points if p["cores"] == 8]
+        assert len(eight_core) == 3
+        assert all(p["efficiency"] >= 0.75 for p in eight_core)
+        assert all(p["speedup"] >= 6.0 for p in eight_core)
+
+    def test_json_mode_covers_table_experiments(self, capsys):
+        import json
+
+        assert main(["report", "table3", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert "table3" in data
+
 
 class TestIsaReference:
     def test_lists_xpulpnn_subset(self, capsys):
