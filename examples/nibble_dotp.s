@@ -1,0 +1,19 @@
+# Nibble dot-product + hardware quantization, XpulpNN style.
+#
+# The listing the static verifier ships as its clean reference:
+#   PYTHONPATH=src python -m repro lint examples/nibble_dotp.s
+#
+# a0 -> packed 4-bit weights (signed), a1 -> packed 4-bit activations
+# (unsigned), a2 -> pv.qnt.n threshold trees (16-bit aligned, in data
+# memory), result code in a0.
+
+    li      t0, 4                  # 4 words = 32 nibble pairs
+    li      a4, 0                  # accumulator
+    lp.setup 0, t0, mac_end        # zero-overhead hardware loop
+    p.lw    a5, 4(a0!)             # weights word, post-increment
+    p.lw    a6, 4(a1!)             # activations word
+    pv.sdotusp.n a4, a6, a5        # acc += act (u4) . weight (s4)
+mac_end:
+    pv.qnt.n a0, a4, a2            # staircase-quantize two 16-bit halves
+    andi    a0, a0, 0xf            # keep the first activation's code
+    ebreak

@@ -1,0 +1,63 @@
+"""Static program verification and dynamic race detection.
+
+The static side (``repro lint``) builds a CFG over a linked
+:class:`~repro.asm.program.Program`, runs small forward-dataflow
+analyses, and applies a registry of checkers: use-of-undefined register,
+writes to x0, RI5CY hardware-loop well-formedness, packed-SIMD format
+mixing, ``pv.qnt`` threshold-pointer sanity, and static address-range
+checks against the platform memory map.
+
+The dynamic side records TCDM accesses of a cluster run and applies a
+happens-before race detector that uses event-unit barriers as the
+synchronization edges (``repro lint --race``).
+"""
+
+from .catalog import builtin_kernel_programs, run_race_check
+from .cfg import BasicBlock, Cfg, HwLoop, build_cfg, find_hwloops
+from .checkers import (
+    CHECKERS,
+    KERNEL_ENTRY_REGS,
+    Checker,
+    LintConfig,
+    Region,
+    checker_catalog,
+    lint_program,
+    register_checker,
+)
+from .dataflow import (
+    ConstantAnalysis,
+    DefinednessAnalysis,
+    FormatAnalysis,
+    ForwardAnalysis,
+)
+from .findings import Finding, LintReport
+from .race import AccessTrace, Race, RaceReport, TcdmAccess, detect_races
+
+__all__ = [
+    "AccessTrace",
+    "BasicBlock",
+    "CHECKERS",
+    "Cfg",
+    "Checker",
+    "ConstantAnalysis",
+    "DefinednessAnalysis",
+    "Finding",
+    "FormatAnalysis",
+    "ForwardAnalysis",
+    "HwLoop",
+    "KERNEL_ENTRY_REGS",
+    "LintConfig",
+    "LintReport",
+    "Race",
+    "RaceReport",
+    "Region",
+    "TcdmAccess",
+    "build_cfg",
+    "builtin_kernel_programs",
+    "checker_catalog",
+    "detect_races",
+    "find_hwloops",
+    "lint_program",
+    "register_checker",
+    "run_race_check",
+]

@@ -1,0 +1,148 @@
+"""Enumeration of the programs emitted by the built-in kernel builders.
+
+``repro lint --kernels`` and the analysis integration tests verify every
+program the kernel generators can emit — MatMul, convolution, depthwise,
+pooling, linear and ReLU layers at 8/4/2-bit, on both cores, serial and
+cluster-parallel.  Keeping the enumeration here means a new builder (or
+a new configuration axis) gets verifier coverage by adding one entry.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+from ..asm.program import Program
+from ..qnn.layers import ConvGeometry
+
+#: Geometry satisfying every kernel's packing constraints at 8/4/2-bit.
+LINT_GEOMETRY = ConvGeometry(in_h=6, in_w=6, in_ch=16, out_ch=8,
+                             kh=3, kw=3, stride=1, pad=1)
+
+#: Cluster shard count used for the parallel variants (small, fast).
+LINT_CORES = 2
+
+
+def builtin_kernel_programs() -> Iterator[Tuple[str, Program]]:
+    """Yield ``(name, linked_program)`` for every shipped kernel builder."""
+    from ..kernels.conv import ConvConfig, ConvKernel
+    from ..kernels.depthwise import DepthwiseConfig, DepthwiseConvKernel
+    from ..kernels.linear import LinearConfig, LinearKernel
+    from ..kernels.matmul import MatmulConfig, MatmulKernel
+    from ..kernels.parallel import (
+        ParallelConvConfig,
+        ParallelConvKernel,
+        ParallelMatmulConfig,
+        ParallelMatmulKernel,
+    )
+    from ..kernels.pooling import PoolConfig, PoolKernel
+    from ..kernels.relu import ReluConfig, ReluKernel
+    from ..soc.memmap import TCDM_BASE
+
+    g = LINT_GEOMETRY
+
+    # -- MatMul microkernels (the paper's Fig. 6 sweep) -------------------
+    matmul_cases = [
+        ("matmul-8b-xpulpnn-shift", dict(bits=8, isa="xpulpnn", quant="shift")),
+        ("matmul-8b-ri5cy-shift", dict(bits=8, isa="ri5cy", quant="shift")),
+        ("matmul-4b-xpulpnn-hw", dict(bits=4, isa="xpulpnn", quant="hw")),
+        ("matmul-4b-xpulpnn-sw", dict(bits=4, isa="xpulpnn", quant="sw")),
+        ("matmul-4b-ri5cy-sw", dict(bits=4, isa="ri5cy", quant="sw")),
+        ("matmul-2b-xpulpnn-hw", dict(bits=2, isa="xpulpnn", quant="hw")),
+        ("matmul-2b-ri5cy-sw", dict(bits=2, isa="ri5cy", quant="sw")),
+        ("matmul-4b-xpulpnn-4x2", dict(bits=4, isa="xpulpnn", quant="none",
+                                       blocking="4x2")),
+    ]
+    for name, kwargs in matmul_cases:
+        cfg = MatmulConfig(reduction=g.reduction, out_ch=g.out_ch, **kwargs)
+        yield name, MatmulKernel(cfg).program
+
+    # -- Convolution layers ----------------------------------------------
+    conv_cases = [
+        ("conv-8b-xpulpnn-shift", dict(bits=8, isa="xpulpnn", quant="shift")),
+        ("conv-8b-ri5cy-shift", dict(bits=8, isa="ri5cy", quant="shift")),
+        ("conv-4b-xpulpnn-hw", dict(bits=4, isa="xpulpnn", quant="hw")),
+        ("conv-4b-ri5cy-sw", dict(bits=4, isa="ri5cy", quant="sw")),
+        ("conv-2b-xpulpnn-hw", dict(bits=2, isa="xpulpnn", quant="hw")),
+    ]
+    for name, kwargs in conv_cases:
+        yield name, ConvKernel(ConvConfig(geometry=g, **kwargs)).program
+
+    # -- Depthwise (8-bit) ------------------------------------------------
+    dw = DepthwiseConfig(in_h=6, in_w=6, channels=8)
+    yield "depthwise-8b", DepthwiseConvKernel(dw).program
+
+    # -- Pooling ----------------------------------------------------------
+    for bits in (8, 4, 2):
+        for op in ("max", "avg"):
+            cfg = PoolConfig(in_h=4, in_w=4, channels=32 // bits * 4,
+                             bits=bits, op=op)
+            yield f"pool-{op}-{bits}b", PoolKernel(cfg).program
+
+    # -- Linear / ReLU ----------------------------------------------------
+    yield "linear-8b", LinearKernel(
+        LinearConfig(in_features=16, out_features=8, bits=8)).program
+    for bits in (8, 4, 2):
+        yield f"relu-{bits}b", ReluKernel(
+            ReluConfig(elements=32, bits=bits)).program
+
+    # -- Cluster-parallel variants ---------------------------------------
+    pm = ParallelMatmulConfig(reduction=g.reduction, out_ch=g.out_ch,
+                              bits=4, num_cores=LINT_CORES, quant="hw")
+    yield "parallel-matmul-4b", ParallelMatmulKernel(pm).program
+    pm8 = ParallelMatmulConfig(reduction=g.reduction, out_ch=g.out_ch,
+                               bits=8, num_cores=LINT_CORES, quant="shift")
+    yield "parallel-matmul-8b", ParallelMatmulKernel(pm8).program
+    pc = ParallelConvConfig(geometry=g, bits=4, quant="hw",
+                            num_cores=LINT_CORES)
+    yield "parallel-conv-4b", ParallelConvKernel(
+        pc, base=TCDM_BASE).program
+
+
+def run_race_check(kernel: str = "matmul", cores: int = LINT_CORES,
+                   seed: int = 0):
+    """Run a shipped cluster-parallel kernel under TCDM access tracing.
+
+    Builds the 4-bit parallel MatMul or convolution, executes it on a
+    traced cluster with deterministic random tensors, and returns the
+    :class:`~repro.analysis.race.RaceReport` of the recorded trace.
+    """
+    import numpy as np
+
+    from ..cluster import Cluster
+    from ..errors import ReproError
+    from ..qnn import random_threshold_table
+    from .race import detect_races
+
+    g = LINT_GEOMETRY
+    bits = 4
+    rng = np.random.default_rng(seed)
+    table = random_threshold_table(g.out_ch, bits, spread=600, rng=rng)
+    if kernel == "matmul":
+        from ..kernels.parallel import ParallelMatmulConfig, ParallelMatmulKernel
+
+        cfg = ParallelMatmulConfig(reduction=g.reduction, out_ch=g.out_ch,
+                                   bits=bits, num_cores=cores, quant="hw")
+        kern = ParallelMatmulKernel(cfg)
+        w = rng.integers(-8, 8, (g.out_ch, g.reduction)).astype(np.int32)
+        x0 = rng.integers(0, 16, g.reduction).astype(np.int32)
+        x1 = rng.integers(0, 16, g.reduction).astype(np.int32)
+        cluster = Cluster(num_cores=cores, isa=cfg.isa)
+        trace = cluster.enable_access_trace()
+        kern.run(w, x0, x1, thresholds=table, cluster=cluster)
+    elif kernel == "conv":
+        from ..kernels.parallel import ParallelConvConfig, ParallelConvKernel
+        from ..soc.memmap import TCDM_BASE
+
+        cfg = ParallelConvConfig(geometry=g, bits=bits, quant="hw",
+                                 num_cores=cores)
+        kern = ParallelConvKernel(cfg, base=TCDM_BASE)
+        w = rng.integers(-8, 8, (g.out_ch, g.kh, g.kw, g.in_ch)).astype(np.int32)
+        acts = rng.integers(0, 16, (g.in_h, g.in_w, g.in_ch)).astype(np.int32)
+        cluster = Cluster(num_cores=cores, isa=cfg.isa)
+        trace = cluster.enable_access_trace()
+        kern.run(w, acts, thresholds=table, cluster=cluster)
+    else:
+        raise ReproError(
+            f"unknown race target {kernel!r}; choose 'matmul' or 'conv'")
+    return detect_races(
+        trace, name=f"parallel-{kernel}-{bits}b-{cores}core")

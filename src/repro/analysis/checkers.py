@@ -1,0 +1,581 @@
+"""Checker registry and the built-in program verifiers.
+
+Each checker inspects one defect class over a linked
+:class:`~repro.asm.program.Program` and emits
+:class:`~repro.analysis.findings.Finding`s.  :func:`lint_program` builds
+the CFG once, instantiates the requested checkers, and collects their
+findings into a :class:`~repro.analysis.findings.LintReport` — the entry
+point behind ``repro lint``.
+
+The default configuration encodes this repo's kernel calling convention
+(see :mod:`repro.kernels.common`): argument and callee-saved registers
+plus the documented anchor registers (``ra``/``gp``/``tp``/``t3``) are
+assumed preloaded by the harness; everything else must be written before
+it is read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple, Type
+
+from ..asm.program import Program
+from ..errors import ReproError
+from ..isa.registers import parse_register, register_name
+from ..isa.xpulpnn import CRUMB_TREE_STRIDE, NIBBLE_TREE_STRIDE
+from ..soc import memmap
+from .cfg import HWLOOP_MNEMONICS, Cfg, build_cfg
+from .dataflow import (
+    FMT_NAMES,
+    FMT_SCALAR,
+    ConstantAnalysis,
+    DefinednessAnalysis,
+    FormatAnalysis,
+    simd_parts,
+    written_registers,
+)
+from .findings import Finding, LintReport
+
+# ---------------------------------------------------------------------------
+# Configuration
+# ---------------------------------------------------------------------------
+
+#: Registers the kernel harness may preload (the calling convention of
+#: :mod:`repro.kernels.common`): arguments a0-a7, callee-saved s0-s11,
+#: the anchors ra/gp/tp/t3 (plus t5, the fourth weight pointer of the
+#: 4x2-blocked MatMul), and the stack/spill pointer.
+KERNEL_ENTRY_REGS: FrozenSet[int] = frozenset(
+    parse_register(name)
+    for name in (
+        ["ra", "sp", "gp", "tp", "t3", "t5"]
+        + [f"a{i}" for i in range(8)]
+        + [f"s{i}" for i in range(12)]
+    )
+)
+
+
+@dataclass(frozen=True)
+class Region:
+    """One mapped address range of the platform."""
+
+    name: str
+    base: int
+    size: int
+    kind: str = "ram"          # "ram" | "periph"
+
+    def contains(self, addr: int, length: int = 1) -> bool:
+        return self.base <= addr and addr + length <= self.base + self.size
+
+
+#: Default address space: the standalone core's flat memory plus the
+#: PULPissimo / cluster regions of :mod:`repro.soc.memmap`.
+DEFAULT_REGIONS: Tuple[Region, ...] = (
+    Region("flat", 0, 512 * 1024),
+    Region("rom", memmap.ROM_BASE, memmap.ROM_SIZE),
+    Region("l2", memmap.L2_BASE, memmap.L2_SIZE),
+    Region("tcdm", memmap.TCDM_BASE, memmap.TCDM_SIZE),
+    Region("periph", memmap.PERIPH_BASE, memmap.PERIPH_SIZE, kind="periph"),
+    Region("cluster-periph", memmap.CLUSTER_PERIPH_BASE,
+           memmap.CLUSTER_PERIPH_SIZE, kind="periph"),
+)
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Tunable assumptions shared by the checkers."""
+
+    entry_defined: FrozenSet[int] = KERNEL_ENTRY_REGS
+    regions: Tuple[Region, ...] = DEFAULT_REGIONS
+    min_loop_body: int = 2      # RI5CY: hardware-loop body >= 2 instructions
+
+    def region_of(self, addr: int, length: int = 1) -> Optional[Region]:
+        for region in self.regions:
+            if region.contains(addr, length):
+                return region
+        return None
+
+
+class LintContext:
+    """Everything a checker may need, built once per program."""
+
+    def __init__(self, program: Program, config: LintConfig) -> None:
+        self.program = program
+        self.config = config
+        self.cfg: Cfg = build_cfg(program)
+        self._constants: Optional[Dict[int, object]] = None
+
+    @property
+    def constants(self) -> Dict[int, object]:
+        """Constant-propagation states keyed by instruction address."""
+        if self._constants is None:
+            self._constants = ConstantAnalysis().run(self.cfg)
+        return self._constants
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+class Checker:
+    """Base class: subclasses set ``name``/``description`` and ``check``."""
+
+    name: str = ""
+    description: str = ""
+
+    def check(self, ctx: LintContext) -> Iterable[Finding]:
+        raise NotImplementedError
+
+
+CHECKERS: Dict[str, Type[Checker]] = {}
+
+
+def register_checker(cls: Type[Checker]) -> Type[Checker]:
+    if not cls.name:
+        raise ReproError(f"checker {cls.__name__} has no name")
+    if cls.name in CHECKERS:
+        raise ReproError(f"duplicate checker name {cls.name!r}")
+    CHECKERS[cls.name] = cls
+    return cls
+
+
+def checker_catalog() -> List[Tuple[str, str]]:
+    """(name, description) for every registered checker, sorted."""
+    return [(name, CHECKERS[name].description) for name in sorted(CHECKERS)]
+
+
+def lint_program(
+    program: Program,
+    checks: Optional[Sequence[str]] = None,
+    config: Optional[LintConfig] = None,
+    name: str = "<program>",
+) -> LintReport:
+    """Run the selected checkers (default: all) over a linked program."""
+    config = config or LintConfig()
+    selected = list(checks) if checks is not None else sorted(CHECKERS)
+    for check in selected:
+        if check not in CHECKERS:
+            raise ReproError(
+                f"unknown checker {check!r}; available: {sorted(CHECKERS)}")
+    ctx = LintContext(program, config)
+    report = LintReport(name=name, checks=selected)
+    for check in selected:
+        report.findings.extend(CHECKERS[check]().check(ctx))
+    report.findings.sort(key=lambda f: (f.addr is None, f.addr or 0, f.checker))
+    return report
+
+
+# ---------------------------------------------------------------------------
+# use of a register that may be undefined
+# ---------------------------------------------------------------------------
+
+@register_checker
+class UndefinedRegisterChecker(Checker):
+    name = "undef-register"
+    description = ("read of a register not written on every path and not "
+                   "preloaded per the kernel calling convention")
+
+    def check(self, ctx: LintContext) -> Iterable[Finding]:
+        analysis = DefinednessAnalysis(ctx.config.entry_defined)
+        before = analysis.run(ctx.cfg)
+        seen = set()
+        for ins in ctx.program.instructions:
+            state = before.get(ins.addr)
+            if state is None:
+                continue  # unreachable
+            sources = set(ins.source_registers())
+            if ins.mnemonic.startswith(("pv.insert", "p.insert")):
+                # Partial-lane write: building a vector lane-by-lane into
+                # an uninitialized register is the standard unpack idiom.
+                sources.discard(ins.rd)
+            for reg in sorted(sources):
+                if reg in state or (ins.addr, reg) in seen:
+                    continue
+                seen.add((ins.addr, reg))
+                yield Finding(
+                    checker=self.name,
+                    addr=ins.addr,
+                    mnemonic=ins.mnemonic,
+                    message=(
+                        f"register {register_name(reg)} is read but not "
+                        f"written on every path from the entry (and is not "
+                        f"a harness-preloaded register)"
+                    ),
+                )
+
+
+# ---------------------------------------------------------------------------
+# write to x0
+# ---------------------------------------------------------------------------
+
+#: Mnemonics where rd = x0 is an accepted idiom rather than a lost result.
+_X0_IDIOMS = frozenset(
+    {"jal", "jalr",                      # plain jump / call-discard
+     "csrrw", "csrrs", "csrrc",          # CSR write without readback
+     "csrrwi", "csrrsi", "csrrci"}
+)
+
+
+def _is_canonical_nop(ins) -> bool:
+    return (ins.mnemonic in ("addi", "c.addi")
+            and ins.rd == 0 and ins.rs1 == 0 and ins.imm == 0)
+
+
+@register_checker
+class WriteToX0Checker(Checker):
+    name = "write-x0"
+    description = ("computation or load whose result lands in the "
+                   "hardwired-zero register")
+
+    def check(self, ctx: LintContext) -> Iterable[Finding]:
+        for ins in ctx.program.instructions:
+            written = written_registers(ins)
+            if not written:
+                continue
+            if _is_canonical_nop(ins) or ins.mnemonic in _X0_IDIOMS:
+                continue
+            if any(part == "rd" for part in ins.spec.syntax) and ins.rd == 0:
+                yield Finding(
+                    checker=self.name,
+                    addr=ins.addr,
+                    mnemonic=ins.mnemonic,
+                    message="result written to x0 is discarded "
+                            "(x0 is hardwired to zero)",
+                )
+            if any("!" in part for part in ins.spec.syntax) and ins.rs1 == 0:
+                yield Finding(
+                    checker=self.name,
+                    addr=ins.addr,
+                    mnemonic=ins.mnemonic,
+                    message="post-increment writeback to x0 is lost; the "
+                            "address never advances",
+                )
+
+
+# ---------------------------------------------------------------------------
+# hardware-loop well-formedness
+# ---------------------------------------------------------------------------
+
+@register_checker
+class HwLoopChecker(Checker):
+    name = "hwloop"
+    description = ("RI5CY hardware-loop structure: two-level nesting, "
+                   "closed bodies, no branches across the boundary")
+
+    def check(self, ctx: LintContext) -> Iterable[Finding]:
+        program = ctx.program
+        loops = ctx.cfg.loops
+        by_addr = {ins.addr: ins for ins in program.instructions}
+
+        def fail(addr, mnemonic, message):
+            return Finding(checker=self.name, addr=addr, mnemonic=mnemonic,
+                           message=message)
+
+        for loop in loops:
+            setup = by_addr[loop.setup_addr]
+            if loop.level not in (0, 1):
+                yield fail(loop.setup_addr, setup.mnemonic,
+                           f"hardware-loop level {loop.level} does not "
+                           f"exist (RI5CY has levels 0 and 1)")
+                continue
+            if loop.end <= loop.start:
+                yield fail(loop.setup_addr, setup.mnemonic,
+                           "hardware-loop body is empty or ends before it "
+                           "starts")
+                continue
+            body = [ins for ins in program.instructions
+                    if loop.contains(ins.addr)]
+            if len(body) < ctx.config.min_loop_body:
+                yield fail(loop.setup_addr, setup.mnemonic,
+                           f"hardware-loop body has {len(body)} "
+                           f"instruction(s); RI5CY requires at least "
+                           f"{ctx.config.min_loop_body}")
+            if loop.count == 0:
+                yield fail(loop.setup_addr, setup.mnemonic,
+                           "hardware loop with iteration count 0 never "
+                           "loops (body runs once, falls through)")
+            if body:
+                last = body[-1]
+                if last.addr + last.size == loop.end:
+                    if last.spec.timing in ("branch", "jump"):
+                        yield fail(last.addr, last.mnemonic,
+                                   "the last instruction of a hardware-loop "
+                                   "body must not be a branch or jump")
+                    elif last.mnemonic in HWLOOP_MNEMONICS:
+                        yield fail(last.addr, last.mnemonic,
+                                   "the last instruction of a hardware-loop "
+                                   "body must not be an lp.* instruction")
+
+            # Branches out of, and indirect jumps inside, the body.
+            for ins in body:
+                if ins.mnemonic in ("lp.setup", "lp.setupi"):
+                    continue  # nesting handled below
+                if ins.spec.timing == "jump" and "label" not in ins.spec.syntax:
+                    yield fail(ins.addr, ins.mnemonic,
+                               "indirect jump inside a hardware-loop body "
+                               "escapes the loop controller")
+                    continue
+                if ins.spec.timing in ("branch", "jump"):
+                    target = (ins.addr + ins.imm) & 0xFFFF_FFFF
+                    if not (loop.start <= target < loop.end):
+                        yield fail(ins.addr, ins.mnemonic,
+                                   f"branch to {target:#x} leaves the "
+                                   f"hardware-loop body "
+                                   f"[{loop.start:#x}, {loop.end:#x})")
+
+            # Branches from outside into the body (other than the setup's
+            # own fall-in at loop.start).
+            for ins in program.instructions:
+                if loop.contains(ins.addr) or ins.spec.timing not in ("branch", "jump"):
+                    continue
+                if "label" not in ins.spec.syntax:
+                    continue
+                target = (ins.addr + ins.imm) & 0xFFFF_FFFF
+                if loop.contains(target):
+                    yield fail(ins.addr, ins.mnemonic,
+                               f"branch into the hardware-loop body at "
+                               f"{target:#x} bypasses the loop setup")
+
+        # Pairwise nesting discipline.
+        for i, outer in enumerate(loops):
+            for inner in loops[i + 1:]:
+                a, b = outer, inner
+                if b.start < a.start or (b.start == a.start and b.end > a.end):
+                    a, b = b, a
+                overlap = b.start < a.end and a.start < b.end
+                if not overlap:
+                    continue
+                nested = a.start <= b.start and b.end <= a.end and (
+                    a.contains(b.setup_addr))
+                if not nested:
+                    yield Finding(
+                        checker=self.name, addr=b.setup_addr,
+                        mnemonic=by_addr[b.setup_addr].mnemonic,
+                        message=(
+                            f"hardware-loop bodies [{a.start:#x}, {a.end:#x})"
+                            f" and [{b.start:#x}, {b.end:#x}) overlap "
+                            f"without nesting"
+                        ),
+                    )
+                    continue
+                if a.level == b.level:
+                    yield Finding(
+                        checker=self.name, addr=b.setup_addr,
+                        mnemonic=by_addr[b.setup_addr].mnemonic,
+                        message=(
+                            f"nested hardware loops share level {a.level}; "
+                            f"the inner loop must use level 0 and the "
+                            f"outer level 1"
+                        ),
+                    )
+                elif b.level != 0:
+                    yield Finding(
+                        checker=self.name, addr=b.setup_addr,
+                        mnemonic=by_addr[b.setup_addr].mnemonic,
+                        message=(
+                            "the inner hardware loop must use level 0 "
+                            "(level 0 has back-edge priority in RI5CY)"
+                        ),
+                    )
+
+
+# ---------------------------------------------------------------------------
+# SIMD format mixing
+# ---------------------------------------------------------------------------
+
+def _fmt_label(fmt: str) -> str:
+    return FMT_NAMES.get(fmt, fmt)
+
+
+@register_checker
+class SimdFormatChecker(Checker):
+    name = "simd-format"
+    description = ("packed-SIMD operand produced in one element format and "
+                   "consumed in another (nibble/crumb mixing)")
+
+    def check(self, ctx: LintContext) -> Iterable[Finding]:
+        before = FormatAnalysis().run(ctx.cfg)
+        for ins in ctx.program.instructions:
+            parts = simd_parts(ins.mnemonic)
+            state = before.get(ins.addr)
+            if parts is None or state is None:
+                continue
+            stem, variant, width = parts
+
+            if stem == "qnt":
+                fmt = state.get(ins.rs1)
+                if fmt in ("b", "n", "c"):
+                    yield Finding(
+                        checker=self.name, addr=ins.addr,
+                        mnemonic=ins.mnemonic,
+                        message=(
+                            f"pv.qnt expects two packed 16-bit accumulators "
+                            f"in rs1, but x{ins.rs1} holds a "
+                            f"{_fmt_label(fmt)} vector"
+                        ),
+                    )
+                continue
+
+            operands: List[int] = [ins.rs1]
+            if (variant == "" and any("rs2" in p for p in ins.spec.syntax)
+                    and stem not in ("shuffle", "shuffle2")):
+                operands.append(ins.rs2)
+            if ins.spec.rd_is_src and stem in ("shuffle2", "insert"):
+                operands.append(ins.rd)
+            if stem == "insert":
+                operands.remove(ins.rs1)  # rs1 is the scalar lane value
+
+            for reg in operands:
+                fmt = state.get(reg)
+                if fmt is None or fmt == width:
+                    continue
+                if fmt == FMT_SCALAR:
+                    yield Finding(
+                        checker=self.name, addr=ins.addr,
+                        mnemonic=ins.mnemonic,
+                        message=(
+                            f"x{reg} holds a scalar dot-product/extract "
+                            f"result but is consumed as a "
+                            f"{_fmt_label(width)} vector"
+                        ),
+                    )
+                else:
+                    yield Finding(
+                        checker=self.name, addr=ins.addr,
+                        mnemonic=ins.mnemonic,
+                        message=(
+                            f"x{reg} was packed as a {_fmt_label(fmt)} "
+                            f"vector but is consumed as a "
+                            f"{_fmt_label(width)} vector"
+                        ),
+                    )
+
+            if ins.spec.rd_is_src and stem not in ("shuffle2", "insert"):
+                # Accumulating dot products read rd as a 32-bit scalar.
+                fmt = state.get(ins.rd)
+                if fmt in ("b", "h", "n", "c"):
+                    yield Finding(
+                        checker=self.name, addr=ins.addr,
+                        mnemonic=ins.mnemonic,
+                        message=(
+                            f"accumulator x{ins.rd} holds a "
+                            f"{_fmt_label(fmt)} vector; dot products "
+                            f"accumulate a 32-bit scalar"
+                        ),
+                    )
+
+
+# ---------------------------------------------------------------------------
+# pv.qnt threshold-pointer sanity
+# ---------------------------------------------------------------------------
+
+_QNT_SPAN = {
+    # Second tree starts at base + stride; each tree holds 2**Q - 1
+    # int16 thresholds.
+    "pv.qnt.n": NIBBLE_TREE_STRIDE + 2 * 15,
+    "pv.qnt.c": CRUMB_TREE_STRIDE + 2 * 3,
+}
+
+
+@register_checker
+class QntThresholdChecker(Checker):
+    name = "qnt-threshold"
+    description = ("pv.qnt threshold pointer: aligned, in data memory, "
+                   "not overlapping the code image")
+
+    def check(self, ctx: LintContext) -> Iterable[Finding]:
+        program = ctx.program
+        for ins in program.instructions:
+            span = _QNT_SPAN.get(ins.mnemonic)
+            if span is None:
+                continue
+            state = ctx.constants.get(ins.addr)
+            if state is None or ins.rs2 not in state:
+                continue  # pointer not statically known
+            addr = state[ins.rs2]
+            if addr % 2:
+                yield Finding(
+                    checker=self.name, addr=ins.addr, mnemonic=ins.mnemonic,
+                    message=(
+                        f"threshold pointer {addr:#x} is not 16-bit "
+                        f"aligned; every tree access would stall the "
+                        f"quantization FSM"
+                    ),
+                )
+            region = ctx.config.region_of(addr, span)
+            if region is None or region.kind != "ram":
+                where = f"peripheral region '{region.name}'" if region else \
+                    "no mapped region"
+                yield Finding(
+                    checker=self.name, addr=ins.addr, mnemonic=ins.mnemonic,
+                    message=(
+                        f"threshold tables at {addr:#x} (+{span} B) fall in "
+                        f"{where}"
+                    ),
+                )
+            elif program.base <= addr < program.end:
+                yield Finding(
+                    checker=self.name, addr=ins.addr, mnemonic=ins.mnemonic,
+                    message=(
+                        f"threshold pointer {addr:#x} overlaps the code "
+                        f"image [{program.base:#x}, {program.end:#x})"
+                    ),
+                )
+
+
+# ---------------------------------------------------------------------------
+# load/store address-range checks
+# ---------------------------------------------------------------------------
+
+def _access_size(mnemonic: str) -> Optional[int]:
+    """Byte width of a load/store mnemonic (lb/lh/lw families)."""
+    stem = mnemonic
+    for prefix in ("p.", "c."):
+        if stem.startswith(prefix):
+            stem = stem[len(prefix):]
+    if not stem or stem[0] not in ("l", "s"):
+        return None
+    return {"b": 1, "h": 2, "w": 4}.get(stem[1])
+
+
+@register_checker
+class AddressRangeChecker(Checker):
+    name = "addr-range"
+    description = ("load/store with a statically-known address outside "
+                   "every mapped memory region")
+
+    def check(self, ctx: LintContext) -> Iterable[Finding]:
+        for ins in ctx.program.instructions:
+            if ins.spec.timing not in ("load", "store"):
+                continue
+            size = _access_size(ins.mnemonic)
+            if size is None:
+                continue
+            state = ctx.constants.get(ins.addr)
+            if state is None or ins.rs1 not in state:
+                continue
+            syntax = "".join(ins.spec.syntax)
+            if "rs2(rs1" in syntax:
+                if ins.rs2 not in state:
+                    continue
+                addr = (state[ins.rs1] + state[ins.rs2]) & 0xFFFF_FFFF
+            elif "imm(rs1" in syntax or ins.spec.timing in ("load", "store"):
+                addr = (state[ins.rs1] + ins.imm) & 0xFFFF_FFFF
+            region = ctx.config.region_of(addr, size)
+            if region is None:
+                kind = "load" if ins.spec.timing == "load" else "store"
+                yield Finding(
+                    checker=self.name, addr=ins.addr, mnemonic=ins.mnemonic,
+                    message=(
+                        f"{kind} of {size} B at {addr:#x} falls outside "
+                        f"every mapped region"
+                    ),
+                )
+            elif addr % size:
+                yield Finding(
+                    checker=self.name, addr=ins.addr, mnemonic=ins.mnemonic,
+                    severity="warning",
+                    message=(
+                        f"access of {size} B at {addr:#x} is misaligned "
+                        f"(costs an extra cycle per access)"
+                    ),
+                )

@@ -1,0 +1,177 @@
+"""Dynamic data-race detection on the cluster TCDM.
+
+The cluster's only synchronization primitive is the event unit's
+all-cores barrier, which makes happens-before unusually clean: every
+access carries the *barrier epoch* of its core (how many barriers that
+core has passed when it issues the access), and two accesses on
+different cores are ordered iff their epochs differ.  Same epoch +
+overlapping bytes + at least one write = a data race — some interleaving
+of the cluster scheduler makes the outcome depend on arrival order.
+
+Usage::
+
+    cluster = Cluster(num_cores=8)
+    trace = cluster.enable_access_trace()
+    cluster.run_program(program)
+    races = detect_races(trace)
+
+The recorder hooks the per-core TCDM ports
+(:class:`~repro.cluster.cluster.CoreMemPort`), so DMA transfers and
+host-side staging — which the harness serializes against the run — are
+not traced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: Cap on reported races; one bad kernel can conflict on every element.
+MAX_RACES = 64
+
+
+@dataclass(frozen=True)
+class TcdmAccess:
+    """One core-issued TCDM access."""
+
+    core: int
+    addr: int
+    size: int
+    kind: str        # "r" | "w"
+    epoch: int       # barriers the issuing core had passed
+    pc: Optional[int] = None
+
+    def overlaps(self, other: "TcdmAccess") -> bool:
+        return (self.addr < other.addr + other.size
+                and other.addr < self.addr + self.size)
+
+
+class AccessTrace:
+    """Flat record of every traced TCDM access of one cluster run."""
+
+    def __init__(self) -> None:
+        self.accesses: List[TcdmAccess] = []
+
+    def record(self, core: int, addr: int, size: int, kind: str,
+               epoch: int, pc: Optional[int] = None) -> None:
+        self.accesses.append(TcdmAccess(core, addr, size, kind, epoch, pc))
+
+    def clear(self) -> None:
+        self.accesses.clear()
+
+    def __len__(self) -> int:
+        return len(self.accesses)
+
+
+@dataclass(frozen=True)
+class Race:
+    """Two unordered conflicting accesses."""
+
+    first: TcdmAccess
+    second: TcdmAccess
+
+    @property
+    def kind(self) -> str:
+        kinds = {self.first.kind, self.second.kind}
+        return "write-write" if kinds == {"w"} else "read-write"
+
+    def to_dict(self) -> Dict[str, object]:
+        def acc(a: TcdmAccess) -> Dict[str, object]:
+            return {"core": a.core, "addr": a.addr, "size": a.size,
+                    "kind": a.kind, "epoch": a.epoch, "pc": a.pc}
+        return {"kind": self.kind, "first": acc(self.first),
+                "second": acc(self.second)}
+
+    def __str__(self) -> str:
+        a, b = self.first, self.second
+        def where(x: TcdmAccess) -> str:
+            pc = f" pc={x.pc:#x}" if x.pc is not None else ""
+            return f"core {x.core} {x.kind}@{x.addr:#x}+{x.size}{pc}"
+        return (f"{self.kind} race in barrier epoch {a.epoch}: "
+                f"{where(a)} vs {where(b)}")
+
+
+@dataclass
+class RaceReport:
+    """Race-detection outcome for one cluster run."""
+
+    name: str
+    races: List[Race] = field(default_factory=list)
+    accesses: int = 0
+    epochs: int = 0
+    truncated: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return not self.races
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "ok": self.ok,
+            "accesses": self.accesses,
+            "epochs": self.epochs,
+            "truncated": self.truncated,
+            "races": [race.to_dict() for race in self.races],
+        }
+
+    def render(self) -> str:
+        verdict = ("clean" if self.ok
+                   else f"{len(self.races)} race(s)"
+                        + (" [truncated]" if self.truncated else ""))
+        lines = [f"{self.name}: {verdict} ({self.accesses} TCDM accesses, "
+                 f"{self.epochs} barrier epoch(s))"]
+        for race in self.races:
+            lines.append(f"  {race}")
+        return "\n".join(lines)
+
+
+def _word_span(access: TcdmAccess) -> Iterable[int]:
+    first = access.addr >> 2
+    last = (access.addr + access.size - 1) >> 2
+    return range(first, last + 1)
+
+
+def detect_races(trace: AccessTrace, name: str = "<cluster-run>") -> RaceReport:
+    """Happens-before race detection over a recorded access trace.
+
+    Accesses are bucketed by (barrier epoch, 32-bit word); within a
+    bucket every write is compared against accesses of other cores with
+    overlapping bytes.  Duplicate pairs (same cores, word, and kinds —
+    e.g. a core re-writing the same element each loop iteration) report
+    once to keep the output readable.
+    """
+    buckets: Dict[Tuple[int, int], List[TcdmAccess]] = {}
+    epochs = set()
+    for access in trace.accesses:
+        epochs.add(access.epoch)
+        for word in _word_span(access):
+            buckets.setdefault((access.epoch, word), []).append(access)
+
+    report = RaceReport(name=name, accesses=len(trace),
+                        epochs=len(epochs))
+    reported = set()
+    for (epoch, word), accesses in sorted(buckets.items()):
+        writes = [a for a in accesses if a.kind == "w"]
+        if not writes:
+            continue
+        for write in writes:
+            for other in accesses:
+                if other.core == write.core:
+                    continue
+                if other.kind == "w" and (other.core, other.addr) < (
+                        write.core, write.addr):
+                    continue  # count each write-write pair once
+                if not write.overlaps(other):
+                    continue
+                key = (word, min(write.core, other.core),
+                       max(write.core, other.core),
+                       "".join(sorted((write.kind, other.kind))))
+                if key in reported:
+                    continue
+                reported.add(key)
+                if len(report.races) >= MAX_RACES:
+                    report.truncated = True
+                    return report
+                report.races.append(Race(first=write, second=other))
+    return report

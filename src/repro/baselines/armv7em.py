@@ -30,7 +30,7 @@ from the STM32 datasheets the paper cites ([14], [15]).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
 from ..errors import ModelError

@@ -6,7 +6,10 @@ Commands:
 * ``disasm``  decode a flat binary back to assembly;
 * ``run``     assemble + execute a program, print registers and counters;
 * ``report``  regenerate the paper's tables/figures (``--full`` for the
-  exact paper layer).
+  exact paper layer);
+* ``lint``    static verification of programs (``--kernels`` for every
+  built-in kernel builder, ``--race`` for the dynamic TCDM race
+  detector).  Exits non-zero when findings or races are reported.
 """
 
 from __future__ import annotations
@@ -150,6 +153,59 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis import (
+        CHECKERS,
+        checker_catalog,
+        builtin_kernel_programs,
+        lint_program,
+        run_race_check,
+    )
+
+    if args.list_checkers:
+        for name, description in checker_catalog():
+            print(f"  {name:<16s} {description}")
+        return 0
+
+    checks = None
+    if args.checks:
+        checks = [c.strip() for c in args.checks.split(",") if c.strip()]
+        for check in checks:
+            if check not in CHECKERS:
+                raise ReproError(
+                    f"unknown checker {check!r}; choose from "
+                    f"{sorted(CHECKERS)}")
+
+    reports = []
+    if args.race:
+        reports.append(run_race_check(args.race, cores=args.cores))
+    if args.kernels:
+        for name, program in builtin_kernel_programs():
+            reports.append(lint_program(program, checks=checks, name=name))
+    for path in args.inputs:
+        source = open(path).read()
+        program = Assembler(isa=args.isa, base=args.base).assemble(source)
+        reports.append(lint_program(program, checks=checks, name=path))
+    if not reports:
+        raise ReproError(
+            "nothing to lint: pass source files, --kernels, or --race")
+
+    failed = sum(not report.ok for report in reports)
+    if args.json:
+        import json
+
+        payload = {
+            "ok": failed == 0,
+            "reports": [_jsonify(report) for report in reports],
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        for report in reports:
+            print(report.render())
+        print(f"{len(reports)} program(s) checked, {failed} with findings")
+    return 1 if failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -199,6 +255,28 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--json", action="store_true",
                         help="emit results as JSON instead of tables")
     report.set_defaults(func=_cmd_report)
+
+    lint = sub.add_parser(
+        "lint", help="statically verify programs / detect TCDM races")
+    lint.add_argument("inputs", nargs="*",
+                      help="assembly source files to verify")
+    lint.add_argument("--isa", default="xpulpnn",
+                      choices=("rv32imc", "ri5cy", "xpulpnn"))
+    lint.add_argument("--base", type=lambda v: int(v, 0), default=0)
+    lint.add_argument("--kernels", action="store_true",
+                      help="verify every built-in kernel-builder program")
+    lint.add_argument("--checks", metavar="NAME[,NAME...]",
+                      help="run only the named checkers")
+    lint.add_argument("--race", choices=("matmul", "conv"),
+                      help="run the parallel kernel under the dynamic "
+                           "TCDM race detector")
+    lint.add_argument("--cores", type=int, default=2,
+                      help="cluster cores for --race (default 2)")
+    lint.add_argument("--list-checkers", action="store_true",
+                      help="print the checker catalog and exit")
+    lint.add_argument("--json", action="store_true",
+                      help="emit reports as JSON")
+    lint.set_defaults(func=_cmd_lint)
     return parser
 
 

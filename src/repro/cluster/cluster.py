@@ -37,7 +37,6 @@ from ..soc.memmap import (
     EU_NUM_CORES,
     L2_BASE,
     L2_SIZE,
-    TCDM_BASE,
     TCDM_SIZE,
 )
 from ..soc.memory import Memory
@@ -144,6 +143,10 @@ class CoreMemPort:
             stall, _ = cl.tcdm.access(addr, self._now())
             if stall:
                 self.cpu.add_tcdm_stall(stall)
+            if cl.access_trace is not None:
+                cl.access_trace.record(
+                    self._core_id, addr, size, "r",
+                    cl.event_unit.barriers_completed, pc=self.cpu.pc)
             return cl.tcdm.mem.load(addr, size, signed)
         if CLUSTER_PERIPH_BASE <= addr < CLUSTER_PERIPH_BASE + CLUSTER_PERIPH_SIZE:
             return self._periph_load(addr)
@@ -155,6 +158,10 @@ class CoreMemPort:
             stall, _ = cl.tcdm.access(addr, self._now())
             if stall:
                 self.cpu.add_tcdm_stall(stall)
+            if cl.access_trace is not None:
+                cl.access_trace.record(
+                    self._core_id, addr, size, "w",
+                    cl.event_unit.barriers_completed, pc=self.cpu.pc)
             cl.tcdm.mem.store(addr, size, value)
             return
         if CLUSTER_PERIPH_BASE <= addr < CLUSTER_PERIPH_BASE + CLUSTER_PERIPH_SIZE:
@@ -251,6 +258,9 @@ class Cluster:
         self.raw = ClusterMemory(self.tcdm, self.l2)
         self.event_unit = EventUnit(cfg.num_cores)
         self.dma = ClusterDma(self.raw)
+        #: Optional TCDM access recorder for the race detector (see
+        #: :mod:`repro.analysis.race`); None keeps the hot path clean.
+        self.access_trace = None
         self.cores: List[Cpu] = []
         for core_id in range(cfg.num_cores):
             port = CoreMemPort(self, core_id)
@@ -264,6 +274,14 @@ class Cluster:
         """Untimed memory view for tensor staging (host side)."""
         return self.raw
 
+    def enable_access_trace(self):
+        """Attach (and return) a TCDM access recorder for race detection."""
+        from ..analysis.race import AccessTrace
+
+        if self.access_trace is None:
+            self.access_trace = AccessTrace()
+        return self.access_trace
+
     # ------------------------------------------------------------------
 
     def load_program(self, program) -> None:
@@ -276,6 +294,8 @@ class Cluster:
             cpu.reset()
         self.tcdm.reset_timing()
         self.dma.reset_timing()
+        if self.access_trace is not None:
+            self.access_trace.clear()
 
     def run(
         self,

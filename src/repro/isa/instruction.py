@@ -14,7 +14,7 @@ semantic function; it is driven by ``InstrSpec.timing`` (see
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional, Tuple
 
 #: Timing classes understood by the core timing model.

@@ -47,7 +47,7 @@ class Isa:
     subsets: Tuple[str, ...]
     specs: List[InstrSpec]
     by_mnemonic: Dict[str, InstrSpec] = field(default_factory=dict)
-    decoder: Decoder = None
+    decoder: Decoder = field(init=False)
 
     def __post_init__(self) -> None:
         if not self.by_mnemonic:
@@ -55,8 +55,7 @@ class Isa:
                 if spec.mnemonic in self.by_mnemonic:
                     raise IsaError(f"duplicate mnemonic {spec.mnemonic!r} in ISA {self.name}")
                 self.by_mnemonic[spec.mnemonic] = spec
-        if self.decoder is None:
-            self.decoder = Decoder(self.specs)
+        self.decoder = Decoder(self.specs)
 
     def spec(self, mnemonic: str) -> InstrSpec:
         """Look up a spec by mnemonic, raising :class:`IsaError` if absent."""

@@ -1,0 +1,14 @@
+# Defect: both hardware loops claim level 0; RI5CY nesting requires the
+# inner loop at level 0 and the outer at level 1.
+# Expected: exactly one hwloop finding at the inner lp.setup.
+    li   t0, 4
+    li   t1, 4
+    li   a0, 0
+    lp.setup 0, t0, outer_end
+    lp.setup 0, t1, inner_end
+    addi a0, a0, 1
+    addi a0, a0, 2
+inner_end:
+    addi a0, a0, 3
+outer_end:
+    ebreak

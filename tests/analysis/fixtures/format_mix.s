@@ -1,0 +1,8 @@
+# Defect: t2 is produced as a nibble (.n) vector but consumed by a byte
+# (.b) lane operation.
+# Expected: exactly one simd-format finding at the pv.add.b.
+    li   t0, 0x44332211
+    li   t1, 0x11111111
+    pv.add.n t2, t0, t1
+    pv.add.b t3, t2, t1
+    ebreak

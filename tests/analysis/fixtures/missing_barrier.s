@@ -1,0 +1,7 @@
+# Defect: every core of the cluster writes the same TCDM word with no
+# event-unit barrier ordering the accesses.
+# Expected: the dynamic race detector reports a write-write race.
+    li   t0, 0x10001000
+    csrr t1, 0xF14
+    sw   t1, 0(t0)
+    ebreak

@@ -1,0 +1,7 @@
+# Defect: store to 0x08000000, a hole between the standalone RAM and
+# every mapped SoC region.
+# Expected: exactly one addr-range finding at the sw.
+    li   t0, 0x08000000
+    li   t1, 42
+    sw   t1, 0(t0)
+    ebreak

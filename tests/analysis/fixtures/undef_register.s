@@ -1,0 +1,8 @@
+# Defect: t1 is written on only one path, then read unconditionally.
+# Expected: exactly one undef-register finding at the `add`.
+    li   t0, 1
+    beqz a0, skip
+    li   t1, 5
+skip:
+    add  t2, t0, t1
+    ebreak

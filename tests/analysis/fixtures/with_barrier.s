@@ -1,0 +1,13 @@
+# Correct version of missing_barrier.s: each core writes its own TCDM
+# word, passes the event-unit barrier, then reads core 0's word.  The
+# barrier separates the write and the cross-core reads into different
+# epochs, so the race detector must stay quiet.
+    csrr t0, 0xF14
+    li   t1, 0x10001000
+    slli t2, t0, 2
+    add  t2, t1, t2
+    sw   t0, 0(t2)
+    li   t3, 0x10200004
+    lw   t4, 0(t3)
+    lw   t5, 0(t1)
+    ebreak

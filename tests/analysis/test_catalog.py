@@ -1,0 +1,27 @@
+"""Integration: the static verifier over every shipped kernel builder.
+
+The acceptance bar of the analysis subsystem — all programs the kernel
+generators emit (MatMul/conv/depthwise/pooling/linear/ReLU at 8/4/2-bit,
+serial and cluster-parallel) must lint clean with every checker enabled.
+"""
+
+import pytest
+
+from repro.analysis import builtin_kernel_programs, lint_program
+
+CATALOG = list(builtin_kernel_programs())
+
+
+def test_catalog_covers_the_kernel_families():
+    names = [name for name, _ in CATALOG]
+    assert len(names) == len(set(names))
+    for family in ("matmul", "conv", "depthwise", "pool", "linear",
+                   "relu", "parallel"):
+        assert any(family in name for name in names), family
+
+
+@pytest.mark.parametrize("name,program", CATALOG,
+                         ids=[name for name, _ in CATALOG])
+def test_kernel_program_has_zero_findings(name, program):
+    report = lint_program(program, name=name)
+    assert report.ok and not report.findings, report.render()

@@ -1,0 +1,107 @@
+"""CFG construction: leaders, edges, and hardware-loop recovery."""
+
+import pytest
+
+from repro.analysis import build_cfg, find_hwloops
+from repro.asm import Assembler
+
+
+def assemble(source, isa="xpulpnn", base=0):
+    return Assembler(isa=isa, base=base).assemble(source)
+
+
+class TestBlocks:
+    def test_straight_line_is_one_block(self):
+        cfg = build_cfg(assemble("""
+            li   a0, 1
+            addi a0, a0, 2
+            ebreak
+        """))
+        assert len(cfg.blocks) == 1
+        assert cfg.blocks[0].successors == []
+
+    def test_branch_splits_and_links_both_edges(self):
+        cfg = build_cfg(assemble("""
+            beqz a0, out
+            addi a1, a1, 1
+        out:
+            ebreak
+        """))
+        entry = cfg.blocks[cfg.entry_block]
+        taken = cfg.block_of(cfg.program.instructions[-1].addr)
+        fall = cfg.block_of(cfg.program.instructions[1].addr)
+        assert sorted(entry.successors) == sorted([taken.index, fall.index])
+        assert entry.index in taken.predecessors
+        assert entry.index in fall.predecessors
+
+    def test_halt_terminates_block(self):
+        cfg = build_cfg(assemble("""
+            ebreak
+            addi a0, a0, 1
+            ebreak
+        """))
+        first = cfg.block_of(0)
+        assert first.successors == []
+
+    def test_backward_branch_forms_loop_edge(self):
+        cfg = build_cfg(assemble("""
+            li   t0, 4
+        loop:
+            addi t0, t0, -1
+            bnez t0, loop
+            ebreak
+        """))
+        body = cfg.block_of(4)
+        assert body.index in body.successors  # self loop via bnez
+
+    def test_ret_has_no_static_successor(self):
+        cfg = build_cfg(assemble("""
+            ret
+            addi a0, a0, 1
+            ebreak
+        """))
+        assert cfg.block_of(0).successors == []
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ValueError):
+            build_cfg(assemble(""))
+
+
+class TestHwLoops:
+    SOURCE = """
+        li   t0, 8
+        lp.setup 0, t0, end
+        addi a0, a0, 1
+        addi a0, a0, 2
+    end:
+        ebreak
+    """
+
+    def test_loop_region_recovered(self):
+        program = assemble(self.SOURCE)
+        (loop,) = find_hwloops(program)
+        assert loop.level == 0
+        assert loop.setup_addr == 4
+        assert loop.start == 8          # first body instruction
+        assert loop.end == 16           # address after the last
+        assert loop.count is None       # register count isn't static
+
+    def test_setupi_count_is_static(self):
+        program = assemble("""
+            lp.setupi 0, 6, end
+            addi a0, a0, 1
+            addi a0, a0, 2
+        end:
+            ebreak
+        """)
+        (loop,) = find_hwloops(program)
+        assert loop.count == 6
+
+    def test_back_edge_links_body_to_start(self):
+        cfg = build_cfg(assemble(self.SOURCE))
+        (loop,) = cfg.loops
+        tail = cfg.block_of(loop.end - 4)
+        head = cfg.block_of(loop.start)
+        assert head.index in tail.successors
+        assert cfg.loops_containing(loop.start) == [loop]
+        assert cfg.loops_containing(loop.end) == []

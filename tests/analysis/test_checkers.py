@@ -1,0 +1,288 @@
+"""Unit tests for the individual static checkers."""
+
+import pytest
+
+from repro.analysis import LintConfig, Region, checker_catalog, lint_program
+from repro.asm import Assembler
+from repro.errors import ReproError
+
+
+def lint(source, checks=None, isa="xpulpnn", config=None):
+    program = Assembler(isa=isa).assemble(source)
+    return lint_program(program, checks=checks, config=config)
+
+
+def messages(report):
+    return [f.message for f in report.findings]
+
+
+class TestRegistry:
+    def test_catalog_names_the_paper_checkers(self):
+        names = [name for name, _ in checker_catalog()]
+        assert names == sorted(names)
+        for required in ("undef-register", "write-x0", "hwloop",
+                         "simd-format", "qnt-threshold", "addr-range"):
+            assert required in names
+
+    def test_unknown_checker_rejected(self):
+        with pytest.raises(ReproError):
+            lint("ebreak", checks=["no-such-checker"])
+
+
+class TestUndefRegister:
+    def test_scratch_read_before_write(self):
+        report = lint("add t2, t0, t1\nebreak", checks=["undef-register"])
+        assert len(report.findings) == 2  # t0 and t1
+
+    def test_both_paths_writing_is_clean(self):
+        report = lint("""
+            beqz a0, other
+            li   t0, 1
+            j    use
+        other:
+            li   t0, 2
+        use:
+            addi t0, t0, 1
+            ebreak
+        """, checks=["undef-register"])
+        assert report.ok, report.render()
+
+    def test_harness_preloaded_registers_are_defined(self):
+        report = lint("add a0, a1, s11\nadd a0, ra, t3\nebreak",
+                      checks=["undef-register"])
+        assert report.ok
+
+    def test_partial_lane_insert_idiom_not_flagged(self):
+        # Building a vector lane-by-lane into an uninitialized register
+        # is how the RI5CY unpack sequences work; rd must be exempt.
+        report = lint("""
+            li   t0, 7
+            pv.insert.b t1, t0, 0
+            pv.insert.b t1, t0, 1
+            ebreak
+        """, checks=["undef-register"])
+        assert report.ok, report.render()
+
+
+class TestWriteX0:
+    def test_alu_result_into_x0(self):
+        report = lint("add zero, a0, a1\nebreak", checks=["write-x0"])
+        assert len(report.findings) == 1
+        assert "hardwired to zero" in report.findings[0].message
+
+    def test_canonical_nop_and_jal_discard_allowed(self):
+        report = lint("""
+            nop
+            jal  zero, out
+        out:
+            ebreak
+        """, checks=["write-x0"])
+        assert report.ok, report.render()
+
+    def test_post_increment_base_x0(self):
+        report = lint("p.lw t0, 4(zero!)\nebreak", checks=["write-x0"])
+        assert len(report.findings) == 1
+        assert "post-increment" in report.findings[0].message
+
+
+class TestHwLoop:
+    def test_well_formed_loop_is_clean(self):
+        report = lint("""
+            li   t0, 8
+            lp.setup 0, t0, end
+            addi a0, a0, 1
+            addi a0, a0, 2
+        end:
+            ebreak
+        """, checks=["hwloop"])
+        assert report.ok, report.render()
+
+    def test_single_instruction_body(self):
+        report = lint("""
+            lp.setupi 0, 8, end
+            addi a0, a0, 1
+        end:
+            ebreak
+        """, checks=["hwloop"])
+        assert any("at least 2" in m for m in messages(report))
+
+    def test_zero_iteration_count(self):
+        report = lint("""
+            lp.setupi 0, 0, end
+            addi a0, a0, 1
+            addi a0, a0, 2
+        end:
+            ebreak
+        """, checks=["hwloop"])
+        assert any("count 0" in m for m in messages(report))
+
+    def test_branch_as_last_body_instruction(self):
+        report = lint("""
+            li   t0, 8
+            lp.setup 0, t0, end
+            addi a0, a0, 1
+            bnez a0, done
+        end:
+            ebreak
+        done:
+            ebreak
+        """, checks=["hwloop"])
+        assert any("must not be a branch" in m for m in messages(report))
+
+    def test_branch_escaping_the_body(self):
+        report = lint("""
+            li   t0, 8
+            lp.setup 0, t0, end
+            bnez a0, out
+            addi a0, a0, 1
+            addi a0, a0, 2
+        end:
+            ebreak
+        out:
+            ebreak
+        """, checks=["hwloop"])
+        assert any("leaves the hardware-loop body" in m
+                   for m in messages(report))
+
+    def test_branch_into_the_body(self):
+        report = lint("""
+            j    inside
+            li   t0, 8
+            lp.setup 0, t0, end
+            addi a0, a0, 1
+        inside:
+            addi a0, a0, 2
+        end:
+            ebreak
+        """, checks=["hwloop"])
+        assert any("bypasses the loop setup" in m for m in messages(report))
+
+    def test_proper_two_level_nesting_is_clean(self):
+        report = lint("""
+            li   t0, 4
+            li   t1, 4
+            lp.setup 1, t0, outer_end
+            lp.setup 0, t1, inner_end
+            addi a0, a0, 1
+            addi a0, a0, 2
+        inner_end:
+            addi a0, a0, 3
+        outer_end:
+            ebreak
+        """, checks=["hwloop"])
+        assert report.ok, report.render()
+
+    def test_inner_loop_at_level_one_flagged(self):
+        report = lint("""
+            li   t0, 4
+            li   t1, 4
+            lp.setup 0, t0, outer_end
+            lp.setup 1, t1, inner_end
+            addi a0, a0, 1
+            addi a0, a0, 2
+        inner_end:
+            addi a0, a0, 3
+        outer_end:
+            ebreak
+        """, checks=["hwloop"])
+        assert any("inner hardware loop must use level 0" in m
+                   for m in messages(report))
+
+
+class TestSimdFormat:
+    def test_scalar_dot_result_consumed_as_vector(self):
+        report = lint("""
+            li   t0, 0x01020304
+            pv.dotup.b t1, t0, t0
+            pv.add.b t2, t1, t0
+            ebreak
+        """, checks=["simd-format"])
+        assert any("scalar" in m for m in messages(report))
+
+    def test_qnt_input_must_be_halfword_accumulators(self):
+        report = lint("""
+            li   t0, 0x01020304
+            li   t3, 0x1000
+            pv.add.n t1, t0, t0
+            pv.qnt.n t2, t1, t3
+            ebreak
+        """, checks=["simd-format"])
+        assert any("packed 16-bit accumulators" in m for m in messages(report))
+
+    def test_matching_formats_are_clean(self):
+        report = lint("""
+            li   t0, 0x01020304
+            pv.add.n t1, t0, t0
+            pv.sub.n t2, t1, t1
+            pv.sdotup.n t3, t1, t2
+            ebreak
+        """, checks=["simd-format"])
+        assert report.ok, report.render()
+
+
+class TestQntThreshold:
+    def test_misaligned_pointer(self):
+        report = lint("""
+            li   t0, 0x1001
+            li   t1, 0
+            pv.qnt.n t2, t1, t0
+            ebreak
+        """, checks=["qnt-threshold"])
+        assert any("not 16-bit aligned" in m for m in messages(report))
+
+    def test_pointer_into_code_image(self):
+        report = lint("""
+            li   t0, 0
+            li   t1, 0
+            pv.qnt.n t2, t1, t0
+            ebreak
+        """, checks=["qnt-threshold"])
+        assert any("overlaps the code image" in m for m in messages(report))
+
+    def test_unknown_pointer_not_flagged(self):
+        report = lint("""
+            li   t1, 0
+            pv.qnt.n t2, t1, a5
+            ebreak
+        """, checks=["qnt-threshold"])
+        assert report.ok, report.render()
+
+
+class TestAddrRange:
+    def test_store_into_unmapped_hole(self):
+        report = lint("""
+            li   t0, 0x08000000
+            sw   t0, 0(t0)
+            ebreak
+        """, checks=["addr-range"])
+        assert len(report.findings) == 1
+        assert report.findings[0].severity == "error"
+
+    def test_misaligned_word_access_is_warning(self):
+        report = lint("""
+            li   t0, 0x1002
+            lw   t1, 1(t0)
+            ebreak
+        """, checks=["addr-range"])
+        assert len(report.findings) == 1
+        assert report.findings[0].severity == "warning"
+        assert report.ok  # warnings don't fail the report
+
+    def test_mapped_regions_are_clean(self):
+        report = lint("""
+            li   t0, 0x1000
+            li   t1, 0x1C000000
+            sw   t0, 0(t0)
+            lw   t2, 8(t1)
+            ebreak
+        """, checks=["addr-range"])
+        assert report.ok, report.render()
+
+    def test_custom_region_config(self):
+        config = LintConfig(regions=(Region("tiny", 0x0, 0x100, "ram"),))
+        report = lint("""
+            li   t0, 0x200
+            sw   t0, 0(t0)
+            ebreak
+        """, checks=["addr-range"], config=config)
+        assert len(report.findings) == 1

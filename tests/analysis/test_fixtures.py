@@ -1,0 +1,60 @@
+"""Negative fixtures: each seeds exactly one defect.
+
+Every fixture must (a) raise exactly its intended diagnostic from the
+matching checker and (b) stay quiet under every *other* checker — a
+cross-product guard against false positives.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import CHECKERS, lint_program
+from repro.asm import Assembler
+
+FIXTURE_DIR = Path(__file__).parent / "fixtures"
+
+#: fixture -> (expected checker, required message fragment)
+STATIC_FIXTURES = {
+    "undef_register.s": (
+        "undef-register", "register t1 is read but not written"),
+    "bad_loop_nesting.s": (
+        "hwloop", "nested hardware loops share level 0"),
+    "format_mix.s": (
+        "simd-format", "packed as a nibble vector but is consumed as a byte"),
+    "out_of_range_store.s": (
+        "addr-range", "falls outside every mapped region"),
+}
+
+
+def lint_fixture(name, checks=None):
+    source = (FIXTURE_DIR / name).read_text()
+    program = Assembler(isa="xpulpnn").assemble(source)
+    return lint_program(program, checks=checks, name=name)
+
+
+@pytest.mark.parametrize("fixture,expected", sorted(STATIC_FIXTURES.items()))
+def test_fixture_raises_exactly_its_diagnostic(fixture, expected):
+    checker, fragment = expected
+    report = lint_fixture(fixture)
+    assert len(report.findings) == 1, report.render()
+    finding = report.findings[0]
+    assert finding.checker == checker
+    assert fragment in finding.message
+
+
+@pytest.mark.parametrize("fixture", sorted(STATIC_FIXTURES))
+@pytest.mark.parametrize("checker", sorted(CHECKERS))
+def test_no_cross_fixture_false_positives(fixture, checker):
+    expected_checker, _ = STATIC_FIXTURES[fixture]
+    if checker == expected_checker:
+        return
+    report = lint_fixture(fixture, checks=[checker])
+    assert report.ok, report.render()
+
+
+def test_all_fixtures_are_exercised():
+    static = set(STATIC_FIXTURES)
+    dynamic = {"missing_barrier.s", "with_barrier.s"}  # tests/analysis/test_race.py
+    present = {p.name for p in FIXTURE_DIR.glob("*.s")}
+    assert present == static | dynamic

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.asm import Assembler, assemble
+from repro.asm import assemble
 from repro.errors import AsmError, LinkError
 
 

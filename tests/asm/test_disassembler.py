@@ -46,7 +46,6 @@ def test_disassemble_program_includes_labels():
 
 
 def test_disassemble_bytes_mixed_widths():
-    from repro.asm.program import link
     from repro.isa import rv32c
     from repro.isa.instruction import Instruction
 

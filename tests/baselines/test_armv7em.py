@@ -4,7 +4,7 @@ import pytest
 
 from repro.baselines import CORES, STM32H743, STM32L476, CmsisConvModel, conv_cycles
 from repro.errors import ModelError
-from repro.qnn import PAPER_LAYER, ConvGeometry
+from repro.qnn import PAPER_LAYER
 from tests.conftest import TINY_GEOMETRY
 
 

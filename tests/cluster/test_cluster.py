@@ -1,6 +1,5 @@
 """Cluster execution: SPMD stepping, contention, and aggregation."""
 
-import numpy as np
 import pytest
 
 from repro.cluster import Cluster, ClusterConfig

@@ -1,7 +1,6 @@
 """Encode -> memory -> decode -> execute: the binary path end to end."""
 
 import numpy as np
-import pytest
 
 from repro.asm import assemble
 from repro.core import Cpu

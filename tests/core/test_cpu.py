@@ -3,7 +3,6 @@
 import pytest
 
 from repro.asm import assemble
-from repro.core import Cpu
 from repro.errors import SimError
 from tests.conftest import run_asm
 

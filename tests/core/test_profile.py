@@ -2,7 +2,6 @@
 
 import json
 
-import pytest
 
 from repro.asm import assemble
 from repro.core import Cpu, profile_counters, profile_program

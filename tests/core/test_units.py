@@ -5,7 +5,6 @@ import pytest
 
 from repro.core.units import DotpUnit, QuantUnit
 from repro.errors import ModelError
-from repro.isa.bits import join_lanes
 from repro.isa.simd import simd_dotp
 from repro.qnn import random_threshold_table, sorted_to_heap
 

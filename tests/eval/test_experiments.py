@@ -5,7 +5,6 @@ reproduced relationships have the paper's *shape* (the full-scale numbers
 live in the benchmark harness / EXPERIMENTS.md).
 """
 
-import numpy as np
 import pytest
 
 from repro.eval import conv_suite, fig6, fig7, fig8, fig9, table1, table3

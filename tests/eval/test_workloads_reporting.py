@@ -1,8 +1,5 @@
 """Workload helpers and text reporting."""
 
-import os
-
-import pytest
 
 from repro.eval import (
     SCALED_LAYER,

@@ -34,3 +34,10 @@ def test_network_deployment_runs():
     result = _run("network_deployment.py", timeout=600)
     assert result.returncode == 0, result.stderr
     assert "verified=yes" in result.stdout
+
+
+def test_static_analysis_example_runs():
+    result = _run("static_analysis.py")
+    assert result.returncode == 0, result.stderr
+    assert "all checks behaved as expected" in result.stdout
+    assert "3 finding(s)" in result.stdout

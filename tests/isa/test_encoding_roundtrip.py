@@ -8,7 +8,6 @@ operands.  Compressed instructions round-trip through their own codec.
 import pytest
 
 from repro.isa import build_isa, encode
-from repro.isa.encoding import Decoder
 from repro.isa.instruction import Instruction
 from repro.isa import rv32c
 

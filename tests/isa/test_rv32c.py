@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.asm.program import Program, link
+from repro.asm.program import link
 from repro.isa import rv32c
 from repro.isa.instruction import Instruction
 from repro.errors import DecodeError, EncodingError

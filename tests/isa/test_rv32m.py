@@ -1,6 +1,5 @@
 """RV32M multiply/divide semantics, including the spec's edge cases."""
 
-import pytest
 
 from tests.conftest import run_asm
 

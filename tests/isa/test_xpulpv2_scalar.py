@@ -1,6 +1,5 @@
 """XpulpV2 scalar DSP ops: min/max/abs/clip/extension/bit-manipulation."""
 
-import pytest
 
 from tests.conftest import run_asm
 

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import KernelError, MemoryAccessError, SimError
-from repro.kernels import ConvConfig, ConvKernel, MatmulConfig, MatmulKernel
+from repro.kernels import ConvConfig, MatmulConfig, MatmulKernel
 from repro.qnn import ConvGeometry
 
 

@@ -6,9 +6,7 @@ from repro.core.perf import PerfCounters
 from repro.errors import ModelError
 from repro.physical import (
     EfficiencyPoint,
-    NOMINAL,
     OPS_PER_MAC,
-    PowerModel,
     cycle_fractions,
     efficiency,
     memory_accesses_per_cycle,

@@ -2,7 +2,6 @@
 bit-exact against the golden models (bounded sizes for speed)."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.kernels import (

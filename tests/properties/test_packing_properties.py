@@ -1,7 +1,7 @@
 """Property-based tests: packing, thresholds, and encoding invariants."""
 
 import numpy as np
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 from hypothesis.extra.numpy import arrays
 
 from repro.qnn import pack, unpack, sorted_to_heap, heap_to_sorted, ThresholdTable

@@ -1,9 +1,9 @@
 """Property-based tests: SIMD lane semantics vs independent numpy models."""
 
 import numpy as np
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
-from repro.isa.bits import join_lanes, split_lanes, to_signed
+from repro.isa.bits import join_lanes, split_lanes
 from repro.isa.simd import simd_abs, simd_dotp, simd_lane_op, simd_shuffle2
 
 words = st.integers(min_value=0, max_value=0xFFFFFFFF)

@@ -5,7 +5,6 @@ import pytest
 
 from repro.errors import KernelError
 from repro.qnn import (
-    AvgPool,
     MaxPool,
     NetworkDeployer,
     QnnNetwork,
@@ -14,7 +13,6 @@ from repro.qnn import (
     random_activations,
     random_weights,
 )
-from repro.qnn.deploy import L2_BUDGET_BYTES
 
 
 @pytest.fixture(scope="module")

@@ -6,7 +6,6 @@ import pytest
 from repro.errors import KernelError
 from repro.qnn import (
     PAPER_LAYER,
-    ConvGeometry,
     avgpool_golden,
     conv2d_golden,
     conv_out_size,

@@ -1,7 +1,6 @@
 """QNN network container and golden sequential execution."""
 
 import numpy as np
-import pytest
 
 from repro.qnn import (
     AvgPool,

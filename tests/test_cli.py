@@ -1,5 +1,7 @@
 """Command-line interface tests."""
 
+from pathlib import Path
+
 import pytest
 
 from repro.cli import main
@@ -133,3 +135,60 @@ class TestIsaReference:
         text = capsys.readouterr().out
         for subset in ("rv32i", "rv32m", "rv32c", "zicsr", "xpulpv2", "xpulpnn"):
             assert f"== {subset}" in text
+
+
+class TestLint:
+    FIXTURES = str(Path(__file__).parent / "analysis" / "fixtures")
+
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        path = tmp_path / "clean.s"
+        path.write_text("li a0, 1\nadd a0, a0, a1\nebreak")
+        assert main(["lint", str(path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_findings_exit_nonzero(self, capsys):
+        fixture = f"{self.FIXTURES}/undef_register.s"
+        assert main(["lint", fixture]) == 1
+        text = capsys.readouterr().out
+        assert "undef-register" in text
+        assert "1 with findings" in text
+
+    def test_json_output(self, capsys):
+        import json
+
+        fixture = f"{self.FIXTURES}/out_of_range_store.s"
+        assert main(["lint", fixture, "--json"]) == 1
+        data = json.loads(capsys.readouterr().out)
+        assert data["ok"] is False
+        (report,) = data["reports"]
+        (finding,) = report["findings"]
+        assert finding["checker"] == "addr-range"
+
+    def test_checks_filter(self, capsys):
+        fixture = f"{self.FIXTURES}/undef_register.s"
+        assert main(["lint", fixture, "--checks", "write-x0"]) == 0
+
+    def test_unknown_checker_rejected(self, capsys):
+        assert main(["lint", "--kernels", "--checks", "bogus"]) == 1
+        assert "unknown checker" in capsys.readouterr().err
+
+    def test_list_checkers(self, capsys):
+        assert main(["lint", "--list-checkers"]) == 0
+        text = capsys.readouterr().out
+        assert "undef-register" in text
+        assert "hwloop" in text
+
+    def test_nothing_to_lint_is_an_error(self, capsys):
+        assert main(["lint"]) == 1
+        assert "nothing to lint" in capsys.readouterr().err
+
+    def test_kernel_catalog_is_clean(self, capsys):
+        assert main(["lint", "--kernels"]) == 0
+        text = capsys.readouterr().out
+        assert "0 with findings" in text
+
+    def test_race_mode(self, capsys):
+        assert main(["lint", "--race", "matmul"]) == 0
+        text = capsys.readouterr().out
+        assert "clean" in text
+        assert "barrier epoch" in text
