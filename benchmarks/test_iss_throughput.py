@@ -68,3 +68,71 @@ def test_benchmark_qnt_throughput(benchmark):
     program = b.build()
     perf = benchmark(lambda: cpu.run_program(program))
     assert perf.by_class["qnt_n"] >= 500
+
+
+def test_benchmark_alu_throughput_tracer_disabled(benchmark):
+    """The disabled-tracer fast path: one ``is not None`` check per retire.
+
+    Compare against ``test_benchmark_alu_throughput`` — the two should be
+    within noise of each other (the acceptance bar is <2% overhead).
+    """
+    program = _loop_program(lambda b: b.emit("add", "a3", "a4", "a5"), 2000)
+    cpu = Cpu(isa="xpulpnn")
+    assert cpu.tracer is None
+    perf = benchmark(lambda: cpu.run_program(program))
+    assert perf.instructions > 2000
+
+
+def test_benchmark_alu_throughput_span_tracer(benchmark):
+    """Host-side cost of span tracing (the `repro trace` default)."""
+    from repro.trace import EventTracer
+
+    program = _loop_program(lambda b: b.emit("add", "a3", "a4", "a5"), 2000)
+    cpu = Cpu(isa="xpulpnn")
+
+    def run():
+        cpu.tracer = EventTracer(program=program)
+        try:
+            return cpu.run_program(program)
+        finally:
+            cpu.tracer = None
+
+    perf = benchmark(run)
+    assert perf.instructions > 2000
+
+
+def test_tracer_disabled_overhead_within_bound():
+    """Wall-clock guard: an attached-then-detached tracer leaves no residue
+    and the disabled path stays within 2% of a never-traced core.
+
+    Timing comparisons on shared CI boxes are noisy, so this asserts the
+    *structural* property (identical simulated timing, no tracer state left
+    behind) and a generous wall-clock ratio over several repetitions.
+    """
+    import time
+
+    from repro.trace import EventTracer
+
+    program = _loop_program(lambda b: b.emit("add", "a3", "a4", "a5"), 5000)
+
+    def measure(cpu):
+        best = float("inf")
+        for _ in range(5):
+            start = time.perf_counter()
+            perf = cpu.run_program(program)
+            best = min(best, time.perf_counter() - start)
+        return best, perf
+
+    bare_cpu = Cpu(isa="xpulpnn")
+    traced_cpu = Cpu(isa="xpulpnn")
+    traced_cpu.tracer = EventTracer(program=program)
+    traced_cpu.run_program(program)
+    traced_cpu.tracer = None
+    assert traced_cpu._mem_tracer is None
+
+    bare_time, bare_perf = measure(bare_cpu)
+    detached_time, detached_perf = measure(traced_cpu)
+    assert detached_perf.cycles == bare_perf.cycles
+    # Generous bound: catches an accidentally hot disabled path (a dict
+    # lookup or attribute chase per retire) without flaking on CI noise.
+    assert detached_time < bare_time * 1.5

@@ -52,18 +52,54 @@ class Assembler:
     # ------------------------------------------------------------------
 
     def assemble(self, source: str, entry_label: Optional[str] = None) -> Program:
-        """Assemble *source* into a linked :class:`Program`."""
+        """Assemble *source* into a linked :class:`Program`.
+
+        ``.region NAME`` / ``.endregion`` directive pairs mark the
+        instructions between them as a named region for the tracing layer
+        (see :attr:`~repro.asm.program.Program.regions`).
+        """
         instructions: List[Instruction] = []
         labels: Dict[str, int] = {}
+        region_stack: List[Tuple[str, int]] = []
+        region_spans: Dict[str, List[Tuple[int, int]]] = {}
         for lineno, raw in enumerate(source.splitlines(), start=1):
             line = self._strip_comment(raw).strip()
             if not line:
                 continue
             try:
+                directive = line.split(None, 1)
+                if directive[0].lower() == ".region":
+                    if len(directive) != 2 or not directive[1].strip():
+                        raise AsmError(".region needs a name")
+                    region_stack.append((directive[1].strip(), len(instructions)))
+                    continue
+                if directive[0].lower() == ".endregion":
+                    if not region_stack:
+                        raise AsmError(".endregion without open .region")
+                    name, start = region_stack.pop()
+                    if len(instructions) > start:
+                        region_spans.setdefault(name, []).append(
+                            (start, len(instructions)))
+                    continue
                 self._assemble_line(line, instructions, labels)
             except (AsmError, IsaError) as exc:
                 raise AsmError(f"line {lineno}: {exc}") from None
-        return link(instructions, labels, base=self.base, entry_label=entry_label)
+        if region_stack:
+            raise AsmError(
+                f"unclosed .region {region_stack[-1][0]!r} at end of input")
+        program = link(instructions, labels, base=self.base,
+                       entry_label=entry_label)
+        program.regions = {
+            name: [
+                (
+                    instructions[i0].addr,
+                    instructions[i1 - 1].addr + instructions[i1 - 1].size,
+                )
+                for i0, i1 in spans
+            ]
+            for name, spans in region_spans.items()
+        }
+        return program
 
     # ------------------------------------------------------------------
 

@@ -50,6 +50,7 @@ class KernelBuilder:
         self.base = base
         self._instructions: List[Instruction] = []
         self._labels: Dict[str, int] = {}
+        self._regions: Dict[str, List[tuple]] = {}
         self._unique = itertools.count()
 
     # ------------------------------------------------------------------
@@ -194,6 +195,23 @@ class KernelBuilder:
         self.emit("ebreak")
 
     @contextmanager
+    def region(self, name: str):
+        """Mark the instructions emitted inside the block as region *name*.
+
+        Regions are the unit of cycle attribution in the tracing layer
+        (:mod:`repro.trace`): kernel builders wrap their phases (im2col,
+        dot-product loop, quantization, ...) so profiles and timelines can
+        report per-phase cycles.  The same name may be opened repeatedly —
+        every block appends another span.  Nesting is allowed; the inner
+        region wins attribution for the instructions it covers.
+        """
+        start = len(self._instructions)
+        yield
+        end = len(self._instructions)
+        if end > start:
+            self._regions.setdefault(name, []).append((start, end))
+
+    @contextmanager
     def hardware_loop(self, level: int, count: Reg | int):
         """Emit ``lp.setup``/``lp.setupi`` around the body.
 
@@ -223,10 +241,22 @@ class KernelBuilder:
 
     def build(self, entry_label: Optional[str] = None, validate: bool = True) -> Program:
         """Link the accumulated instructions into a Program."""
-        return link(
+        program = link(
             self._instructions,
             dict(self._labels),
             base=self.base,
             entry_label=entry_label,
             validate=validate,
         )
+        program.regions = {
+            name: [
+                (
+                    self._instructions[i0].addr,
+                    self._instructions[i1 - 1].addr
+                    + self._instructions[i1 - 1].size,
+                )
+                for i0, i1 in spans
+            ]
+            for name, spans in self._regions.items()
+        }
+        return program

@@ -9,7 +9,7 @@ setup) into PC-relative immediates, and validates encodability.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 from ..errors import LinkError
 from ..isa.encoding import encode
@@ -28,6 +28,11 @@ class Program:
     labels: Dict[str, int] = field(default_factory=dict)
     base: int = 0
     entry: int = 0
+    #: Named region markers: region name -> list of half-open address
+    #: spans ``(lo, hi)``.  Set by the builder's :meth:`region` context
+    #: manager / the assembler's ``.region`` directive and consumed by the
+    #: tracing layer for per-phase cycle attribution.
+    regions: Dict[str, List[Tuple[int, int]]] = field(default_factory=dict)
 
     @property
     def size(self) -> int:
@@ -47,6 +52,25 @@ class Program:
             else:
                 blob += encode(ins).to_bytes(4, "little")
         return bytes(blob)
+
+    def region_map(self) -> Dict[int, str]:
+        """Instruction address -> region name for every marked address.
+
+        Wider spans are applied first so that a nested (inner) region
+        overrides the enclosing one — the attribution a profiler wants.
+        Unmarked addresses are simply absent.
+        """
+        spans = [
+            (hi - lo, lo, hi, name)
+            for name, span_list in self.regions.items()
+            for lo, hi in span_list
+        ]
+        mapping: Dict[int, str] = {}
+        for _, lo, hi, name in sorted(spans, key=lambda s: -s[0]):
+            for ins in self.instructions:
+                if lo <= ins.addr < hi:
+                    mapping[ins.addr] = name
+        return mapping
 
     def at(self, addr: int) -> Instruction:
         for ins in self.instructions:

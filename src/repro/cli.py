@@ -5,8 +5,13 @@ Commands:
 * ``asm``     assemble a text file to a flat binary;
 * ``disasm``  decode a flat binary back to assembly;
 * ``run``     assemble + execute a program, print registers and counters;
+* ``trace``   execute a program or built-in kernel under the structured
+  tracer and export a Chrome-trace/Perfetto JSON timeline;
+* ``profile`` execute a program or built-in kernel and print per-region
+  cycle/stall attribution (``--json`` for machine-readable output);
 * ``report``  regenerate the paper's tables/figures (``--full`` for the
-  exact paper layer);
+  exact paper layer, ``--trajectory`` to also write a benchmark-
+  trajectory JSON summary);
 * ``lint``    static verification of programs (``--kernels`` for every
   built-in kernel builder, ``--race`` for the dynamic TCDM race
   detector).  Exits non-zero when findings or races are reported.
@@ -43,20 +48,36 @@ def _cmd_disasm(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
+def _load_and_run(args: argparse.Namespace, tracer_factory=None):
+    """Assemble ``args.input``, execute it, return ``(program, cpu, perf)``.
+
+    *tracer_factory* receives the assembled program (so region maps can
+    be derived) and returns the tracer to attach, or ``None``.
+    """
     source = open(args.input).read()
     program = Assembler(isa=args.isa, base=args.base).assemble(source)
     cpu = Cpu(isa=args.isa)
-    if args.trace:
-        cpu.trace = lambda pc, ins: print(
-            f"  {pc:#010x}: {format_instruction(ins)}")
+    tracer = tracer_factory(program) if tracer_factory is not None else None
+    if tracer is not None:
+        cpu.tracer = tracer
     cpu.load_program(program)
-    for binding in args.reg or ():
+    for binding in getattr(args, "reg", None) or ():
         name, _, value = binding.partition("=")
         from .isa.registers import parse_register
 
         cpu.regs[parse_register(name)] = int(value, 0)
     perf = cpu.run(max_instructions=args.max_instructions)
+    return program, cpu, perf
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    tracer_factory = None
+    if args.trace:
+        from .trace import TextTracer
+
+        def tracer_factory(program):
+            return TextTracer()
+    _, cpu, perf = _load_and_run(args, tracer_factory)
     print(f"halted: {cpu.halted}")
     print(f"cycles={perf.cycles} instructions={perf.instructions} "
           f"ipc={perf.ipc:.3f} stalls={perf.total_stalls}")
@@ -65,6 +86,80 @@ def _cmd_run(args: argparse.Namespace) -> int:
     nonzero = [(ABI_NAMES[i], cpu.regs[i]) for i in range(1, 32) if cpu.regs[i]]
     for name, value in nonzero:
         print(f"  {name:>5s} = {value:#010x} ({value})")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .trace import EventTracer, write_chrome_trace
+
+    if args.kernel:
+        from .trace.profile import trace_kernel
+
+        tracer = trace_kernel(args.kernel, cores=args.cores,
+                              detail=args.detail)
+        title = args.kernel + (f" x{args.cores}" if args.cores > 1 else "")
+    else:
+        if not args.input:
+            raise ReproError("pass a source file or --kernel NAME")
+
+        def factory(program):
+            return EventTracer(program=program, detail=args.detail,
+                               default_region="code")
+
+        _, cpu, _ = _load_and_run(args, factory)
+        tracer = cpu.tracer
+        title = os.path.basename(args.input)
+    payload = write_chrome_trace(tracer, args.out, title=title)
+    events = len(payload["traceEvents"])
+    cores = len(tracer.cores)
+    cycles = max(tracer.end_cycles.values(), default=0)
+    print(f"{args.out}: {events} events, {cores} core(s), {cycles} cycles")
+    print("open in https://ui.perfetto.dev or chrome://tracing")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    if args.list:
+        from .trace.profile import kernel_catalog
+
+        for name, description in kernel_catalog():
+            print(f"  {name:<18s} {description}")
+        return 0
+    if args.kernel:
+        from .trace.profile import profile_kernel
+
+        result = profile_kernel(args.kernel, cores=args.cores)
+        if args.json:
+            import json
+
+            print(json.dumps(_jsonify(result.to_dict()), indent=2))
+        else:
+            print(result.render())
+        return 0
+    if not args.input:
+        raise ReproError("pass a source file or --kernel NAME")
+    from .trace import MetricsTracer
+
+    def factory(program):
+        return MetricsTracer(program=program, default_region="code")
+
+    _, cpu, perf = _load_and_run(args, factory)
+    tracer = cpu.tracer
+    if args.json:
+        import json
+
+        payload = {
+            "program": args.input,
+            "cycles": perf.cycles,
+            "instructions": perf.instructions,
+            "ipc": perf.ipc,
+            "regions": tracer.registry.to_dict(),
+        }
+        print(json.dumps(_jsonify(payload), indent=2))
+    else:
+        print(f"{args.input}: cycles {perf.cycles:,}  "
+              f"instructions {perf.instructions:,}  ipc {perf.ipc:.3f}")
+        print(tracer.registry.render())
     return 0
 
 
@@ -137,12 +232,20 @@ def _cmd_report(args: argparse.Namespace) -> int:
         if name not in modules:
             raise ReproError(
                 f"unknown experiment {name!r}; choose from {sorted(modules)}")
+    if args.trajectory and not args.json:
+        raise ReproError("--trajectory requires --json")
     if args.json:
         import json
 
         payload = {
             name: _jsonify(modules[name].run()) for name in selected
         }
+        if args.trajectory:
+            from .eval.trajectory import write_trajectory
+
+            summary = write_trajectory(payload, args.trajectory)
+            print(f"trajectory: {len(summary['entries'])} series -> "
+                  f"{args.trajectory}", file=sys.stderr)
         print(json.dumps(payload, indent=2))
         return 0
     for name in selected:
@@ -240,6 +343,46 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--max-instructions", type=int, default=50_000_000)
     run.set_defaults(func=_cmd_run)
 
+    trace = sub.add_parser(
+        "trace", help="execute under the tracer, export a Perfetto timeline")
+    trace.add_argument("input", nargs="?",
+                       help="assembly source file (or use --kernel)")
+    trace.add_argument("--kernel", metavar="NAME",
+                       help="trace a built-in kernel (see profile --list)")
+    trace.add_argument("--cores", type=int, default=1,
+                       help="run --kernel on an N-core cluster (matmul only)")
+    trace.add_argument("--detail", default="spans",
+                       choices=("spans", "full"),
+                       help="'full' adds per-retire and memory events")
+    trace.add_argument("--out", default="trace.json",
+                       help="output path (Chrome trace-event JSON)")
+    trace.add_argument("--isa", default="xpulpnn",
+                       choices=("rv32imc", "ri5cy", "xpulpnn"))
+    trace.add_argument("--base", type=lambda v: int(v, 0), default=0)
+    trace.add_argument("--reg", action="append", metavar="NAME=VALUE")
+    trace.add_argument("--max-instructions", type=int, default=50_000_000)
+    trace.set_defaults(func=_cmd_trace)
+
+    profile = sub.add_parser(
+        "profile", help="per-region cycle/stall attribution")
+    profile.add_argument("input", nargs="?",
+                         help="assembly source file (or use --kernel)")
+    profile.add_argument("--kernel", metavar="NAME",
+                         help="profile a built-in kernel, e.g. conv_4bit")
+    profile.add_argument("--cores", type=int, default=1,
+                         help="run --kernel on an N-core cluster "
+                              "(matmul only)")
+    profile.add_argument("--list", action="store_true",
+                         help="print the kernel catalog and exit")
+    profile.add_argument("--json", action="store_true",
+                         help="emit machine-readable output")
+    profile.add_argument("--isa", default="xpulpnn",
+                         choices=("rv32imc", "ri5cy", "xpulpnn"))
+    profile.add_argument("--base", type=lambda v: int(v, 0), default=0)
+    profile.add_argument("--reg", action="append", metavar="NAME=VALUE")
+    profile.add_argument("--max-instructions", type=int, default=50_000_000)
+    profile.set_defaults(func=_cmd_profile)
+
     isa = sub.add_parser("isa", help="print the instruction-set reference")
     isa.add_argument("--isa", default="xpulpnn",
                      choices=("rv32imc", "ri5cy", "xpulpnn"))
@@ -254,6 +397,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="use the paper's exact layer (slow)")
     report.add_argument("--json", action="store_true",
                         help="emit results as JSON instead of tables")
+    report.add_argument("--trajectory", metavar="PATH",
+                        help="also write a benchmark-trajectory JSON "
+                             "summary (cycle counts per figure/kernel); "
+                             "requires --json")
     report.set_defaults(func=_cmd_report)
 
     lint = sub.add_parser(

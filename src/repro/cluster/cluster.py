@@ -147,6 +147,10 @@ class CoreMemPort:
                 cl.access_trace.record(
                     self._core_id, addr, size, "r",
                     cl.event_unit.barriers_completed, pc=self.cpu.pc)
+            if cl.mem_tracer is not None:
+                cl.mem_tracer.on_mem(
+                    self._core_id, self._now(), addr, size, "r",
+                    cl.tcdm.bank_of(addr), stall)
             return cl.tcdm.mem.load(addr, size, signed)
         if CLUSTER_PERIPH_BASE <= addr < CLUSTER_PERIPH_BASE + CLUSTER_PERIPH_SIZE:
             return self._periph_load(addr)
@@ -162,6 +166,10 @@ class CoreMemPort:
                 cl.access_trace.record(
                     self._core_id, addr, size, "w",
                     cl.event_unit.barriers_completed, pc=self.cpu.pc)
+            if cl.mem_tracer is not None:
+                cl.mem_tracer.on_mem(
+                    self._core_id, self._now(), addr, size, "w",
+                    cl.tcdm.bank_of(addr), stall)
             cl.tcdm.mem.store(addr, size, value)
             return
         if CLUSTER_PERIPH_BASE <= addr < CLUSTER_PERIPH_BASE + CLUSTER_PERIPH_SIZE:
@@ -261,6 +269,11 @@ class Cluster:
         #: Optional TCDM access recorder for the race detector (see
         #: :mod:`repro.analysis.race`); None keeps the hot path clean.
         self.access_trace = None
+        #: Structured tracer attached via :meth:`attach_tracer` (None when
+        #: not tracing); ``mem_tracer`` is its memory-hook alias, non-None
+        #: only when the tracer wants per-access events.
+        self.tracer = None
+        self.mem_tracer = None
         self.cores: List[Cpu] = []
         for core_id in range(cfg.num_cores):
             port = CoreMemPort(self, core_id)
@@ -281,6 +294,26 @@ class Cluster:
         if self.access_trace is None:
             self.access_trace = AccessTrace()
         return self.access_trace
+
+    def attach_tracer(self, tracer):
+        """Attach a :class:`~repro.trace.tracer.Tracer` to the whole cluster.
+
+        Every core delivers retire/hwloop events through its own hooks;
+        memory events come from the TCDM ports (which know the arbitrated
+        bank and the stall paid) rather than the cores, so the per-core
+        memory hook is disabled to avoid double reporting.  Barrier and
+        DMA events are emitted by the cluster itself.  Pass None to
+        detach.
+        """
+        self.tracer = tracer
+        self.mem_tracer = (
+            tracer if tracer is not None and tracer.trace_memory else None
+        )
+        self.dma.tracer = tracer
+        for cpu in self.cores:
+            cpu.tracer = tracer
+            cpu._mem_tracer = None  # TCDM ports report with bank info
+        return tracer
 
     # ------------------------------------------------------------------
 
@@ -342,11 +375,19 @@ class Cluster:
                 parked.add(arrived)
                 if complete:
                     release = eu.release_time
-                    for core_id, when in eu.release().items():
+                    released = eu.release()
+                    for core_id, when in released.items():
                         perf = cores[core_id].perf
                         perf.idle_cycles += release - when
                         perf.cycles = release
+                    if self.tracer is not None:
+                        for core_id, when in sorted(released.items()):
+                            self.tracer.on_barrier(core_id, when, release)
                     parked.clear()
+
+        if self.tracer is not None:
+            for cpu in cores:
+                self.tracer.on_halt(cpu)
 
         return ClusterRun(
             per_core=[cpu.perf.copy() for cpu in self.cores],

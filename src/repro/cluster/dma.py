@@ -77,6 +77,9 @@ class ClusterDma:
         self._shadow = DmaDescriptor()
         self.transfers: List[DmaTransfer] = []
         self.bytes_moved = 0
+        #: Structured tracer (set by ``Cluster.attach_tracer``); receives
+        #: one ``on_dma`` call per launched descriptor.
+        self.tracer = None
 
     # -- host / core-facing launch --------------------------------------
 
@@ -113,6 +116,9 @@ class ClusterDma:
         self._busy_until = done
         self.bytes_moved += desc.total_bytes
         self.transfers.append(DmaTransfer(desc=desc, start=start, done=done))
+        if self.tracer is not None:
+            self.tracer.on_dma(desc.src, desc.dst, desc.total_bytes,
+                               start, done)
         return done
 
     # -- register-file front-end ----------------------------------------

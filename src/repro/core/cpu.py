@@ -21,6 +21,7 @@ from ..errors import SimError, TrapError
 from ..isa.registers import RegisterFile
 from ..isa.registry import Isa, build_isa
 from ..soc.memory import Memory
+from ..trace.tracer import CallableTracer, Tracer
 from .hwloop import HwLoopController
 from .perf import PerfCounters
 from .timing import TimingModel, TimingParams
@@ -49,6 +50,8 @@ class Cpu:
         self.hwloops = HwLoopController()
         self.perf = PerfCounters()
         self.timing = TimingModel(timing)
+        self._tracer: Optional[Tracer] = None
+        self._mem_tracer: Optional[Tracer] = None
         self.trace = trace
         self.collect_mnemonics = False
 
@@ -64,6 +67,48 @@ class Cpu:
         #: (used to attribute e.g. quantization-epilogue cost, Fig 6).
         self.profile_spans = None
         self.profiled_cycles = 0
+
+    # ------------------------------------------------------------------
+    # Tracing
+    # ------------------------------------------------------------------
+
+    @property
+    def tracer(self) -> Optional[Tracer]:
+        """The attached :class:`~repro.trace.tracer.Tracer` (or None).
+
+        Detached tracing costs one ``is not None`` check per retired
+        instruction; memory-access hooks are gated separately on the
+        tracer's ``trace_memory`` flag so span-level tracing never touches
+        the load/store fast path.
+        """
+        return self._tracer
+
+    @tracer.setter
+    def tracer(self, tracer: Optional[Tracer]) -> None:
+        self._tracer = tracer
+        self._mem_tracer = (
+            tracer if tracer is not None and tracer.trace_memory else None
+        )
+
+    @property
+    def trace(self):
+        """Legacy per-retire callback ``f(pc, ins)`` (None when unset).
+
+        Kept for backward compatibility: assigning a plain callable wraps
+        it in a :class:`~repro.trace.tracer.CallableTracer`; assigning a
+        :class:`~repro.trace.tracer.Tracer` attaches it directly.
+        """
+        tracer = self._tracer
+        if isinstance(tracer, CallableTracer):
+            return tracer.fn
+        return tracer
+
+    @trace.setter
+    def trace(self, value) -> None:
+        if value is None or isinstance(value, Tracer):
+            self.tracer = value
+        else:
+            self.tracer = CallableTracer(value)
 
     # ------------------------------------------------------------------
     # Program loading
@@ -114,11 +159,17 @@ class Cpu:
     def load(self, addr: int, size: int, signed: bool = False) -> int:
         if size > 1 and addr % size:
             self._misaligned += 1
+        if self._mem_tracer is not None:
+            self._mem_tracer.on_mem(
+                self.hart_id, self.perf.cycles, addr, size, "r", None, 0)
         return self.mem.load(addr, size, signed)
 
     def store(self, addr: int, size: int, value: int) -> None:
         if size > 1 and addr % size:
             self._misaligned += 1
+        if self._mem_tracer is not None:
+            self._mem_tracer.on_mem(
+                self.hart_id, self.perf.cycles, addr, size, "w", None, 0)
         self.mem.store(addr, size, value)
 
     def add_stall_cycles(self, cycles: int) -> None:
@@ -211,6 +262,8 @@ class Cpu:
             if redirect is not None:
                 next_pc = redirect
                 self.perf.hwloop_backedges += 1
+                if self._tracer is not None:
+                    self._tracer.on_hwloop(self, self.pc, redirect)
             else:
                 next_pc = fall_through
 
@@ -233,8 +286,8 @@ class Cpu:
         perf.stall_tcdm_contention += self._tcdm_stalls
         if self.collect_mnemonics:
             perf.by_mnemonic[ins.mnemonic] += 1
-        if self.trace is not None:
-            self.trace(self.pc, ins)
+        if self._tracer is not None:
+            self._tracer.on_retire(self, self.pc, ins, timing)
         self.pc = next_pc
 
     def run(
@@ -254,6 +307,8 @@ class Cpu:
         for _ in range(max_instructions):
             step()
             if self._halted is not None:
+                if self._tracer is not None:
+                    self._tracer.on_halt(self)
                 return self.perf
         raise SimError(
             f"program did not halt within {max_instructions} instructions "

@@ -14,9 +14,6 @@ from typing import Dict, List, Tuple
 
 from .cpu import Cpu
 
-#: Pipeline occupancy per timing class (multicycle classes).
-_CLASS_CYCLES = {"qnt_n": 9, "qnt_c": 5, "div": 35}
-
 
 @dataclass
 class ProfileReport:
@@ -54,10 +51,16 @@ class ProfileReport:
 
 
 def profile_counters(cpu: Cpu, top: int = 8) -> ProfileReport:
-    """Build a report from the CPU's current counters."""
+    """Build a report from the CPU's current counters.
+
+    Per-class cycle weights come from the core's own timing model, so a
+    custom :class:`~repro.core.timing.TimingParams` (or a future latency
+    change) is reflected here without a second copy of the numbers.
+    """
     perf = cpu.perf
+    occupancy = cpu.timing.params.class_cycles
     class_cycles = {
-        cls: count * _CLASS_CYCLES.get(cls, 1)
+        cls: count * occupancy.get(cls, 1)
         for cls, count in perf.by_class.items()
     }
     top_mnemonics = sorted(perf.by_mnemonic.items(), key=lambda kv: -kv[1])[:top]

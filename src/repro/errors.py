@@ -54,5 +54,9 @@ class KernelError(ReproError):
     """A kernel generator was asked for an unsupported configuration."""
 
 
+class TraceError(ReproError):
+    """Malformed trace export or a trace request that cannot be served."""
+
+
 class ModelError(ReproError):
     """A physical (area/power) model was queried outside its valid domain."""

@@ -1,0 +1,73 @@
+"""Benchmark-trajectory summaries of ``repro report --json`` runs.
+
+A *trajectory* flattens a report payload into one ``{series: value}``
+map of every cycle count in it — ``fig6/points/4/xpulpnn/hw/cycles`` and
+friends — so successive runs can be diffed mechanically (did a kernel
+change move any figure?).  The committed baseline lives at
+``benchmarks/results/trajectory.json``; regenerate it with::
+
+    python -m repro report --json --trajectory benchmarks/results/trajectory.json
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Tuple
+
+SCHEMA = "repro-trajectory/1"
+
+#: Leaf keys captured into the trajectory (cycle counts and the derived
+#: throughput/share numbers the paper's figures plot).
+_CAPTURE_SUFFIXES = ("cycles", "instructions", "macs_per_cycle",
+                     "quant_share", "speedup")
+
+
+def _captured(key: str) -> bool:
+    return key == "cycles" or any(
+        key == s or key.endswith("_" + s) for s in _CAPTURE_SUFFIXES)
+
+
+def build_trajectory(payload: dict) -> dict:
+    """Flatten a jsonified report payload into a trajectory document."""
+    entries: Dict[str, float] = {}
+
+    def walk(node, path: Tuple[str, ...]) -> None:
+        if isinstance(node, dict):
+            for key, value in node.items():
+                walk(value, path + (str(key),))
+        elif isinstance(node, (list, tuple)):
+            for index, value in enumerate(node):
+                walk(value, path + (str(index),))
+        elif isinstance(node, bool):
+            return
+        elif isinstance(node, (int, float)):
+            if path and _captured(path[-1]):
+                entries["/".join(path)] = node
+
+    walk(payload, ())
+    return {
+        "schema": SCHEMA,
+        "experiments": sorted(payload),
+        "entries": dict(sorted(entries.items())),
+    }
+
+
+def write_trajectory(payload: dict, path: str) -> dict:
+    """Build and write a trajectory document; returns it."""
+    doc = build_trajectory(payload)
+    with open(path, "w") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return doc
+
+
+def compare_trajectories(old: dict, new: dict) -> Dict[str, Tuple[float, float]]:
+    """``{series: (old, new)}`` for every series whose value changed."""
+    changed = {}
+    old_entries = old.get("entries", {})
+    new_entries = new.get("entries", {})
+    for key in sorted(set(old_entries) | set(new_entries)):
+        a, b = old_entries.get(key), new_entries.get(key)
+        if a != b:
+            changed[key] = (a, b)
+    return changed

@@ -155,20 +155,14 @@ class ConvKernel:
     def __init__(self, config: ConvConfig, base: int = 0) -> None:
         self.config = config
         g = config.geometry
-        self._quant_idx_spans = []
         b = KernelBuilder(isa=config.isa, base=base)
         self._emit(b)
         self.program = b.build()
         #: Address spans of the requantization code, for cycle attribution
-        #: (paper Fig 6's stacked quantization share).
-        self.quant_spans = [
-            (
-                self.program.instructions[i0].addr,
-                self.program.instructions[i1 - 1].addr
-                + self.program.instructions[i1 - 1].size,
-            )
-            for i0, i1 in self._quant_idx_spans
-        ]
+        #: (paper Fig 6's stacked quantization share).  Derived from the
+        #: builder's "quant" region markers — the same spans the tracing
+        #: layer attributes (see :mod:`repro.trace`).
+        self.quant_spans = list(self.program.regions.get("quant", []))
 
         self.layout = plan_layout(
             self.program.size, self._layout_spec(), base=base,
@@ -252,7 +246,8 @@ class ConvKernel:
         b.li("s9", g.out_w // 2)
 
         b.label("pair_loop")
-        self._emit_im2col_pair(b, stride_pix)
+        with b.region("im2col"):
+            self._emit_im2col_pair(b, stride_pix)
 
         # MatMul over all filters for this pixel pair.
         b.mv(_R.wptr0, "a0")
@@ -265,30 +260,29 @@ class ConvKernel:
 
         def filter_body() -> None:
             for _ in range(pairs_per_iter):
-                if cfg.with_bias:
-                    # Accumulators start from the channel biases; both
-                    # pixels of a channel share the same bias value.
-                    b.emit("p.lw", _R.acc00, 4, "ra", inc=True)
-                    b.mv(_R.acc01, _R.acc00)
-                    b.emit("p.lw", _R.acc10, 4, "ra", inc=True)
-                    b.mv(_R.acc11, _R.acc10)
-                else:
-                    emit_acc_clear(b, _R)
-                b.mv(_R.xptr0, "a1")
-                b.mv(_R.xptr1, "a2")
-                emit_inner_loop(
-                    b, cfg.bits, cfg.native, k_count, _R, _TMPS,
-                    style=cfg.unpack_style, unpack_regs=_MATMUL_UNPACK_REGS,
-                )
-                b.emit("addi", _R.wptr0, _R.wptr0, kb)
-                b.emit("addi", _R.wptr1, _R.wptr1, kb)
-                start = b.instruction_count
-                self._emit_quant_pass(b)
-                self._quant_idx_spans.append((start, b.instruction_count))
+                with b.region("dotprod"):
+                    if cfg.with_bias:
+                        # Accumulators start from the channel biases; both
+                        # pixels of a channel share the same bias value.
+                        b.emit("p.lw", _R.acc00, 4, "ra", inc=True)
+                        b.mv(_R.acc01, _R.acc00)
+                        b.emit("p.lw", _R.acc10, 4, "ra", inc=True)
+                        b.mv(_R.acc11, _R.acc10)
+                    else:
+                        emit_acc_clear(b, _R)
+                    b.mv(_R.xptr0, "a1")
+                    b.mv(_R.xptr1, "a2")
+                    emit_inner_loop(
+                        b, cfg.bits, cfg.native, k_count, _R, _TMPS,
+                        style=cfg.unpack_style, unpack_regs=_MATMUL_UNPACK_REGS,
+                    )
+                    b.emit("addi", _R.wptr0, _R.wptr0, kb)
+                    b.emit("addi", _R.wptr1, _R.wptr1, kb)
+                with b.region("quant"):
+                    self._emit_quant_pass(b)
             if cfg.bits == 2:
-                start = b.instruction_count
-                self._emit_merge_halfbytes(b)
-                self._quant_idx_spans.append((start, b.instruction_count))
+                with b.region("quant"):
+                    self._emit_merge_halfbytes(b)
 
         if hw_filter_loop:
             count = "tp" if filter_iters > 31 else filter_iters

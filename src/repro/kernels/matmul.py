@@ -489,17 +489,19 @@ class MatmulKernel:
             b.li("t6", self._k_words)
 
         b.label("pair_loop")
-        emit_acc_clear(b, regs)
-        b.mv(regs.xptr0, "t3")
-        b.mv(regs.xptr1, "ra")
-        count = "t6" if use_count_reg else self._k_words
-        emit_inner_loop(
-            b, cfg.bits, cfg.native, count, regs, tmps,
-            style=cfg.unpack_style, unpack_regs=unpack_regs,
-        )
-        b.emit("addi", regs.wptr0, regs.wptr0, kb)
-        b.emit("addi", regs.wptr1, regs.wptr1, kb)
-        self._emit_epilogue(b, regs)
+        with b.region("dotprod"):
+            emit_acc_clear(b, regs)
+            b.mv(regs.xptr0, "t3")
+            b.mv(regs.xptr1, "ra")
+            count = "t6" if use_count_reg else self._k_words
+            emit_inner_loop(
+                b, cfg.bits, cfg.native, count, regs, tmps,
+                style=cfg.unpack_style, unpack_regs=unpack_regs,
+            )
+            b.emit("addi", regs.wptr0, regs.wptr0, kb)
+            b.emit("addi", regs.wptr1, regs.wptr1, kb)
+        with b.region("quant" if cfg.quant != "none" else "store"):
+            self._emit_epilogue(b, regs)
         b.emit("addi", "tp", "tp", -1)
         b.bnez("tp", "pair_loop")
         b.ebreak()
@@ -522,20 +524,22 @@ class MatmulKernel:
         b.li("tp", cfg.out_ch // 4)
         use_count_reg = self._k_words > 31
         b.label("quad_loop")
-        for acc in accs:
-            b.emit("addi", acc, "zero", 0)
-        b.mv(xptrs[0], "t3")
-        b.mv(xptrs[1], "ra")
-        if use_count_reg:
-            b.li("t6", self._k_words)
-        emit_inner_native_4x2(
-            b, cfg.bits, "t6" if use_count_reg else self._k_words,
-            wptrs, xptrs, accs, tmps,
-        )
-        for wptr in wptrs:
-            b.emit("addi", wptr, wptr, 3 * kb)
-        for acc in accs:
-            b.emit("p.sw", acc, 4, "a4", inc=True)
+        with b.region("dotprod"):
+            for acc in accs:
+                b.emit("addi", acc, "zero", 0)
+            b.mv(xptrs[0], "t3")
+            b.mv(xptrs[1], "ra")
+            if use_count_reg:
+                b.li("t6", self._k_words)
+            emit_inner_native_4x2(
+                b, cfg.bits, "t6" if use_count_reg else self._k_words,
+                wptrs, xptrs, accs, tmps,
+            )
+            for wptr in wptrs:
+                b.emit("addi", wptr, wptr, 3 * kb)
+        with b.region("store"):
+            for acc in accs:
+                b.emit("p.sw", acc, 4, "a4", inc=True)
         b.emit("addi", "tp", "tp", -1)
         b.bnez("tp", "quad_loop")
         b.ebreak()

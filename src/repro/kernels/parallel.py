@@ -190,35 +190,40 @@ class ParallelMatmulKernel:
         )
 
         # Hart prologue: shard the channel dimension.
-        b.emit("csrrs", "t0", CSR_MHARTID, "zero")
-        _emit_hart_offset(b, "t0", "t1", cfg.ch_per_core * kb, "a6")
-        b.emit("addi", "a7", "a6", kb)
-        out_chunk = cfg.ch_per_core * max(cfg.bits, 2) // 8
-        _emit_hart_offset(b, "t0", "t1", out_chunk, "a4", "s11")
-        if cfg.quant in ("hw", "sw"):
-            _emit_hart_offset(b, "t0", "t1",
-                              cfg.ch_per_core * tree_stride(cfg.bits), "a5")
+        with b.region("prologue"):
+            b.emit("csrrs", "t0", CSR_MHARTID, "zero")
+            _emit_hart_offset(b, "t0", "t1", cfg.ch_per_core * kb, "a6")
+            b.emit("addi", "a7", "a6", kb)
+            out_chunk = cfg.ch_per_core * max(cfg.bits, 2) // 8
+            _emit_hart_offset(b, "t0", "t1", out_chunk, "a4", "s11")
+            if cfg.quant in ("hw", "sw"):
+                _emit_hart_offset(b, "t0", "t1",
+                                  cfg.ch_per_core * tree_stride(cfg.bits),
+                                  "a5")
 
-        b.li("tp", cfg.pairs_per_core)
-        use_count_reg = self._k_words > 31
-        if use_count_reg:
-            b.li("t6", self._k_words)
+            b.li("tp", cfg.pairs_per_core)
+            use_count_reg = self._k_words > 31
+            if use_count_reg:
+                b.li("t6", self._k_words)
 
         b.label("pair_loop")
-        emit_acc_clear(b, regs)
-        b.mv(regs.xptr0, "t3")
-        b.mv(regs.xptr1, "ra")
-        count = "t6" if use_count_reg else self._k_words
-        emit_inner_loop(b, cfg.bits, True, count, regs, list(self._TMPS))
-        b.emit("addi", regs.wptr0, regs.wptr0, kb)
-        b.emit("addi", regs.wptr1, regs.wptr1, kb)
-        emit_pair_epilogue(b, cfg.bits, cfg.quant, regs)
+        with b.region("dotprod"):
+            emit_acc_clear(b, regs)
+            b.mv(regs.xptr0, "t3")
+            b.mv(regs.xptr1, "ra")
+            count = "t6" if use_count_reg else self._k_words
+            emit_inner_loop(b, cfg.bits, True, count, regs, list(self._TMPS))
+            b.emit("addi", regs.wptr0, regs.wptr0, kb)
+            b.emit("addi", regs.wptr1, regs.wptr1, kb)
+        with b.region("quant"):
+            emit_pair_epilogue(b, cfg.bits, cfg.quant, regs)
         b.emit("addi", "tp", "tp", -1)
         b.bnez("tp", "pair_loop")
 
         # Barrier: nobody reads the shared output until every shard wrote.
-        b.li("t0", EU_BARRIER_WAIT)
-        b.emit("lw", "t1", 0, "t0")
+        with b.region("barrier"):
+            b.li("t0", EU_BARRIER_WAIT)
+            b.emit("lw", "t1", 0, "t0")
         b.ebreak()
 
     # -- execution -------------------------------------------------------
@@ -358,17 +363,19 @@ class ParallelConvKernel(ConvKernel):
         row_bytes = padded_row_bytes(g, cfg.bits)
         buf_bytes = align_up(
             im2col_buffer_bytes(g, cfg.bits, unpacked=False), 4)
-        b.emit("csrrs", "t0", CSR_MHARTID, "zero")
-        _emit_hart_offset(b, "t0", "t1",
-                          rows * g.stride * row_bytes, "s8")
-        _emit_hart_offset(b, "t0", "t1",
-                          rows * g.out_w * g.out_ch * cfg.bits // 8, "a3")
-        _emit_hart_offset(b, "t0", "t1", buf_bytes, "a1", "a2")
-        _emit_hart_offset(b, "t0", "t1", 16, "sp")
+        with b.region("prologue"):
+            b.emit("csrrs", "t0", CSR_MHARTID, "zero")
+            _emit_hart_offset(b, "t0", "t1",
+                              rows * g.stride * row_bytes, "s8")
+            _emit_hart_offset(b, "t0", "t1",
+                              rows * g.out_w * g.out_ch * cfg.bits // 8, "a3")
+            _emit_hart_offset(b, "t0", "t1", buf_bytes, "a1", "a2")
+            _emit_hart_offset(b, "t0", "t1", 16, "sp")
 
     def _emit_epilogue(self, b: KernelBuilder) -> None:
-        b.li("t0", EU_BARRIER_WAIT)
-        b.emit("lw", "t1", 0, "t0")
+        with b.region("barrier"):
+            b.li("t0", EU_BARRIER_WAIT)
+            b.emit("lw", "t1", 0, "t0")
         b.ebreak()
 
     # -- execution -------------------------------------------------------

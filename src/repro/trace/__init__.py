@@ -1,0 +1,60 @@
+"""Structured execution tracing and per-region metrics.
+
+The core and cluster models accept a :class:`Tracer` (``cpu.tracer = ...``
+or ``cluster.attach_tracer(...)``) and call its hooks as instructions
+retire, memory ports grant, barriers release and DMA descriptors launch.
+Three tracers cover the common uses:
+
+* :class:`TextTracer` — the human-readable instruction log behind
+  ``repro run --trace``;
+* :class:`EventTracer` — typed event record (region spans, stalls,
+  barriers, DMA) feeding the Perfetto exporter in
+  :mod:`repro.trace.perfetto`;
+* :class:`MetricsTracer` — rolls events straight into per-region
+  :class:`~repro.core.perf.PerfCounters` via a
+  :class:`MetricsRegistry` (the ``repro profile`` table).
+
+The kernel catalog behind ``repro profile --kernel`` lives in
+:mod:`repro.trace.profile`; it is imported lazily (not here) because it
+pulls in the kernel generators, which themselves import the core.
+"""
+
+from .events import (
+    STALL_CAUSES,
+    BarrierSpan,
+    DmaEvent,
+    HwloopEvent,
+    MemAccessEvent,
+    RegionSpan,
+    RetireEvent,
+    StallEvent,
+)
+from .metrics import MetricsRegistry, MetricsTracer
+from .perfetto import (
+    chrome_trace,
+    validate_chrome_trace,
+    validate_chrome_trace_file,
+    write_chrome_trace,
+)
+from .tracer import CallableTracer, EventTracer, TextTracer, Tracer
+
+__all__ = [
+    "STALL_CAUSES",
+    "BarrierSpan",
+    "CallableTracer",
+    "DmaEvent",
+    "EventTracer",
+    "HwloopEvent",
+    "MemAccessEvent",
+    "MetricsRegistry",
+    "MetricsTracer",
+    "RegionSpan",
+    "RetireEvent",
+    "StallEvent",
+    "TextTracer",
+    "Tracer",
+    "chrome_trace",
+    "validate_chrome_trace",
+    "validate_chrome_trace_file",
+    "write_chrome_trace",
+]

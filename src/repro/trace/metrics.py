@@ -1,0 +1,148 @@
+"""Per-region metrics: events rolled into :class:`PerfCounters` deltas.
+
+:class:`MetricsTracer` accumulates one :class:`~repro.core.perf.PerfCounters`
+per marked region, mirroring :meth:`Cpu.step`'s accounting exactly — so
+the per-region counters sum to the core's own end-of-run counters and the
+usual derived metrics (IPC, stall shares) are available per phase.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.perf import PerfCounters
+from .tracer import Tracer
+
+
+class MetricsRegistry:
+    """Named :class:`PerfCounters` accumulators (one per region)."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, PerfCounters] = {}
+        self._order: List[str] = []
+
+    def counters_for(self, name: str) -> PerfCounters:
+        """The accumulator for *name*, created on first use."""
+        if name not in self._counters:
+            self._counters[name] = PerfCounters()
+            self._order.append(name)
+        return self._counters[name]
+
+    @property
+    def regions(self) -> List[str]:
+        """Region names in first-seen order."""
+        return list(self._order)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._counters
+
+    def __getitem__(self, name: str) -> PerfCounters:
+        return self._counters[name]
+
+    def total(self) -> PerfCounters:
+        """All regions merged."""
+        merged = PerfCounters()
+        for name in self._order:
+            merged.merge(self._counters[name])
+        return merged
+
+    def share(self, name: str) -> float:
+        """Region cycles as a fraction of all attributed cycles."""
+        total = self.total().cycles
+        if not total or name not in self._counters:
+            return 0.0
+        return self._counters[name].cycles / total
+
+    def rows(self):
+        """(name, counters, share) per region, largest share first."""
+        total = self.total().cycles or 1
+        ordered = sorted(
+            self._order, key=lambda n: -self._counters[n].cycles)
+        return [
+            (name, self._counters[name], self._counters[name].cycles / total)
+            for name in ordered
+        ]
+
+    def to_dict(self) -> Dict[str, dict]:
+        payload: Dict[str, dict] = {}
+        for name, perf, share in self.rows():
+            stalls = {
+                "load_use": perf.stall_load_use,
+                "branch": perf.stall_branch,
+                "jump": perf.stall_jump,
+                "misaligned": perf.stall_misaligned,
+                "tcdm": perf.stall_tcdm_contention,
+            }
+            payload[name] = {
+                "cycles": perf.cycles,
+                "share": share,
+                "instructions": perf.instructions,
+                "ipc": perf.ipc,
+                "stalls": stalls,
+                "idle_cycles": perf.idle_cycles,
+            }
+        return payload
+
+    def render(self, title: str = "") -> str:
+        """Fixed-width per-region table (cycles, share, IPC, stalls)."""
+        from ..eval.reporting import format_table
+
+        rows = []
+        for name, perf, share in self.rows():
+            rows.append((
+                name, perf.cycles, f"{100 * share:.1f}%",
+                perf.instructions, f"{perf.ipc:.3f}",
+                perf.stall_load_use, perf.stall_branch + perf.stall_jump,
+                perf.stall_misaligned, perf.stall_tcdm_contention,
+                perf.idle_cycles,
+            ))
+        total = self.total()
+        rows.append((
+            "TOTAL", total.cycles, "100.0%", total.instructions,
+            f"{total.ipc:.3f}", total.stall_load_use,
+            total.stall_branch + total.stall_jump, total.stall_misaligned,
+            total.stall_tcdm_contention, total.idle_cycles,
+        ))
+        headers = ("region", "cycles", "share", "instrs", "ipc",
+                   "ld-use", "ctrl", "unit", "tcdm", "idle")
+        return format_table(headers, rows, title=title)
+
+
+class MetricsTracer(Tracer):
+    """Rolls retire events into per-region counters as the run executes."""
+
+    def __init__(
+        self,
+        program=None,
+        region_map: Optional[Dict[int, str]] = None,
+        default_region: str = "other",
+    ) -> None:
+        self.default_region = default_region
+        if region_map is not None:
+            self._map = dict(region_map)
+        elif program is not None:
+            self._map = program.region_map()
+        else:
+            self._map = {}
+        self.registry = MetricsRegistry()
+
+    def on_retire(self, cpu, pc: int, ins, timing) -> None:
+        perf = self.registry.counters_for(
+            self._map.get(pc, self.default_region))
+        unit = cpu._extra_stalls
+        tcdm = cpu._tcdm_stalls
+        # Mirror Cpu.step()'s accounting so regions sum to the core totals.
+        perf.cycles += timing.total + unit + tcdm
+        perf.instructions += 1
+        perf.by_class[ins.spec.timing] += 1
+        perf.stall_load_use += timing.load_use_stall
+        perf.stall_branch += timing.branch_stall
+        perf.stall_jump += timing.jump_stall
+        perf.stall_misaligned += timing.misaligned_stall + unit
+        perf.stall_tcdm_contention += tcdm
+
+    def on_barrier(self, core: int, arrive: int, release: int) -> None:
+        perf = self.registry.counters_for("barrier")
+        parked = release - arrive
+        perf.cycles += parked
+        perf.idle_cycles += parked

@@ -1,0 +1,148 @@
+"""Chrome-trace / Perfetto JSON export.
+
+Renders an :class:`~repro.trace.tracer.EventTracer`'s event lists in the
+Chrome trace-event format (the JSON flavour ``ui.perfetto.dev`` and
+``chrome://tracing`` both open).  One simulated cycle maps to one
+timestamp unit; each core gets three lanes so the timeline separates
+
+* **regions** — what the core computed (the kernel's marked phases),
+* **stalls**  — cycles lost to hazards, TCDM contention highlighted,
+* **barrier** — time parked at event-unit barriers,
+
+plus one cluster-wide DMA lane.  :func:`validate_chrome_trace` checks a
+payload against the subset of the spec we emit, so CI can verify exports
+without a browser.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from ..errors import TraceError
+from .tracer import EventTracer
+
+#: Lanes per core in the tid encoding (tid = core * _LANES + lane).
+_LANES = 4
+_LANE_NAMES = {0: "regions", 1: "stalls", 2: "barrier"}
+#: The DMA engine's own thread id, clear of any plausible core lane.
+DMA_TID = 1000
+_PID = 1
+
+
+def _meta(name: str, tid: Optional[int] = None):
+    if tid is None:
+        return {"name": "process_name", "ph": "M", "pid": _PID,
+                "args": {"name": name}}
+    return {"name": "thread_name", "ph": "M", "pid": _PID, "tid": tid,
+            "args": {"name": name}}
+
+
+def chrome_trace(tracer: EventTracer, title: str = "repro") -> Dict:
+    """Build the Chrome trace-event payload for one traced run."""
+    events: List[Dict] = [_meta(title)]
+    for core in tracer.cores:
+        events.append(_meta(f"core {core} regions", core * _LANES + 0))
+        events.append(_meta(f"core {core} stalls", core * _LANES + 1))
+        events.append(_meta(f"core {core} barrier", core * _LANES + 2))
+
+    for span in tracer.region_spans:
+        events.append({
+            "name": span.name, "cat": "region", "ph": "X",
+            "ts": span.start, "dur": span.cycles,
+            "pid": _PID, "tid": span.core * _LANES + 0,
+            "args": {"core": span.core, "instructions": span.instructions},
+        })
+    for stall in tracer.stalls:
+        events.append({
+            "name": stall.cause, "cat": "stall", "ph": "X",
+            "ts": stall.cycle, "dur": stall.cycles,
+            "pid": _PID, "tid": stall.core * _LANES + 1,
+            "args": {"core": stall.core},
+        })
+    for barrier in tracer.barriers:
+        events.append({
+            "name": "barrier", "cat": "barrier", "ph": "X",
+            "ts": barrier.arrive, "dur": barrier.parked,
+            "pid": _PID, "tid": barrier.core * _LANES + 2,
+            "args": {"core": barrier.core},
+        })
+    if tracer.dma_events:
+        events.append(_meta("dma", DMA_TID))
+        for dma in tracer.dma_events:
+            events.append({
+                "name": f"dma {dma.bytes}B", "cat": "dma", "ph": "X",
+                "ts": dma.start, "dur": dma.end - dma.start,
+                "pid": _PID, "tid": DMA_TID,
+                "args": {"src": f"{dma.src:#010x}", "dst": f"{dma.dst:#010x}",
+                         "bytes": dma.bytes},
+            })
+    return {"traceEvents": events, "displayTimeUnit": "ns",
+            "otherData": {"tool": "repro", "time_unit": "cycle"}}
+
+
+def write_chrome_trace(tracer: EventTracer, path: str,
+                       title: str = "repro") -> Dict:
+    """Export *tracer* to *path* as Chrome trace-event JSON."""
+    payload = chrome_trace(tracer, title=title)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=1)
+        handle.write("\n")
+    return payload
+
+
+def validate_chrome_trace(payload) -> int:
+    """Check *payload* against the Chrome trace-event JSON schema subset.
+
+    Raises :class:`~repro.errors.TraceError` on the first violation;
+    returns the number of duration ("X") events otherwise.
+    """
+    if not isinstance(payload, dict):
+        raise TraceError("trace payload must be a JSON object")
+    events = payload.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        raise TraceError("trace payload needs a non-empty 'traceEvents' list")
+    durations = 0
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise TraceError(f"traceEvents[{index}] is not an object")
+        ph = event.get("ph")
+        if ph == "M":
+            name = event.get("name")
+            if name not in ("process_name", "thread_name"):
+                raise TraceError(
+                    f"traceEvents[{index}]: unknown metadata record {name!r}")
+            args = event.get("args")
+            if not isinstance(args, dict) or not isinstance(
+                    args.get("name"), str):
+                raise TraceError(
+                    f"traceEvents[{index}]: metadata needs args.name")
+            continue
+        if ph != "X":
+            raise TraceError(
+                f"traceEvents[{index}]: unsupported phase {ph!r} "
+                "(exporter emits only 'X' and 'M')")
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            raise TraceError(f"traceEvents[{index}]: missing event name")
+        for key in ("ts", "dur"):
+            value = event.get(key)
+            if not isinstance(value, (int, float)) or value < 0:
+                raise TraceError(
+                    f"traceEvents[{index}]: {key!r} must be a non-negative "
+                    f"number, got {value!r}")
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                raise TraceError(
+                    f"traceEvents[{index}]: {key!r} must be an integer")
+        durations += 1
+    return durations
+
+
+def validate_chrome_trace_file(path: str) -> int:
+    """Load *path* and validate it; returns the duration-event count."""
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except json.JSONDecodeError as exc:
+        raise TraceError(f"{path}: not valid JSON ({exc})") from None
+    return validate_chrome_trace(payload)

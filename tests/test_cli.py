@@ -192,3 +192,116 @@ class TestLint:
         text = capsys.readouterr().out
         assert "clean" in text
         assert "barrier epoch" in text
+
+
+REGION_SOURCE = """
+.region setup
+    li   a0, 4
+.endregion
+.region spin
+spin:
+    addi a0, a0, -1
+    bnez a0, spin
+.endregion
+    ebreak
+"""
+
+
+@pytest.fixture
+def region_file(tmp_path):
+    path = tmp_path / "regions.s"
+    path.write_text(REGION_SOURCE)
+    return path
+
+
+class TestTrace:
+    def test_exports_valid_chrome_trace(self, region_file, tmp_path, capsys):
+        from repro.trace import validate_chrome_trace_file
+
+        out = tmp_path / "trace.json"
+        assert main(["trace", str(region_file), "--out", str(out)]) == 0
+        assert validate_chrome_trace_file(str(out)) > 0
+        text = capsys.readouterr().out
+        assert "perfetto" in text
+
+    def test_region_names_in_export(self, region_file, tmp_path):
+        import json
+
+        out = tmp_path / "trace.json"
+        main(["trace", str(region_file), "--out", str(out)])
+        names = {e["name"] for e in json.loads(out.read_text())["traceEvents"]
+                 if e["ph"] == "X"}
+        assert {"setup", "spin"} <= names
+
+    def test_kernel_trace(self, tmp_path, capsys):
+        from repro.trace import validate_chrome_trace_file
+
+        out = tmp_path / "mm.json"
+        assert main(["trace", "--kernel", "matmul_4bit",
+                     "--out", str(out)]) == 0
+        assert validate_chrome_trace_file(str(out)) > 0
+
+    def test_needs_input_or_kernel(self, capsys):
+        assert main(["trace"]) == 1
+        assert "--kernel" in capsys.readouterr().err
+
+    def test_unknown_kernel(self, capsys):
+        assert main(["trace", "--kernel", "nope"]) == 1
+        assert "unknown kernel" in capsys.readouterr().err
+
+
+class TestProfile:
+    def test_source_file_table(self, region_file, capsys):
+        assert main(["profile", str(region_file)]) == 0
+        text = capsys.readouterr().out
+        assert "spin" in text and "setup" in text
+        assert "TOTAL" in text
+
+    def test_source_file_json(self, region_file, capsys):
+        import json
+
+        assert main(["profile", str(region_file), "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["cycles"] > 0
+        assert "spin" in data["regions"]
+
+    def test_kernel_table(self, capsys):
+        assert main(["profile", "--kernel", "matmul_4bit"]) == 0
+        text = capsys.readouterr().out
+        assert "dotprod" in text and "quant" in text
+
+    def test_kernel_json(self, capsys):
+        import json
+
+        assert main(["profile", "--kernel", "matmul_2bit", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["kernel"] == "matmul_2bit"
+        assert data["regions"]["dotprod"]["share"] > 0.5
+
+    def test_list_catalog(self, capsys):
+        assert main(["profile", "--list"]) == 0
+        text = capsys.readouterr().out
+        assert "conv_4bit" in text and "matmul_8bit" in text
+
+    def test_needs_input_or_kernel(self, capsys):
+        assert main(["profile"]) == 1
+        assert "--kernel" in capsys.readouterr().err
+
+
+class TestTrajectory:
+    def test_requires_json(self, tmp_path, capsys):
+        out = tmp_path / "traj.json"
+        assert main(["report", "table3", "--trajectory", str(out)]) == 1
+        assert "--json" in capsys.readouterr().err
+
+    def test_writes_summary(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "traj.json"
+        assert main(["report", "table3", "--json",
+                     "--trajectory", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        assert doc["schema"] == "repro-trajectory/1"
+        assert doc["experiments"] == ["table3"]
+        # Stdout stays pure JSON (the note goes to stderr).
+        json.loads(capsys.readouterr().out)

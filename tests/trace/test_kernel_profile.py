@@ -1,0 +1,83 @@
+"""Kernel catalog behind ``repro profile`` / ``repro trace``.
+
+The convolution entries run at the benchmark geometry, so the asserted
+quantization shares are the Fig. 6 numbers the acceptance spec pins
+(pv.qnt shares of ~7% at 4-bit and ~12% at 2-bit on the scaled layer).
+"""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace import validate_chrome_trace, chrome_trace
+from repro.trace.profile import (
+    CONV_SPECS,
+    MATMUL_SPECS,
+    kernel_catalog,
+    profile_kernel,
+    trace_kernel,
+)
+
+
+class TestCatalog:
+    def test_every_entry_described(self):
+        names = [name for name, _ in kernel_catalog()]
+        assert names == list(CONV_SPECS) + list(MATMUL_SPECS)
+        assert all(desc for _, desc in kernel_catalog())
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(TraceError, match="unknown kernel"):
+            profile_kernel("conv_3bit")
+
+
+class TestProfileKernel:
+    def test_conv_4bit_quant_share_matches_fig6(self):
+        profile = profile_kernel("conv_4bit")
+        assert profile.cycles > 0
+        assert 0.06 < profile.region_share("quant") < 0.08
+        assert profile.region_share("dotprod") > 0.7
+
+    def test_conv_2bit_quant_share_matches_fig6(self):
+        profile = profile_kernel("conv_2bit")
+        assert 0.11 < profile.region_share("quant") < 0.14
+
+    def test_matmul_profile_single_core(self):
+        profile = profile_kernel("matmul_4bit")
+        assert profile.cores == 1
+        assert {"dotprod", "quant"} <= set(profile.registry.regions)
+        assert profile.registry.total().cycles == profile.cycles
+
+    def test_matmul_profile_cluster(self):
+        profile = profile_kernel("matmul_4bit", cores=4)
+        assert profile.cores == 4
+        assert "barrier" in profile.registry
+        assert "prologue" in profile.registry
+        assert profile.detail["tcdm_conflicts"] >= 0
+        # Aggregate core-cycles, not wall-clock.
+        assert profile.registry.total().cycles > profile.cycles
+
+    def test_cluster_conv_rejected(self):
+        with pytest.raises(TraceError):
+            profile_kernel("conv_4bit", cores=8)
+
+    def test_to_dict_round_trip(self):
+        profile = profile_kernel("matmul_2bit")
+        payload = profile.to_dict()
+        assert payload["kernel"] == "matmul_2bit"
+        assert payload["regions"]["dotprod"]["cycles"] > 0
+        assert "quant" in profile.render()
+
+
+class TestTraceKernel:
+    def test_single_core_conv_trace(self):
+        tracer = trace_kernel("conv_4bit")
+        names = {s.name for s in tracer.region_spans}
+        assert {"im2col", "dotprod", "quant"} <= names
+        assert validate_chrome_trace(chrome_trace(tracer)) > 0
+
+    def test_cluster_trace_has_all_lanes(self):
+        tracer = trace_kernel("matmul_4bit", cores=8)
+        assert tracer.cores == list(range(8))
+        assert len(tracer.barriers) >= 8
+        assert tracer.dma_events  # staging transfers
+        payload = chrome_trace(tracer, title="matmul x8")
+        assert validate_chrome_trace(payload) > 0

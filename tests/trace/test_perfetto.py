@@ -1,0 +1,107 @@
+"""Chrome-trace/Perfetto export: structure, validation, round-trip."""
+
+import json
+
+import pytest
+
+from repro.asm import assemble
+from repro.core import Cpu
+from repro.errors import TraceError
+from repro.trace import (
+    EventTracer,
+    chrome_trace,
+    validate_chrome_trace,
+    validate_chrome_trace_file,
+    write_chrome_trace,
+)
+from repro.trace.perfetto import DMA_TID
+
+SOURCE = """
+.region warm
+    li   a0, 6
+.endregion
+.region spin
+spin:
+    addi a0, a0, -1
+    bnez a0, spin
+.endregion
+    ebreak
+"""
+
+
+@pytest.fixture
+def tracer():
+    program = assemble(SOURCE, isa="xpulpnn")
+    t = EventTracer(program=program, default_region="code")
+    cpu = Cpu(isa="xpulpnn")
+    cpu.tracer = t
+    cpu.load_program(program)
+    cpu.run()
+    return t
+
+
+class TestChromeTrace:
+    def test_payload_shape(self, tracer):
+        payload = chrome_trace(tracer, title="unit")
+        assert set(payload) >= {"traceEvents", "displayTimeUnit"}
+        phases = {e["ph"] for e in payload["traceEvents"]}
+        assert phases == {"M", "X"}
+
+    def test_region_lane_covers_run(self, tracer):
+        payload = chrome_trace(tracer)
+        regions = [e for e in payload["traceEvents"]
+                   if e["ph"] == "X" and e.get("cat") == "region"]
+        names = {e["name"] for e in regions}
+        assert names == {"warm", "spin", "code"}
+        end = max(e["ts"] + e["dur"] for e in regions)
+        assert end == tracer.end_cycles[0]
+
+    def test_thread_metadata_names_lanes(self, tracer):
+        payload = chrome_trace(tracer)
+        metas = [e for e in payload["traceEvents"] if e["ph"] == "M"]
+        names = {e["args"]["name"] for e in metas
+                 if e["name"] == "thread_name"}
+        assert "core 0 regions" in names
+        assert "core 0 stalls" in names
+
+    def test_dma_events_use_dma_lane(self, tracer):
+        tracer.on_dma(0x1C000000, 0x10000000, 256, 5, 41)
+        payload = chrome_trace(tracer)
+        dma = [e for e in payload["traceEvents"]
+               if e["ph"] == "X" and e.get("cat") == "dma"]
+        assert len(dma) == 1
+        assert dma[0]["tid"] == DMA_TID
+        assert dma[0]["dur"] == 36
+
+    def test_validate_accepts_own_output(self, tracer):
+        payload = chrome_trace(tracer)
+        assert validate_chrome_trace(payload) > 0
+
+    def test_round_trip_through_file(self, tracer, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(tracer, str(path), title="rt")
+        assert validate_chrome_trace_file(str(path)) > 0
+        data = json.loads(path.read_text())
+        assert data["otherData"]["time_unit"] == "cycle"
+
+
+class TestValidation:
+    def test_rejects_non_dict(self):
+        with pytest.raises(TraceError):
+            validate_chrome_trace(["not", "a", "trace"])
+
+    def test_rejects_unknown_phase(self):
+        with pytest.raises(TraceError):
+            validate_chrome_trace({"traceEvents": [
+                {"name": "x", "ph": "B", "ts": 0, "pid": 1, "tid": 0}]})
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(TraceError):
+            validate_chrome_trace({"traceEvents": [
+                {"name": "x", "ph": "X", "ts": 0, "dur": -1,
+                 "pid": 1, "tid": 0}]})
+
+    def test_rejects_missing_name(self):
+        with pytest.raises(TraceError):
+            validate_chrome_trace({"traceEvents": [
+                {"ph": "X", "ts": 0, "dur": 1, "pid": 1, "tid": 0}]})
