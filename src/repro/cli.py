@@ -12,6 +12,10 @@ Commands:
 * ``report``  regenerate the paper's tables/figures (``--full`` for the
   exact paper layer, ``--trajectory`` to also write a benchmark-
   trajectory JSON summary);
+* ``compile`` lower a reference network through the deployment compiler
+  (memory-aware tiling + double-buffered cluster execution); prints the
+  plan, runs it bit-exactly, optionally lints every emitted tiled
+  program and exports the merged Perfetto timeline;
 * ``lint``    static verification of programs (``--kernels`` for every
   built-in kernel builder, ``--race`` for the dynamic TCDM race
   detector).  Exits non-zero when findings or races are reported.
@@ -221,11 +225,21 @@ def _jsonify(value):
 def _cmd_report(args: argparse.Namespace) -> int:
     if args.full:
         os.environ["REPRO_FULL"] = "1"
-    from .eval import cluster_scaling, fig6, fig7, fig8, fig9, table1, table3
+    from .eval import (
+        cluster_scaling,
+        fig6,
+        fig7,
+        fig8,
+        fig9,
+        network,
+        table1,
+        table3,
+    )
 
     modules = {
         "fig6": fig6, "fig7": fig7, "fig8": fig8, "fig9": fig9,
         "table1": table1, "table3": table3, "cluster": cluster_scaling,
+        "network": network,
     }
     selected = args.experiments or sorted(modules)
     for name in selected:
@@ -254,6 +268,70 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print(module.render(module.run()))
         print()
     return 0
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    from .compiler import NetworkCompiler, PlanExecutor, build_network
+
+    built = build_network(args.network)
+    budget = args.tcdm if args.tcdm else built.tcdm_budget
+    compiled = NetworkCompiler(
+        built.network, built.input_shape, input_bits=built.input_bits,
+        num_cores=args.cores, tcdm_budget=budget,
+    ).compile()
+
+    lint_failures = 0
+    if args.lint:
+        from .analysis import lint_program
+
+        reports = [
+            lint_program(program, name=name)
+            for name, program in compiled.programs()
+        ]
+        lint_failures = sum(not report.ok for report in reports)
+        if not args.json:
+            for report in reports:
+                if not report.ok:
+                    print(report.render())
+            print(f"lint: {len(reports)} tiled program(s) checked, "
+                  f"{lint_failures} with findings")
+
+    if args.plan_only:
+        if args.json:
+            import json
+
+            print(json.dumps(_jsonify(compiled.to_dict()), indent=2))
+        else:
+            print(compiled.render())
+        return 1 if lint_failures else 0
+
+    executor = PlanExecutor(compiled, trace=bool(args.trace))
+    result = executor.run(built.input)
+    if args.trace:
+        executor.timeline.write(
+            args.trace, title=f"{args.network} deployment")
+        print(f"timeline -> {args.trace} "
+              f"(open in https://ui.perfetto.dev)", file=sys.stderr)
+    if args.json:
+        import json
+
+        payload = {
+            "network": args.network,
+            "cores": args.cores,
+            "tcdm_budget": budget,
+            "total_tiles": compiled.total_tiles,
+            **result.to_dict(),
+        }
+        print(json.dumps(_jsonify(payload), indent=2))
+    else:
+        print(compiled.render())
+        print()
+        print(result.render())
+    if not result.verified:
+        print("error: compiled execution diverged from golden",
+              file=sys.stderr)
+        return 1
+    return 1 if lint_failures else 0
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -392,7 +470,7 @@ def build_parser() -> argparse.ArgumentParser:
     report = sub.add_parser("report", help="regenerate paper tables/figures")
     report.add_argument("experiments", nargs="*",
                         help="fig6 fig7 fig8 fig9 table1 table3 cluster "
-                             "(default all)")
+                             "network (default all)")
     report.add_argument("--full", action="store_true",
                         help="use the paper's exact layer (slow)")
     report.add_argument("--json", action="store_true",
@@ -402,6 +480,29 @@ def build_parser() -> argparse.ArgumentParser:
                              "summary (cycle counts per figure/kernel); "
                              "requires --json")
     report.set_defaults(func=_cmd_report)
+
+    compile_ = sub.add_parser(
+        "compile",
+        help="tile + deploy a reference network on the cluster model")
+    compile_.add_argument("--network", default="mixed3",
+                          help="catalog entry: mixed3, over-l2, paper")
+    compile_.add_argument("--cores", type=int, default=8,
+                          help="cluster cores (default 8)")
+    compile_.add_argument("--tcdm", type=lambda v: int(v, 0), default=None,
+                          metavar="BYTES",
+                          help="TCDM budget (default: catalog "
+                               "recommendation)")
+    compile_.add_argument("--plan-only", action="store_true",
+                          help="print the tiling/memory plan, don't run")
+    compile_.add_argument("--trace", metavar="PATH",
+                          help="export the merged compute/DMA timeline "
+                               "(Chrome trace-event JSON)")
+    compile_.add_argument("--lint", action="store_true",
+                          help="statically verify every emitted tiled "
+                               "program")
+    compile_.add_argument("--json", action="store_true",
+                          help="emit machine-readable results")
+    compile_.set_defaults(func=_cmd_compile)
 
     lint = sub.add_parser(
         "lint", help="statically verify programs / detect TCDM races")

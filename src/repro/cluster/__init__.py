@@ -13,7 +13,13 @@ from .cluster import (
     ClusterRun,
     CoreMemPort,
 )
-from .dma import BYTES_PER_CYCLE, SETUP_CYCLES, ClusterDma, DmaDescriptor
+from .dma import (
+    BYTES_PER_CYCLE,
+    OVERLAP_CONTENTION_SHIFT,
+    SETUP_CYCLES,
+    ClusterDma,
+    DmaDescriptor,
+)
 from .event_unit import EventUnit
 from .tcdm import Tcdm
 
@@ -27,6 +33,7 @@ __all__ = [
     "CoreMemPort",
     "DmaDescriptor",
     "EventUnit",
+    "OVERLAP_CONTENTION_SHIFT",
     "SETUP_CYCLES",
     "Tcdm",
 ]

@@ -32,6 +32,12 @@ from ..errors import SimError
 SETUP_CYCLES = 4
 #: AXI beat width between L2 and TCDM (64-bit port).
 BYTES_PER_CYCLE = 8
+#: Compute/DMA contention: while a core window and a DMA window overlap,
+#: the DMA's 64-bit beats occupy ~2 of the TCDM banks each cycle.  At the
+#: cluster's 2x banking factor that steals roughly one core access slot
+#: every four overlapped cycles, so a compute window pays
+#: ``overlap >> OVERLAP_CONTENTION_SHIFT`` extra stall cycles.
+OVERLAP_CONTENTION_SHIFT = 2
 
 
 @dataclass
@@ -157,6 +163,29 @@ class ClusterDma:
     @property
     def total_cycles(self) -> int:
         return sum(t.done - t.start for t in self.transfers)
+
+    def overlap_cycles(self, start: int, end: int) -> int:
+        """DMA-active cycles inside the window ``[start, end)``.
+
+        Sums, over every launched transfer, the intersection of that
+        transfer's ``[start, done)`` span with the window.  Transfers are
+        serialized on the engine, so the result never exceeds the window
+        length.
+        """
+        if end <= start:
+            return 0
+        total = 0
+        for t in self.transfers:
+            total += max(0, min(t.done, end) - max(t.start, start))
+        return total
+
+    def contention_cycles(self, start: int, end: int) -> int:
+        """Stall cycles a compute window ``[start, end)`` pays for
+        concurrent DMA traffic: ``overlap >> OVERLAP_CONTENTION_SHIFT``
+        (one stolen access slot per four overlapped cycles).  Windows
+        fully serialized against the DMA pay nothing.
+        """
+        return self.overlap_cycles(start, end) >> OVERLAP_CONTENTION_SHIFT
 
     def reset_timing(self) -> None:
         self._busy_until = 0

@@ -1,0 +1,57 @@
+"""Deployment compiler: memory-aware tiling + double-buffered execution.
+
+Lowers a :class:`~repro.qnn.network.QnnNetwork` into a tiled execution
+plan that fits the cluster's TCDM, then drives it on the multi-core
+cluster model with DMA refills overlapped against compute:
+
+* :mod:`.tiling` — per-layer tile-size search (maximize MACs per DMA
+  byte under the TCDM budget);
+* :mod:`.planner` — static TCDM memory planner with overlap validation;
+* :mod:`.lowering` — kernel-variant generation + tile schedules;
+* :mod:`.executor` — double-buffered schedule executor with bit-exact
+  verification and cycle/energy rollup;
+* :mod:`.timeline` — per-tile trace merge onto one global clock;
+* :mod:`.networks` — named reference networks (CLI/CI/test workloads).
+"""
+
+from .executor import (
+    CompiledLayerResult,
+    CompiledNetworkResult,
+    PlanExecutor,
+    TileExecution,
+)
+from .lowering import CompiledNetwork, LayerPlan, NetworkCompiler
+from .networks import BuiltNetwork, build_network, network_names
+from .planner import PlannedRegion, TcdmPlan, TcdmPlanner
+from .tiling import (
+    ConvTiling,
+    LinearTiling,
+    PoolTiling,
+    search_conv_tiling,
+    search_linear_tiling,
+    search_pool_tiling,
+)
+from .timeline import MasterTimeline
+
+__all__ = [
+    "BuiltNetwork",
+    "CompiledLayerResult",
+    "CompiledNetwork",
+    "CompiledNetworkResult",
+    "ConvTiling",
+    "LayerPlan",
+    "LinearTiling",
+    "MasterTimeline",
+    "NetworkCompiler",
+    "PlanExecutor",
+    "PlannedRegion",
+    "PoolTiling",
+    "TcdmPlan",
+    "TcdmPlanner",
+    "TileExecution",
+    "build_network",
+    "network_names",
+    "search_conv_tiling",
+    "search_linear_tiling",
+    "search_pool_tiling",
+]

@@ -1,0 +1,122 @@
+"""Reference networks for the deployment compiler.
+
+A small named catalog so the CLI, CI, and tests all compile the same
+workloads:
+
+``mixed3``
+    Mixed-precision net (8-bit conv -> 4-bit conv -> maxpool -> 8-bit
+    linear).  Its recommended 16 kB TCDM budget is deliberately tight:
+    both convolutions tile and the classifier's weight matrix streams
+    through double-buffered slices, so even this small net exercises
+    the tiled schedule end to end.
+
+``over-l2``
+    A net whose classifier weights (514 kB) exceed the whole 512 kB L2:
+    the single-shot deployer cannot stage it at all, but the compiler
+    streams it through TCDM-sized weight tiles.
+
+``paper``
+    The XpulpNN paper's 4-bit convolution working geometry
+    (16x16x32 -> 64ch, 3x3), used to cross-check compiled execution
+    against the single-shot kernel cycle counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from ..errors import KernelError
+from ..soc.memmap import TCDM_SIZE
+from ..qnn.network import (
+    MaxPool,
+    QnnNetwork,
+    QuantizedConv,
+    QuantizedLinear,
+    random_activations,
+    random_weights,
+)
+
+
+@dataclass
+class BuiltNetwork:
+    """A catalog entry: the network plus everything needed to run it."""
+
+    network: QnnNetwork
+    input_shape: Tuple[int, ...]
+    input_bits: int
+    input: np.ndarray
+    tcdm_budget: int       # recommended budget (forces tiling where useful)
+    description: str
+
+
+def _build_mixed3() -> BuiltNetwork:
+    rng = np.random.default_rng(0xA11CE)
+    net = QnnNetwork(name="mixed3")
+    net.add(QuantizedConv(
+        weights=random_weights((16, 3, 3, 8), 8, rng), weight_bits=8,
+        in_bits=8, out_bits=8, pad=1, name="conv8"))
+    net.add(QuantizedConv(
+        weights=random_weights((16, 3, 3, 16), 4, rng), weight_bits=4,
+        in_bits=8, out_bits=4, pad=1, name="conv4"))
+    net.add(MaxPool(2, name="pool"))
+    net.add(QuantizedLinear(
+        weights=random_weights((10, 8 * 8 * 16), 8, rng), weight_bits=8,
+        in_bits=4, out_bits=8, name="classifier"))
+    x = random_activations((16, 16, 8), 8, rng)
+    return BuiltNetwork(
+        network=net, input_shape=(16, 16, 8), input_bits=8, input=x,
+        tcdm_budget=16 * 1024,
+        description="8b conv -> 4b conv -> pool -> 8b linear, 16 kB budget")
+
+
+def _build_over_l2() -> BuiltNetwork:
+    rng = np.random.default_rng(0xB0B0)
+    net = QnnNetwork(name="over-l2")
+    net.add(QuantizedConv(
+        weights=random_weights((8, 3, 3, 8), 8, rng), weight_bits=8,
+        in_bits=8, out_bits=8, pad=1, name="conv8"))
+    net.add(MaxPool(2, name="pool"))
+    net.add(QuantizedLinear(
+        weights=random_weights((4112, 4 * 4 * 8), 8, rng), weight_bits=8,
+        in_bits=8, out_bits=8, name="classifier"))
+    x = random_activations((8, 8, 8), 8, rng)
+    return BuiltNetwork(
+        network=net, input_shape=(8, 8, 8), input_bits=8, input=x,
+        tcdm_budget=TCDM_SIZE,
+        description="classifier weights (514 kB) exceed the 512 kB L2")
+
+
+def _build_paper() -> BuiltNetwork:
+    rng = np.random.default_rng(0xDA7E)
+    net = QnnNetwork(name="paper")
+    net.add(QuantizedConv(
+        weights=random_weights((64, 3, 3, 32), 4, rng), weight_bits=4,
+        in_bits=4, out_bits=4, pad=1, name="conv4x4"))
+    x = random_activations((16, 16, 32), 4, rng)
+    return BuiltNetwork(
+        network=net, input_shape=(16, 16, 32), input_bits=4, input=x,
+        tcdm_budget=TCDM_SIZE,
+        description="paper's 4-bit 16x16x32 -> 64ch 3x3 convolution")
+
+
+_CATALOG: Dict[str, Callable[[], BuiltNetwork]] = {
+    "mixed3": _build_mixed3,
+    "over-l2": _build_over_l2,
+    "paper": _build_paper,
+}
+
+
+def network_names() -> Tuple[str, ...]:
+    return tuple(_CATALOG)
+
+
+def build_network(name: str) -> BuiltNetwork:
+    try:
+        factory = _CATALOG[name]
+    except KeyError:
+        raise KernelError(
+            f"unknown network {name!r}; available: {', '.join(_CATALOG)}")
+    return factory()

@@ -1,0 +1,118 @@
+"""Static TCDM memory planner for tiled layer execution.
+
+The executor keeps one layer's working set resident in TCDM at a time:
+the kernel's code slot, a (single-buffered) weight/threshold slot, the
+per-core im2col scratch, and *double-buffered* input and output tile
+slots so DMA refills can overlap compute.  All kernel data pointers are
+register-passed, so the planner is a simple bump allocator — what it
+adds over ``plan_layout`` is an explicit :meth:`TcdmPlan.validate` pass
+(pairwise disjointness + budget containment) and named ping/pong slots
+the schedule can flip between.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..errors import KernelError
+from ..soc.memmap import TCDM_BASE, TCDM_SIZE
+from ..kernels.common import align_up
+
+
+@dataclass(frozen=True)
+class PlannedRegion:
+    """One named slot in the TCDM plan."""
+
+    name: str
+    base: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+
+@dataclass
+class TcdmPlan:
+    """A validated set of non-overlapping TCDM slots."""
+
+    base: int
+    budget: int
+    regions: Dict[str, PlannedRegion] = field(default_factory=dict)
+
+    def addr(self, name: str) -> int:
+        return self.regions[name].base
+
+    def size_of(self, name: str) -> int:
+        return self.regions[name].size
+
+    @property
+    def end(self) -> int:
+        return max((r.end for r in self.regions.values()), default=self.base)
+
+    @property
+    def used_bytes(self) -> int:
+        return self.end - self.base
+
+    @property
+    def free_bytes(self) -> int:
+        return self.base + self.budget - self.end
+
+    def validate(self) -> None:
+        """Raise :class:`KernelError` on any overlap or budget violation."""
+        limit = self.base + self.budget
+        ordered = sorted(self.regions.values(), key=lambda r: r.base)
+        for region in ordered:
+            if region.size < 0:
+                raise KernelError(f"TCDM slot {region.name!r} has negative size")
+            if region.base < self.base or region.end > limit:
+                raise KernelError(
+                    f"TCDM slot {region.name!r} [{region.base:#x}, "
+                    f"{region.end:#x}) outside budget [{self.base:#x}, "
+                    f"{limit:#x})")
+        for a, b in zip(ordered, ordered[1:]):
+            if a.end > b.base:
+                raise KernelError(
+                    f"TCDM slots {a.name!r} and {b.name!r} overlap: "
+                    f"[{a.base:#x}, {a.end:#x}) vs [{b.base:#x}, {b.end:#x})")
+
+    def render(self) -> str:
+        lines = [f"TCDM plan @ {self.base:#x} ({self.used_bytes} / "
+                 f"{self.budget} bytes)"]
+        for region in sorted(self.regions.values(), key=lambda r: r.base):
+            lines.append(f"  {region.base:#010x}  {region.size:>8}  "
+                         f"{region.name}")
+        return "\n".join(lines)
+
+
+class TcdmPlanner:
+    """Bump allocator producing a :class:`TcdmPlan`."""
+
+    def __init__(self, base: int = TCDM_BASE, budget: int = TCDM_SIZE) -> None:
+        self.base = base
+        self.budget = budget
+        self._cursor = base
+        self._regions: List[PlannedRegion] = []
+
+    def place(self, name: str, size: int, align: int = 4) -> int:
+        """Reserve *size* bytes for *name*; returns the slot base address."""
+        if any(r.name == name for r in self._regions):
+            raise KernelError(f"duplicate TCDM slot {name!r}")
+        base = align_up(self._cursor, align)
+        if base + size > self.base + self.budget:
+            raise KernelError(
+                f"TCDM budget exhausted placing {name!r}: need {size} bytes "
+                f"at {base:#x}, budget ends at {self.base + self.budget:#x}")
+        self._regions.append(PlannedRegion(name=name, base=base, size=size))
+        self._cursor = base + size
+        return base
+
+    def plan(self) -> TcdmPlan:
+        plan = TcdmPlan(
+            base=self.base,
+            budget=self.budget,
+            regions={r.name: r for r in self._regions},
+        )
+        plan.validate()
+        return plan

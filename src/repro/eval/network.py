@@ -1,0 +1,88 @@
+"""Network deployment report — compiled whole-network execution.
+
+Runs the ``mixed3`` reference network through the deployment compiler
+(:mod:`repro.compiler`) on the 8-core cluster and reports, per layer:
+tile count, DMA traffic, the share of DMA cycles hidden under compute,
+wall-clock cycles and energy.  This is the ``network`` section of
+``repro report`` — the whole-network counterpart of the single-kernel
+figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..compiler import (
+    CompiledNetwork,
+    CompiledNetworkResult,
+    NetworkCompiler,
+    PlanExecutor,
+    build_network,
+)
+from .reporting import format_table
+
+DEFAULT_NETWORK = "mixed3"
+DEFAULT_CORES = 8
+
+
+@dataclass
+class NetworkReport:
+    """Compiled-deployment measurements for one reference network."""
+
+    name: str
+    num_cores: int
+    tcdm_budget: int
+    compiled: CompiledNetwork
+    result: CompiledNetworkResult
+
+    def to_dict(self) -> dict:
+        doc = self.result.to_dict()
+        return {
+            "name": self.name,
+            "cores": self.num_cores,
+            "tcdm_budget": self.tcdm_budget,
+            "total_tiles": self.compiled.total_tiles,
+            "network": doc,
+        }
+
+
+def run(name: str = DEFAULT_NETWORK,
+        num_cores: int = DEFAULT_CORES) -> NetworkReport:
+    built = build_network(name)
+    compiled = NetworkCompiler(
+        built.network, built.input_shape, input_bits=built.input_bits,
+        num_cores=num_cores, tcdm_budget=built.tcdm_budget,
+    ).compile()
+    result = PlanExecutor(compiled).run(built.input)
+    if not result.verified:
+        raise AssertionError(f"network {name!r} diverged from golden")
+    return NetworkReport(
+        name=name, num_cores=num_cores, tcdm_budget=built.tcdm_budget,
+        compiled=compiled, result=result)
+
+
+def render(report: NetworkReport) -> str:
+    res = report.result
+    rows = []
+    for layer in res.layers:
+        rows.append([
+            layer.name, layer.kind, layer.bits, layer.cores, layer.tiles,
+            f"{layer.cycles:,}", f"{layer.dma_bytes:,}",
+            f"{layer.overlap_pct:.0%}", f"{layer.energy_uj:.3f}",
+        ])
+    table = format_table(
+        ["layer", "kind", "bits", "cores", "tiles", "cycles", "dma B",
+         "hidden", "energy uJ"],
+        rows,
+        title=f"Compiled deployment — {report.name!r}, "
+              f"{report.num_cores} cores, "
+              f"{report.tcdm_budget // 1024} kB TCDM budget",
+    )
+    summary = (
+        f"total: {res.cycles:,} cycles ({res.latency_ms:.2f} ms @ "
+        f"{res.freq_hz / 1e6:.0f} MHz), {res.total_energy_uj:.2f} uJ, "
+        f"{res.total_dma_bytes:,} DMA bytes, "
+        f"{res.overlap_pct:.0%} of DMA hidden under compute, "
+        f"verified={'yes' if res.verified else 'NO'}"
+    )
+    return f"{table}\n{summary}"

@@ -7,6 +7,13 @@ change move any figure?).  The committed baseline lives at
 ``benchmarks/results/trajectory.json``; regenerate it with::
 
     python -m repro report --json --trajectory benchmarks/results/trajectory.json
+
+Writing *merges* into an existing trajectory file: series from the new
+payload overwrite same-named entries, everything else is preserved.
+That lets partial runs (``repro report --json network --trajectory
+...``) append their sections — the CI deployment job does exactly this
+with the compiled-network cycle count — without clobbering the figure
+series from a full run.
 """
 
 from __future__ import annotations
@@ -16,10 +23,11 @@ from typing import Dict, Tuple
 
 SCHEMA = "repro-trajectory/1"
 
-#: Leaf keys captured into the trajectory (cycle counts and the derived
-#: throughput/share numbers the paper's figures plot).
+#: Leaf keys captured into the trajectory (cycle counts, the derived
+#: throughput/share numbers the paper's figures plot, and the compiled
+#: deployment's DMA-traffic/overlap metrics).
 _CAPTURE_SUFFIXES = ("cycles", "instructions", "macs_per_cycle",
-                     "quant_share", "speedup")
+                     "quant_share", "speedup", "overlap_pct", "dma_bytes")
 
 
 def _captured(key: str) -> bool:
@@ -52,9 +60,29 @@ def build_trajectory(payload: dict) -> dict:
     }
 
 
+def merge_trajectory(existing: dict, doc: dict) -> dict:
+    """Fold *doc* into *existing*: new series win, others survive."""
+    entries = dict(existing.get("entries", {}))
+    entries.update(doc["entries"])
+    return {
+        "schema": SCHEMA,
+        "experiments": sorted(
+            set(existing.get("experiments", [])) | set(doc["experiments"])),
+        "entries": dict(sorted(entries.items())),
+    }
+
+
 def write_trajectory(payload: dict, path: str) -> dict:
-    """Build and write a trajectory document; returns it."""
+    """Build and write a trajectory document, merging into an existing
+    same-schema file at *path*; returns the written document."""
     doc = build_trajectory(payload)
+    try:
+        with open(path) as handle:
+            existing = json.load(handle)
+    except (FileNotFoundError, json.JSONDecodeError):
+        existing = None
+    if isinstance(existing, dict) and existing.get("schema") == SCHEMA:
+        doc = merge_trajectory(existing, doc)
     with open(path, "w") as handle:
         json.dump(doc, handle, indent=2, sort_keys=True)
         handle.write("\n")

@@ -112,7 +112,8 @@ class DepthwiseConvKernel:
         # s8 = patch top-left of the current pixel, s9/s11 = pixel counters,
         # s10 = channel counter, t0/t1 = tap pointers, t2-t4 = scalars,
         # s2 = accumulator.
-        b.li("s11", cfg.out_h)
+        with b.region("prologue"):
+            b.li("s11", cfg.out_h)
         b.label("row_loop")
         b.li("s9", cfg.out_w)
         b.label("pix_loop")
@@ -120,22 +121,24 @@ class DepthwiseConvKernel:
         b.mv("t5", "s8")                 # channel base within the patch
         b.mv("t6", "a1")                 # weight base for channel 0
         b.label("ch_loop")
-        b.emit("addi", "s2", "zero", 0)
-        b.mv("t0", "t5")                 # activation tap pointer
-        b.mv("t1", "t6")                 # weight tap pointer
-        for ky in range(cfg.kh):
-            for kx in range(cfg.kw):
-                # Post-increment by the channel stride walks the row; at
-                # row end jump to the next activation row.
-                last_in_row = kx == cfg.kw - 1
-                act_step = (row_bytes - (cfg.kw - 1) * cfg.channels
-                            if last_in_row else cfg.channels)
-                b.emit("p.lbu", "t2", act_step, "t0", inc=True)
-                b.emit("p.lb", "t3", cfg.channels, "t1", inc=True)
-                b.emit("p.mac", "s2", "t2", "t3")
-        b.emit("sra", "t2", "s2", "a5")
-        b.emit("p.clipu", "t2", "t2", 9)
-        b.emit("p.sb", "t2", 1, "a3", inc=True)
+        with b.region("dotprod"):
+            b.emit("addi", "s2", "zero", 0)
+            b.mv("t0", "t5")                 # activation tap pointer
+            b.mv("t1", "t6")                 # weight tap pointer
+            for ky in range(cfg.kh):
+                for kx in range(cfg.kw):
+                    # Post-increment by the channel stride walks the row; at
+                    # row end jump to the next activation row.
+                    last_in_row = kx == cfg.kw - 1
+                    act_step = (row_bytes - (cfg.kw - 1) * cfg.channels
+                                if last_in_row else cfg.channels)
+                    b.emit("p.lbu", "t2", act_step, "t0", inc=True)
+                    b.emit("p.lb", "t3", cfg.channels, "t1", inc=True)
+                    b.emit("p.mac", "s2", "t2", "t3")
+        with b.region("quant"):
+            b.emit("sra", "t2", "s2", "a5")
+            b.emit("p.clipu", "t2", "t2", 9)
+            b.emit("p.sb", "t2", 1, "a3", inc=True)
         b.emit("addi", "t5", "t5", 1)    # next channel within the patch
         b.emit("addi", "t6", "t6", 1)
         b.emit("addi", "s10", "s10", -1)

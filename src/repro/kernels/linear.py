@@ -37,6 +37,11 @@ class LinearConfig:
             raise KernelError("out_features must be even (2x1 blocking)")
         if (self.in_features * self.bits) % 32:
             raise KernelError("in_features must fill whole packed words")
+        if k_bytes(self.in_features, self.bits) > 2047:
+            raise KernelError(
+                "packed weight row exceeds the 12-bit immediate stride "
+                f"({k_bytes(self.in_features, self.bits)} > 2047 bytes)"
+            )
         if self.bits != 8 and self.isa != "xpulpnn":
             raise KernelError(
                 "sub-byte SIMD linear layers require the XpulpNN ISA"
@@ -74,33 +79,36 @@ class LinearKernel:
         kw = k_words(cfg.in_features, cfg.bits)
         kb = k_bytes(cfg.in_features, cfg.bits)
         # a0 = weights, a1 = x base, a3 = out, a5 = shift.
-        b.mv("a6", "a0")
-        b.emit("addi", "a7", "a0", kb)
-        count = kw
-        if kw > 31:
-            b.li("gp", kw)
-            count = "gp"
-        pairs = cfg.out_features // 2
-        pair_count = pairs
-        if pairs > 31:
-            b.li("tp", pairs)
-            pair_count = "tp"
+        with b.region("prologue"):
+            b.mv("a6", "a0")
+            b.emit("addi", "a7", "a0", kb)
+            count = kw
+            if kw > 31:
+                b.li("gp", kw)
+                count = "gp"
+            pairs = cfg.out_features // 2
+            pair_count = pairs
+            if pairs > 31:
+                b.li("tp", pairs)
+                pair_count = "tp"
         with b.hardware_loop(1, pair_count):
-            b.emit("addi", "s2", "zero", 0)
-            b.emit("addi", "s4", "zero", 0)
-            b.mv("s6", "a1")
-            with b.hardware_loop(0, count):
-                b.emit("p.lw", "t0", 4, "a6", inc=True)
-                b.emit("p.lw", "t1", 4, "a7", inc=True)
-                b.emit("p.lw", "t2", 4, "s6", inc=True)
-                b.emit(f"pv.sdotusp.{suffix}", "s2", "t2", "t0")
-                b.emit(f"pv.sdotusp.{suffix}", "s4", "t2", "t1")
-            b.emit("addi", "a6", "a6", kb)
-            b.emit("addi", "a7", "a7", kb)
-            for acc in ("s2", "s4"):
-                b.emit("sra", "t0", acc, "a5")
-                b.emit("p.clipu", "t0", "t0", 9)
-                b.emit("p.sb", "t0", 1, "a3", inc=True)
+            with b.region("dotprod"):
+                b.emit("addi", "s2", "zero", 0)
+                b.emit("addi", "s4", "zero", 0)
+                b.mv("s6", "a1")
+                with b.hardware_loop(0, count):
+                    b.emit("p.lw", "t0", 4, "a6", inc=True)
+                    b.emit("p.lw", "t1", 4, "a7", inc=True)
+                    b.emit("p.lw", "t2", 4, "s6", inc=True)
+                    b.emit(f"pv.sdotusp.{suffix}", "s2", "t2", "t0")
+                    b.emit(f"pv.sdotusp.{suffix}", "s4", "t2", "t1")
+                b.emit("addi", "a6", "a6", kb)
+                b.emit("addi", "a7", "a7", kb)
+            with b.region("quant"):
+                for acc in ("s2", "s4"):
+                    b.emit("sra", "t0", acc, "a5")
+                    b.emit("p.clipu", "t0", "t0", 9)
+                    b.emit("p.sb", "t0", 1, "a3", inc=True)
         b.ebreak()
 
     def run(

@@ -108,27 +108,29 @@ class PoolKernel:
         row = cfg.in_w * pix
         # a0 = input base, a1 = output pointer; per output pixel the four
         # window pixels sit at a0, a0+pix, a0+row, a0+row+pix.
-        b.li("s11", cfg.out_h)
+        with b.region("prologue"):
+            b.li("s11", cfg.out_h)
         b.label("row_loop")
         b.li("s9", cfg.out_w)
         b.label("pix_loop")
-        b.mv("t0", "a0")
-        b.emit("addi", "t1", "a0", pix)
-        b.emit("addi", "t2", "a0", row)
-        b.emit("addi", "t3", "a0", row + pix)
-        count = cfg.words_per_pixel
-        if count > 31:
-            raise KernelError("channel word count exceeds the immediate loop count")
-        with b.hardware_loop(0, count):
-            b.emit("p.lw", "t4", 4, "t0", inc=True)
-            b.emit("p.lw", "t5", 4, "t1", inc=True)
-            b.emit("p.lw", "t6", 4, "t2", inc=True)
-            b.emit("p.lw", "s0", 4, "t3", inc=True)
-            b.emit(mnemonic, "t4", "t4", "t5")
-            b.emit(mnemonic, "t6", "t6", "s0")
-            b.emit(mnemonic, "t4", "t4", "t6")
-            b.emit("p.sw", "t4", 4, "a1", inc=True)
-        b.emit("addi", "a0", "a0", 2 * pix)
+        with b.region("pool"):
+            b.mv("t0", "a0")
+            b.emit("addi", "t1", "a0", pix)
+            b.emit("addi", "t2", "a0", row)
+            b.emit("addi", "t3", "a0", row + pix)
+            count = cfg.words_per_pixel
+            if count > 31:
+                raise KernelError("channel word count exceeds the immediate loop count")
+            with b.hardware_loop(0, count):
+                b.emit("p.lw", "t4", 4, "t0", inc=True)
+                b.emit("p.lw", "t5", 4, "t1", inc=True)
+                b.emit("p.lw", "t6", 4, "t2", inc=True)
+                b.emit("p.lw", "s0", 4, "t3", inc=True)
+                b.emit(mnemonic, "t4", "t4", "t5")
+                b.emit(mnemonic, "t6", "t6", "s0")
+                b.emit(mnemonic, "t4", "t4", "t6")
+                b.emit("p.sw", "t4", 4, "a1", inc=True)
+            b.emit("addi", "a0", "a0", 2 * pix)
         b.emit("addi", "s9", "s9", -1)
         b.bnez("s9", "pix_loop")
         b.emit("addi", "a0", "a0", row)  # skip the odd input row

@@ -6,9 +6,12 @@ network description and an input, and it
 * calibrates each quantized layer on the golden model (thresholds/shifts),
 * generates the matching kernel for every layer,
 * checks the PULPissimo memory budget (512 kB L2) for every layer's
-  working set,
-* executes layer by layer on one simulated core, bridging bit-width
-  changes between layers (dropping LSBs when a layer narrows precision),
+  working set — layers that exceed it are no longer an error: on the
+  XpulpNN cluster they are routed through the deployment compiler
+  (:mod:`repro.compiler`), which tiles them through TCDM-sized,
+  double-buffered slices,
+* executes layer by layer, bridging bit-width changes between layers
+  (dropping LSBs when a layer narrows precision),
 * verifies each layer's output bit-exactly against the golden model,
 * and accounts cycles and energy per layer via the Table III power model.
 
@@ -50,6 +53,8 @@ class LayerExecution:
     perf: PerfCounters
     #: Cores the layer actually ran on (1 = single-core / no shard fit).
     cores: int = 1
+    #: Tiles the layer was split into (1 = single-shot execution).
+    tiles: int = 1
 
 
 @dataclass
@@ -98,7 +103,8 @@ class NetworkDeployer:
 
     def __init__(self, network: QnnNetwork, input_shape: Tuple[int, int, int],
                  input_bits: int = 8, isa: str = "xpulpnn",
-                 target: str = "single", num_cores: int = 8) -> None:
+                 target: str = "single", num_cores: int = 8,
+                 l2_budget: int = L2_BUDGET_BYTES) -> None:
         if target not in ("single", "cluster"):
             raise KernelError(f"unknown deploy target {target!r}")
         if target == "cluster" and isa != "xpulpnn":
@@ -109,6 +115,7 @@ class NetworkDeployer:
         self.isa = isa
         self.target = target
         self.num_cores = num_cores
+        self.l2_budget = l2_budget
 
     # ------------------------------------------------------------------
 
@@ -119,11 +126,39 @@ class NetworkDeployer:
         return (x >> (from_bits - to_bits)).astype(np.int32)
 
     def _check_budget(self, name: str, nbytes: int) -> None:
-        if nbytes > L2_BUDGET_BYTES:
+        if nbytes > self.l2_budget:
             raise KernelError(
                 f"layer {name!r} needs {nbytes} B of L2, exceeding the "
-                f"{L2_BUDGET_BYTES} B PULPissimo budget; tile the layer"
+                f"{self.l2_budget} B PULPissimo budget; tile the layer"
             )
+
+    def _run_tiled(self, name: str, layer, x: np.ndarray, in_bits: int,
+                   freq_hz: float):
+        """Deploy one over-budget layer through the tiling compiler.
+
+        The layer is compiled as a single-layer network against the TCDM
+        budget and executed with the double-buffered schedule; weights
+        stream through L2 slice-by-slice, so the single-shot L2 ceiling
+        no longer applies.
+        """
+        from ..compiler import NetworkCompiler, PlanExecutor
+
+        sub = QnnNetwork(layers=[layer], name=name)
+        cores = self.num_cores if self.target == "cluster" else 1
+        compiled = NetworkCompiler(
+            sub, tuple(x.shape), input_bits=in_bits, num_cores=cores,
+        ).compile()
+        result = PlanExecutor(compiled).run(x, freq_hz=freq_hz)
+        lr = result.layers[0]
+        if not lr.verified:
+            raise KernelError(f"layer {name!r} diverged from golden")
+        execution = LayerExecution(
+            name=name, kind=lr.kind, bits=lr.out_bits, cycles=lr.cycles,
+            macs=lr.macs, energy_uj=lr.energy_uj,
+            output_shape=lr.output_shape, verified=lr.verified,
+            perf=lr.perf, cores=lr.cores, tiles=lr.tiles,
+        )
+        return execution, result.output
 
     def _make_conv_kernel(self, geometry: ConvGeometry, bits: int,
                           quant: str):
@@ -155,8 +190,7 @@ class NetworkDeployer:
         return ConvKernel(ConvConfig(
             geometry=geometry, bits=bits, isa=self.isa, quant=quant)), 1
 
-    def _check_conv_budget(self, name: str, geometry: ConvGeometry,
-                           bits: int) -> None:
+    def _conv_working_set(self, geometry: ConvGeometry, bits: int) -> int:
         """Estimate the conv working set before generating any code."""
         pad_h = geometry.in_h + 2 * geometry.pad
         pad_w = geometry.in_w + 2 * geometry.pad
@@ -164,7 +198,7 @@ class NetworkDeployer:
         weights = geometry.out_ch * geometry.reduction * bits // 8
         out = geometry.out_pixels * geometry.out_ch * bits // 8
         im2col = 2 * geometry.reduction * max(bits, 8) // 8
-        self._check_budget(name, acts + weights + out + im2col + 4096)
+        return acts + weights + out + im2col + 4096
 
     # ------------------------------------------------------------------
 
@@ -204,9 +238,17 @@ class NetworkDeployer:
                 bits = k_bits
                 h, w, _ = x.shape
                 geometry = layer.geometry(h, w)
+                need = self._conv_working_set(geometry, k_bits)
+                if need > self.l2_budget:
+                    if self.isa != "xpulpnn":
+                        self._check_budget(name, need)
+                    execution, x = self._run_tiled(
+                        name, layer, x, k_bits, freq_hz)
+                    bits = layer.out_bits
+                    executions.append(execution)
+                    continue
                 acc = conv2d_golden(x, layer.weights, stride=layer.stride,
                                     pad=layer.pad)
-                self._check_conv_budget(name, geometry, k_bits)
                 if layer.out_bits == 8:
                     if k_bits != 8:
                         raise KernelError(
@@ -262,7 +304,14 @@ class NetworkDeployer:
                 lin_bits = k_bits if self.isa == "xpulpnn" else 8
                 kernel = LinearKernel(LinearConfig(
                     flat.size, layer.weights.shape[0], lin_bits, isa=self.isa))
-                self._check_budget(name, kernel.layout.end)
+                if kernel.layout.end > self.l2_budget:
+                    if self.isa != "xpulpnn":
+                        self._check_budget(name, kernel.layout.end)
+                    execution, x = self._run_tiled(
+                        name, layer, x, k_bits, freq_hz)
+                    bits = 8
+                    executions.append(execution)
+                    continue
                 run = kernel.run(layer.weights, flat, shift=layer.shift)
                 expected = requantize_shift(acc, layer.shift, 8, signed=False)
                 bits = 8

@@ -7,6 +7,7 @@ from repro.cluster import (
     BYTES_PER_CYCLE,
     Cluster,
     DmaDescriptor,
+    OVERLAP_CONTENTION_SHIFT,
     SETUP_CYCLES,
 )
 from repro.errors import SimError
@@ -112,3 +113,38 @@ class TestRegisterFrontEnd:
         assert cluster.cores[0].regs[10] == expected_word
         # The poll loop must have spun for the modeled transfer time.
         assert cluster.dma.total_cycles == SETUP_CYCLES + 8
+
+
+class TestOverlapAccounting:
+    """Compute/DMA concurrency: overlapped windows cost, disjoint don't."""
+
+    def _stage(self, cluster, nbytes=1024):
+        cluster.mem.write_bytes(L2_BASE, bytes(nbytes))
+        return cluster.dma.transfer(L2_BASE, TCDM_BASE, nbytes)
+
+    def test_concurrent_window_sees_contention(self, cluster):
+        done = self._stage(cluster)
+        overlap = cluster.dma.overlap_cycles(50, done + 100)
+        assert overlap == done - 50
+        assert cluster.dma.contention_cycles(50, done + 100) == \
+            overlap >> OVERLAP_CONTENTION_SHIFT
+
+    def test_serialized_window_is_free(self, cluster):
+        done = self._stage(cluster)
+        assert cluster.dma.overlap_cycles(done, done + 500) == 0
+        assert cluster.dma.contention_cycles(done, done + 500) == 0
+
+    def test_transfers_serialize_on_the_engine(self, cluster):
+        first = self._stage(cluster)
+        second = cluster.dma.transfer(L2_BASE, TCDM_BASE + 1024, 1024,
+                                      when=first - 10)
+        windows = cluster.dma.transfers
+        assert windows[1].start == first
+        assert second > first
+        # Engine serialization keeps the overlap within the window.
+        assert cluster.dma.overlap_cycles(0, second) == second
+
+    def test_degenerate_window_is_free(self, cluster):
+        self._stage(cluster)
+        assert cluster.dma.overlap_cycles(100, 100) == 0
+        assert cluster.dma.overlap_cycles(200, 100) == 0

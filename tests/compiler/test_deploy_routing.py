@@ -1,0 +1,79 @@
+"""NetworkDeployer routing: over-budget layers go through the compiler."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import build_network
+from repro.errors import KernelError
+from repro.qnn import (
+    NetworkDeployer,
+    QnnNetwork,
+    QuantizedConv,
+    random_activations,
+    random_weights,
+)
+from repro.qnn.deploy import L2_BUDGET_BYTES
+
+
+@pytest.fixture(scope="module")
+def small8():
+    rng = np.random.default_rng(77)
+    net = QnnNetwork(name="routing-test")
+    net.add(QuantizedConv(
+        weights=random_weights((8, 3, 3, 8), 8, rng), weight_bits=8,
+        in_bits=8, out_bits=8, pad=1, name="conv8"))
+    x = random_activations((8, 8, 8), 8, rng)
+    return net, x
+
+
+class TestOverL2Routing:
+    @pytest.fixture(scope="class")
+    def routed(self):
+        built = build_network("over-l2")
+        deployer = NetworkDeployer(
+            built.network, built.input_shape, input_bits=built.input_bits,
+            target="cluster", num_cores=8)
+        return deployer.run(built.input)
+
+    def test_network_verified_end_to_end(self, routed):
+        assert routed.verified
+
+    def test_only_the_oversized_layer_is_tiled(self, routed):
+        tiles = [layer.tiles for layer in routed.layers]
+        assert tiles[:-1] == [1] * (len(tiles) - 1)
+        assert tiles[-1] > 1
+
+    def test_classifier_weights_motivated_the_routing(self, routed):
+        built = build_network("over-l2")
+        assert built.network.layers[-1].weights.size > L2_BUDGET_BYTES
+
+    def test_ri5cy_still_rejects_oversized_layers(self):
+        built = build_network("over-l2")
+        deployer = NetworkDeployer(
+            built.network, built.input_shape, input_bits=built.input_bits,
+            isa="ri5cy")
+        with pytest.raises(KernelError, match="L2"):
+            deployer.run(built.input)
+
+
+class TestBudgetRouting:
+    def test_tight_budget_routes_and_matches_single_shot(self, small8):
+        net, x = small8
+        reference = NetworkDeployer(net, input_shape=x.shape,
+                                    input_bits=8).run(x)
+        assert reference.verified
+        assert all(layer.tiles == 1 for layer in reference.layers)
+
+        routed = NetworkDeployer(net, input_shape=x.shape, input_bits=8,
+                                 l2_budget=5000).run(x)
+        assert routed.verified
+        assert np.array_equal(routed.output, reference.output)
+
+    def test_same_budget_raises_without_the_compiler(self, small8):
+        # Proof the tight budget actually trips the check: the baseline
+        # core has no tiled fallback and must reject the layer.
+        net, x = small8
+        deployer = NetworkDeployer(net, input_shape=x.shape, input_bits=8,
+                                   isa="ri5cy", l2_budget=5000)
+        with pytest.raises(KernelError, match="L2"):
+            deployer.run(x)

@@ -1,0 +1,70 @@
+"""Static TCDM memory planner: placement, validation, rendering."""
+
+import pytest
+
+from repro.compiler import PlannedRegion, TcdmPlan, TcdmPlanner
+from repro.errors import KernelError
+from repro.soc.memmap import TCDM_BASE
+
+
+class TestPlacement:
+    def test_bump_allocation_in_order(self):
+        planner = TcdmPlanner(budget=1024)
+        a = planner.place("a", 100)
+        b = planner.place("b", 200)
+        assert a == TCDM_BASE
+        assert b == TCDM_BASE + 100
+        plan = planner.plan()
+        assert plan.addr("a") == a and plan.size_of("b") == 200
+        assert plan.used_bytes == 300
+        assert plan.free_bytes == 1024 - 300
+
+    def test_alignment_respected(self):
+        planner = TcdmPlanner(budget=1024)
+        planner.place("odd", 3)
+        aligned = planner.place("vec", 64, align=32)
+        assert aligned % 32 == 0
+        assert aligned >= TCDM_BASE + 3
+
+    def test_duplicate_slot_rejected(self):
+        planner = TcdmPlanner(budget=1024)
+        planner.place("x", 16)
+        with pytest.raises(KernelError, match="duplicate"):
+            planner.place("x", 16)
+
+    def test_budget_exhaustion_rejected(self):
+        planner = TcdmPlanner(budget=128)
+        planner.place("big", 100)
+        with pytest.raises(KernelError, match="budget"):
+            planner.place("more", 100)
+
+
+class TestValidation:
+    def test_overlapping_regions_rejected(self):
+        plan = TcdmPlan(base=TCDM_BASE, budget=1024, regions={
+            "a": PlannedRegion("a", TCDM_BASE, 100),
+            "b": PlannedRegion("b", TCDM_BASE + 50, 100),
+        })
+        with pytest.raises(KernelError, match="overlap"):
+            plan.validate()
+
+    def test_out_of_budget_region_rejected(self):
+        plan = TcdmPlan(base=TCDM_BASE, budget=128, regions={
+            "a": PlannedRegion("a", TCDM_BASE + 64, 100),
+        })
+        with pytest.raises(KernelError, match="outside budget"):
+            plan.validate()
+
+    def test_disjoint_plan_passes(self):
+        plan = TcdmPlan(base=TCDM_BASE, budget=1024, regions={
+            "a": PlannedRegion("a", TCDM_BASE, 100),
+            "b": PlannedRegion("b", TCDM_BASE + 100, 100),
+        })
+        plan.validate()
+
+    def test_render_lists_slots(self):
+        planner = TcdmPlanner(budget=1024)
+        planner.place("weights", 256)
+        planner.place("in0", 64)
+        text = planner.plan().render()
+        assert "weights" in text and "in0" in text

@@ -1,0 +1,104 @@
+"""Tile-size search: budget fitting, coverage, and monotonicity."""
+
+import pytest
+
+from repro.compiler import (
+    search_conv_tiling,
+    search_linear_tiling,
+    search_pool_tiling,
+)
+from repro.compiler.tiling import CODE_ALLOWANCE, conv_tile_geometry
+from repro.errors import KernelError
+from repro.qnn.layers import ConvGeometry
+
+PAPER = ConvGeometry(in_h=16, in_w=16, in_ch=32, out_ch=64,
+                     kh=3, kw=3, stride=1, pad=1)
+
+
+class TestConvSearch:
+    def test_large_budget_is_single_tile(self):
+        tiling = search_conv_tiling(PAPER, 4, "hw", 8, 128 * 1024)
+        assert tiling.tile_count == 1
+        assert tiling.th == 16 and tiling.cg == 64
+        assert tiling.cores == 8
+
+    def test_small_budget_forces_tiling(self):
+        tiling = search_conv_tiling(PAPER, 4, "hw", 8, 24 * 1024)
+        assert tiling.tile_count > 1
+        assert tiling.plan_bytes <= 24 * 1024
+
+    def test_tiles_cover_the_output_exactly(self):
+        tiling = search_conv_tiling(PAPER, 4, "hw", 8, 24 * 1024)
+        assert sum(s for _, s in tiling.row_tiles) == PAPER.out_h
+        assert sum(s for _, s in tiling.col_tiles) == PAPER.out_w
+        assert sum(s for _, s in tiling.groups) == PAPER.out_ch
+
+    def test_smaller_budget_never_scores_higher(self):
+        big = search_conv_tiling(PAPER, 4, "hw", 8, 128 * 1024)
+        small = search_conv_tiling(PAPER, 4, "hw", 8, 24 * 1024)
+        assert small.score <= big.score
+        assert small.dma_bytes >= big.dma_bytes
+
+    def test_impossible_budget_raises(self):
+        with pytest.raises(KernelError, match="no tile shape"):
+            search_conv_tiling(PAPER, 4, "hw", 8, CODE_ALLOWANCE + 64)
+
+    def test_tile_geometry_adds_halo(self):
+        tg = conv_tile_geometry(PAPER, 4, 16, 64)
+        # 4 output rows at stride 1 need kh - 1 = 2 halo rows.
+        assert tg.in_h == 6
+        assert tg.pad == 0
+
+    def test_8bit_shift_search(self):
+        g = ConvGeometry(in_h=16, in_w=16, in_ch=8, out_ch=16,
+                         kh=3, kw=3, stride=1, pad=1)
+        tiling = search_conv_tiling(g, 8, "shift", 8, 16 * 1024)
+        assert tiling.tile_count >= 1
+        assert tiling.plan_bytes <= 16 * 1024
+
+    def test_score_is_macs_per_dma_byte(self):
+        tiling = search_conv_tiling(PAPER, 4, "hw", 8, 128 * 1024)
+        assert tiling.score == pytest.approx(
+            PAPER.macs / tiling.dma_bytes)
+
+
+class TestLinearSearch:
+    def test_tiles_cover_all_neurons(self):
+        tiling = search_linear_tiling(128, 4112, 8, 128 * 1024)
+        assert sum(c for _, c in tiling.tiles) == 4112
+        assert all(c % 2 == 0 for _, c in tiling.tiles)
+        assert len(tiling.tiles) > 1
+
+    def test_single_tile_when_it_fits(self):
+        tiling = search_linear_tiling(256, 16, 8, 128 * 1024)
+        assert tiling.tn == 16
+        assert len(tiling.tiles) == 1
+
+    def test_weight_tile_bytes(self):
+        tiling = search_linear_tiling(128, 64, 8, 128 * 1024)
+        assert tiling.weight_tile_bytes(10) == 10 * 128
+
+    def test_impossible_budget_raises(self):
+        with pytest.raises(KernelError, match="no neuron tile"):
+            search_linear_tiling(1024, 64, 8, CODE_ALLOWANCE + 1024)
+
+
+class TestPoolSearch:
+    def test_tiles_cover_output_rows(self):
+        tiling = search_pool_tiling(16, 16, 16, 4, 128 * 1024)
+        assert sum(r for _, r in tiling.tiles) == 8
+
+    def test_tight_budget_splits_rows(self):
+        row_cost = 2 * tiling_row(64, 32, 8) + tiling_row(32, 32, 8)
+        budget = CODE_ALLOWANCE + 2 * row_cost + 512
+        tiling = search_pool_tiling(64, 64, 32, 8, budget)
+        assert tiling.th < 32
+        assert tiling.plan_bytes <= budget
+
+    def test_unalignable_channels_rejected(self):
+        with pytest.raises(KernelError, match="whole 32-bit words"):
+            search_pool_tiling(8, 8, 3, 4, 128 * 1024)
+
+
+def tiling_row(width: int, channels: int, bits: int) -> int:
+    return width * channels * bits // 8

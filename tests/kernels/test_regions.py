@@ -1,0 +1,32 @@
+"""Every generated kernel carries `.region` markers for the tracer."""
+
+from repro.kernels.depthwise import DepthwiseConfig, DepthwiseConvKernel
+from repro.kernels.linear import LinearConfig, LinearKernel
+from repro.kernels.pooling import PoolConfig, PoolKernel
+
+
+def region_names(program):
+    return set(program.regions)
+
+
+class TestRegionMarkers:
+    def test_linear_kernel_regions(self):
+        kernel = LinearKernel(LinearConfig(in_features=64, out_features=8,
+                                           bits=8))
+        assert {"prologue", "dotprod", "quant"} <= region_names(
+            kernel.program)
+
+    def test_pool_kernel_regions(self):
+        kernel = PoolKernel(PoolConfig(4, 4, 16, 8))
+        assert {"prologue", "pool"} <= region_names(kernel.program)
+
+    def test_depthwise_kernel_regions(self):
+        kernel = DepthwiseConvKernel(DepthwiseConfig(in_h=4, in_w=4,
+                                                     channels=4))
+        assert {"prologue", "dotprod", "quant"} <= region_names(
+            kernel.program)
+
+    def test_region_map_resolves_addresses(self):
+        kernel = PoolKernel(PoolConfig(4, 4, 16, 8))
+        names = set(kernel.program.region_map().values())
+        assert {"prologue", "pool"} <= names

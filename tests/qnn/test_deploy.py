@@ -85,12 +85,15 @@ class TestDeployerChecks:
 
     def test_memory_budget_enforced(self):
         rng = np.random.default_rng(1)
-        # A layer whose activations alone exceed 512 kB of L2.
+        # A layer whose activations alone exceed 512 kB of L2.  The
+        # baseline core has no tiled fallback, so it must reject it;
+        # the XpulpNN deployer instead routes it through the tiling
+        # compiler (tests/compiler/test_deploy_routing.py).
         net = QnnNetwork([QuantizedConv(
             weights=random_weights((8, 3, 3, 32), 8, rng), weight_bits=8,
             in_bits=8, out_bits=8, pad=1, name="huge")])
         deployer = NetworkDeployer(net, input_shape=(128, 128, 32),
-                                   input_bits=8)
+                                   input_bits=8, isa="ri5cy")
         with pytest.raises(KernelError, match="L2"):
             deployer.run(np.zeros((128, 128, 32), dtype=np.int32))
 

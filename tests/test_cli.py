@@ -305,3 +305,24 @@ class TestTrajectory:
         assert doc["experiments"] == ["table3"]
         # Stdout stays pure JSON (the note goes to stderr).
         json.loads(capsys.readouterr().out)
+
+
+class TestCompile:
+    def test_plan_only_json(self, capsys):
+        import json
+
+        assert main(["compile", "--network", "mixed3",
+                     "--plan-only", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["network"] == "mixed3"
+        assert doc["total_tiles"] > len(doc["layers"])
+
+    def test_plan_only_lint(self, capsys):
+        assert main(["compile", "--network", "mixed3",
+                     "--plan-only", "--lint"]) == 0
+        text = capsys.readouterr().out
+        assert "conv" in text and "linear" in text
+
+    def test_unknown_network_rejected(self, capsys):
+        assert main(["compile", "--network", "nope"]) == 1
+        assert "nope" in capsys.readouterr().err
