@@ -47,9 +47,9 @@ result = deployer.run(x)
 print(result.render())
 print(f"\nprediction: class {int(np.argmax(result.output))}")
 
-# The same network on the baseline core shows the paper's gap end to end.
+# The same network on the baseline target shows the paper's gap end to end.
 baseline = NetworkDeployer(network, input_shape=(16, 16, 16), input_bits=4,
-                           isa="ri5cy").run(x)
+                           target="ri5cy").run(x)
 assert np.array_equal(baseline.output, result.output)
 print(f"\nbaseline RI5CY: {baseline.total_cycles:,} cycles "
       f"({baseline.latency_ms:.2f} ms) -> network-level speedup "

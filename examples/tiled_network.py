@@ -43,7 +43,7 @@ assert result.verified
 built = build_network("over-l2")
 deployed = NetworkDeployer(
     built.network, built.input_shape, input_bits=built.input_bits,
-    target="cluster", num_cores=8,
+    target="xpulpnn-cluster8",
 ).run(built.input)
 assert deployed.verified
 

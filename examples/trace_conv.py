@@ -13,7 +13,6 @@ Then open conv4_trace.json at https://ui.perfetto.dev
 
 import numpy as np
 
-from repro.core import Cpu
 from repro.kernels import ConvConfig, ConvKernel
 from repro.qnn import (
     ConvGeometry,
@@ -22,7 +21,7 @@ from repro.qnn import (
     random_weights,
     thresholds_from_accumulators,
 )
-from repro.soc.memory import Memory
+from repro.target import build_machine
 from repro.trace import EventTracer, MetricsTracer, write_chrome_trace
 
 BITS = 4
@@ -44,8 +43,8 @@ kernel = ConvKernel(ConvConfig(geometry=GEOMETRY, bits=BITS,
 
 
 def fresh_cpu():
-    needed = max(kernel.layout.end + 4096, 512 * 1024)
-    return Cpu(isa="xpulpnn", mem=Memory(needed))
+    # The machine factory sizes memory to max(request, the target's L2).
+    return build_machine("xpulpnn", mem_bytes=kernel.layout.end + 4096).cpu
 
 
 # --- pass 1: per-region metrics -----------------------------------------

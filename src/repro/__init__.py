@@ -17,7 +17,7 @@ Neural Networks on RISC-V Processors Through ISA Extensions"*
 Quick start::
 
     from repro import Cpu, assemble
-    cpu = Cpu(isa="xpulpnn")
+    cpu = Cpu()                 # defaults to the XpulpNN target
     program = assemble("li a0, 2\\nli a1, 3\\nadd a0, a0, a1\\nebreak")
     cpu.run_program(program)
     assert cpu.regs[10] == 5

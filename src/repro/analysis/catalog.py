@@ -13,6 +13,7 @@ from typing import Iterator, Tuple
 
 from ..asm.program import Program
 from ..qnn.layers import ConvGeometry
+from ..target.names import RI5CY, XPULPNN
 
 #: Geometry satisfying every kernel's packing constraints at 8/4/2-bit.
 LINT_GEOMETRY = ConvGeometry(in_h=6, in_w=6, in_ch=16, out_ch=8,
@@ -42,14 +43,14 @@ def builtin_kernel_programs() -> Iterator[Tuple[str, Program]]:
 
     # -- MatMul microkernels (the paper's Fig. 6 sweep) -------------------
     matmul_cases = [
-        ("matmul-8b-xpulpnn-shift", dict(bits=8, isa="xpulpnn", quant="shift")),
-        ("matmul-8b-ri5cy-shift", dict(bits=8, isa="ri5cy", quant="shift")),
-        ("matmul-4b-xpulpnn-hw", dict(bits=4, isa="xpulpnn", quant="hw")),
-        ("matmul-4b-xpulpnn-sw", dict(bits=4, isa="xpulpnn", quant="sw")),
-        ("matmul-4b-ri5cy-sw", dict(bits=4, isa="ri5cy", quant="sw")),
-        ("matmul-2b-xpulpnn-hw", dict(bits=2, isa="xpulpnn", quant="hw")),
-        ("matmul-2b-ri5cy-sw", dict(bits=2, isa="ri5cy", quant="sw")),
-        ("matmul-4b-xpulpnn-4x2", dict(bits=4, isa="xpulpnn", quant="none",
+        ("matmul-8b-xpulpnn-shift", dict(bits=8, isa=XPULPNN, quant="shift")),
+        ("matmul-8b-ri5cy-shift", dict(bits=8, isa=RI5CY, quant="shift")),
+        ("matmul-4b-xpulpnn-hw", dict(bits=4, isa=XPULPNN, quant="hw")),
+        ("matmul-4b-xpulpnn-sw", dict(bits=4, isa=XPULPNN, quant="sw")),
+        ("matmul-4b-ri5cy-sw", dict(bits=4, isa=RI5CY, quant="sw")),
+        ("matmul-2b-xpulpnn-hw", dict(bits=2, isa=XPULPNN, quant="hw")),
+        ("matmul-2b-ri5cy-sw", dict(bits=2, isa=RI5CY, quant="sw")),
+        ("matmul-4b-xpulpnn-4x2", dict(bits=4, isa=XPULPNN, quant="none",
                                        blocking="4x2")),
     ]
     for name, kwargs in matmul_cases:
@@ -58,11 +59,11 @@ def builtin_kernel_programs() -> Iterator[Tuple[str, Program]]:
 
     # -- Convolution layers ----------------------------------------------
     conv_cases = [
-        ("conv-8b-xpulpnn-shift", dict(bits=8, isa="xpulpnn", quant="shift")),
-        ("conv-8b-ri5cy-shift", dict(bits=8, isa="ri5cy", quant="shift")),
-        ("conv-4b-xpulpnn-hw", dict(bits=4, isa="xpulpnn", quant="hw")),
-        ("conv-4b-ri5cy-sw", dict(bits=4, isa="ri5cy", quant="sw")),
-        ("conv-2b-xpulpnn-hw", dict(bits=2, isa="xpulpnn", quant="hw")),
+        ("conv-8b-xpulpnn-shift", dict(bits=8, isa=XPULPNN, quant="shift")),
+        ("conv-8b-ri5cy-shift", dict(bits=8, isa=RI5CY, quant="shift")),
+        ("conv-4b-xpulpnn-hw", dict(bits=4, isa=XPULPNN, quant="hw")),
+        ("conv-4b-ri5cy-sw", dict(bits=4, isa=RI5CY, quant="sw")),
+        ("conv-2b-xpulpnn-hw", dict(bits=2, isa=XPULPNN, quant="hw")),
     ]
     for name, kwargs in conv_cases:
         yield name, ConvKernel(ConvConfig(geometry=g, **kwargs)).program

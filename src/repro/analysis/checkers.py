@@ -70,7 +70,7 @@ class Region:
 #: Default address space: the standalone core's flat memory plus the
 #: PULPissimo / cluster regions of :mod:`repro.soc.memmap`.
 DEFAULT_REGIONS: Tuple[Region, ...] = (
-    Region("flat", 0, 512 * 1024),
+    Region("flat", 0, memmap.L2_SIZE),
     Region("rom", memmap.ROM_BASE, memmap.ROM_SIZE),
     Region("l2", memmap.L2_BASE, memmap.L2_SIZE),
     Region("tcdm", memmap.TCDM_BASE, memmap.TCDM_SIZE),

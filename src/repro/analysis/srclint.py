@@ -1,0 +1,108 @@
+"""Source-tree lint: no bare core-name strings outside ``repro.target``.
+
+The refactor that introduced the target registry made
+:mod:`repro.target.names` the single home of the ``ri5cy``/``xpulpnn``
+identifier strings.  This checker keeps it that way: it walks the
+package sources, parses each module, and reports every string literal
+spelling a core name outside the target package.  ``repro lint
+--isa-strings`` (the CI gate) exits non-zero on findings.
+
+Docstrings are exempt — prose may name the cores — but every other
+literal, including dict keys and comparisons, must go through the
+constants so a renamed or newly registered target cannot drift out of
+sync with the kernels and evaluation harnesses.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from ..target.names import RI5CY, XPULPNN
+
+#: Literals that must only be spelled inside ``src/repro/target/``.
+BANNED = (RI5CY, XPULPNN)
+
+#: Package subtree exempt from the check (the single home of the names).
+EXEMPT_DIR = "target"
+
+
+@dataclass(frozen=True)
+class SourceFinding:
+    """One banned string literal in the tree."""
+
+    path: str
+    line: int
+    literal: str
+
+    def render(self) -> str:
+        return (f"{self.path}:{self.line}: bare {self.literal!r} string; "
+                f"import repro.target.names instead")
+
+
+def _docstring_nodes(tree: ast.AST):
+    """The Constant nodes that are module/class/function docstrings."""
+    nodes = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Module, ast.ClassDef, ast.FunctionDef,
+                             ast.AsyncFunctionDef)):
+            body = node.body
+            if body and isinstance(body[0], ast.Expr) and isinstance(
+                    body[0].value, ast.Constant) and isinstance(
+                    body[0].value.value, str):
+                nodes.add(id(body[0].value))
+    return nodes
+
+
+def scan_file(path: Path, root: Optional[Path] = None) -> List[SourceFinding]:
+    """Findings for one python source file."""
+    source = path.read_text()
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [SourceFinding(path=str(path), line=exc.lineno or 0,
+                              literal=f"<syntax error: {exc.msg}>")]
+    docstrings = _docstring_nodes(tree)
+    rel = str(path.relative_to(root)) if root else str(path)
+    findings = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Constant):
+            continue
+        if not isinstance(node.value, str) or id(node) in docstrings:
+            continue
+        if node.value in BANNED:
+            findings.append(SourceFinding(
+                path=rel, line=node.lineno, literal=node.value))
+    return findings
+
+
+def package_root() -> Path:
+    """The installed ``repro`` package directory."""
+    return Path(__file__).resolve().parents[1]
+
+
+def scan_tree(root=None,
+              exempt: Sequence[str] = (EXEMPT_DIR,)) -> List[SourceFinding]:
+    """Scan a package tree (default: the live ``repro`` package).
+
+    Directories named in *exempt* (relative to *root*) are skipped.
+    """
+    root = Path(root) if root is not None else package_root()
+    skip = {root / name for name in exempt}
+    findings: List[SourceFinding] = []
+    for path in sorted(root.rglob("*.py")):
+        if any(skipdir in path.parents for skipdir in skip):
+            continue
+        findings.extend(scan_file(path, root=root))
+    return findings
+
+
+def render_report(findings: Sequence[SourceFinding]) -> str:
+    if not findings:
+        return ("isa-strings: OK (no bare core-name literals outside "
+                "repro.target)")
+    lines = [finding.render() for finding in findings]
+    lines.append(f"isa-strings: {len(findings)} finding(s)")
+    return "\n".join(lines)

@@ -25,6 +25,7 @@ from ..isa.instruction import Instruction
 from ..isa.registers import parse_register
 from ..isa.registry import Isa, build_isa
 from ..isa.xpulpv2 import pack_pos_len
+from ..target.names import XPULPNN
 from .program import Program, link
 
 _MEM_OPERAND = re.compile(r"^(-?[\w.]+)\(([\w.]+)(!?)\)$")
@@ -45,7 +46,7 @@ def _is_int(text: str) -> bool:
 class Assembler:
     """Two-pass assembler over one ISA configuration."""
 
-    def __init__(self, isa: str | Isa = "xpulpnn", base: int = 0) -> None:
+    def __init__(self, isa: str | Isa = XPULPNN, base: int = 0) -> None:
         self.isa = build_isa(isa) if isinstance(isa, str) else isa
         self.base = base
 
@@ -277,7 +278,7 @@ class Assembler:
         return mnemonic
 
 
-def assemble(source: str, isa: str | Isa = "xpulpnn", base: int = 0,
+def assemble(source: str, isa: str | Isa = XPULPNN, base: int = 0,
              entry_label: Optional[str] = None) -> Program:
     """One-shot convenience wrapper around :class:`Assembler`."""
     return Assembler(isa=isa, base=base).assemble(source, entry_label=entry_label)

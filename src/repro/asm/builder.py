@@ -9,7 +9,7 @@ helpers) to produce a hand-scheduled instruction stream, then
 
 Example::
 
-    b = KernelBuilder(isa="xpulpnn")
+    b = KernelBuilder()                    # defaults to the XpulpNN ISA
     b.li("t0", 16)
     with b.hardware_loop(0, "t0"):
         b.emit("p.lw", "a2", 4, "a0", inc=True)        # p.lw a2, 4(a0!)
@@ -29,6 +29,7 @@ from ..isa.instruction import Instruction
 from ..isa.registers import parse_register
 from ..isa.registry import Isa, build_isa
 from ..isa.xpulpv2 import pack_pos_len
+from ..target.names import XPULPNN
 from .program import Program, link
 
 Reg = Union[int, str]
@@ -45,7 +46,7 @@ def _reg(value: Reg) -> int:
 class KernelBuilder:
     """Accumulates instructions and labels, then links a Program."""
 
-    def __init__(self, isa: str | Isa = "xpulpnn", base: int = 0) -> None:
+    def __init__(self, isa: str | Isa = XPULPNN, base: int = 0) -> None:
         self.isa = build_isa(isa) if isinstance(isa, str) else isa
         self.base = base
         self._instructions: List[Instruction] = []

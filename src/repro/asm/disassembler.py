@@ -7,6 +7,7 @@ from typing import List
 from ..isa.instruction import Instruction
 from ..isa.registers import register_name
 from ..isa.registry import Isa, build_isa
+from ..target.names import XPULPNN
 from ..isa import rv32c
 
 
@@ -78,7 +79,7 @@ def disassemble_program(program) -> str:
 
 
 def disassemble_bytes(
-    blob: bytes, isa: str | Isa = "xpulpnn", base: int = 0
+    blob: bytes, isa: str | Isa = XPULPNN, base: int = 0
 ) -> List[Instruction]:
     """Decode a binary image into instructions (handles 16/32-bit mix)."""
     isa_obj = build_isa(isa) if isinstance(isa, str) else isa

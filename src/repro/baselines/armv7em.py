@@ -45,6 +45,8 @@ class CortexMCore:
     mcu: str
     freq_hz: float
     power_w: float
+    #: on-chip SRAM available to activations/weights (datasheet)
+    sram_bytes: int = 128 * 1024
     #: per-instruction-class cycle costs
     alu: float = 1.0
     mac: float = 1.0
@@ -70,6 +72,7 @@ STM32L476 = CortexMCore(
     mcu="STM32L476 (Cortex-M4 @ 80 MHz)",
     freq_hz=80e6,
     power_w=11e-3,
+    sram_bytes=128 * 1024,
     alu=1.0, mac=1.0, load=2.0, store=1.0, branch=3.0, unpack_op=1.0,
 )
 
@@ -80,6 +83,7 @@ STM32H743 = CortexMCore(
     mcu="STM32H743 (Cortex-M7 @ 400 MHz)",
     freq_hz=400e6,
     power_w=250e-3,
+    sram_bytes=1024 * 1024,
     alu=0.55, mac=0.55, load=1.0, store=0.6, branch=1.5, unpack_op=0.9,
 )
 

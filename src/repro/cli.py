@@ -18,7 +18,10 @@ Commands:
   program and exports the merged Perfetto timeline;
 * ``lint``    static verification of programs (``--kernels`` for every
   built-in kernel builder, ``--race`` for the dynamic TCDM race
-  detector).  Exits non-zero when findings or races are reported.
+  detector, ``--isa-strings`` for the source-tree core-name gate).
+  Exits non-zero when findings or races are reported;
+* ``targets`` list the registered machine targets (the ``--isa`` and
+  ``--target`` flags resolve against this registry).
 """
 
 from __future__ import annotations
@@ -32,11 +35,32 @@ from . import __version__
 from .asm import Assembler, disassemble_bytes, format_instruction
 from .core import Cpu
 from .errors import ReproError
+from .target.names import RV32IMC, XPULPNN
+
+
+def _isa_choices() -> tuple:
+    """Assembler/simulator ISA choices: configs + single-core targets."""
+    from .target import riscv_targets
+
+    names = [RV32IMC]
+    names += [spec.name for spec in riscv_targets() if not spec.cluster]
+    return tuple(names)
+
+
+def _isa_config(name: str) -> str:
+    """Resolve an ``--isa`` value (target name or ISA config) to a config."""
+    from .errors import TargetError
+    from .target import get_target
+
+    try:
+        return get_target(name).isa
+    except TargetError:
+        return name  # raw ISA config names (e.g. rv32imc)
 
 
 def _cmd_asm(args: argparse.Namespace) -> int:
     source = open(args.input).read()
-    program = Assembler(isa=args.isa, base=args.base).assemble(source)
+    program = Assembler(isa=_isa_config(args.isa), base=args.base).assemble(source)
     blob = program.encode()
     out = args.output or (os.path.splitext(args.input)[0] + ".bin")
     with open(out, "wb") as handle:
@@ -47,7 +71,7 @@ def _cmd_asm(args: argparse.Namespace) -> int:
 
 def _cmd_disasm(args: argparse.Namespace) -> int:
     blob = open(args.input, "rb").read()
-    for ins in disassemble_bytes(blob, isa=args.isa, base=args.base):
+    for ins in disassemble_bytes(blob, isa=_isa_config(args.isa), base=args.base):
         print(f"{ins.addr:#010x}:  {format_instruction(ins, symbolic=False)}")
     return 0
 
@@ -59,8 +83,9 @@ def _load_and_run(args: argparse.Namespace, tracer_factory=None):
     be derived) and returns the tracer to attach, or ``None``.
     """
     source = open(args.input).read()
-    program = Assembler(isa=args.isa, base=args.base).assemble(source)
-    cpu = Cpu(isa=args.isa)
+    isa = _isa_config(args.isa)
+    program = Assembler(isa=isa, base=args.base).assemble(source)
+    cpu = Cpu(isa=isa)
     tracer = tracer_factory(program) if tracer_factory is not None else None
     if tracer is not None:
         cpu.tracer = tracer
@@ -100,8 +125,10 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         from .trace.profile import trace_kernel
 
         tracer = trace_kernel(args.kernel, cores=args.cores,
-                              detail=args.detail)
+                              detail=args.detail, target=args.target)
         title = args.kernel + (f" x{args.cores}" if args.cores > 1 else "")
+        if args.target:
+            title += f" on {args.target}"
     else:
         if not args.input:
             raise ReproError("pass a source file or --kernel NAME")
@@ -132,7 +159,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     if args.kernel:
         from .trace.profile import profile_kernel
 
-        result = profile_kernel(args.kernel, cores=args.cores)
+        result = profile_kernel(args.kernel, cores=args.cores,
+                                target=args.target)
         if args.json:
             import json
 
@@ -171,7 +199,7 @@ def _cmd_isa(args: argparse.Namespace) -> int:
     """Print the instruction reference generated from the live registry."""
     from .isa import build_isa
 
-    isa = build_isa(args.isa)
+    isa = build_isa(_isa_config(args.isa))
     subset_filter = args.subset
     by_subset = {}
     for spec in isa.specs:
@@ -357,6 +385,21 @@ def _cmd_lint(args: argparse.Namespace) -> int:
                     f"unknown checker {check!r}; choose from "
                     f"{sorted(CHECKERS)}")
 
+    if args.isa_strings:
+        from .analysis.srclint import render_report, scan_tree
+
+        findings = scan_tree()
+        if args.json:
+            import json
+
+            print(json.dumps({
+                "ok": not findings,
+                "findings": [_jsonify(f) for f in findings],
+            }, indent=2))
+        else:
+            print(render_report(findings))
+        return 1 if findings else 0
+
     reports = []
     if args.race:
         reports.append(run_race_check(args.race, cores=args.cores))
@@ -365,7 +408,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             reports.append(lint_program(program, checks=checks, name=name))
     for path in args.inputs:
         source = open(path).read()
-        program = Assembler(isa=args.isa, base=args.base).assemble(source)
+        program = Assembler(isa=_isa_config(args.isa),
+                            base=args.base).assemble(source)
         reports.append(lint_program(program, checks=checks, name=path))
     if not reports:
         raise ReproError(
@@ -387,6 +431,25 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_targets(args: argparse.Namespace) -> int:
+    from .target import list_targets
+
+    specs = list_targets(family=args.family)
+    if args.json:
+        import json
+
+        print(json.dumps([spec.to_dict() for spec in specs], indent=2))
+        return 0
+    print(f"{'name':<18s} {'family':<7s} {'isa':<8s} {'cores':>5s} "
+          f"{'l2':>7s} {'tcdm':>7s} {'quant':>5s}  description")
+    for spec in specs:
+        print(f"{spec.name:<18s} {spec.family:<7s} {spec.isa or '-':<8s} "
+              f"{spec.cores:>5d} {spec.l2_bytes // 1024:>5d}kB "
+              f"{(spec.tcdm_bytes // 1024 if spec.tcdm_bytes else 0):>5d}kB "
+              f"{spec.quant:>5s}  {spec.description}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -398,22 +461,20 @@ def build_parser() -> argparse.ArgumentParser:
     asm = sub.add_parser("asm", help="assemble a source file to a binary")
     asm.add_argument("input")
     asm.add_argument("-o", "--output")
-    asm.add_argument("--isa", default="xpulpnn",
-                     choices=("rv32imc", "ri5cy", "xpulpnn"))
+    asm.add_argument("--isa", default=XPULPNN, choices=_isa_choices(),
+                     help="ISA config or registered target name")
     asm.add_argument("--base", type=lambda v: int(v, 0), default=0)
     asm.set_defaults(func=_cmd_asm)
 
     dis = sub.add_parser("disasm", help="disassemble a flat binary")
     dis.add_argument("input")
-    dis.add_argument("--isa", default="xpulpnn",
-                     choices=("rv32imc", "ri5cy", "xpulpnn"))
+    dis.add_argument("--isa", default=XPULPNN, choices=_isa_choices())
     dis.add_argument("--base", type=lambda v: int(v, 0), default=0)
     dis.set_defaults(func=_cmd_disasm)
 
     run = sub.add_parser("run", help="assemble and execute a program")
     run.add_argument("input")
-    run.add_argument("--isa", default="xpulpnn",
-                     choices=("rv32imc", "ri5cy", "xpulpnn"))
+    run.add_argument("--isa", default=XPULPNN, choices=_isa_choices())
     run.add_argument("--base", type=lambda v: int(v, 0), default=0)
     run.add_argument("--reg", action="append", metavar="NAME=VALUE",
                      help="preload a register, e.g. --reg a0=0x1000")
@@ -428,14 +489,16 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--kernel", metavar="NAME",
                        help="trace a built-in kernel (see profile --list)")
     trace.add_argument("--cores", type=int, default=1,
-                       help="run --kernel on an N-core cluster (matmul only)")
+                       help="run --kernel on an N-core cluster")
+    trace.add_argument("--target", metavar="NAME",
+                       help="retarget --kernel to a registered target "
+                            "(see repro targets)")
     trace.add_argument("--detail", default="spans",
                        choices=("spans", "full"),
                        help="'full' adds per-retire and memory events")
     trace.add_argument("--out", default="trace.json",
                        help="output path (Chrome trace-event JSON)")
-    trace.add_argument("--isa", default="xpulpnn",
-                       choices=("rv32imc", "ri5cy", "xpulpnn"))
+    trace.add_argument("--isa", default=XPULPNN, choices=_isa_choices())
     trace.add_argument("--base", type=lambda v: int(v, 0), default=0)
     trace.add_argument("--reg", action="append", metavar="NAME=VALUE")
     trace.add_argument("--max-instructions", type=int, default=50_000_000)
@@ -448,22 +511,22 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--kernel", metavar="NAME",
                          help="profile a built-in kernel, e.g. conv_4bit")
     profile.add_argument("--cores", type=int, default=1,
-                         help="run --kernel on an N-core cluster "
-                              "(matmul only)")
+                         help="run --kernel on an N-core cluster")
+    profile.add_argument("--target", metavar="NAME",
+                         help="retarget --kernel to a registered target "
+                              "(see repro targets)")
     profile.add_argument("--list", action="store_true",
                          help="print the kernel catalog and exit")
     profile.add_argument("--json", action="store_true",
                          help="emit machine-readable output")
-    profile.add_argument("--isa", default="xpulpnn",
-                         choices=("rv32imc", "ri5cy", "xpulpnn"))
+    profile.add_argument("--isa", default=XPULPNN, choices=_isa_choices())
     profile.add_argument("--base", type=lambda v: int(v, 0), default=0)
     profile.add_argument("--reg", action="append", metavar="NAME=VALUE")
     profile.add_argument("--max-instructions", type=int, default=50_000_000)
     profile.set_defaults(func=_cmd_profile)
 
     isa = sub.add_parser("isa", help="print the instruction-set reference")
-    isa.add_argument("--isa", default="xpulpnn",
-                     choices=("rv32imc", "ri5cy", "xpulpnn"))
+    isa.add_argument("--isa", default=XPULPNN, choices=_isa_choices())
     isa.add_argument("--subset", help="only one subset (e.g. xpulpnn)")
     isa.set_defaults(func=_cmd_isa)
 
@@ -508,8 +571,7 @@ def build_parser() -> argparse.ArgumentParser:
         "lint", help="statically verify programs / detect TCDM races")
     lint.add_argument("inputs", nargs="*",
                       help="assembly source files to verify")
-    lint.add_argument("--isa", default="xpulpnn",
-                      choices=("rv32imc", "ri5cy", "xpulpnn"))
+    lint.add_argument("--isa", default=XPULPNN, choices=_isa_choices())
     lint.add_argument("--base", type=lambda v: int(v, 0), default=0)
     lint.add_argument("--kernels", action="store_true",
                       help="verify every built-in kernel-builder program")
@@ -520,11 +582,22 @@ def build_parser() -> argparse.ArgumentParser:
                            "TCDM race detector")
     lint.add_argument("--cores", type=int, default=2,
                       help="cluster cores for --race (default 2)")
+    lint.add_argument("--isa-strings", action="store_true",
+                      help="scan the package sources for bare core-name "
+                           "string literals outside repro.target")
     lint.add_argument("--list-checkers", action="store_true",
                       help="print the checker catalog and exit")
     lint.add_argument("--json", action="store_true",
                       help="emit reports as JSON")
     lint.set_defaults(func=_cmd_lint)
+
+    targets = sub.add_parser(
+        "targets", help="list the registered machine targets")
+    targets.add_argument("--family", choices=("riscv", "arm"),
+                         help="only one family")
+    targets.add_argument("--json", action="store_true",
+                         help="emit the specs as JSON")
+    targets.set_defaults(func=_cmd_targets)
     return parser
 
 

@@ -40,6 +40,7 @@ from ..soc.memmap import (
     TCDM_SIZE,
 )
 from ..soc.memory import Memory
+from ..target.names import XPULPNN
 from .dma import ClusterDma
 from .event_unit import EventUnit
 from .tcdm import Tcdm
@@ -53,7 +54,7 @@ class ClusterConfig:
     """Shape of the modeled cluster."""
 
     num_cores: int = 8
-    isa: str = "xpulpnn"
+    isa: str = XPULPNN
     banking_factor: int = DEFAULT_BANKING_FACTOR
     tcdm_size: int = TCDM_SIZE
     l2_size: int = L2_SIZE

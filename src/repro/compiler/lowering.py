@@ -32,6 +32,7 @@ from ..asm.builder import KernelBuilder
 from ..errors import KernelError
 from ..isa.zicsr import CSR_MHARTID
 from ..kernels.common import align_up
+from ..target.names import XPULPNN
 from ..kernels.im2col import im2col_buffer_bytes
 from ..kernels.linear import LinearConfig, LinearKernel
 from ..kernels.matmul import k_bytes
@@ -236,19 +237,31 @@ class NetworkCompiler:
     """Lower a sequential QNN into tiled, double-buffered layer plans."""
 
     def __init__(self, network, input_shape: Tuple[int, ...],
-                 input_bits: int = 8, num_cores: int = 8,
-                 isa: str = "xpulpnn",
-                 tcdm_budget: int = TCDM_SIZE,
+                 input_bits: int = 8, num_cores: int = None,
+                 isa: str = None, target=None,
+                 tcdm_budget: int = None,
                  code_allowance: int = CODE_ALLOWANCE) -> None:
-        if isa != "xpulpnn":
+        from ..target import get_target
+        from ..target.names import CLUSTER_PREFIX
+
+        if target is None:
+            target = f"{CLUSTER_PREFIX}{num_cores if num_cores else 8}"
+        self.spec = get_target(target)
+        if (self.spec.isa != XPULPNN or not self.spec.cluster
+                or (isa is not None and isa != XPULPNN)):
             raise KernelError(
                 "the deployment compiler targets the XpulpNN cluster")
+        if num_cores is not None and num_cores != self.spec.cores:
+            raise KernelError(
+                f"num_cores={num_cores} conflicts with target "
+                f"{self.spec.name!r} ({self.spec.cores} cores)")
         self.network = network
         self.input_shape = tuple(input_shape)
         self.input_bits = input_bits
-        self.num_cores = num_cores
-        self.isa = isa
-        self.tcdm_budget = tcdm_budget
+        self.num_cores = self.spec.cores
+        self.isa = self.spec.isa
+        self.tcdm_budget = (self.spec.tcdm_bytes if tcdm_budget is None
+                            else tcdm_budget)
         self.code_allowance = code_allowance
 
     def compile(self) -> CompiledNetwork:

@@ -39,6 +39,7 @@ from ..kernels.im2col import im2col_buffer_bytes, pixel_bytes
 from ..kernels.matmul import k_bytes
 from ..kernels.parallel import ParallelConvConfig
 from ..qnn.layers import ConvGeometry
+from ..target.names import XPULPNN
 from ..qnn.thresholds import tree_stride
 
 #: TCDM reserved for the kernel code slot during the search; lowering
@@ -187,7 +188,7 @@ def _conv_width_candidates(g: ConvGeometry, bits: int) -> List[int]:
 
 def search_conv_tiling(geometry: ConvGeometry, bits: int, quant: str,
                        num_cores: int, budget: int,
-                       isa: str = "xpulpnn",
+                       isa: str = XPULPNN,
                        code_allowance: int = CODE_ALLOWANCE) -> ConvTiling:
     """Pick the best-fitting conv tile shape for *budget* TCDM bytes."""
     g = geometry

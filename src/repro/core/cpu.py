@@ -6,8 +6,9 @@ instruction granularity with cycle-approximate timing (see
 paper, selected by the ISA configuration:
 
 >>> from repro.core import Cpu
->>> baseline = Cpu(isa="ri5cy")       # RV32IMC + XpulpV2
->>> extended = Cpu(isa="xpulpnn")     # ... + XpulpNN
+>>> from repro.target import names
+>>> baseline = Cpu(isa=names.RI5CY)     # RV32IMC + XpulpV2
+>>> extended = Cpu(isa=names.XPULPNN)   # ... + XpulpNN
 
 Programs come from :mod:`repro.asm` (text assembly or the builder DSL);
 data lives in the attached :class:`~repro.soc.memory.Memory`.
@@ -21,14 +22,15 @@ from ..errors import SimError, TrapError
 from ..isa.registers import RegisterFile
 from ..isa.registry import Isa, build_isa
 from ..soc.memory import Memory
+from ..soc.memmap import L2_SIZE
+from ..target.names import XPULPNN
 from ..trace.tracer import CallableTracer, Tracer
 from .hwloop import HwLoopController
 from .perf import PerfCounters
 from .timing import TimingModel, TimingParams
 
-#: Default standalone data/instruction memory size (matches PULPissimo's
-#: 512 kB of SRAM).
-DEFAULT_MEM_SIZE = 512 * 1024
+#: Default standalone data/instruction memory size (PULPissimo's L2).
+DEFAULT_MEM_SIZE = L2_SIZE
 
 
 class Cpu:
@@ -36,7 +38,7 @@ class Cpu:
 
     def __init__(
         self,
-        isa: str | Isa = "xpulpnn",
+        isa: str | Isa = XPULPNN,
         mem: Optional[Memory] = None,
         timing: Optional[TimingParams] = None,
         trace: Optional[Callable] = None,

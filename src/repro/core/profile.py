@@ -10,6 +10,7 @@ says it should (dot products and loads, not bookkeeping).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from ..target.names import XPULPNN
 from typing import Dict, List, Tuple
 
 from .cpu import Cpu
@@ -78,7 +79,7 @@ def profile_counters(cpu: Cpu, top: int = 8) -> ProfileReport:
     )
 
 
-def profile_program(program, isa: str = "xpulpnn",
+def profile_program(program, isa: str = XPULPNN,
                     setup=None, top: int = 8) -> ProfileReport:
     """Run *program* on a fresh core with mnemonic collection enabled.
 

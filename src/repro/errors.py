@@ -60,3 +60,7 @@ class TraceError(ReproError):
 
 class ModelError(ReproError):
     """A physical (area/power) model was queried outside its valid domain."""
+
+
+class TargetError(ReproError):
+    """An unknown target name or an inconsistent target description."""

@@ -28,6 +28,7 @@ from ..physical import OPS_PER_MAC, cluster_model_for
 from ..physical.technology import NOMINAL
 from ..qnn import random_threshold_table
 from .reporting import format_table
+from ..target.names import XPULPNN
 
 #: Default workload: one MatMul tile sized like the benchmark layer's
 #: im2col product (64 filters over a 256-deep reduction).
@@ -110,7 +111,7 @@ def _workload(bits: int, out_ch: int, reduction: int, seed: int = 7):
 def run(out_ch: int = DEFAULT_OUT_CH,
         reduction: int = DEFAULT_REDUCTION) -> ClusterScalingResult:
     result = ClusterScalingResult(out_ch=out_ch, reduction=reduction)
-    power_model = cluster_model_for("xpulpnn")
+    power_model = cluster_model_for(XPULPNN)
     for bits in BITWIDTHS:
         w, x0, x1, table = _workload(bits, out_ch, reduction)
         quant = "shift" if bits == 8 else "hw"

@@ -19,6 +19,7 @@ from typing import Dict
 from ..qnn import ConvGeometry
 from .reporting import format_table
 from .workloads import benchmark_geometry, conv_suite
+from ..target.names import XPULPNN
 
 #: Paper-reported values for side-by-side comparison.
 PAPER = {
@@ -44,7 +45,7 @@ def run(geometry: ConvGeometry | None = None) -> Fig6Result:
     quant_cycles = {}
     for bits in (8, 4, 2):
         for quant in (("shift",) if bits == 8 else ("hw", "sw")):
-            point = suite[(bits, "xpulpnn", quant)]
+            point = suite[(bits, XPULPNN, quant)]
             cycles[(bits, quant)] = point.cycles
             quant_cycles[(bits, quant)] = point.quant_cycles
     speedup = {

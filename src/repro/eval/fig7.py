@@ -14,6 +14,7 @@ from ..physical import NOMINAL, EfficiencyPoint, efficiency, model_for
 from ..qnn import ConvGeometry
 from .reporting import format_table
 from .workloads import benchmark_geometry, conv_suite
+from ..target.names import RI5CY, XPULPNN
 
 PAPER = {"gain": {8: 1.0, 4: 5.5, 2: 9.0}}
 
@@ -34,13 +35,13 @@ def run(geometry: ConvGeometry | None = None) -> Fig7Result:
     points: Dict[tuple, EfficiencyPoint] = {}
     power_mw: Dict[tuple, float] = {}
     for bits in (8, 4, 2):
-        for core in ("ri5cy", "xpulpnn"):
-            quant = "shift" if bits == 8 else ("hw" if core == "xpulpnn" else "sw")
+        for core in (RI5CY, XPULPNN):
+            quant = "shift" if bits == 8 else ("hw" if core == XPULPNN else "sw")
             run_point = suite[(bits, core, quant)]
             model = model_for(core)
             breakdown = model.evaluate(
                 run_point.perf,
-                sub_byte_bits=bits if core == "xpulpnn" else 8,
+                sub_byte_bits=bits if core == XPULPNN else 8,
                 workload_class=_WORKLOAD_CLASS[bits],
             )
             power_mw[(bits, core)] = breakdown.soc_total_mw
@@ -52,7 +53,7 @@ def run(geometry: ConvGeometry | None = None) -> Fig7Result:
                 point=NOMINAL,
             )
     gain = {
-        bits: points[(bits, "xpulpnn")].efficiency_ratio(points[(bits, "ri5cy")])
+        bits: points[(bits, XPULPNN)].efficiency_ratio(points[(bits, RI5CY)])
         for bits in (8, 4, 2)
     }
     return Fig7Result(geometry=g, points=points, soc_power_mw=power_mw, gain=gain)
@@ -61,7 +62,7 @@ def run(geometry: ConvGeometry | None = None) -> Fig7Result:
 def render(result: Fig7Result) -> str:
     rows = []
     for bits in (8, 4, 2):
-        for core in ("ri5cy", "xpulpnn"):
+        for core in (RI5CY, XPULPNN):
             p = result.points[(bits, core)]
             rows.append(
                 (

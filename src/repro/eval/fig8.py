@@ -15,10 +15,11 @@ from ..baselines import CORES, CmsisConvModel
 from ..qnn import ConvGeometry
 from .reporting import format_series
 from .workloads import benchmark_geometry, conv_suite
+from ..target.names import RI5CY, STM32H7_DISPLAY, STM32L4_DISPLAY, XPULPNN
 
 PAPER = {"speedup_vs_ri5cy": {4: 5.3, 2: 8.9}}
 
-PLATFORMS = ("xpulpnn", "ri5cy", "STM32L4", "STM32H7")
+PLATFORMS = (XPULPNN, RI5CY, STM32L4_DISPLAY, STM32H7_DISPLAY)
 
 
 @dataclass
@@ -36,19 +37,19 @@ def run(geometry: ConvGeometry | None = None) -> Fig8Result:
     for bits in (8, 4, 2):
         quant_ext = "shift" if bits == 8 else "hw"
         quant_base = "shift" if bits == 8 else "sw"
-        cycles[(bits, "xpulpnn")] = suite[(bits, "xpulpnn", quant_ext)].cycles
-        cycles[(bits, "ri5cy")] = suite[(bits, "ri5cy", quant_base)].cycles
+        cycles[(bits, XPULPNN)] = suite[(bits, XPULPNN, quant_ext)].cycles
+        cycles[(bits, RI5CY)] = suite[(bits, RI5CY, quant_base)].cycles
         model = CmsisConvModel(g, bits)
         for name, core in CORES.items():
             cycles[(bits, name)] = model.cycles(core)
     speedup = {
-        bits: cycles[(bits, "ri5cy")] / cycles[(bits, "xpulpnn")]
+        bits: cycles[(bits, RI5CY)] / cycles[(bits, XPULPNN)]
         for bits in (4, 2)
     }
     speedup_stm = {
-        (bits, name): cycles[(bits, name)] / cycles[(bits, "xpulpnn")]
+        (bits, name): cycles[(bits, name)] / cycles[(bits, XPULPNN)]
         for bits in (8, 4, 2)
-        for name in ("STM32L4", "STM32H7")
+        for name in (STM32L4_DISPLAY, STM32H7_DISPLAY)
     }
     return Fig8Result(
         geometry=g,

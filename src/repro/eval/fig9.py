@@ -16,14 +16,15 @@ from ..physical import NOMINAL, EfficiencyPoint, efficiency, model_for
 from ..qnn import ConvGeometry
 from .reporting import format_series
 from .workloads import benchmark_geometry, conv_suite
+from ..target.names import RI5CY, STM32H7_DISPLAY, STM32L4_DISPLAY, XPULPNN
 
 PAPER = {
-    "gain_2bit": {"STM32L4": 103.0, "STM32H7": 354.0},
+    "gain_2bit": {STM32L4_DISPLAY: 103.0, STM32H7_DISPLAY: 354.0},
     "peak_gmacs_w": 279.0,
 }
 
 _WORKLOAD_CLASS = {8: "matmul8", 4: "matmul4", 2: "matmul2"}
-PLATFORMS = ("xpulpnn", "ri5cy", "STM32L4", "STM32H7")
+PLATFORMS = (XPULPNN, RI5CY, STM32L4_DISPLAY, STM32H7_DISPLAY)
 
 
 @dataclass
@@ -39,12 +40,12 @@ def run(geometry: ConvGeometry | None = None) -> Fig9Result:
     suite = conv_suite(g)
     points: Dict[tuple, EfficiencyPoint] = {}
     for bits in (8, 4, 2):
-        for core in ("xpulpnn", "ri5cy"):
-            quant = "shift" if bits == 8 else ("hw" if core == "xpulpnn" else "sw")
+        for core in (XPULPNN, RI5CY):
+            quant = "shift" if bits == 8 else ("hw" if core == XPULPNN else "sw")
             run_point = suite[(bits, core, quant)]
             breakdown = model_for(core).evaluate(
                 run_point.perf,
-                sub_byte_bits=bits if core == "xpulpnn" else 8,
+                sub_byte_bits=bits if core == XPULPNN else 8,
                 workload_class=_WORKLOAD_CLASS[bits],
             )
             points[(bits, core)] = efficiency(
@@ -64,11 +65,11 @@ def run(geometry: ConvGeometry | None = None) -> Fig9Result:
                 power_w=core.power_w,
             )
     gains = {
-        name: points[(2, "xpulpnn")].efficiency_ratio(points[(2, name)])
-        for name in ("STM32L4", "STM32H7")
+        name: points[(2, XPULPNN)].efficiency_ratio(points[(2, name)])
+        for name in (STM32L4_DISPLAY, STM32H7_DISPLAY)
     }
     peak = max(
-        points[(bits, "xpulpnn")].gmacs_per_s_per_w for bits in (8, 4, 2)
+        points[(bits, XPULPNN)].gmacs_per_s_per_w for bits in (8, 4, 2)
     )
     return Fig9Result(
         geometry=g, points=points, gain_vs_stm32_2bit=gains, peak_gmacs_w=peak

@@ -23,6 +23,7 @@ from typing import Dict
 from ..qnn import ConvGeometry
 from .reporting import format_table
 from .workloads import benchmark_geometry, conv_suite
+from ..target.names import RI5CY, XPULPNN
 
 
 def unit_peak_macs_per_cycle(bits: int) -> float:
@@ -63,11 +64,11 @@ def run(geometry: ConvGeometry | None = None) -> Dict[str, RooflinePoint]:
     suite = conv_suite(g)
     points: Dict[str, RooflinePoint] = {}
     table = [
-        ("8-bit (both cores)", (8, "xpulpnn", "shift"), True),
-        ("4-bit extended", (4, "xpulpnn", "hw"), True),
-        ("2-bit extended", (2, "xpulpnn", "hw"), True),
-        ("4-bit baseline", (4, "ri5cy", "sw"), False),
-        ("2-bit baseline", (2, "ri5cy", "sw"), False),
+        ("8-bit (both cores)", (8, XPULPNN, "shift"), True),
+        ("4-bit extended", (4, XPULPNN, "hw"), True),
+        ("2-bit extended", (2, XPULPNN, "hw"), True),
+        ("4-bit baseline", (4, RI5CY, "sw"), False),
+        ("2-bit baseline", (2, RI5CY, "sw"), False),
     ]
     for name, key, native in table:
         point = suite[key]

@@ -16,6 +16,7 @@ from ..physical import NOMINAL, OPS_PER_MAC, model_for
 from ..qnn import ConvGeometry
 from .reporting import format_table
 from .workloads import benchmark_geometry, conv_suite
+from ..target.names import XPULPNN
 
 #: Literature rows: (performance Gop/s, efficiency Gop/s/W, power mW).
 LITERATURE = (
@@ -44,8 +45,8 @@ def run(geometry: ConvGeometry | None = None) -> Table1Result:
     this_work: Dict[int, Tuple[float, float, float]] = {}
     for bits in (8, 4, 2):
         quant = "shift" if bits == 8 else "hw"
-        point = suite[(bits, "xpulpnn", quant)]
-        power = model_for("xpulpnn").evaluate(
+        point = suite[(bits, XPULPNN, quant)]
+        power = model_for(XPULPNN).evaluate(
             point.perf, sub_byte_bits=bits,
             workload_class=_WORKLOAD_CLASS[bits],
         )

@@ -15,19 +15,20 @@ from ..physical import AreaModel, model_for
 from ..qnn import ConvGeometry
 from .reporting import format_table
 from .workloads import benchmark_geometry, conv_suite, run_gp_app
+from ..target.names import RI5CY, XPULPNN
 
 #: Paper-measured values (for the comparison columns).
 PAPER_POWER = {
-    "core_8bit": {"ri5cy": 1.15, "ext-nopm": 1.41, "ext-pm": 1.22},
+    "core_8bit": {RI5CY: 1.15, "ext-nopm": 1.41, "ext-pm": 1.22},
     "soc": {
-        ("matmul8", "ri5cy"): 5.93,
+        ("matmul8", RI5CY): 5.93,
         ("matmul8", "ext-nopm"): 6.28,
         ("matmul8", "ext-pm"): 6.04,
         ("matmul4", "ext-nopm"): 8.14,
         ("matmul4", "ext-pm"): 5.71,
         ("matmul2", "ext-nopm"): 8.99,
         ("matmul2", "ext-pm"): 5.87,
-        ("gp", "ri5cy"): 5.65,
+        ("gp", RI5CY): 5.65,
         ("gp", "ext-nopm"): 8.20,
         ("gp", "ext-pm"): 5.85,
     },
@@ -53,27 +54,27 @@ def run(geometry: ConvGeometry | None = None) -> Table3Result:
     suite = conv_suite(g)
     area = AreaModel().table3_area()
 
-    perf8 = suite[(8, "xpulpnn", "shift")].perf
-    perf4 = suite[(4, "xpulpnn", "hw")].perf
-    perf2 = suite[(2, "xpulpnn", "hw")].perf
+    perf8 = suite[(8, XPULPNN, "shift")].perf
+    perf4 = suite[(4, XPULPNN, "hw")].perf
+    perf2 = suite[(2, XPULPNN, "hw")].perf
     perf_gp = run_gp_app()
-    perf_gp_base = run_gp_app(isa="ri5cy")
-    perf8_base = suite[(8, "ri5cy", "shift")].perf
+    perf_gp_base = run_gp_app(isa=RI5CY)
+    perf8_base = suite[(8, RI5CY, "shift")].perf
 
     core_power: Dict[str, float] = {}
     soc_power: Dict[tuple, float] = {}
 
     configs = {
-        "ri5cy": model_for("ri5cy"),
-        "ext-nopm": model_for("xpulpnn", power_mgmt=False),
-        "ext-pm": model_for("xpulpnn", power_mgmt=True),
+        RI5CY: model_for(RI5CY),
+        "ext-nopm": model_for(XPULPNN, power_mgmt=False),
+        "ext-pm": model_for(XPULPNN, power_mgmt=True),
     }
     for name, model in configs.items():
-        bd = model.evaluate(perf8 if name != "ri5cy" else perf8_base,
+        bd = model.evaluate(perf8 if name != RI5CY else perf8_base,
                             sub_byte_bits=8, workload_class="matmul8")
         core_power[name] = bd.core_total_mw
         soc_power[("matmul8", name)] = bd.soc_total_mw
-        gp_perf = perf_gp_base if name == "ri5cy" else perf_gp
+        gp_perf = perf_gp_base if name == RI5CY else perf_gp
         bd_gp = model.evaluate(gp_perf, sub_byte_bits=8, workload_class="gp")
         soc_power[("gp", name)] = bd_gp.soc_total_mw
     for name in ("ext-nopm", "ext-pm"):
@@ -83,8 +84,8 @@ def run(geometry: ConvGeometry | None = None) -> Table3Result:
         soc_power[("matmul2", name)] = model.evaluate(
             perf2, sub_byte_bits=2, workload_class="matmul2").soc_total_mw
 
-    overhead_pm = 100 * (core_power["ext-pm"] - core_power["ri5cy"]) / core_power["ri5cy"]
-    overhead_nopm = 100 * (core_power["ext-nopm"] - core_power["ri5cy"]) / core_power["ri5cy"]
+    overhead_pm = 100 * (core_power["ext-pm"] - core_power[RI5CY]) / core_power[RI5CY]
+    overhead_nopm = 100 * (core_power["ext-nopm"] - core_power[RI5CY]) / core_power[RI5CY]
     pm_savings = 100 * (core_power["ext-nopm"] - core_power["ext-pm"]) / core_power["ext-nopm"]
     return Table3Result(
         geometry=g,
@@ -115,7 +116,7 @@ def render(result: Table3Result) -> str:
     )
 
     power_rows = []
-    for name, label in (("ri5cy", "RI5CY"), ("ext-nopm", "Ext. no PM"),
+    for name, label in ((RI5CY, "RI5CY"), ("ext-nopm", "Ext. no PM"),
                         ("ext-pm", "Ext. PM")):
         paper = PAPER_POWER["core_8bit"][name]
         power_rows.append(
@@ -123,7 +124,7 @@ def render(result: Table3Result) -> str:
              f"{result.core_power_8bit[name]:.2f}", f"{paper:.2f}")
         )
     for workload in ("matmul8", "matmul4", "matmul2", "gp"):
-        for name, label in (("ri5cy", "RI5CY"), ("ext-nopm", "Ext. no PM"),
+        for name, label in ((RI5CY, "RI5CY"), ("ext-nopm", "Ext. no PM"),
                             ("ext-pm", "Ext. PM")):
             if (workload, name) not in result.soc_power:
                 continue

@@ -27,6 +27,7 @@ from ..asm.program import Program
 from ..core.perf import PerfCounters
 from ..errors import ReproError
 from ..kernels import ConvConfig, ConvKernel
+from ..target.names import RI5CY, XPULPNN
 from ..qnn import (
     PAPER_LAYER,
     ConvGeometry,
@@ -83,13 +84,13 @@ class ConvPoint:
 
 #: The full kernel matrix of the evaluation.
 SUITE_CONFIGS = (
-    (8, "xpulpnn", "shift"),
-    (4, "xpulpnn", "hw"),
-    (4, "xpulpnn", "sw"),
-    (4, "ri5cy", "sw"),
-    (2, "xpulpnn", "hw"),
-    (2, "xpulpnn", "sw"),
-    (2, "ri5cy", "sw"),
+    (8, XPULPNN, "shift"),
+    (4, XPULPNN, "hw"),
+    (4, XPULPNN, "sw"),
+    (4, RI5CY, "sw"),
+    (2, XPULPNN, "hw"),
+    (2, XPULPNN, "sw"),
+    (2, RI5CY, "sw"),
 )
 
 
@@ -137,9 +138,9 @@ def _suite_for(geom_key: tuple) -> Dict[Tuple[int, str, str], ConvPoint]:
         points[point.key] = point
     # The 8-bit kernel is byte-identical on both cores (same ISA subset),
     # so the baseline point is the same measurement.
-    ext8 = points[(8, "xpulpnn", "shift")]
-    points[(8, "ri5cy", "shift")] = ConvPoint(
-        bits=8, isa="ri5cy", quant="shift", cycles=ext8.cycles,
+    ext8 = points[(8, XPULPNN, "shift")]
+    points[(8, RI5CY, "shift")] = ConvPoint(
+        bits=8, isa=RI5CY, quant="shift", cycles=ext8.cycles,
         instructions=ext8.instructions, macs=ext8.macs, verified=True,
         quant_cycles=ext8.quant_cycles, perf=ext8.perf,
     )
@@ -157,7 +158,7 @@ def conv_suite(geometry: ConvGeometry | None = None) -> Dict[Tuple[int, str, str
 # General-purpose application (Table III's "GP application" row)
 # ---------------------------------------------------------------------------
 
-def build_gp_app(iterations: int = 200, isa: str = "xpulpnn") -> Program:
+def build_gp_app(iterations: int = 200, isa: str = XPULPNN) -> Program:
     """A mixed load/store/control/arithmetic loop (~50 % ALU, ~20 % loads,
     ~10 % stores, ~15 % control, ~5 % multiply), the workload class the
     paper uses to show the extensions do not hurt general-purpose power."""
@@ -200,7 +201,7 @@ def build_gp_app(iterations: int = 200, isa: str = "xpulpnn") -> Program:
     return b.build()
 
 
-def run_gp_app(isa: str = "xpulpnn", iterations: int = 200) -> PerfCounters:
+def run_gp_app(isa: str = XPULPNN, iterations: int = 200) -> PerfCounters:
     """Execute the GP mix and return its counters."""
     from ..core.cpu import Cpu
 

@@ -3,7 +3,7 @@
 Public entry points:
 
 * :func:`repro.isa.build_isa` — assemble a named core configuration
-  (``"rv32imc"``, ``"ri5cy"``, ``"xpulpnn"``).
+  (``rv32imc``, ``ri5cy``, ``xpulpnn``; see :mod:`repro.target`).
 * :class:`repro.isa.Instruction` / :class:`repro.isa.InstrSpec` — the
   instruction model shared by the assembler, decoder, and simulator.
 * :func:`repro.isa.encode` / :class:`repro.isa.Decoder` — binary codec.

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
 from ..errors import IsaError
+from ..target.names import RI5CY, RV32IMC, XPULPNN, XPULPV2
 from .encoding import Decoder
 from .instruction import InstrSpec
 from . import rv32c, rv32i, rv32m, xpulpnn, xpulpv2, zicsr
@@ -25,17 +26,17 @@ SUBSETS: Dict[str, List[InstrSpec]] = {
     "rv32m": rv32m.SPECS,
     "rv32c": rv32c.SPECS,
     "zicsr": zicsr.SPECS,
-    "xpulpv2": xpulpv2.SPECS,
-    "xpulpnn": xpulpnn.SPECS,
+    XPULPV2: xpulpv2.SPECS,
+    XPULPNN: xpulpnn.SPECS,
 }
 
 #: Named core configurations used throughout the reproduction.
 CORE_CONFIGS: Dict[str, Tuple[str, ...]] = {
-    "rv32imc": ("rv32i", "rv32m", "rv32c", "zicsr"),
+    RV32IMC: ("rv32i", "rv32m", "rv32c", "zicsr"),
     # Baseline RI5CY of the paper: RV32IMC + XpulpV2.
-    "ri5cy": ("rv32i", "rv32m", "rv32c", "zicsr", "xpulpv2"),
+    RI5CY: ("rv32i", "rv32m", "rv32c", "zicsr", XPULPV2),
     # Extended RI5CY: RI5CY + the XpulpNN instructions.
-    "xpulpnn": ("rv32i", "rv32m", "rv32c", "zicsr", "xpulpv2", "xpulpnn"),
+    XPULPNN: ("rv32i", "rv32m", "rv32c", "zicsr", XPULPV2, XPULPNN),
 }
 
 

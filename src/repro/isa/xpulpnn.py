@@ -32,7 +32,7 @@ from .encoding import OPC_PULP_SIMD
 from .instruction import Instruction, InstrSpec
 from .simd import OP5, WIDTHS, make_simd_specs
 
-_ISA = "xpulpnn"
+from ..target.names import XPULPNN as _ISA
 
 #: Byte stride between the threshold trees of two consecutive channels.
 #: A Q-bit output needs 2**Q - 1 int16 thresholds; the paper stores trees

@@ -39,7 +39,7 @@ from .encoding import (
 from .instruction import Instruction, InstrSpec
 from .simd import make_simd_specs
 
-_ISA = "xpulpv2"
+from ..target.names import XPULPV2 as _ISA
 
 
 def _spec(mnemonic, fmt, fixed, syntax, execute, timing="alu", **kw) -> InstrSpec:

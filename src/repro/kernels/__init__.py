@@ -13,6 +13,7 @@ benchmark software):
 
 from .common import KernelLayout, KernelRun, RegAlloc, align_up, plan_layout
 from .conv import ConvConfig, ConvKernel
+from .dispatch import OPS, KernelSelection, select
 from .depthwise import DepthwiseConfig, DepthwiseConvKernel, depthwise_golden
 from .im2col import im2col_buffer_bytes, padded_row_bytes, pixel_bytes, seg_words_packed
 from .linear import LinearConfig, LinearKernel
@@ -38,10 +39,12 @@ __all__ = [
     "depthwise_golden",
     "KernelLayout",
     "KernelRun",
+    "KernelSelection",
     "LinearConfig",
     "LinearKernel",
     "MatmulConfig",
     "MatmulKernel",
+    "OPS",
     "ParallelConvConfig",
     "ParallelConvKernel",
     "ParallelMatmulConfig",
@@ -62,6 +65,7 @@ __all__ = [
     "pixel_bytes",
     "plan_layout",
     "seg_words_packed",
+    "select",
     "software_tree_instruction_count",
     "unpack_cost",
 ]

@@ -43,6 +43,8 @@ from ..core.cpu import Cpu
 from ..errors import KernelError
 from ..qnn import ThresholdTable, pack, tree_stride, unpack
 from ..qnn.layers import ConvGeometry
+from ..soc.memmap import L2_SIZE
+from ..target.names import RI5CY, XPULPNN
 from .common import KernelRun, align_up, plan_layout
 from .im2col import (
     emit_im2col_pixel_packed,
@@ -92,7 +94,7 @@ class ConvConfig:
 
     geometry: ConvGeometry
     bits: int
-    isa: str = "xpulpnn"
+    isa: str = XPULPNN
     quant: str = "hw"          # "shift" | "hw" | "sw"
     unpack_style: str = "extract"
     #: Per-channel int32 bias added to the accumulators (8-bit path only;
@@ -107,13 +109,14 @@ class ConvConfig:
         g = self.geometry
         if self.bits not in (2, 4, 8):
             raise KernelError(f"unsupported operand width {self.bits}")
-        if self.isa not in ("ri5cy", "xpulpnn"):
-            raise KernelError(f"conv kernels target ri5cy/xpulpnn, not {self.isa}")
+        if self.isa not in (RI5CY, XPULPNN):
+            raise KernelError(
+                f"conv kernels target {RI5CY}/{XPULPNN}, not {self.isa}")
         if self.bits == 8 and self.quant != "shift":
             raise KernelError("8-bit kernels use shift requantization")
         if self.bits != 8 and self.quant == "shift":
             raise KernelError("sub-byte kernels use staircase quantization")
-        if self.quant == "hw" and self.isa != "xpulpnn":
+        if self.quant == "hw" and self.isa != XPULPNN:
             raise KernelError("pv.qnt requires the XpulpNN ISA")
         if not self.native and self.unpack_style != "extract":
             raise KernelError(
@@ -136,7 +139,7 @@ class ConvConfig:
 
     @property
     def native(self) -> bool:
-        return self.bits == 8 or self.isa == "xpulpnn"
+        return self.bits == 8 or self.isa == XPULPNN
 
     @property
     def macs(self) -> int:
@@ -416,7 +419,7 @@ class ConvKernel:
             needed = self.layout.end + 4096
             from ..soc.memory import Memory
 
-            cpu = Cpu(isa=cfg.isa, mem=Memory(max(needed, 512 * 1024)))
+            cpu = Cpu(isa=cfg.isa, mem=Memory(max(needed, L2_SIZE)))
         lay = self.layout
 
         padded = np.zeros(

@@ -29,6 +29,7 @@ from ..core.cpu import Cpu
 from ..errors import KernelError
 from ..qnn import pack, unpack
 from ..qnn.layers import conv_out_size
+from ..target.names import XPULPNN
 from .common import KernelRun, align_up, plan_layout
 
 
@@ -64,7 +65,7 @@ class DepthwiseConfig:
     stride: int = 1
     pad: int = 1
     shift: int = 0
-    isa: str = "xpulpnn"
+    isa: str = XPULPNN
 
     def __post_init__(self) -> None:
         if self.channels % 4:

@@ -18,6 +18,7 @@ from ..asm.builder import KernelBuilder
 from ..core.cpu import Cpu
 from ..errors import KernelError
 from ..qnn import pack, unpack
+from ..target.names import XPULPNN
 from .common import KernelRun, plan_layout
 from .matmul import SUFFIX, k_bytes, k_words
 
@@ -28,7 +29,7 @@ class LinearConfig:
     out_features: int
     bits: int                 # weight/activation width
     out_bits: int = 8
-    isa: str = "xpulpnn"
+    isa: str = XPULPNN
 
     def __post_init__(self) -> None:
         if self.bits not in (2, 4, 8):
@@ -42,7 +43,7 @@ class LinearConfig:
                 "packed weight row exceeds the 12-bit immediate stride "
                 f"({k_bytes(self.in_features, self.bits)} > 2047 bytes)"
             )
-        if self.bits != 8 and self.isa != "xpulpnn":
+        if self.bits != 8 and self.isa != XPULPNN:
             raise KernelError(
                 "sub-byte SIMD linear layers require the XpulpNN ISA"
             )

@@ -31,6 +31,7 @@ from ..asm.builder import KernelBuilder
 from ..core.cpu import Cpu
 from ..errors import KernelError
 from ..qnn import ThresholdTable, pack, tree_stride, unpack
+from ..target.names import RI5CY, XPULPNN
 from .common import KernelRun, align_up, plan_layout
 from .quant_sw import emit_quantize_software
 from .unpack import emit_load_unpack_constants, emit_unpack
@@ -371,7 +372,7 @@ class MatmulConfig:
     reduction: int
     out_ch: int
     bits: int
-    isa: str = "xpulpnn"          # "ri5cy" or "xpulpnn"
+    isa: str = XPULPNN            # RI5CY or XPULPNN
     quant: str = "none"           # "shift" | "hw" | "sw" | "none"
     unpack_style: str = "extract"
     blocking: str = "2x2"         # "2x2" | "4x2" (4x2: native, raw accs)
@@ -380,7 +381,7 @@ class MatmulConfig:
         if self.blocking not in ("2x2", "4x2"):
             raise KernelError(f"unknown blocking {self.blocking!r}")
         if self.blocking == "4x2":
-            if not (self.bits == 8 or self.isa == "xpulpnn"):
+            if not (self.bits == 8 or self.isa == XPULPNN):
                 raise KernelError("4x2 blocking needs native SIMD")
             if self.quant != "none":
                 raise KernelError(
@@ -397,14 +398,14 @@ class MatmulConfig:
             raise KernelError("sub-byte kernels use staircase quantization")
         if self.bits == 2 and self.quant != "none" and self.out_ch % 4:
             raise KernelError("2-bit outputs pack 4 channels per byte")
-        if self.quant == "hw" and self.isa != "xpulpnn":
+        if self.quant == "hw" and self.isa != XPULPNN:
             raise KernelError("pv.qnt requires the XpulpNN ISA")
-        if self.bits != 8 and self.isa == "ri5cy" and self.quant == "hw":
+        if self.bits != 8 and self.isa == RI5CY and self.quant == "hw":
             raise KernelError("the baseline core has no hardware quantization")
 
     @property
     def native(self) -> bool:
-        return self.bits == 8 or self.isa == "xpulpnn"
+        return self.bits == 8 or self.isa == XPULPNN
 
     @property
     def macs(self) -> int:

@@ -28,6 +28,7 @@ from ..errors import KernelError
 from ..isa.zicsr import CSR_MHARTID
 from ..qnn import ThresholdTable, pack, tree_stride, unpack
 from ..soc.memmap import EU_BARRIER_WAIT, L2_BASE, TCDM_BASE
+from ..target.names import XPULPNN
 from .common import KernelLayout, align_up, plan_layout
 from .conv import ConvConfig, ConvKernel
 from .im2col import im2col_buffer_bytes, padded_row_bytes
@@ -105,13 +106,13 @@ class ParallelMatmulConfig:
     out_ch: int
     bits: int
     num_cores: int = 8
-    isa: str = "xpulpnn"
+    isa: str = XPULPNN
     quant: str = "hw"            # "shift" (8-bit) | "hw" | "sw" (sub-byte)
 
     def __post_init__(self) -> None:
         if self.bits not in (2, 4, 8):
             raise KernelError(f"unsupported operand width {self.bits}")
-        if not (self.bits == 8 or self.isa == "xpulpnn"):
+        if not (self.bits == 8 or self.isa == XPULPNN):
             raise KernelError(
                 "parallel sub-byte kernels are native-SIMD only; the "
                 "baseline pack/unpack variants stay single-core")

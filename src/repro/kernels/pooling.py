@@ -23,6 +23,7 @@ from ..asm.builder import KernelBuilder
 from ..core.cpu import Cpu
 from ..errors import KernelError
 from ..qnn import pack, unpack
+from ..target.names import XPULPNN
 from .common import KernelRun, plan_layout
 
 _SUFFIX = {8: "b", 4: "n", 2: "c"}
@@ -52,7 +53,7 @@ class PoolConfig:
     channels: int
     bits: int
     op: str = "max"          # "max" | "avg"
-    isa: str = "xpulpnn"
+    isa: str = XPULPNN
 
     def __post_init__(self) -> None:
         if self.op not in ("max", "avg"):
@@ -63,7 +64,7 @@ class PoolConfig:
             raise KernelError("pooling input must have even spatial size")
         if (self.channels * self.bits) % 32:
             raise KernelError("channels must fill whole 32-bit words")
-        if self.bits != 8 and self.isa != "xpulpnn":
+        if self.bits != 8 and self.isa != XPULPNN:
             raise KernelError(
                 "sub-byte SIMD pooling requires the XpulpNN ISA; the "
                 "baseline must unpack (use the 8-bit kernel on widened data)"

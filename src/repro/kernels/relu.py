@@ -17,6 +17,7 @@ from ..asm.builder import KernelBuilder
 from ..core.cpu import Cpu
 from ..errors import KernelError
 from ..qnn import pack, unpack
+from ..target.names import XPULPNN
 from .common import KernelRun, plan_layout
 
 _SUFFIX = {8: "b", 4: "n", 2: "c"}
@@ -26,14 +27,14 @@ _SUFFIX = {8: "b", 4: "n", 2: "c"}
 class ReluConfig:
     elements: int
     bits: int
-    isa: str = "xpulpnn"
+    isa: str = XPULPNN
 
     def __post_init__(self) -> None:
         if self.bits not in (2, 4, 8):
             raise KernelError(f"unsupported element width {self.bits}")
         if (self.elements * self.bits) % 32:
             raise KernelError("element count must fill whole 32-bit words")
-        if self.bits != 8 and self.isa != "xpulpnn":
+        if self.bits != 8 and self.isa != XPULPNN:
             raise KernelError("sub-byte SIMD ReLU requires the XpulpNN ISA")
 
     @property

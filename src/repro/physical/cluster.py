@@ -18,6 +18,7 @@ from typing import List, Sequence
 
 from ..core.perf import PerfCounters
 from ..errors import ModelError
+from ..target.names import XPULPNN
 from .power import (
     SOC_BASE_MW,
     SOC_MEM_MW_PER_ACCESS,
@@ -97,7 +98,7 @@ class ClusterPowerModel:
         )
 
 
-def cluster_model_for(core: str = "xpulpnn",
+def cluster_model_for(core: str = XPULPNN,
                       power_mgmt: bool = True) -> ClusterPowerModel:
     """Cluster power model built on the named core's coefficients."""
     return ClusterPowerModel(model_for(core, power_mgmt))

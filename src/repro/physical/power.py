@@ -36,6 +36,7 @@ from typing import Dict, Mapping
 from ..core.perf import PerfCounters
 from ..errors import ModelError
 from .technology import NOMINAL, OperatingPoint
+from ..target.names import RI5CY, XPULPNN
 
 #: Cycle weight of each timing class (multicycle classes occupy the
 #: pipeline for several cycles at their class's activity level).
@@ -76,7 +77,7 @@ EXTENDED_PM = CorePowerParams(name="ext-pm", leakage_mw=0.031)
 
 #: Baseline RI5CY: smaller dot-product unit, no sub-byte regions.
 BASELINE = CorePowerParams(
-    name="ri5cy", leakage_mw=0.023, mul8=0.768, muln=0.0, mulc=0.0, qnt=0.0
+    name=RI5CY, leakage_mw=0.023, mul8=0.768, muln=0.0, mulc=0.0, qnt=0.0
 )
 
 #: Extended core without power management: same datapath, higher leak.
@@ -213,9 +214,9 @@ class PowerModel:
 
 
 def model_for(core: str, power_mgmt: bool = True) -> PowerModel:
-    """Power model for a named core (``"ri5cy"`` or ``"xpulpnn"``)."""
-    if core == "ri5cy":
+    """Power model for a named core (RI5CY or XPULPNN)."""
+    if core == RI5CY:
         return PowerModel(BASELINE)
-    if core == "xpulpnn":
+    if core == XPULPNN:
         return PowerModel(EXTENDED_PM if power_mgmt else EXTENDED_NOPM)
     raise ModelError(f"unknown core {core!r}")

@@ -17,7 +17,8 @@ network description and an input, and it
 
 Example::
 
-    deployer = NetworkDeployer(network, input_shape=(16, 16, 16))
+    deployer = NetworkDeployer(network, input_shape=(16, 16, 16),
+                               target="xpulpnn-cluster8")
     result = deployer.run(x)
     print(result.render())
 """
@@ -31,11 +32,14 @@ import numpy as np
 
 from ..core.perf import PerfCounters
 from ..errors import KernelError
+from ..soc.memmap import L2_SIZE
+from ..target import get_target
+from ..target.names import CLUSTER_PREFIX, XPULPNN
 from .layers import ConvGeometry
 from .network import AvgPool, MaxPool, QnnNetwork, QuantizedConv, QuantizedLinear
 
-#: PULPissimo L2 budget (paper Fig. 5).
-L2_BUDGET_BYTES = 512 * 1024
+#: PULPissimo L2 budget (paper Fig. 5) — one definition, in the memory map.
+L2_BUDGET_BYTES = L2_SIZE
 
 
 @dataclass
@@ -102,20 +106,40 @@ class NetworkDeployer:
     """Map a sequential QNN onto generated kernels and run it."""
 
     def __init__(self, network: QnnNetwork, input_shape: Tuple[int, int, int],
-                 input_bits: int = 8, isa: str = "xpulpnn",
-                 target: str = "single", num_cores: int = 8,
-                 l2_budget: int = L2_BUDGET_BYTES) -> None:
-        if target not in ("single", "cluster"):
-            raise KernelError(f"unknown deploy target {target!r}")
-        if target == "cluster" and isa != "xpulpnn":
-            raise KernelError("the cluster target runs XpulpNN cores")
+                 input_bits: int = 8, target=None, num_cores: int = None,
+                 l2_budget: int = None, isa: str = None) -> None:
+        self.spec = self._resolve_spec(target, isa, num_cores)
         self.network = network
         self.input_shape = input_shape
         self.input_bits = input_bits
-        self.isa = isa
-        self.target = target
-        self.num_cores = num_cores
-        self.l2_budget = l2_budget
+        self.isa = self.spec.isa
+        self.l2_budget = self.spec.l2_bytes if l2_budget is None else l2_budget
+
+    @staticmethod
+    def _resolve_spec(target, isa, num_cores):
+        """Resolve the constructor's target to a registered spec.
+
+        *target* is a registry name (or spec); the legacy
+        ``isa=.../target="single"|"cluster"`` spelling still resolves to
+        the equivalent registered target.
+        """
+        if target in ("single", None):
+            return get_target(isa if isa is not None else XPULPNN)
+        if target == "cluster":
+            if isa not in (None, XPULPNN):
+                raise KernelError("the cluster target runs XpulpNN cores")
+            return get_target(f"{CLUSTER_PREFIX}{num_cores or 8}")
+        spec = get_target(target)
+        if isa is not None and spec.isa != get_target(isa).isa:
+            if spec.cluster:
+                raise KernelError("the cluster target runs XpulpNN cores")
+            raise KernelError(
+                f"target {spec.name!r} runs the {spec.isa} ISA, not {isa!r}")
+        return spec
+
+    @property
+    def num_cores(self) -> int:
+        return self.spec.cores
 
     # ------------------------------------------------------------------
 
@@ -129,7 +153,8 @@ class NetworkDeployer:
         if nbytes > self.l2_budget:
             raise KernelError(
                 f"layer {name!r} needs {nbytes} B of L2, exceeding the "
-                f"{self.l2_budget} B PULPissimo budget; tile the layer"
+                f"{self.l2_budget} B budget of target {self.spec.name!r}; "
+                f"deploy on a cluster target to tile it through TCDM"
             )
 
     def _run_tiled(self, name: str, layer, x: np.ndarray, in_bits: int,
@@ -144,7 +169,7 @@ class NetworkDeployer:
         from ..compiler import NetworkCompiler, PlanExecutor
 
         sub = QnnNetwork(layers=[layer], name=name)
-        cores = self.num_cores if self.target == "cluster" else 1
+        cores = self.spec.cores
         compiled = NetworkCompiler(
             sub, tuple(x.shape), input_bits=in_bits, num_cores=cores,
         ).compile()
@@ -164,31 +189,16 @@ class NetworkDeployer:
                           quant: str):
         """Build the conv kernel for the selected target.
 
-        On the cluster target, layers whose geometry shards cleanly run
+        On cluster targets, layers whose geometry shards cleanly run
         on the parallel kernel; anything else (odd row counts, working
         sets beyond the TCDM) falls back to one core — the graceful path
         a real deployment flow takes when a layer does not tile.
         """
-        from ..kernels import (
-            ConvConfig,
-            ConvKernel,
-            ParallelConvConfig,
-            ParallelConvKernel,
-        )
+        from ..kernels import select
 
-        if self.target == "cluster":
-            from ..soc.memmap import TCDM_BASE, TCDM_SIZE
-
-            try:
-                kernel = ParallelConvKernel(ParallelConvConfig(
-                    geometry=geometry, bits=bits, isa=self.isa, quant=quant,
-                    num_cores=self.num_cores))
-                if kernel.layout.end - TCDM_BASE <= TCDM_SIZE:
-                    return kernel, self.num_cores
-            except KernelError:
-                pass
-        return ConvKernel(ConvConfig(
-            geometry=geometry, bits=bits, isa=self.isa, quant=quant)), 1
+        selection = select("conv", bits, self.spec, quant=quant,
+                           cluster_fallback=True, geometry=geometry)
+        return selection.kernel, selection.cores
 
     def _conv_working_set(self, geometry: ConvGeometry, bits: int) -> int:
         """Estimate the conv working set before generating any code."""
@@ -221,12 +231,12 @@ class NetworkDeployer:
             raise KernelError(
                 f"input shape {x.shape} != declared {self.input_shape}")
         bits = self.input_bits
-        power_model = model_for(self.isa)
+        power_model = model_for(self.spec.power_model)
         cluster_power = None
-        if self.target == "cluster":
+        if self.spec.cluster:
             from ..physical import cluster_model_for
 
-            cluster_power = cluster_model_for(self.isa)
+            cluster_power = cluster_model_for(self.spec.power_model)
         executions: List[LayerExecution] = []
 
         for index, layer in enumerate(self.network.layers):
@@ -240,7 +250,10 @@ class NetworkDeployer:
                 geometry = layer.geometry(h, w)
                 need = self._conv_working_set(geometry, k_bits)
                 if need > self.l2_budget:
-                    if self.isa != "xpulpnn":
+                    # Only the cluster streams over-L2 layers through the
+                    # tiling compiler; single-core targets reject them
+                    # uniformly (no silent fallback on any ISA).
+                    if not self.spec.cluster:
                         self._check_budget(name, need)
                     execution, x = self._run_tiled(
                         name, layer, x, k_bits, freq_hz)
@@ -265,8 +278,7 @@ class NetworkDeployer:
                     thresholds = thresholds_from_accumulators(acc, layer.out_bits)
                     layer.thresholds = thresholds
                     kernel, cores = self._make_conv_kernel(
-                        geometry, k_bits,
-                        "hw" if self.isa == "xpulpnn" else "sw")
+                        geometry, k_bits, self.spec.quant)
                     if cores == 1:
                         self._check_budget(name, kernel.layout.end)
                     run = kernel.run(layer.weights, x, thresholds=thresholds)
@@ -278,9 +290,9 @@ class NetworkDeployer:
             elif isinstance(layer, (MaxPool, AvgPool)):
                 op = "max" if isinstance(layer, MaxPool) else "avg"
                 h, w, c = x.shape
-                # The baseline core has no sub-byte SIMD: it pools on
-                # widened 8-bit data (pooling commutes with widening).
-                pool_bits = bits if self.isa == "xpulpnn" else 8
+                # Cores without sub-byte SIMD pool on widened 8-bit data
+                # (pooling commutes with widening).
+                pool_bits = bits if self.spec.subbyte_simd else 8
                 kernel = PoolKernel(PoolConfig(h, w, c, bits=pool_bits, op=op,
                                                isa=self.isa))
                 self._check_budget(name, kernel.layout.end)
@@ -299,13 +311,13 @@ class NetworkDeployer:
 
                 if layer.shift is None:
                     layer.shift = choose_requant_shift(acc, 8, signed=False)
-                # Baseline cores run sub-byte linear layers on widened
+                # Cores without sub-byte SIMD run linear layers on widened
                 # 8-bit data (the values are identical, only wider).
-                lin_bits = k_bits if self.isa == "xpulpnn" else 8
+                lin_bits = k_bits if self.spec.subbyte_simd else 8
                 kernel = LinearKernel(LinearConfig(
                     flat.size, layer.weights.shape[0], lin_bits, isa=self.isa))
                 if kernel.layout.end > self.l2_budget:
-                    if self.isa != "xpulpnn":
+                    if not self.spec.cluster:
                         self._check_budget(name, kernel.layout.end)
                     execution, x = self._run_tiled(
                         name, layer, x, k_bits, freq_hz)

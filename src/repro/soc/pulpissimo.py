@@ -22,6 +22,7 @@ from .memmap import (
     TIMER_CYCLES,
 )
 from .memory import Memory
+from ..target.names import XPULPNN
 
 
 class SocMemory:
@@ -82,7 +83,7 @@ class SocMemory:
 class Pulpissimo:
     """The full MCU: one core (baseline or extended) + SoC memory."""
 
-    def __init__(self, isa: str = "xpulpnn", timing=None) -> None:
+    def __init__(self, isa: str = XPULPNN, timing=None) -> None:
         # Imported here: repro.core imports repro.soc.memory, so a
         # module-level import would be circular.
         from ..core.cpu import Cpu

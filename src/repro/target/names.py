@@ -1,0 +1,37 @@
+"""Canonical machine-name constants.
+
+This module is the single home of the bare core/ISA identifier strings.
+Everything else in the library imports these constants instead of spelling
+the strings out — ``repro lint --isa-strings`` (and the CI gate built on
+it) fails the build when a quoted core name appears anywhere outside
+``src/repro/target/``.
+
+The module is a leaf on purpose: it imports nothing from the package, so
+any layer (including :mod:`repro.isa.registry`, which the rest of the
+target package builds on) can import it without creating a cycle.
+"""
+
+from __future__ import annotations
+
+#: Plain RV32IMC core configuration (no PULP extensions).
+RV32IMC = "rv32imc"
+
+#: The RI5CY core: RV32IMC + the XpulpV2 DSP extensions (paper baseline).
+RI5CY = "ri5cy"
+
+#: The XpulpV2 extension subset name (also usable as a target alias).
+XPULPV2 = "xpulpv2"
+
+#: RI5CY extended with the paper's XpulpNN sub-byte SIMD instructions.
+XPULPNN = "xpulpnn"
+
+#: ARM Cortex-M baseline identifiers (Fig 8/9 comparison platforms).
+STM32L4 = "stm32l4"
+STM32H7 = "stm32h7"
+
+#: Display keys the evaluation tables use for the ARM baselines.
+STM32L4_DISPLAY = "STM32L4"
+STM32H7_DISPLAY = "STM32H7"
+
+#: Prefix for the parametric cluster targets (``xpulpnn-cluster<N>``).
+CLUSTER_PREFIX = XPULPNN + "-cluster"

@@ -17,6 +17,7 @@ from typing import Dict, List, Tuple
 import numpy as np
 
 from ..errors import TraceError
+from ..target.names import RI5CY, XPULPNN
 from .metrics import MetricsRegistry, MetricsTracer
 from .tracer import EventTracer
 
@@ -24,21 +25,21 @@ _SEED = 2020  # DATE 2020 (matches the benchmark suite's data)
 
 #: name -> (bits, isa, quant) for the convolution-layer kernels.
 CONV_SPECS: Dict[str, Tuple[int, str, str]] = {
-    "conv_8bit": (8, "xpulpnn", "shift"),
-    "conv_4bit": (4, "xpulpnn", "hw"),
-    "conv_2bit": (2, "xpulpnn", "hw"),
-    "conv_4bit_sw": (4, "xpulpnn", "sw"),
-    "conv_2bit_sw": (2, "xpulpnn", "sw"),
-    "conv_4bit_ri5cy": (4, "ri5cy", "sw"),
-    "conv_2bit_ri5cy": (2, "ri5cy", "sw"),
+    "conv_8bit": (8, XPULPNN, "shift"),
+    "conv_4bit": (4, XPULPNN, "hw"),
+    "conv_2bit": (2, XPULPNN, "hw"),
+    "conv_4bit_sw": (4, XPULPNN, "sw"),
+    "conv_2bit_sw": (2, XPULPNN, "sw"),
+    "conv_4bit_ri5cy": (4, RI5CY, "sw"),
+    "conv_2bit_ri5cy": (2, RI5CY, "sw"),
 }
 
 #: name -> (bits, isa, quant) for the standalone MatMul microkernels
 #: (the cluster-scaling tile: 64 filters over a 256-deep reduction).
 MATMUL_SPECS: Dict[str, Tuple[int, str, str]] = {
-    "matmul_8bit": (8, "xpulpnn", "shift"),
-    "matmul_4bit": (4, "xpulpnn", "hw"),
-    "matmul_2bit": (2, "xpulpnn", "hw"),
+    "matmul_8bit": (8, XPULPNN, "shift"),
+    "matmul_4bit": (4, XPULPNN, "hw"),
+    "matmul_2bit": (2, XPULPNN, "hw"),
 }
 
 MATMUL_OUT_CH = 64
@@ -123,8 +124,10 @@ def _run_conv(name, spec, tracer_factory, geometry=None):
     from ..core.cpu import Cpu
     from ..soc.memory import Memory
 
+    from ..soc.memmap import L2_SIZE
+
     needed = kernel.layout.end + 4096
-    cpu = Cpu(isa=isa, mem=Memory(max(needed, 512 * 1024)))
+    cpu = Cpu(isa=isa, mem=Memory(max(needed, L2_SIZE)))
     cpu.tracer = tracer
     if bits == 8:
         run = kernel.run(weights, acts, shift=8, cpu=cpu)
@@ -151,6 +154,50 @@ def _run_matmul(name, spec, tracer_factory):
         run = kernel.run(w, x0, x1, shift=8, cpu=cpu)
     else:
         run = kernel.run(w, x0, x1, thresholds=thresholds, cpu=cpu)
+    return kernel, run, tracer
+
+
+def _retarget(kind, spec, target):
+    """Re-resolve a catalog entry's (bits, isa, quant) for a target.
+
+    The catalog names fix *what* runs (bits + quantization ablation);
+    the target decides *where*: the ISA config comes from the spec and
+    hardware quantization degrades to the software staircase on cores
+    without ``pv.qnt``.
+    """
+    from ..target import get_target
+
+    tspec = get_target(target)
+    if not tspec.riscv:
+        raise TraceError(
+            f"target {tspec.name!r} is a cost-model baseline; built-in "
+            f"kernels profile on RISC-V targets only")
+    bits, _, quant = spec
+    if quant == "hw" and not tspec.hw_quant:
+        quant = "sw"
+    return (bits, tspec.isa, quant), tspec
+
+
+def _run_cluster_conv(name, spec, tracer_factory, cores: int,
+                      geometry=None):
+    from ..cluster import Cluster
+    from ..eval.workloads import benchmark_geometry
+    from ..kernels import ParallelConvConfig, ParallelConvKernel
+
+    bits, isa, quant = spec
+    geometry = geometry or benchmark_geometry()
+    kernel = ParallelConvKernel(ParallelConvConfig(
+        geometry=geometry, bits=bits, isa=isa, quant=quant,
+        num_cores=cores))
+    tracer = tracer_factory(kernel.program)
+    weights, acts, thresholds = _conv_workload(geometry, bits)
+    cluster = Cluster(num_cores=cores, isa=isa)
+    cluster.attach_tracer(tracer)
+    if bits == 8:
+        run = kernel.run(weights, acts, shift=8, cluster=cluster)
+    else:
+        run = kernel.run(weights, acts, thresholds=thresholds,
+                         cluster=cluster)
     return kernel, run, tracer
 
 
@@ -219,22 +266,32 @@ class KernelProfile:
         return header + "\n" + self.registry.render()
 
 
-def profile_kernel(name: str, cores: int = 1,
-                   geometry=None) -> KernelProfile:
-    """Run the named built-in kernel under a :class:`MetricsTracer`."""
+def profile_kernel(name: str, cores: int = 1, geometry=None,
+                   target=None) -> KernelProfile:
+    """Run the named built-in kernel under a :class:`MetricsTracer`.
+
+    *target* retargets the catalog entry to a registered target name
+    (``repro targets``): the ISA, core count, and quantization capability
+    come from the spec.  Without it, the catalog's own ISA runs, and
+    *cores* > 1 shards matmul kernels on a cluster.
+    """
     kind, spec = _lookup(name)
     description = dict(kernel_catalog())[name]
+    if target is not None:
+        spec, tspec = _retarget(kind, spec, target)
+        if tspec.cluster:
+            cores = tspec.cores
 
     def factory(program):
         return MetricsTracer(program=program)
 
     detail: Dict[str, int] = {}
     if cores > 1:
-        if kind != "matmul":
-            raise TraceError(
-                "cluster profiling supports the matmul kernels; conv layers "
-                "profile single-core (use repro trace for cluster timelines)")
-        _, run, tracer = _run_cluster_matmul(name, spec, factory, cores)
+        if kind == "conv":
+            _, run, tracer = _run_cluster_conv(
+                name, spec, factory, cores, geometry=geometry)
+        else:
+            _, run, tracer = _run_cluster_matmul(name, spec, factory, cores)
         cycles = run.cycles
         instructions = run.run.aggregate.instructions
         detail = {
@@ -260,25 +317,27 @@ def profile_kernel(name: str, cores: int = 1,
 # Tracing (event timelines)
 # ---------------------------------------------------------------------------
 
-def trace_kernel(name: str, cores: int = 1,
-                 detail: str = "spans") -> EventTracer:
+def trace_kernel(name: str, cores: int = 1, detail: str = "spans",
+                 target=None) -> EventTracer:
     """Run the named built-in kernel under an :class:`EventTracer`.
 
-    ``cores > 1`` shards the MatMul tile over a cluster of that many
-    cores (the 8-core timeline of the evaluation); convolution layers
-    trace single-core.
+    ``cores > 1`` (or a cluster *target*) shards the kernel over a
+    cluster of that many cores (the 8-core timeline of the evaluation).
     """
     kind, spec = _lookup(name)
+    if target is not None:
+        spec, tspec = _retarget(kind, spec, target)
+        if tspec.cluster:
+            cores = tspec.cores
 
     def factory(program):
         return EventTracer(program=program, detail=detail)
 
     if cores > 1:
-        if kind != "matmul":
-            raise TraceError(
-                "cluster traces use the matmul kernels "
-                "(e.g. --kernel matmul_4bit --cores 8)")
-        _, _, tracer = _run_cluster_matmul(name, spec, factory, cores)
+        if kind == "conv":
+            _, _, tracer = _run_cluster_conv(name, spec, factory, cores)
+        else:
+            _, _, tracer = _run_cluster_matmul(name, spec, factory, cores)
     elif kind == "conv":
         _, _, tracer = _run_conv(name, spec, factory)
     else:

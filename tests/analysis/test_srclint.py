@@ -1,0 +1,50 @@
+"""Source lint: core-name strings stay inside ``repro.target``."""
+
+from repro.analysis.srclint import (
+    package_root,
+    render_report,
+    scan_file,
+    scan_tree,
+)
+
+
+class TestShippedTree:
+    def test_package_is_clean(self):
+        findings = scan_tree()
+        assert findings == [], render_report(findings)
+
+    def test_report_renders_ok(self):
+        assert "OK" in render_report([])
+
+    def test_root_is_the_repro_package(self):
+        assert package_root().name == "repro"
+
+
+class TestScan:
+    def test_flags_bare_literals(self, tmp_path):
+        bad = tmp_path / "mod.py"
+        bad.write_text('CORE = "xpulpnn"\n\nif CORE == "ri5cy":\n    pass\n')
+        findings = scan_tree(root=tmp_path, exempt=())
+        assert [f.literal for f in findings] == ["xpulpnn", "ri5cy"]
+        assert findings[0].line == 1
+        assert "mod.py" in render_report(findings)
+
+    def test_docstrings_exempt(self, tmp_path):
+        ok = tmp_path / "mod.py"
+        ok.write_text('"""About the xpulpnn core."""\n\n'
+                      'def f():\n    "runs on ri5cy"\n')
+        assert scan_tree(root=tmp_path, exempt=()) == []
+
+    def test_exempt_directory_skipped(self, tmp_path):
+        sub = tmp_path / "target"
+        sub.mkdir()
+        (sub / "names.py").write_text('XPULPNN = "xpulpnn"\n')
+        assert scan_tree(root=tmp_path) == []
+        assert len(scan_tree(root=tmp_path, exempt=())) == 1
+
+    def test_syntax_error_reported_not_raised(self, tmp_path):
+        broken = tmp_path / "mod.py"
+        broken.write_text("def f(:\n")
+        findings = scan_file(broken)
+        assert len(findings) == 1
+        assert "syntax error" in findings[0].literal

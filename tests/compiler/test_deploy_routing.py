@@ -32,7 +32,7 @@ class TestOverL2Routing:
         built = build_network("over-l2")
         deployer = NetworkDeployer(
             built.network, built.input_shape, input_bits=built.input_bits,
-            target="cluster", num_cores=8)
+            target="xpulpnn-cluster8")
         return deployer.run(built.input)
 
     def test_network_verified_end_to_end(self, routed):
@@ -51,8 +51,19 @@ class TestOverL2Routing:
         built = build_network("over-l2")
         deployer = NetworkDeployer(
             built.network, built.input_shape, input_bits=built.input_bits,
-            isa="ri5cy")
+            target="ri5cy")
         with pytest.raises(KernelError, match="L2"):
+            deployer.run(built.input)
+
+    def test_single_core_xpulpnn_rejects_oversized_layers_too(self):
+        # The silent tiled fallback was a cluster feature; on the
+        # single-core XpulpNN target the structured error names the
+        # target, same as the baseline core.
+        built = build_network("over-l2")
+        deployer = NetworkDeployer(
+            built.network, built.input_shape, input_bits=built.input_bits,
+            target="xpulpnn")
+        with pytest.raises(KernelError, match="xpulpnn"):
             deployer.run(built.input)
 
 
@@ -65,15 +76,25 @@ class TestBudgetRouting:
         assert all(layer.tiles == 1 for layer in reference.layers)
 
         routed = NetworkDeployer(net, input_shape=x.shape, input_bits=8,
+                                 target="xpulpnn-cluster8",
                                  l2_budget=5000).run(x)
         assert routed.verified
         assert np.array_equal(routed.output, reference.output)
+
+    def test_tight_budget_raises_on_single_core(self, small8):
+        # Single-core targets no longer tile silently: the same tight
+        # budget is a structured error naming the target.
+        net, x = small8
+        deployer = NetworkDeployer(net, input_shape=x.shape, input_bits=8,
+                                   l2_budget=5000)
+        with pytest.raises(KernelError, match="xpulpnn"):
+            deployer.run(x)
 
     def test_same_budget_raises_without_the_compiler(self, small8):
         # Proof the tight budget actually trips the check: the baseline
         # core has no tiled fallback and must reject the layer.
         net, x = small8
         deployer = NetworkDeployer(net, input_shape=x.shape, input_bits=8,
-                                   isa="ri5cy", l2_budget=5000)
+                                   target="ri5cy", l2_budget=5000)
         with pytest.raises(KernelError, match="L2"):
             deployer.run(x)

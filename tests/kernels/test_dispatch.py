@@ -1,0 +1,137 @@
+"""Kernel dispatch parity: ``select()`` must match direct construction.
+
+The refactor's behavior-preservation contract: for every (op, bits)
+point, dispatching through the target registry builds the same kernel —
+identical output bits AND identical cycle counts — as spelling out the
+Config/Kernel pair by hand.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError, TargetError
+from repro.kernels import (
+    ConvConfig,
+    ConvKernel,
+    KernelSelection,
+    MatmulConfig,
+    MatmulKernel,
+    select,
+)
+from repro.qnn import (
+    conv2d_golden,
+    random_activations,
+    random_weights,
+    requantize_shift,
+    thresholds_from_accumulators,
+)
+from repro.target import names
+from tests.conftest import TINY_GEOMETRY
+
+K, CO = 96, 8
+
+
+def _conv_inputs(bits, seed=11):
+    rng = np.random.default_rng(seed)
+    g = TINY_GEOMETRY
+    w = random_weights((g.out_ch, g.kh, g.kw, g.in_ch), bits, rng)
+    x = random_activations((g.in_h, g.in_w, g.in_ch), bits, rng)
+    return w, x
+
+
+def _run_conv(kernel, bits, w, x):
+    acc = conv2d_golden(x, w, stride=TINY_GEOMETRY.stride,
+                        pad=TINY_GEOMETRY.pad)
+    if bits == 8:
+        return kernel.run(w, x, shift=8)
+    table = thresholds_from_accumulators(acc, bits)
+    return kernel.run(w, x, thresholds=table)
+
+
+class TestConvParity:
+    @pytest.mark.parametrize("bits,target,quant", [
+        (8, names.XPULPNN, "shift"),
+        (4, names.XPULPNN, "hw"),
+        (2, names.XPULPNN, "hw"),
+        (4, names.RI5CY, "sw"),
+        (2, names.RI5CY, "sw"),
+    ])
+    def test_cycles_and_outputs_identical(self, bits, target, quant):
+        w, x = _conv_inputs(bits)
+        sel = select("conv", bits, target, geometry=TINY_GEOMETRY)
+        assert sel.quant == quant and sel.cores == 1
+        direct = ConvKernel(ConvConfig(geometry=TINY_GEOMETRY, bits=bits,
+                                       isa=sel.spec.isa, quant=quant))
+        got = _run_conv(sel.kernel, bits, w, x)
+        want = _run_conv(direct, bits, w, x)
+        assert np.array_equal(got.output, want.output)
+        assert got.cycles == want.cycles
+
+    def test_quant_override(self):
+        sel = select("conv", 4, names.XPULPNN, quant="sw",
+                     geometry=TINY_GEOMETRY)
+        assert sel.quant == "sw"
+
+
+class TestMatmulParity:
+    @pytest.mark.parametrize("bits,target,quant", [
+        (8, names.XPULPNN, "shift"),
+        (4, names.XPULPNN, "hw"),
+        (2, names.XPULPNN, "hw"),
+        (4, names.RI5CY, "sw"),
+    ])
+    def test_cycles_and_outputs_identical(self, bits, target, quant):
+        rng = np.random.default_rng(7 + bits)
+        lo, hi = -(1 << (bits - 1)), 1 << (bits - 1)
+        w = rng.integers(lo, hi, (CO, K)).astype(np.int32)
+        x0 = rng.integers(0, 1 << bits, K).astype(np.int32)
+        x1 = rng.integers(0, 1 << bits, K).astype(np.int32)
+        acc = np.stack([x0.astype(np.int64) @ w.T.astype(np.int64),
+                        x1.astype(np.int64) @ w.T.astype(np.int64)])
+
+        sel = select("matmul", bits, target, reduction=K, out_ch=CO)
+        assert sel.quant == quant
+        direct = MatmulKernel(MatmulConfig(reduction=K, out_ch=CO, bits=bits,
+                                           isa=sel.spec.isa, quant=quant))
+        if bits == 8:
+            got = sel.run(w, x0, x1, shift=10)
+            want = direct.run(w, x0, x1, shift=10)
+            assert np.array_equal(want.output,
+                                  requantize_shift(acc, 10, 8))
+        else:
+            table = thresholds_from_accumulators(acc, bits)
+            got = sel.run(w, x0, x1, thresholds=table)
+            want = direct.run(w, x0, x1, thresholds=table)
+        assert np.array_equal(got.output, want.output)
+        assert got.cycles == want.cycles
+
+
+class TestSelection:
+    def test_cluster_target_shards_matmul(self):
+        sel = select("matmul", 4, "xpulpnn-cluster4", reduction=K, out_ch=CO)
+        assert sel.parallel and sel.cores == 4
+        assert isinstance(sel, KernelSelection)
+
+    def test_cluster_conv_falls_back_when_asked(self):
+        # TINY_GEOMETRY's 4 output rows do not shard across 8 cores.
+        sel = select("conv", 4, "xpulpnn-cluster8", cluster_fallback=True,
+                     geometry=TINY_GEOMETRY)
+        assert sel.cores == 1
+        with pytest.raises(KernelError):
+            select("conv", 4, "xpulpnn-cluster8", geometry=TINY_GEOMETRY)
+
+    def test_sub_byte_linear_widens_without_simd(self):
+        narrow = select("linear", 4, names.XPULPNN, in_features=16,
+                        out_features=4)
+        wide = select("linear", 4, names.RI5CY, in_features=16,
+                      out_features=4)
+        assert narrow.kernel.config.bits == 4
+        assert wide.kernel.config.bits == 8
+
+    def test_arm_target_rejected(self):
+        with pytest.raises(TargetError, match="stm32l4"):
+            select("conv", 8, names.STM32L4, geometry=TINY_GEOMETRY)
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(KernelError, match="transpose"):
+            select("transpose", 8, names.XPULPNN)

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.errors import KernelError
+from repro.errors import KernelError, TargetError
 from repro.qnn import (
     MaxPool,
     NetworkDeployer,
@@ -93,8 +93,20 @@ class TestDeployerChecks:
             weights=random_weights((8, 3, 3, 32), 8, rng), weight_bits=8,
             in_bits=8, out_bits=8, pad=1, name="huge")])
         deployer = NetworkDeployer(net, input_shape=(128, 128, 32),
-                                   input_bits=8, isa="ri5cy")
+                                   input_bits=8, target="ri5cy")
         with pytest.raises(KernelError, match="L2"):
+            deployer.run(np.zeros((128, 128, 32), dtype=np.int32))
+
+    def test_oversized_layer_rejected_on_single_core_xpulpnn(self):
+        """Over-L2 layers raise on *every* single-core target (the old
+        deployer silently fell back to tiling on XpulpNN only)."""
+        rng = np.random.default_rng(2)
+        net = QnnNetwork([QuantizedConv(
+            weights=random_weights((8, 3, 3, 32), 8, rng), weight_bits=8,
+            in_bits=8, out_bits=8, pad=1, name="huge")])
+        deployer = NetworkDeployer(net, input_shape=(128, 128, 32),
+                                   input_bits=8, target="xpulpnn")
+        with pytest.raises(KernelError, match="xpulpnn"):
             deployer.run(np.zeros((128, 128, 32), dtype=np.int32))
 
     def test_unknown_layer_rejected(self):
@@ -118,7 +130,7 @@ class TestDeployerChecks:
             weights=random_weights((8, 3, 3, 16), 8, rng), weight_bits=8,
             in_bits=8, out_bits=8, pad=1, name="conv8")])
         result = NetworkDeployer(net, input_shape=(8, 8, 16), input_bits=8,
-                                 isa="ri5cy").run(
+                                 target="ri5cy").run(
             random_activations((8, 8, 16), 8, rng))
         assert result.verified
 
@@ -128,8 +140,8 @@ class TestClusterDeployment:
         rng = np.random.default_rng(56)
         x = random_activations((8, 8, 16), 4, rng)
         return NetworkDeployer(small_net, input_shape=(8, 8, 16),
-                               input_bits=4, target="cluster",
-                               num_cores=4).run(x)
+                               input_bits=4,
+                               target="xpulpnn-cluster4").run(x)
 
     def test_bit_identical_to_single_core(self, small_net, result,
                                           cluster_result):
@@ -152,9 +164,13 @@ class TestClusterDeployment:
         with pytest.raises(KernelError, match="cluster"):
             NetworkDeployer(small_net, input_shape=(8, 8, 16),
                             input_bits=4, isa="ri5cy", target="cluster")
+        with pytest.raises(KernelError, match="cluster"):
+            NetworkDeployer(small_net, input_shape=(8, 8, 16),
+                            input_bits=4, isa="ri5cy",
+                            target="xpulpnn-cluster4")
 
     def test_unknown_target_rejected(self, small_net):
-        with pytest.raises(KernelError):
+        with pytest.raises(TargetError, match="gpu"):
             NetworkDeployer(small_net, input_shape=(8, 8, 16),
                             input_bits=4, target="gpu")
 

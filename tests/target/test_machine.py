@@ -1,0 +1,44 @@
+"""Machine factory: specs build correctly wired simulators."""
+
+import pytest
+
+from repro.errors import TargetError
+from repro.soc.memmap import L2_SIZE
+from repro.target import arm_core, build_machine, get_target, names
+from repro.trace import Tracer
+
+
+class TestBuildMachine:
+    def test_single_core(self):
+        m = build_machine(names.RI5CY)
+        assert m.cores == 1 and m.cluster is None and m.soc is None
+        assert m.cpu.mem.size == L2_SIZE
+        assert m.spec is get_target(names.RI5CY)
+
+    def test_mem_request_grows_beyond_l2(self):
+        m = build_machine(names.XPULPNN, mem_bytes=2 * L2_SIZE)
+        assert m.cpu.mem.size == 2 * L2_SIZE
+
+    def test_cluster(self):
+        m = build_machine("xpulpnn-cluster4")
+        assert m.cores == 4 and m.cpu is None
+        assert m.cluster.config.num_cores == 4
+
+    def test_cluster_tracer_attached(self):
+        tracer = Tracer()
+        m = build_machine("xpulpnn-cluster2", tracer=tracer)
+        assert m.run_target() is m.cluster
+
+    def test_soc(self):
+        m = build_machine(names.XPULPNN, soc=True)
+        assert m.soc is not None and m.run_target() is m.soc
+
+    def test_arm_target_has_no_machine(self):
+        with pytest.raises(TargetError, match="stm32h7"):
+            build_machine(names.STM32H7)
+
+    def test_arm_core_lookup(self):
+        core = arm_core(names.STM32L4)
+        assert core.name == names.STM32L4_DISPLAY
+        with pytest.raises(TargetError):
+            arm_core(names.RI5CY)

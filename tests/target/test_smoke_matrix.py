@@ -1,0 +1,25 @@
+"""CI smoke matrix: ``repro profile --kernel conv_4bit`` on every
+registered RISC-V target (single cores and clusters alike)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.target import riscv_targets
+
+TARGETS = [spec.name for spec in riscv_targets()]
+
+
+@pytest.mark.parametrize("target", TARGETS)
+def test_conv_4bit_profiles_on_target(target, capsys):
+    assert main(["profile", "--kernel", "conv_4bit",
+                 "--target", target, "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["kernel"] == "conv_4bit"
+    assert payload["cycles"] > 0
+
+
+def test_matrix_covers_clusters():
+    assert {"ri5cy", "xpulpv2", "xpulpnn"} <= set(TARGETS)
+    assert any(t.startswith("xpulpnn-cluster") for t in TARGETS)

@@ -326,3 +326,42 @@ class TestCompile:
     def test_unknown_network_rejected(self, capsys):
         assert main(["compile", "--network", "nope"]) == 1
         assert "nope" in capsys.readouterr().err
+
+
+class TestTargets:
+    def test_table_lists_all_targets(self, capsys):
+        assert main(["targets"]) == 0
+        text = capsys.readouterr().out
+        for name in ("ri5cy", "xpulpv2", "xpulpnn", "xpulpnn-cluster8",
+                     "stm32l4", "stm32h7"):
+            assert name in text
+
+    def test_family_filter(self, capsys):
+        assert main(["targets", "--family", "arm"]) == 0
+        text = capsys.readouterr().out
+        assert "stm32l4" in text and "xpulpnn" not in text
+
+    def test_json_round_trips_through_spec(self, capsys):
+        import json
+
+        from repro.target import TargetSpec
+
+        assert main(["targets", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload) >= 7
+        specs = [TargetSpec.from_dict(entry) for entry in payload]
+        assert {"riscv", "arm"} <= {spec.family for spec in specs}
+
+    def test_isa_strings_gate_passes_on_tree(self, capsys):
+        assert main(["lint", "--isa-strings"]) == 0
+        assert "isa-strings: OK" in capsys.readouterr().out
+
+    def test_profile_accepts_target_flag(self, capsys):
+        assert main(["profile", "--kernel", "matmul_4bit",
+                     "--target", "xpulpnn-cluster2"]) == 0
+        assert "cores" in capsys.readouterr().out.lower()
+
+    def test_unknown_target_errors(self, capsys):
+        assert main(["profile", "--kernel", "conv_4bit",
+                     "--target", "gpu"]) == 1
+        assert "gpu" in capsys.readouterr().err

@@ -55,9 +55,19 @@ class TestProfileKernel:
         # Aggregate core-cycles, not wall-clock.
         assert profile.registry.total().cycles > profile.cycles
 
-    def test_cluster_conv_rejected(self):
-        with pytest.raises(TraceError):
-            profile_kernel("conv_4bit", cores=8)
+    def test_cluster_conv_profiles(self):
+        profile = profile_kernel("conv_4bit", cores=4)
+        assert profile.cores == 4
+        assert profile.detail["tcdm_conflicts"] >= 0
+        assert profile.cycles < profile_kernel("conv_4bit").cycles
+
+    def test_profile_by_target_name(self):
+        single = profile_kernel("conv_4bit", target="xpulpnn")
+        assert single.cores == 1
+        cluster = profile_kernel("conv_4bit", target="xpulpnn-cluster4")
+        assert cluster.cores == 4
+        with pytest.raises(TraceError, match="stm32l4"):
+            profile_kernel("conv_4bit", target="stm32l4")
 
     def test_to_dict_round_trip(self):
         profile = profile_kernel("matmul_2bit")
