@@ -1,0 +1,86 @@
+"""Batch-service throughput (host-side performance, not a paper figure).
+
+Three numbers size the serving layer:
+
+* **service overhead** — jobs/sec through the full submit → dedupe →
+  cache → inline-execute path for a no-op job (the fixed cost the
+  service adds on top of a simulation);
+* **pool sharding** — wall-clock speedup of an 8-worker sweep over the
+  same sweep run serially, on a latency-bound workload (the acceptance
+  bar is >= 4x);
+* **cache hit speedup** — a warmed re-run of a real simulation sweep
+  against its cold run (determinism makes every repeat free).
+
+The ``serve/*`` series are recorded into their own trajectory file,
+``benchmarks/results/serve_throughput.json`` — wall-clock numbers are
+machine-dependent and must not churn the committed cycle-exact baseline
+in ``trajectory.json``.
+"""
+
+import time
+
+from repro.serve import (
+    ResultCache,
+    ScalingJob,
+    SelfTestJob,
+    SimulationService,
+    run_jobs,
+)
+
+from conftest import record
+
+
+def _write_series(results_dir, name, value):
+    from repro.eval.trajectory import write_trajectory
+
+    write_trajectory({"serve": {name: round(value, 3)}},
+                     str(results_dir / "serve_throughput.json"))
+
+
+def test_benchmark_service_overhead(benchmark, results_dir):
+    service = SimulationService()
+    jobs = [SelfTestJob(value=i) for i in range(50)]
+
+    report = benchmark(lambda: service.run(jobs, label="overhead"))
+    assert report.ok
+    jobs_per_sec = len(jobs) / report.wall_s
+    _write_series(results_dir, "inline_jobs_per_sec", jobs_per_sec)
+    record(results_dir, "serve_overhead",
+           f"service inline dispatch: {jobs_per_sec:,.0f} jobs/s "
+           f"({len(jobs)} no-op jobs in {report.wall_s * 1e3:.1f} ms)")
+
+
+def test_benchmark_pool_sharding(results_dir):
+    jobs = [SelfTestJob(mode="sleep", duration=0.15, value=i)
+            for i in range(32)]
+    start = time.perf_counter()
+    serial = run_jobs(jobs)
+    serial_s = time.perf_counter() - start
+    start = time.perf_counter()
+    sharded = run_jobs(jobs, workers=8)
+    sharded_s = time.perf_counter() - start
+    assert all(r.ok for r in serial) and all(r.ok for r in sharded)
+    speedup = serial_s / sharded_s
+    _write_series(results_dir, "pool8_speedup", speedup)
+    record(results_dir, "serve_pool_sharding",
+           f"32-point latency-bound sweep: serial {serial_s:.2f}s, "
+           f"8 workers {sharded_s:.2f}s -> {speedup:.1f}x")
+    assert speedup >= 4.0
+
+
+def test_benchmark_cache_hit_speedup(results_dir, tmp_path):
+    service = SimulationService(cache=ResultCache(tmp_path / "cache"))
+    jobs = [ScalingJob(bits=bits, cores=cores, out_ch=32, reduction=64)
+            for bits in (8, 4, 2) for cores in (1, 2, 4)]
+    cold = service.run(jobs, label="cold")
+    warm = service.run(jobs, label="warm")
+    assert cold.ok and warm.ok
+    assert warm.cached_count == len(jobs)
+    for a, b in zip(cold.results, warm.results):
+        assert a.payload == b.payload
+    speedup = cold.wall_s / warm.wall_s
+    _write_series(results_dir, "cache_hit_speedup", speedup)
+    record(results_dir, "serve_cache_hits",
+           f"{len(jobs)}-point scaling sweep: cold {cold.wall_s:.2f}s, "
+           f"warm (100% cache hits) {warm.wall_s:.3f}s -> {speedup:.0f}x")
+    assert speedup > 2.0

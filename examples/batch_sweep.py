@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Batch simulation through the serving layer: sweeps, shards, cache.
+
+The simulator is cycle-exact and deterministic, so every result is a
+pure function of (machine, code, config).  `repro.serve` turns that into
+a batch service: typed jobs flow through one `SimulationService` that
+
+* dedupes identical requests within a batch,
+* answers repeats from a content-addressed on-disk cache bit-identically,
+* shards cache misses across crash-isolated worker processes, and
+* returns failures as data — one bad point never kills a sweep.
+
+This example runs the cluster-scaling sweep three ways (cold through a
+4-worker pool, warm from the cache, inline) and shows failure isolation
+with a worker that dies mid-job.
+
+Run:  python examples/batch_sweep.py
+"""
+
+import tempfile
+
+from repro.serve import (
+    ResultCache,
+    ScalingJob,
+    SelfTestJob,
+    SimulationService,
+    cartesian_sweep,
+)
+
+cache_dir = tempfile.mkdtemp(prefix="repro-cache-")
+
+# --- a cartesian sweep: 12 (bits, cores) MatMul scaling points ----------
+
+sweep = cartesian_sweep(
+    "scaling",
+    {"bits": [8, 4, 2], "cores": [1, 2, 4, 8]},
+    base={"out_ch": 64, "reduction": 256},
+    label="scaling-demo",
+)
+print(f"expanded {len(sweep.points)} points; first job on the wire:")
+print(f"  {sweep.points[0].canonical()}")
+
+# --- cold run: shard across 4 worker processes --------------------------
+
+service = SimulationService(cache=ResultCache(cache_dir), workers=4,
+                            timeout=300.0)
+cold = service.sweep(sweep)
+print(f"\ncold: {cold.stats['executed']} executed, "
+      f"{cold.stats['cached']} cached, wall {cold.wall_s:.2f}s")
+
+# --- warm run: same sweep again is 100% cache hits, bit-identical -------
+
+warm = service.sweep(sweep)
+assert warm.cached_count == len(sweep.points)
+assert [r.payload for r in warm.results] == \
+    [r.payload for r in cold.results]
+print(f"warm: 100% cache hits, wall {warm.wall_s:.3f}s "
+      f"({cold.wall_s / warm.wall_s:.0f}x)")
+
+for outcome in warm.results[:3]:
+    p = outcome.payload
+    print(f"  {p['bits']}-bit x{p['cores']}: {p['cycles']:,} cycles "
+          f"[{'cache' if outcome.cached else 'run'}]")
+
+# --- failure isolation: a dying worker is a typed result ----------------
+
+report = SimulationService(workers=2).run([
+    SelfTestJob(mode="ok", value=1),
+    SelfTestJob(mode="crash", value=13),   # os._exit(13) mid-job
+    ScalingJob(bits=4, cores=2, out_ch=32, reduction=64),
+], label="isolation-demo")
+print(f"\nisolation: {len(report.failures)} failure out of "
+      f"{len(report.results)} points")
+for outcome in report.results:
+    state = "ok    " if outcome.ok else outcome.error_type
+    print(f"  {state}  {outcome.job.kind}")
+assert [r.ok for r in report.results] == [True, False, True]
+assert report.failures[0].error_type == "WorkerCrash"
+
+print("\nsame sweep from the shell:")
+print("  python -m repro sweep scaling bits=8,4,2 cores=1,2,4,8 "
+      "--workers 4")

@@ -53,6 +53,32 @@ class Program:
                 blob += encode(ins).to_bytes(4, "little")
         return bytes(blob)
 
+    def digest(self) -> str:
+        """Stable content hash of the linked program (hex SHA-256).
+
+        Covers the encoded instruction stream plus the layout facts that
+        change execution (base, entry) and the region markers.  Two
+        programs with the same digest simulate identically on the same
+        machine, which makes the digest the program component of the
+        result-cache key (:mod:`repro.serve`).
+        """
+        import hashlib
+        import json
+
+        h = hashlib.sha256()
+        h.update(self.encode())
+        meta = {
+            "base": self.base,
+            "entry": self.entry,
+            "regions": {
+                name: sorted(spans)
+                for name, spans in self.regions.items()
+            },
+        }
+        h.update(json.dumps(meta, sort_keys=True,
+                            separators=(",", ":")).encode("utf-8"))
+        return h.hexdigest()
+
     def region_map(self) -> Dict[int, str]:
         """Instruction address -> region name for every marked address.
 

@@ -21,7 +21,13 @@ Commands:
   detector, ``--isa-strings`` for the source-tree core-name gate).
   Exits non-zero when findings or races are reported;
 * ``targets`` list the registered machine targets (the ``--isa`` and
-  ``--target`` flags resolve against this registry).
+  ``--target`` flags resolve against this registry);
+* ``serve``   run a batch of typed simulation jobs from a JSON job file
+  (or stdin) through the batch service: content-addressed result cache,
+  deduplication, crash-isolated worker pool (``--workers``);
+* ``sweep``   expand a cartesian sweep on the command line
+  (``repro sweep scaling bits=8,4,2 cores=1,2,4,8``) and run it through
+  the same service.
 """
 
 from __future__ import annotations
@@ -431,6 +437,103 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _serve_service(args: argparse.Namespace):
+    """Build a :class:`SimulationService` from the shared serve flags."""
+    from .serve import SimulationService, open_cache
+
+    cache = open_cache(args.cache_dir, enabled=not args.no_cache)
+    progress = None
+    if not args.json and not args.quiet:
+        def progress(event):
+            print(event.render(), file=sys.stderr)
+    return SimulationService(cache=cache, workers=args.workers,
+                             timeout=args.timeout, progress=progress)
+
+
+def _emit_report(report, args: argparse.Namespace) -> int:
+    import json
+
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2)
+            handle.write("\n")
+        print(f"report -> {args.out}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import dataclasses
+    import json
+
+    from .serve import ServeError, SweepJob, job_from_dict
+
+    if args.input and args.input != "-":
+        with open(args.input) as handle:
+            payload = json.load(handle)
+    else:
+        payload = json.load(sys.stdin)
+    try:
+        if isinstance(payload, list):
+            sweep = SweepJob(points=tuple(job_from_dict(p) for p in payload))
+        else:
+            job = job_from_dict(payload)
+            sweep = job if isinstance(job, SweepJob) \
+                else SweepJob(points=(job,))
+    except (TypeError, ValueError) as exc:
+        raise ServeError(f"bad job file: {exc}")
+    if args.label:
+        sweep = dataclasses.replace(sweep, label=args.label)
+    report = _serve_service(args).sweep(sweep)
+    return _emit_report(report, args)
+
+
+def _parse_axis_value(token: str):
+    import json
+
+    try:
+        return json.loads(token)
+    except json.JSONDecodeError:
+        return token
+
+
+def _parse_axes(specs) -> dict:
+    from .serve import ServeError
+
+    axes = {}
+    for spec in specs:
+        name, sep, values = spec.partition("=")
+        if not sep or not name or not values:
+            raise ServeError(
+                f"bad axis {spec!r}; expected FIELD=VALUE[,VALUE...]")
+        axes[name] = [_parse_axis_value(v) for v in values.split(",")]
+    return axes
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .serve import cartesian_sweep
+
+    base = {}
+    for binding in args.base or ():
+        for name, values in _parse_axes([binding]).items():
+            base[name] = values[0]
+    sweep = cartesian_sweep(args.job, _parse_axes(args.axes),
+                            label=args.label or args.job, base=base,
+                            skip_invalid=args.skip_invalid)
+    if not sweep.points:
+        raise ReproError("sweep expanded to zero valid points")
+    if args.expand_only:
+        import json
+
+        print(json.dumps([p.to_dict() for p in sweep.points], indent=2))
+        return 0
+    report = _serve_service(args).sweep(sweep)
+    return _emit_report(report, args)
+
+
 def _cmd_targets(args: argparse.Namespace) -> int:
     from .target import list_targets
 
@@ -590,6 +693,52 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--json", action="store_true",
                       help="emit reports as JSON")
     lint.set_defaults(func=_cmd_lint)
+
+    def serve_flags(p):
+        p.add_argument("--workers", type=int, default=0,
+                       help="worker processes (0 = inline, no isolation)")
+        p.add_argument("--timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-job deadline (pool mode only)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="skip the content-addressed result cache")
+        p.add_argument("--cache-dir", metavar="PATH",
+                       help="cache root (default .repro-cache or "
+                            "$REPRO_CACHE_DIR)")
+        p.add_argument("--label", help="sweep label for the report")
+        p.add_argument("--out", metavar="PATH",
+                       help="also write the JSON report to PATH")
+        p.add_argument("--json", action="store_true",
+                       help="print the report as JSON")
+        p.add_argument("--quiet", action="store_true",
+                       help="suppress per-job progress on stderr")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run a JSON job batch through the simulation service")
+    serve.add_argument("input", nargs="?",
+                       help="job file: one job object, a list of jobs, or "
+                            "a sweep job ('-' or omitted = stdin)")
+    serve_flags(serve)
+    serve.set_defaults(func=_cmd_serve)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="expand a cartesian job sweep and run it via the service")
+    sweep.add_argument("job", metavar="KIND",
+                       help="job kind: profile, compile, scaling, "
+                            "convpoint, selftest")
+    sweep.add_argument("axes", nargs="+", metavar="FIELD=V1[,V2...]",
+                       help="sweep axes, e.g. bits=8,4,2 cores=1,2,4,8")
+    sweep.add_argument("--base", action="append", metavar="FIELD=VALUE",
+                       help="fix a non-swept field, e.g. --base out_ch=32")
+    sweep.add_argument("--skip-invalid", action="store_true",
+                       help="drop cartesian points whose validation fails "
+                            "instead of erroring")
+    sweep.add_argument("--expand-only", action="store_true",
+                       help="print the expanded job list as JSON and exit")
+    serve_flags(sweep)
+    sweep.set_defaults(func=_cmd_sweep)
 
     targets = sub.add_parser(
         "targets", help="list the registered machine targets")

@@ -81,6 +81,21 @@ class PerfCounters:
         data["by_mnemonic"] = dict(sorted(self.by_mnemonic.items()))
         return data
 
+    @classmethod
+    def from_dict(cls, data: Dict) -> "PerfCounters":
+        """Rebuild counters from :meth:`to_dict` output.
+
+        Used by the batch-simulation service to reconstruct counters from
+        cached / worker-transported JSON payloads; ``from_dict(to_dict())``
+        is exact (all fields are integers).
+        """
+        perf = cls(**{name: int(data.get(name, 0)) for name in cls._SCALARS})
+        perf.by_class = Counter({
+            str(k): int(v) for k, v in data.get("by_class", {}).items()})
+        perf.by_mnemonic = Counter({
+            str(k): int(v) for k, v in data.get("by_mnemonic", {}).items()})
+        return perf
+
     def merge(self, other: "PerfCounters") -> "PerfCounters":
         """Accumulate *other* into self (in place) and return self.
 

@@ -49,6 +49,13 @@ class TrapError(SimError):
         self.cause = cause
         self.pc = pc
 
+    def __reduce__(self):
+        # The default exception reduce replays ``self.args`` (the single
+        # formatted message) into ``__init__``, which requires two
+        # arguments — so a pickled TrapError would fail to unpickle on
+        # the other side of a worker pipe.  Reconstruct from the fields.
+        return (type(self), (self.cause, self.pc))
+
 
 class KernelError(ReproError):
     """A kernel generator was asked for an unsupported configuration."""

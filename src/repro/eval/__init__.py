@@ -8,6 +8,7 @@ from .workloads import (
     ConvPoint,
     benchmark_geometry,
     build_gp_app,
+    conv_point,
     conv_suite,
     run_gp_app,
     use_full_layer,
@@ -20,6 +21,7 @@ __all__ = [
     "benchmark_geometry",
     "build_gp_app",
     "cluster_scaling",
+    "conv_point",
     "conv_suite",
     "fig6",
     "fig7",

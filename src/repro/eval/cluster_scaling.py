@@ -108,48 +108,106 @@ def _workload(bits: int, out_ch: int, reduction: int, seed: int = 7):
     return w, x0, x1, table
 
 
-def run(out_ch: int = DEFAULT_OUT_CH,
-        reduction: int = DEFAULT_REDUCTION) -> ClusterScalingResult:
+def run_point(bits: int, cores: int, out_ch: int = DEFAULT_OUT_CH,
+              reduction: int = DEFAULT_REDUCTION) -> dict:
+    """Simulate one (bits, cores) sweep point; returns plain-JSON data.
+
+    This is the unit of work a :class:`repro.serve.ScalingJob` executes
+    in a worker: everything derivable from the point alone (cycles,
+    contention, power, Gop/s/W) plus the kernel output for the harvest
+    side's cross-core bit-identity check.  The cross-*point* ratios
+    (speedup, efficiency) are computed by :func:`run` against the 1-core
+    baseline.
+    """
+    w, x0, x1, table = _workload(bits, out_ch, reduction)
+    quant = "shift" if bits == 8 else "hw"
+    kern = ParallelMatmulKernel(ParallelMatmulConfig(
+        reduction=reduction, out_ch=out_ch, bits=bits,
+        num_cores=cores, quant=quant,
+    ))
+    kr = kern.run(w, x0, x1, thresholds=table, shift=10)
+    agg = kr.run.aggregate
+    breakdown = cluster_model_for(XPULPNN).evaluate(
+        kr.run.per_core, sub_byte_bits=bits)
+    macs = kern.config.macs
+    runtime_s = kr.cycles / NOMINAL.freq_hz
+    gops = macs * OPS_PER_MAC / runtime_s / 1e9
+    return {
+        "bits": bits,
+        "cores": cores,
+        "cycles": kr.cycles,
+        "instructions": agg.instructions,
+        "tcdm_conflicts": kr.run.tcdm_conflicts,
+        "contention_share": kr.run.contention_share,
+        "idle_cycles": agg.idle_cycles,
+        "dma_cycles": kr.dma_in_cycles + kr.dma_out_cycles,
+        "power_mw": breakdown.cluster_total_mw,
+        "gops_per_s_per_w": gops / breakdown.cluster_total_w,
+        "output": kr.output.tolist(),
+    }
+
+
+def _default_service():
+    """Inline service; the on-disk cache engages via ``REPRO_CACHE_DIR``."""
+    import os
+
+    from ..serve import SimulationService, open_cache
+
+    return SimulationService(
+        cache=open_cache(enabled=bool(os.environ.get("REPRO_CACHE_DIR"))))
+
+
+def run(out_ch: int = DEFAULT_OUT_CH, reduction: int = DEFAULT_REDUCTION,
+        service=None) -> ClusterScalingResult:
+    """Run the 12-point sweep as a client of the batch service.
+
+    Every (bits, cores) point is a typed :class:`~repro.serve.ScalingJob`
+    submitted through *service* (default: inline execution, with the
+    content-addressed result cache when ``REPRO_CACHE_DIR`` is set).
+    Passing ``SimulationService(workers=N, cache=...)`` shards the sweep
+    across processes and dedupes repeats — the harvest below is
+    identical either way because every point payload is deterministic.
+    """
+    from ..errors import ReproError
+    from ..serve import ScalingJob
+
+    if service is None:
+        service = _default_service()
+    jobs = [
+        ScalingJob(bits=bits, cores=n, out_ch=out_ch, reduction=reduction)
+        for bits in BITWIDTHS for n in CORE_COUNTS
+    ]
+    report = service.run(jobs, label="cluster-scaling")
     result = ClusterScalingResult(out_ch=out_ch, reduction=reduction)
-    power_model = cluster_model_for(XPULPNN)
+    by_key = {}
+    for job, outcome in zip(jobs, report.results):
+        if not outcome.ok:
+            raise ReproError(
+                f"scaling point {job.bits}-bit x{job.cores} failed: "
+                f"{outcome.error_type}: {outcome.message}")
+        by_key[(job.bits, job.cores)] = outcome.payload
     for bits in BITWIDTHS:
-        w, x0, x1, table = _workload(bits, out_ch, reduction)
-        quant = "shift" if bits == 8 else "hw"
-        baseline_cycles = None
-        reference = None
+        baseline_cycles = by_key[(bits, CORE_COUNTS[0])]["cycles"]
+        reference = np.asarray(by_key[(bits, CORE_COUNTS[0])]["output"])
         for n in CORE_COUNTS:
-            kern = ParallelMatmulKernel(ParallelMatmulConfig(
-                reduction=reduction, out_ch=out_ch, bits=bits,
-                num_cores=n, quant=quant,
-            ))
-            kr = kern.run(w, x0, x1, thresholds=table, shift=10)
-            if reference is None:
-                reference = kr.output
-            elif not np.array_equal(kr.output, reference):
+            payload = by_key[(bits, n)]
+            if not np.array_equal(np.asarray(payload["output"]), reference):
                 raise AssertionError(
                     f"{bits}-bit output diverged at {n} cores")
-            if baseline_cycles is None:
-                baseline_cycles = kr.cycles
-            agg = kr.run.aggregate
-            breakdown = power_model.evaluate(
-                kr.run.per_core, sub_byte_bits=bits)
-            macs = kern.config.macs
-            runtime_s = kr.cycles / NOMINAL.freq_hz
-            gops = macs * OPS_PER_MAC / runtime_s / 1e9
-            speedup = baseline_cycles / kr.cycles
+            speedup = baseline_cycles / payload["cycles"]
             result.points[(bits, n)] = ScalingPoint(
                 bits=bits,
                 cores=n,
-                cycles=kr.cycles,
-                instructions=agg.instructions,
+                cycles=payload["cycles"],
+                instructions=payload["instructions"],
                 speedup=speedup,
                 efficiency=speedup / n,
-                tcdm_conflicts=kr.run.tcdm_conflicts,
-                contention_share=kr.run.contention_share,
-                idle_cycles=agg.idle_cycles,
-                dma_cycles=kr.dma_in_cycles + kr.dma_out_cycles,
-                power_mw=breakdown.cluster_total_mw,
-                gops_per_s_per_w=gops / breakdown.cluster_total_w,
+                tcdm_conflicts=payload["tcdm_conflicts"],
+                contention_share=payload["contention_share"],
+                idle_cycles=payload["idle_cycles"],
+                dma_cycles=payload["dma_cycles"],
+                power_mw=payload["power_mw"],
+                gops_per_s_per_w=payload["gops_per_s_per_w"],
             )
     return result
 

@@ -18,7 +18,7 @@ from typing import Dict
 
 from ..qnn import ConvGeometry
 from .reporting import format_table
-from .workloads import benchmark_geometry, conv_suite
+from .workloads import benchmark_geometry
 from ..target.names import XPULPNN
 
 #: Paper-reported values for side-by-side comparison.
@@ -38,16 +38,43 @@ class Fig6Result:
     scaling_vs_8bit: Dict[tuple, float]
 
 
-def run(geometry: ConvGeometry | None = None) -> Fig6Result:
+def run(geometry: ConvGeometry | None = None, service=None) -> Fig6Result:
+    """Reproduce Fig 6 as a thin client of the batch service.
+
+    Each (bits, quant) measurement is a typed
+    :class:`~repro.serve.ConvPointJob`; the default inline service
+    executes through the process-wide conv suite (so figures 6-9 still
+    share one set of simulations), while a caching/parallel service
+    dedupes and shards them for free.
+    """
+    from ..errors import ReproError
+    from ..serve import ConvPointJob, SimulationService
+
     g = geometry or benchmark_geometry()
-    suite = conv_suite(g)
+    if service is None:
+        service = SimulationService()
+    geom_key = (g.in_h, g.in_w, g.in_ch, g.out_ch, g.kh, g.kw,
+                g.stride, g.pad)
+    configs = [
+        (bits, quant)
+        for bits in (8, 4, 2)
+        for quant in (("shift",) if bits == 8 else ("hw", "sw"))
+    ]
+    jobs = [
+        ConvPointJob(bits=bits, quant=quant, target=XPULPNN,
+                     geometry=geom_key)
+        for bits, quant in configs
+    ]
+    report = service.run(jobs, label="fig6")
     cycles = {}
     quant_cycles = {}
-    for bits in (8, 4, 2):
-        for quant in (("shift",) if bits == 8 else ("hw", "sw")):
-            point = suite[(bits, XPULPNN, quant)]
-            cycles[(bits, quant)] = point.cycles
-            quant_cycles[(bits, quant)] = point.quant_cycles
+    for (bits, quant), outcome in zip(configs, report.results):
+        if not outcome.ok:
+            raise ReproError(
+                f"fig6 point {bits}-bit/{quant} failed: "
+                f"{outcome.error_type}: {outcome.message}")
+        cycles[(bits, quant)] = outcome.payload["cycles"]
+        quant_cycles[(bits, quant)] = outcome.payload["quant_cycles"]
     speedup = {
         bits: cycles[(bits, "sw")] / cycles[(bits, "hw")] for bits in (4, 2)
     }

@@ -24,10 +24,14 @@ from typing import Dict, Tuple
 SCHEMA = "repro-trajectory/1"
 
 #: Leaf keys captured into the trajectory (cycle counts, the derived
-#: throughput/share numbers the paper's figures plot, and the compiled
-#: deployment's DMA-traffic/overlap metrics).
+#: throughput/share numbers the paper's figures plot, the compiled
+#: deployment's DMA-traffic/overlap metrics, and the batch service's
+#: host-side throughput — the ``serve/*`` series live in their own
+#: ``benchmarks/results/serve_throughput.json`` file because wall-clock
+#: numbers are machine-dependent).
 _CAPTURE_SUFFIXES = ("cycles", "instructions", "macs_per_cycle",
-                     "quant_share", "speedup", "overlap_pct", "dma_bytes")
+                     "quant_share", "speedup", "overlap_pct", "dma_bytes",
+                     "jobs_per_sec")
 
 
 def _captured(key: str) -> bool:

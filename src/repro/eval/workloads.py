@@ -129,21 +129,37 @@ def _run_one(geometry: ConvGeometry, bits: int, isa: str, quant: str) -> ConvPoi
     )
 
 
-@lru_cache(maxsize=4)
+@lru_cache(maxsize=64)
+def _point_for(geom_key: tuple, bits: int, isa: str, quant: str) -> ConvPoint:
+    return _run_one(ConvGeometry(*geom_key), bits, isa, quant)
+
+
+def conv_point(geometry: ConvGeometry, bits: int, isa: str,
+               quant: str) -> ConvPoint:
+    """Run (once per process) and return one verified suite point.
+
+    The 8-bit kernel is byte-identical on both RISC-V cores (same ISA
+    subset), so the RI5CY baseline point aliases the extended core's
+    measurement, exactly as :func:`conv_suite` reports it.
+    """
+    key = (geometry.in_h, geometry.in_w, geometry.in_ch, geometry.out_ch,
+           geometry.kh, geometry.kw, geometry.stride, geometry.pad)
+    if bits == 8 and isa == RI5CY and quant == "shift":
+        ext8 = _point_for(key, 8, XPULPNN, "shift")
+        return ConvPoint(
+            bits=8, isa=RI5CY, quant="shift", cycles=ext8.cycles,
+            instructions=ext8.instructions, macs=ext8.macs, verified=True,
+            quant_cycles=ext8.quant_cycles, perf=ext8.perf,
+        )
+    return _point_for(key, bits, isa, quant)
+
+
 def _suite_for(geom_key: tuple) -> Dict[Tuple[int, str, str], ConvPoint]:
     geometry = ConvGeometry(*geom_key)
     points = {}
-    for bits, isa, quant in SUITE_CONFIGS:
-        point = _run_one(geometry, bits, isa, quant)
+    for bits, isa, quant in SUITE_CONFIGS + ((8, RI5CY, "shift"),):
+        point = conv_point(geometry, bits, isa, quant)
         points[point.key] = point
-    # The 8-bit kernel is byte-identical on both cores (same ISA subset),
-    # so the baseline point is the same measurement.
-    ext8 = points[(8, XPULPNN, "shift")]
-    points[(8, RI5CY, "shift")] = ConvPoint(
-        bits=8, isa=RI5CY, quant="shift", cycles=ext8.cycles,
-        instructions=ext8.instructions, macs=ext8.macs, verified=True,
-        quant_cycles=ext8.quant_cycles, perf=ext8.perf,
-    )
     return points
 
 

@@ -74,8 +74,26 @@ class InstrSpec:
                 f"{self.mnemonic}: unknown timing class {self.timing!r}"
             )
 
+    def __reduce__(self):
+        # The ``execute`` closure is unpicklable, but every spec is a
+        # module-level singleton in its subset table — reconstruct by
+        # name so instructions, programs, and compile plans can cross
+        # process boundaries (repro.serve workers) intact.
+        return (_restore_spec, (self.isa, self.mnemonic))
+
     def __repr__(self) -> str:
         return f"InstrSpec({self.mnemonic})"
+
+
+def _restore_spec(subset: str, mnemonic: str) -> "InstrSpec":
+    """Unpickle helper: the canonical spec for (subset, mnemonic)."""
+    from .registry import SUBSETS
+
+    for spec in SUBSETS[subset]:
+        if spec.mnemonic == mnemonic:
+            return spec
+    raise ValueError(
+        f"cannot restore spec {mnemonic!r}: not in ISA subset {subset!r}")
 
 
 @dataclass

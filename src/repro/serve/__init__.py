@@ -1,0 +1,77 @@
+"""Simulation-as-a-service: batch jobs, sharded sweeps, result cache.
+
+The production-scale front end over the cycle-exact simulator
+(ROADMAP: "simulation-as-a-service").  Typed requests
+(:class:`ProfileJob`, :class:`CompileJob`, :class:`ScalingJob`,
+:class:`ConvPointJob`, :class:`SweepJob`) flow through one
+:class:`SimulationService`, which dedupes them against a
+content-addressed on-disk :class:`ResultCache` (determinism makes every
+result infinitely cacheable) and shards cache misses across a
+crash-isolated multiprocessing worker pool.  The eval harnesses
+(:mod:`repro.eval.cluster_scaling`, :mod:`repro.eval.fig6`) are thin
+clients of this API; ``repro serve`` and ``repro sweep`` expose it on
+the command line.  See ``docs/SERVING.md``.
+"""
+
+from .cache import (
+    CACHE_ENV,
+    CACHE_SCHEMA,
+    ResultCache,
+    cache_key,
+    default_cache_root,
+    open_cache,
+)
+from .hashing import array_digest, canonical_json, digest_of, network_digest
+from .jobs import (
+    JOB_KINDS,
+    CompileJob,
+    ConvPointJob,
+    Job,
+    JobFailure,
+    JobResult,
+    ProfileJob,
+    ScalingJob,
+    SelfTestJob,
+    ServeError,
+    SweepJob,
+    cartesian_sweep,
+    job_from_dict,
+    result_from_dict,
+)
+from .pool import PoolOutcome, ProgressEvent, run_jobs
+from .runners import cache_key_parts, execute
+from .service import SimulationService, SweepReport
+
+__all__ = [
+    "CACHE_ENV",
+    "CACHE_SCHEMA",
+    "CompileJob",
+    "ConvPointJob",
+    "JOB_KINDS",
+    "Job",
+    "JobFailure",
+    "JobResult",
+    "PoolOutcome",
+    "ProfileJob",
+    "ProgressEvent",
+    "ResultCache",
+    "ScalingJob",
+    "SelfTestJob",
+    "ServeError",
+    "SimulationService",
+    "SweepJob",
+    "SweepReport",
+    "array_digest",
+    "cache_key",
+    "cache_key_parts",
+    "canonical_json",
+    "cartesian_sweep",
+    "default_cache_root",
+    "digest_of",
+    "execute",
+    "job_from_dict",
+    "network_digest",
+    "open_cache",
+    "result_from_dict",
+    "run_jobs",
+]

@@ -1,0 +1,245 @@
+"""Crash-isolated worker pool for batch simulation.
+
+One OS process per job, at most *workers* alive at once.  That choice —
+rather than a long-lived ``multiprocessing.Pool`` — is what buys the
+service its failure semantics:
+
+* a point that **raises** sends a typed failure record over its pipe;
+* a point that **kills its process** (``os._exit``, a segfault) leaves
+  a readable exit code and an EOF on the pipe — the supervisor converts
+  that into a :class:`~repro.serve.jobs.JobFailure`, and no other point
+  even notices;
+* a point that **hangs** past its deadline is terminated and reported
+  as a timeout failure.
+
+Everything crossing the pipe is plain JSON-shaped data (payloads from
+:func:`repro.serve.runners.execute`, failure dicts), so no simulator
+object ever needs to survive pickling.  ``workers=0`` runs jobs inline
+in the calling process — the mode the eval harnesses use, where numbers
+must come from the very same interpreter and crash isolation is not
+wanted.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from .jobs import Job, JobFailure, JobResult, job_from_dict
+from .runners import execute
+
+#: Result of one pool slot.
+PoolOutcome = Union[JobResult, JobFailure]
+
+#: Progress callback signature.
+ProgressFn = Callable[["ProgressEvent"], None]
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One streamed progress update (start/done/failed/cached)."""
+
+    phase: str          # "start" | "done" | "failed" | "cached"
+    index: int          # position in the submitted batch
+    total: int
+    job_kind: str
+    digest: str         # job identity digest (short form ok for display)
+    elapsed_s: float = 0.0
+    worker: int = -1
+    message: str = ""
+
+    def render(self) -> str:
+        tag = f"[{self.index + 1}/{self.total}]"
+        body = f"{self.phase:<6s} {self.job_kind} {self.digest[:12]}"
+        if self.phase in ("done", "failed", "cached"):
+            body += f" ({self.elapsed_s:.2f}s)"
+        if self.message:
+            body += f" {self.message}"
+        return f"{tag} {body}"
+
+
+def _worker_entry(conn, job_payload: dict) -> None:
+    """Child-process body: execute one job, ship the outcome, exit."""
+    start = time.perf_counter()
+    try:
+        job = job_from_dict(job_payload)
+        payload, artifacts = execute(job)
+        conn.send(("ok", payload, artifacts, time.perf_counter() - start))
+    except BaseException as exc:  # noqa: BLE001 — everything becomes data
+        failure = {
+            "error_type": type(exc).__name__,
+            "message": str(exc),
+            "traceback": traceback.format_exc(),
+        }
+        try:
+            conn.send(("error", failure, time.perf_counter() - start))
+        except Exception:
+            pass  # parent sees EOF and reports a worker crash
+    finally:
+        conn.close()
+
+
+@dataclass
+class _Slot:
+    index: int
+    job: Job
+    process: multiprocessing.Process
+    conn: multiprocessing.connection.Connection
+    started: float
+    deadline: Optional[float]
+
+
+def _context():
+    """Fork where available (fast, shares the warmed-up interpreter)."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover — non-POSIX hosts
+        return multiprocessing.get_context()
+
+
+def run_jobs(jobs: Sequence[Job], workers: int = 0,
+             timeout: Optional[float] = None,
+             progress: Optional[ProgressFn] = None) -> List[PoolOutcome]:
+    """Execute *jobs*, preserving order; failures are returned, not raised.
+
+    ``workers=0`` executes inline (no isolation, no timeouts); any
+    positive count shards across that many concurrent worker processes.
+    """
+    total = len(jobs)
+
+    def emit(event: ProgressEvent) -> None:
+        if progress is not None:
+            progress(event)
+
+    if workers <= 0:
+        results: List[PoolOutcome] = []
+        for index, job in enumerate(jobs):
+            emit(ProgressEvent("start", index, total, job.kind, job.digest()))
+            start = time.perf_counter()
+            try:
+                payload, artifacts = execute(job)
+            except Exception as exc:
+                failure = JobFailure.from_exception(
+                    job, exc, elapsed_s=time.perf_counter() - start)
+                results.append(failure)
+                emit(ProgressEvent("failed", index, total, job.kind,
+                                   job.digest(), failure.elapsed_s,
+                                   message=failure.message))
+                continue
+            elapsed = time.perf_counter() - start
+            results.append(JobResult(
+                job=job, payload=payload, elapsed_s=elapsed,
+                artifact_payloads=artifacts))
+            emit(ProgressEvent("done", index, total, job.kind,
+                               job.digest(), elapsed))
+        return results
+
+    return _run_pool(list(jobs), workers, timeout, emit)
+
+
+def _run_pool(jobs: List[Job], workers: int, timeout: Optional[float],
+              emit: Callable[[ProgressEvent], None]) -> List[PoolOutcome]:
+    ctx = _context()
+    total = len(jobs)
+    results: List[Optional[PoolOutcome]] = [None] * total
+    pending = list(enumerate(jobs))
+    pending.reverse()  # pop() serves them in submission order
+    active: Dict[int, _Slot] = {}
+
+    def launch() -> None:
+        index, job = pending.pop()
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        process = ctx.Process(
+            target=_worker_entry, args=(child_conn, job.to_dict()),
+            daemon=True)
+        process.start()
+        child_conn.close()
+        now = time.perf_counter()
+        active[index] = _Slot(
+            index=index, job=job, process=process, conn=parent_conn,
+            started=now,
+            deadline=(now + timeout) if timeout else None)
+        emit(ProgressEvent("start", index, total, job.kind, job.digest(),
+                           worker=process.pid or -1))
+
+    def finish(slot: _Slot, outcome: PoolOutcome) -> None:
+        results[slot.index] = outcome
+        slot.conn.close()
+        slot.process.join(timeout=5)
+        if slot.process.is_alive():  # pragma: no cover — stuck teardown
+            slot.process.terminate()
+            slot.process.join()
+        del active[slot.index]
+        phase = "done" if outcome.ok else "failed"
+        message = "" if outcome.ok else outcome.message
+        emit(ProgressEvent(phase, slot.index, total, slot.job.kind,
+                           slot.job.digest(), outcome.elapsed_s,
+                           worker=slot.process.pid or -1, message=message))
+
+    def harvest(slot: _Slot) -> None:
+        """The slot's pipe is readable: a message or an EOF (crash)."""
+        worker = slot.process.pid or -1
+        try:
+            message = slot.conn.recv()
+        except (EOFError, OSError):
+            slot.process.join(timeout=5)
+            code = slot.process.exitcode
+            finish(slot, JobFailure(
+                job=slot.job, error_type="WorkerCrash",
+                message=f"worker process died with exit code {code} "
+                        f"before reporting a result",
+                elapsed_s=time.perf_counter() - slot.started,
+                worker=worker))
+            return
+        if message[0] == "ok":
+            _, payload, artifacts, elapsed = message
+            finish(slot, JobResult(job=slot.job, payload=payload,
+                                   elapsed_s=elapsed, worker=worker,
+                                   artifact_payloads=artifacts))
+        else:
+            _, failure, elapsed = message
+            finish(slot, JobFailure(
+                job=slot.job,
+                error_type=failure.get("error_type", "UnknownError"),
+                message=failure.get("message", ""),
+                traceback=failure.get("traceback", ""),
+                elapsed_s=elapsed, worker=worker))
+
+    try:
+        while pending or active:
+            while pending and len(active) < workers:
+                launch()
+            now = time.perf_counter()
+            wait_for = 0.5
+            for slot in active.values():
+                if slot.deadline is not None:
+                    wait_for = min(wait_for, max(slot.deadline - now, 0.0))
+            ready = multiprocessing.connection.wait(
+                [slot.conn for slot in active.values()], timeout=wait_for)
+            by_conn = {slot.conn: slot for slot in active.values()}
+            for conn in ready:
+                harvest(by_conn[conn])
+            now = time.perf_counter()
+            for slot in list(active.values()):
+                if slot.deadline is not None and now > slot.deadline:
+                    slot.process.terminate()
+                    slot.process.join(timeout=5)
+                    finish(slot, JobFailure(
+                        job=slot.job, error_type="JobTimeout",
+                        message=f"job exceeded its {timeout:.1f}s deadline "
+                                f"and was terminated",
+                        elapsed_s=now - slot.started,
+                        worker=slot.process.pid or -1))
+    finally:
+        for slot in active.values():  # pragma: no cover — error unwind
+            slot.process.terminate()
+            slot.conn.close()
+
+    missing = [i for i, outcome in enumerate(results) if outcome is None]
+    if missing:  # pragma: no cover — supervisor invariant
+        raise RuntimeError(f"pool lost track of jobs {missing}")
+    return results  # type: ignore[return-value]

@@ -138,6 +138,22 @@ class TargetSpec:
         payload["extensions"] = list(self.extensions)
         return payload
 
+    def digest(self) -> str:
+        """Stable content hash of the frozen spec (hex SHA-256).
+
+        The digest is computed over the canonical JSON form of
+        :meth:`to_dict` (sorted keys, no whitespace), so it is identical
+        across processes and Python versions for equal specs and differs
+        whenever any field differs.  It is the target component of the
+        result-cache key (:mod:`repro.serve`).
+        """
+        import hashlib
+        import json
+
+        blob = json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "TargetSpec":
         data = dict(payload)

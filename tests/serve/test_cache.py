@@ -1,0 +1,189 @@
+"""Result cache: hits are bit-identical, corruption is self-healing."""
+
+import json
+
+import pytest
+
+from repro.serve import (
+    CACHE_SCHEMA,
+    ResultCache,
+    ScalingJob,
+    SelfTestJob,
+    SimulationService,
+    cache_key,
+    cache_key_parts,
+    open_cache,
+)
+
+PARTS = {"schema": CACHE_SCHEMA, "kind": "test", "spec": "s",
+         "program": "p", "config": "c"}
+PAYLOAD = {"cycles": 1234, "nested": {"list": [1, 2, 3]}}
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+class TestStoreLoad:
+    def test_round_trip_bit_identical(self, cache):
+        key = cache_key(PARTS)
+        cache.put(key, PARTS, PAYLOAD)
+        loaded = cache.get(key)
+        assert loaded == PAYLOAD
+        assert json.dumps(loaded, sort_keys=True) == \
+            json.dumps(PAYLOAD, sort_keys=True)
+        assert cache.stats() == {"hits": 1, "misses": 0, "evictions": 0}
+
+    def test_cold_miss(self, cache):
+        assert cache.get("0" * 64) is None
+        assert cache.stats()["misses"] == 1
+
+    def test_entry_is_sharded_by_prefix(self, cache):
+        key = cache_key(PARTS)
+        path = cache.put(key, PARTS, PAYLOAD)
+        assert path.parent.name == key[:2]
+
+    def test_distinct_parts_distinct_keys(self):
+        keys = {cache_key({**PARTS, field: "changed"}) for field in PARTS}
+        keys.add(cache_key(PARTS))
+        assert len(keys) == len(PARTS) + 1
+
+
+class TestCorruption:
+    def _stored(self, cache):
+        key = cache_key(PARTS)
+        path = cache.put(key, PARTS, PAYLOAD)
+        return key, path
+
+    def test_unreadable_json_evicted(self, cache):
+        key, path = self._stored(cache)
+        path.write_text("{ not json")
+        assert cache.get(key) is None
+        assert not path.exists()
+        assert cache.stats()["evictions"] == 1
+
+    def test_payload_tamper_evicted(self, cache):
+        key, path = self._stored(cache)
+        entry = json.loads(path.read_text())
+        entry["payload"]["cycles"] = 9999  # checksum now stale
+        path.write_text(json.dumps(entry))
+        assert cache.get(key) is None
+        assert not path.exists()
+
+    def test_schema_drift_evicted(self, cache):
+        key, path = self._stored(cache)
+        entry = json.loads(path.read_text())
+        entry["schema"] = "repro-cache/0"
+        path.write_text(json.dumps(entry))
+        assert cache.get(key) is None
+
+    def test_key_mismatch_evicted(self, cache):
+        key, path = self._stored(cache)
+        other = "f" * 64
+        target = cache.entry_path(other)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        path.rename(target)
+        assert cache.get(other) is None
+
+    def test_eviction_removes_artifacts(self, cache):
+        key, path = self._stored(cache)
+        artifact = cache.write_artifact(key, "trace.json", {"ev": []})
+        path.write_text("broken")
+        cache.get(key)
+        assert not artifact.exists()
+
+    def test_recompute_after_eviction(self, cache):
+        key, path = self._stored(cache)
+        path.write_text("broken")
+        assert cache.get(key) is None
+        cache.put(key, PARTS, PAYLOAD)
+        assert cache.get(key) == PAYLOAD
+
+
+class TestArtifacts:
+    def test_named_artifacts_round_trip(self, cache):
+        key = cache_key(PARTS)
+        cache.write_artifact(key, "trace.json", {"traceEvents": []})
+        cache.write_artifact(key, "notes.txt", "hello")
+        found = cache.artifacts_for(key)
+        assert sorted(found) == ["notes.txt", "trace.json"]
+        assert json.loads(open(found["trace.json"]).read()) == {
+            "traceEvents": []}
+
+    def test_path_escape_rejected(self, cache):
+        from repro.serve import ServeError
+
+        with pytest.raises(ServeError):
+            cache.write_artifact("k" * 64, "../escape", {})
+        with pytest.raises(ServeError):
+            cache.write_artifact("k" * 64, ".hidden", {})
+
+
+class TestOpenCache:
+    def test_disabled_returns_none(self):
+        assert open_cache(enabled=False) is None
+
+    def test_env_override(self, tmp_path, monkeypatch):
+        from repro.serve import CACHE_ENV
+
+        monkeypatch.setenv(CACHE_ENV, str(tmp_path / "elsewhere"))
+        cache = open_cache()
+        assert cache.root == tmp_path / "elsewhere"
+
+    def test_explicit_path_wins(self, tmp_path, monkeypatch):
+        from repro.serve import CACHE_ENV
+
+        monkeypatch.setenv(CACHE_ENV, str(tmp_path / "env"))
+        cache = open_cache(str(tmp_path / "explicit"))
+        assert cache.root == tmp_path / "explicit"
+
+
+class TestServiceIntegration:
+    """The acceptance criteria: identical sweep twice = 100% hits."""
+
+    JOBS = [ScalingJob(bits=bits, cores=cores, out_ch=32, reduction=64)
+            for bits in (8, 4) for cores in (1, 2)]
+
+    def test_identical_rerun_all_hits_bit_identical(self, tmp_path):
+        service = SimulationService(cache=ResultCache(tmp_path / "c"))
+        first = service.run(self.JOBS, label="one")
+        second = service.run(self.JOBS, label="two")
+        assert first.ok and second.ok
+        assert first.cached_count == 0
+        assert second.cached_count == len(self.JOBS)
+        assert second.stats["cache"]["hits"] == len(self.JOBS)
+        for a, b in zip(first.results, second.results):
+            assert a.payload == b.payload  # bit-identical via JSON ints
+
+    def test_spec_or_config_change_misses(self, tmp_path):
+        service = SimulationService(cache=ResultCache(tmp_path / "c"))
+        job = ScalingJob(bits=4, cores=2, out_ch=32, reduction=64)
+        service.run([job])
+        report = service.run([ScalingJob(bits=4, cores=2, out_ch=32,
+                                         reduction=128)])
+        assert report.cached_count == 0
+
+    def test_corrupt_entry_recomputed_through_service(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        service = SimulationService(cache=cache)
+        job = ScalingJob(bits=4, cores=1, out_ch=32, reduction=64)
+        first = service.run([job])
+        key = cache_key(cache_key_parts(job))
+        cache.entry_path(key).write_text("garbage")
+        second = service.run([job])
+        assert second.ok
+        assert second.cached_count == 0          # recomputed...
+        assert cache.stats()["evictions"] == 1   # ...after self-healing
+        assert second.results[0].payload == first.results[0].payload
+        third = service.run([job])
+        assert third.cached_count == 1           # and cached again
+
+    def test_uncacheable_jobs_bypass_cache(self, tmp_path):
+        service = SimulationService(cache=ResultCache(tmp_path / "c"))
+        job = SelfTestJob(mode="ok", value=3)
+        service.run([job])
+        report = service.run([job])
+        assert report.cached_count == 0
+        assert report.stats["cache"] == {"hits": 0, "misses": 0,
+                                         "evictions": 0}

@@ -1,0 +1,167 @@
+"""Typed job model: canonical serialization, round-trips, sweeps."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.serve import (
+    JOB_KINDS,
+    CompileJob,
+    ConvPointJob,
+    JobFailure,
+    JobResult,
+    ProfileJob,
+    ScalingJob,
+    SelfTestJob,
+    ServeError,
+    SweepJob,
+    cartesian_sweep,
+    job_from_dict,
+    result_from_dict,
+)
+
+
+class TestJobModel:
+    def test_every_kind_registered(self):
+        assert set(JOB_KINDS) == {
+            "profile", "compile", "scaling", "convpoint", "selftest",
+            "sweep",
+        }
+
+    def test_canonical_is_stable_json(self):
+        job = ScalingJob(bits=4, cores=2, out_ch=32, reduction=64)
+        text = job.canonical()
+        assert json.loads(text) == job.to_dict()
+        # Canonical form: sorted keys, no whitespace.
+        assert text == json.dumps(json.loads(text), sort_keys=True,
+                                  separators=(",", ":"))
+
+    def test_digest_depends_on_every_field(self):
+        base = ScalingJob(bits=4, cores=2, out_ch=32, reduction=64)
+        variants = [
+            ScalingJob(bits=8, cores=2, out_ch=32, reduction=64),
+            ScalingJob(bits=4, cores=4, out_ch=32, reduction=64),
+            ScalingJob(bits=4, cores=2, out_ch=64, reduction=64),
+            ScalingJob(bits=4, cores=2, out_ch=32, reduction=128),
+        ]
+        digests = {base.digest()} | {v.digest() for v in variants}
+        assert len(digests) == 5
+
+    @pytest.mark.parametrize("job", [
+        ProfileJob(kernel="matmul_4bit", target="ri5cy", trace=True),
+        CompileJob(network="over-l2", cores=4, tcdm_budget=32768),
+        ScalingJob(bits=2, cores=8, out_ch=64, reduction=128),
+        ConvPointJob(bits=4, quant="sw", geometry=(6, 6, 16, 8, 3, 3, 1, 1)),
+        SelfTestJob(mode="sleep", duration=0.5),
+    ])
+    def test_dict_round_trip(self, job):
+        clone = job_from_dict(json.loads(job.canonical()))
+        assert clone == job
+        assert clone.digest() == job.digest()
+
+    def test_sweep_round_trip_rebuilds_typed_points(self):
+        sweep = SweepJob(points=(ScalingJob(bits=4, cores=1),
+                                 SelfTestJob(mode="ok")), label="x")
+        clone = job_from_dict(json.loads(sweep.canonical()))
+        assert clone == sweep
+        assert isinstance(clone.points[0], ScalingJob)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ServeError, match="unknown job kind"):
+            job_from_dict({"kind": "teapot"})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ServeError, match="unknown fields"):
+            job_from_dict({"kind": "scaling", "bits": 4, "volume": 11})
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ServeError, match="must be an object"):
+            job_from_dict([1, 2, 3])
+
+
+class TestValidation:
+    def test_profile_unknown_kernel(self):
+        with pytest.raises(ServeError, match="unknown kernel"):
+            ProfileJob(kernel="conv_5bit").validate()
+
+    def test_profile_cost_model_target_rejected(self):
+        with pytest.raises(ServeError, match="cost-model baseline"):
+            ProfileJob(target="stm32h7").validate()
+
+    def test_compile_unknown_network(self):
+        with pytest.raises(ServeError, match="unknown network"):
+            CompileJob(network="resnet-9000").validate()
+
+    def test_scaling_impossible_shard(self):
+        # 2-bit needs four output channels per core.
+        with pytest.raises(ReproError):
+            ScalingJob(bits=2, cores=8, out_ch=8, reduction=64).validate()
+
+    def test_convpoint_quant_rules(self):
+        with pytest.raises(ServeError, match="shift"):
+            ConvPointJob(bits=8, quant="hw").validate()
+        with pytest.raises(ServeError, match="pv.qnt"):
+            ConvPointJob(bits=4, quant="hw", target="ri5cy").validate()
+        ConvPointJob(bits=4, quant="sw", target="ri5cy").validate()
+
+    def test_selftest_mode(self):
+        with pytest.raises(ServeError, match="unknown selftest mode"):
+            SelfTestJob(mode="explode").validate()
+
+    def test_sweeps_do_not_nest(self):
+        inner = SweepJob(points=(SelfTestJob(),))
+        with pytest.raises(ServeError, match="nest"):
+            SweepJob(points=(inner,)).validate()
+
+
+class TestCartesianSweep:
+    def test_expansion_covers_grid(self):
+        sweep = cartesian_sweep(
+            "scaling", {"bits": [8, 4], "cores": [1, 2, 4]},
+            base={"out_ch": 32, "reduction": 64})
+        assert len(sweep.points) == 6
+        assert {(p.bits, p.cores) for p in sweep.points} == {
+            (b, c) for b in (8, 4) for c in (1, 2, 4)}
+        assert all(p.out_ch == 32 for p in sweep.points)
+
+    def test_invalid_point_raises_by_default(self):
+        with pytest.raises(ReproError):
+            cartesian_sweep("scaling", {"bits": [2], "cores": [8]},
+                            base={"out_ch": 8, "reduction": 64})
+
+    def test_skip_invalid_drops_points(self):
+        sweep = cartesian_sweep("scaling", {"bits": [2], "cores": [1, 2, 8]},
+                                base={"out_ch": 8, "reduction": 64},
+                                skip_invalid=True)
+        assert [p.cores for p in sweep.points] == [1, 2]
+
+    def test_sweep_over_sweep_rejected(self):
+        with pytest.raises(ServeError):
+            cartesian_sweep("sweep", {"label": ["a"]})
+
+
+class TestResults:
+    def test_result_round_trip(self):
+        result = JobResult(job=SelfTestJob(value=7), payload={"value": 7},
+                           cached=True, elapsed_s=0.25, worker=3,
+                           artifacts={"trace.json": "/tmp/t.json"})
+        clone = result_from_dict(json.loads(json.dumps(result.to_dict())))
+        assert clone == result
+        assert clone.ok and clone.cached
+
+    def test_failure_round_trip(self):
+        failure = JobFailure.from_exception(
+            SelfTestJob(mode="raise"), ServeError("on request"), worker=1)
+        clone = result_from_dict(json.loads(json.dumps(failure.to_dict())))
+        assert clone == failure
+        assert not clone.ok
+        assert clone.error_type == "ServeError"
+        assert "on request" in clone.message
+
+    def test_artifact_payloads_never_serialized(self):
+        result = JobResult(job=SelfTestJob(), payload={},
+                           artifact_payloads={"trace.json": {"big": 1}})
+        assert "artifact_payloads" not in result.to_dict()
+        # ... and doesn't participate in equality either.
+        assert result == JobResult(job=SelfTestJob(), payload={})

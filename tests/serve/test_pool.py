@@ -1,0 +1,118 @@
+"""Worker pool: sharding, order, and the three failure isolations."""
+
+import pytest
+
+from repro.serve import (
+    JobFailure,
+    ProgressEvent,
+    ScalingJob,
+    SelfTestJob,
+    run_jobs,
+)
+
+
+class TestInline:
+    def test_results_preserve_submission_order(self):
+        jobs = [SelfTestJob(value=i) for i in range(5)]
+        results = run_jobs(jobs)
+        assert [r.payload["value"] for r in results] == list(range(5))
+
+    def test_raise_becomes_typed_failure(self):
+        ok, bad, after = run_jobs([
+            SelfTestJob(value=1),
+            SelfTestJob(mode="raise", value=2),
+            SelfTestJob(value=3),
+        ])
+        assert ok.ok and after.ok
+        assert isinstance(bad, JobFailure)
+        assert bad.error_type == "ServeError"
+        assert "value=2" in bad.message
+        assert "Traceback" in bad.traceback
+
+    def test_progress_stream(self):
+        events = []
+        run_jobs([SelfTestJob(), SelfTestJob(mode="raise")],
+                 progress=events.append)
+        phases = [(e.phase, e.index) for e in events]
+        assert phases == [("start", 0), ("done", 0),
+                          ("start", 1), ("failed", 1)]
+        assert all(isinstance(e, ProgressEvent) for e in events)
+        assert events[0].total == 2
+
+
+class TestPool:
+    def test_pool_matches_inline_results(self):
+        jobs = [ScalingJob(bits=4, cores=n, out_ch=32, reduction=64)
+                for n in (1, 2)]
+        inline = run_jobs(jobs)
+        pooled = run_jobs(jobs, workers=2)
+        for a, b in zip(inline, pooled):
+            assert a.ok and b.ok
+            assert a.payload == b.payload
+
+    def test_raise_is_isolated(self):
+        results = run_jobs([
+            SelfTestJob(value=1),
+            SelfTestJob(mode="raise"),
+            SelfTestJob(value=3),
+        ], workers=2)
+        assert [r.ok for r in results] == [True, False, True]
+        assert results[1].error_type == "ServeError"
+
+    def test_crash_is_isolated(self):
+        """A worker dying mid-job (os._exit) never kills the sweep."""
+        results = run_jobs([
+            SelfTestJob(value=1),
+            SelfTestJob(mode="crash", value=13),
+            SelfTestJob(value=3),
+        ], workers=2)
+        assert [r.ok for r in results] == [True, False, True]
+        crash = results[1]
+        assert crash.error_type == "WorkerCrash"
+        assert "exit code 13" in crash.message
+        assert crash.worker > 0
+
+    def test_timeout_is_isolated(self):
+        results = run_jobs([
+            SelfTestJob(value=1),
+            SelfTestJob(mode="sleep", duration=60.0),
+            SelfTestJob(value=3),
+        ], workers=3, timeout=1.0)
+        assert [r.ok for r in results] == [True, False, True]
+        hang = results[1]
+        assert hang.error_type == "JobTimeout"
+        assert hang.elapsed_s < 30  # terminated, not joined
+
+    def test_more_jobs_than_workers(self):
+        jobs = [SelfTestJob(value=i) for i in range(9)]
+        results = run_jobs(jobs, workers=2)
+        assert [r.payload["value"] for r in results] == list(range(9))
+        workers = {r.worker for r in results}
+        assert all(w > 0 for w in workers)
+
+    def test_progress_reports_worker_pids(self):
+        events = []
+        run_jobs([SelfTestJob(), SelfTestJob()], workers=2,
+                 progress=events.append)
+        done = [e for e in events if e.phase == "done"]
+        assert len(done) == 2
+        assert all(e.worker > 0 for e in done)
+
+
+@pytest.mark.slow
+class TestPoolSpeedup:
+    """Sharding a latency-bound sweep must approach linear speedup."""
+
+    def test_eight_workers_at_least_4x(self):
+        import time
+
+        jobs = [SelfTestJob(mode="sleep", duration=0.25, value=i)
+                for i in range(32)]
+        start = time.perf_counter()
+        serial = run_jobs(jobs)
+        serial_s = time.perf_counter() - start
+        start = time.perf_counter()
+        sharded = run_jobs(jobs, workers=8)
+        sharded_s = time.perf_counter() - start
+        assert all(r.ok for r in serial) and all(r.ok for r in sharded)
+        assert serial_s / sharded_s >= 4.0

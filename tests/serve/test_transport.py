@@ -1,0 +1,165 @@
+"""Worker-transport audit: everything crossing a pipe survives the trip.
+
+The pool ships plain JSON between processes, but the multiprocessing
+machinery itself pickles job payloads, and in-process clients hold the
+real objects — so every type that can reach a worker boundary must
+pickle/unpickle faithfully: results, failures, progress events, perf
+counters, compile plans, and the whole exception hierarchy (a raised
+``TrapError`` used to *fail to unpickle* because its two-argument
+``__init__`` didn't match the default exception reduce).
+"""
+
+import pickle
+
+import pytest
+
+from repro.core import Cpu
+from repro.errors import (
+    AsmError,
+    KernelError,
+    MemoryAccessError,
+    ReproError,
+    SimError,
+    TargetError,
+    TrapError,
+)
+from repro.serve import (
+    JobFailure,
+    JobResult,
+    ProgressEvent,
+    ScalingJob,
+    SelfTestJob,
+    ServeError,
+    SweepJob,
+)
+
+
+def round_trip(obj):
+    return pickle.loads(pickle.dumps(obj))
+
+
+class TestJobTransport:
+    @pytest.mark.parametrize("job", [
+        ScalingJob(bits=4, cores=2, out_ch=32, reduction=64),
+        SelfTestJob(mode="sleep", duration=0.5),
+        SweepJob(points=(SelfTestJob(), ScalingJob()), label="x"),
+    ])
+    def test_jobs(self, job):
+        assert round_trip(job) == job
+
+    def test_result(self):
+        result = JobResult(job=SelfTestJob(value=7), payload={"value": 7},
+                           elapsed_s=0.5, worker=42,
+                           artifacts={"a": "/p"},
+                           artifact_payloads={"a": {"x": 1}})
+        clone = round_trip(result)
+        assert clone == result
+        assert clone.artifact_payloads == {"a": {"x": 1}}
+
+    def test_failure(self):
+        failure = JobFailure.from_exception(
+            SelfTestJob(), TrapError("ebreak", 0x40))
+        clone = round_trip(failure)
+        assert clone == failure
+        assert clone.error_type == "TrapError"
+
+    def test_progress_event(self):
+        event = ProgressEvent("done", 3, 10, "scaling", "ab" * 32,
+                              elapsed_s=1.5, worker=99)
+        assert round_trip(event) == event
+
+
+class TestExceptionTransport:
+    """Every library error a worker can raise must unpickle intact."""
+
+    @pytest.mark.parametrize("exc", [
+        ReproError("boom"),
+        SimError("sim failed"),
+        MemoryAccessError("bad load at 0x0"),
+        AsmError("no such mnemonic"),
+        KernelError("unsupported geometry"),
+        TargetError("no such target"),
+        ServeError("bad job"),
+    ])
+    def test_hierarchy(self, exc):
+        clone = round_trip(exc)
+        assert type(clone) is type(exc)
+        assert str(clone) == str(exc)
+
+    def test_trap_error_keeps_fields(self):
+        clone = round_trip(TrapError("illegal instruction", 0x1234))
+        assert type(clone) is TrapError
+        assert clone.cause == "illegal instruction"
+        assert clone.pc == 0x1234
+        assert str(clone) == str(TrapError("illegal instruction", 0x1234))
+
+    def test_raised_trap_error_survives(self):
+        """The regression the audit caught: pickle a *raised* trap."""
+        try:
+            raise TrapError("ecall", 0x80)
+        except TrapError as exc:
+            clone = round_trip(exc)
+        assert (clone.cause, clone.pc) == ("ecall", 0x80)
+
+
+class TestPerfCountersTransport:
+    @pytest.fixture
+    def perf(self):
+        from repro.asm import assemble
+
+        cpu = Cpu(isa="xpulpnn")
+        cpu.load_program(assemble(
+            "li t0, 3\nloop:\naddi t0, t0, -1\nbne t0, zero, loop\nebreak",
+            isa="xpulpnn"))
+        return cpu.run()
+
+    def test_pickle_round_trip(self, perf):
+        clone = round_trip(perf)
+        assert clone.to_dict() == perf.to_dict()
+        assert clone.cycles == perf.cycles
+
+    def test_dict_round_trip(self, perf):
+        from repro.core.perf import PerfCounters
+
+        clone = PerfCounters.from_dict(perf.to_dict())
+        assert clone.to_dict() == perf.to_dict()
+        assert clone.ipc == perf.ipc
+
+    def test_dict_round_trip_through_json(self, perf):
+        import json
+
+        from repro.core.perf import PerfCounters
+
+        clone = PerfCounters.from_dict(
+            json.loads(json.dumps(perf.to_dict())))
+        assert clone.to_dict() == perf.to_dict()
+
+
+class TestCompilePlanTransport:
+    def test_compiled_network_pickles(self):
+        from repro.compiler import NetworkCompiler, build_network
+
+        built = build_network("mixed3")
+        compiled = NetworkCompiler(
+            built.network, built.input_shape, input_bits=built.input_bits,
+            num_cores=4, tcdm_budget=built.tcdm_budget).compile()
+        clone = round_trip(compiled)
+        assert clone.to_dict() == compiled.to_dict()
+        assert clone.total_tiles == compiled.total_tiles
+
+    def test_target_spec_pickles(self):
+        from repro.target import get_target
+        from repro.target.names import XPULPNN
+
+        spec = get_target(XPULPNN)
+        clone = round_trip(spec)
+        assert clone == spec
+        assert clone.digest() == spec.digest()
+
+    def test_program_pickles(self):
+        from repro.asm import assemble
+
+        program = assemble("addi a0, a0, 1\nebreak", isa="xpulpnn")
+        clone = round_trip(program)
+        assert clone.encode() == program.encode()
+        assert clone.digest() == program.digest()

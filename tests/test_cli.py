@@ -365,3 +365,108 @@ class TestTargets:
         assert main(["profile", "--kernel", "conv_4bit",
                      "--target", "gpu"]) == 1
         assert "gpu" in capsys.readouterr().err
+
+
+class TestServe:
+    @pytest.fixture
+    def job_file(self, tmp_path):
+        import json
+
+        path = tmp_path / "jobs.json"
+        path.write_text(json.dumps([
+            {"kind": "scaling", "bits": 4, "cores": 2,
+             "out_ch": 32, "reduction": 64},
+            {"kind": "selftest", "mode": "ok", "value": 5},
+        ]))
+        return path
+
+    def test_job_file_batch(self, job_file, tmp_path, capsys):
+        assert main(["serve", str(job_file), "--quiet",
+                     "--cache-dir", str(tmp_path / "cache")]) == 0
+        text = capsys.readouterr().out
+        assert "2 point(s)" in text and "FAILED" not in text
+
+    def test_rerun_hits_cache(self, job_file, tmp_path, capsys):
+        import json
+
+        cache = str(tmp_path / "cache")
+        main(["serve", str(job_file), "--quiet", "--cache-dir", cache])
+        capsys.readouterr()
+        assert main(["serve", str(job_file), "--quiet", "--cache-dir",
+                     cache, "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["stats"]["cache"]["hits"] == 1  # selftest is uncached
+        assert report["results"][0]["cached"] is True
+
+    def test_failure_sets_exit_code(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"kind": "selftest", "mode": "raise"}))
+        assert main(["serve", str(path), "--quiet", "--no-cache"]) == 1
+        assert "ServeError" in capsys.readouterr().out
+
+    def test_report_written_to_file(self, job_file, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "report.json"
+        assert main(["serve", str(job_file), "--quiet", "--no-cache",
+                     "--label", "cli-test", "--out", str(out)]) == 0
+        report = json.loads(out.read_text())
+        assert report["label"] == "cli-test"
+        assert len(report["results"]) == 2
+
+    def test_bad_job_file_errors(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text('{"kind": "teapot"}')
+        assert main(["serve", str(path), "--quiet", "--no-cache"]) == 1
+        assert "unknown job kind" in capsys.readouterr().err
+
+    def test_progress_streams_to_stderr(self, job_file, capsys):
+        assert main(["serve", str(job_file), "--no-cache"]) == 0
+        err = capsys.readouterr().err
+        assert "[1/2]" in err and "done" in err
+
+
+class TestSweep:
+    def test_cartesian_expansion_runs(self, capsys):
+        assert main(["sweep", "scaling", "bits=8,4", "cores=1,2",
+                     "--base", "out_ch=32", "--base", "reduction=64",
+                     "--no-cache", "--quiet"]) == 0
+        assert "4 point(s)" in capsys.readouterr().out
+
+    def test_expand_only_prints_jobs(self, capsys):
+        import json
+
+        assert main(["sweep", "scaling", "bits=8,4", "cores=1,2,4",
+                     "--base", "out_ch=32", "--base", "reduction=64",
+                     "--expand-only", "--no-cache", "--quiet"]) == 0
+        jobs = json.loads(capsys.readouterr().out)
+        assert len(jobs) == 6
+        assert all(j["kind"] == "scaling" for j in jobs)
+
+    def test_skip_invalid(self, capsys):
+        import json
+
+        assert main(["sweep", "scaling", "bits=2", "cores=1,2,8",
+                     "--base", "out_ch=8", "--base", "reduction=64",
+                     "--skip-invalid", "--expand-only",
+                     "--no-cache", "--quiet"]) == 0
+        jobs = json.loads(capsys.readouterr().out)
+        assert [j["cores"] for j in jobs] == [1, 2]
+
+    def test_invalid_point_errors_by_default(self, capsys):
+        assert main(["sweep", "scaling", "bits=2", "cores=8",
+                     "--base", "out_ch=8", "--no-cache", "--quiet"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_zero_points_rejected(self, capsys):
+        assert main(["sweep", "scaling", "bits=2", "cores=8",
+                     "--base", "out_ch=8", "--skip-invalid",
+                     "--no-cache", "--quiet"]) == 1
+        assert "zero valid points" in capsys.readouterr().err
+
+    def test_bad_axis_spec_errors(self, capsys):
+        assert main(["sweep", "scaling", "bits", "--no-cache",
+                     "--quiet"]) == 1
+        assert "bad axis" in capsys.readouterr().err
