@@ -5,11 +5,16 @@ program the kernel generators can emit — MatMul, convolution, depthwise,
 pooling, linear and ReLU layers at 8/4/2-bit, on both cores, serial and
 cluster-parallel.  Keeping the enumeration here means a new builder (or
 a new configuration axis) gets verifier coverage by adding one entry.
+
+:func:`catalog_kernel` resolves one entry to its built kernel object (for
+harness execution), :func:`kernel_program` to its linked program, and
+:func:`compiled_network_programs` extends the sweep to the programs the
+network compiler lowers — so lowering regressions are caught statically.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Tuple
+from typing import Callable, Dict, Iterator, List, Tuple
 
 from ..asm.program import Program
 from ..qnn.layers import ConvGeometry
@@ -23,8 +28,13 @@ LINT_GEOMETRY = ConvGeometry(in_h=6, in_w=6, in_ch=16, out_ch=8,
 LINT_CORES = 2
 
 
-def builtin_kernel_programs() -> Iterator[Tuple[str, Program]]:
-    """Yield ``(name, linked_program)`` for every shipped kernel builder."""
+def _kernel_builders() -> List[Tuple[str, Callable[[], object]]]:
+    """``(name, thunk)`` for every shipped kernel builder configuration.
+
+    The thunk builds and returns the kernel object (whose ``.program`` is
+    the linked image) so callers can either lint the program or execute
+    the kernel through its data harness.
+    """
     from ..kernels.conv import ConvConfig, ConvKernel
     from ..kernels.depthwise import DepthwiseConfig, DepthwiseConvKernel
     from ..kernels.linear import LinearConfig, LinearKernel
@@ -40,6 +50,7 @@ def builtin_kernel_programs() -> Iterator[Tuple[str, Program]]:
     from ..soc.memmap import TCDM_BASE
 
     g = LINT_GEOMETRY
+    builders: List[Tuple[str, Callable[[], object]]] = []
 
     # -- MatMul microkernels (the paper's Fig. 6 sweep) -------------------
     matmul_cases = [
@@ -54,8 +65,8 @@ def builtin_kernel_programs() -> Iterator[Tuple[str, Program]]:
                                        blocking="4x2")),
     ]
     for name, kwargs in matmul_cases:
-        cfg = MatmulConfig(reduction=g.reduction, out_ch=g.out_ch, **kwargs)
-        yield name, MatmulKernel(cfg).program
+        builders.append((name, lambda kwargs=kwargs: MatmulKernel(
+            MatmulConfig(reduction=g.reduction, out_ch=g.out_ch, **kwargs))))
 
     # -- Convolution layers ----------------------------------------------
     conv_cases = [
@@ -66,37 +77,95 @@ def builtin_kernel_programs() -> Iterator[Tuple[str, Program]]:
         ("conv-2b-xpulpnn-hw", dict(bits=2, isa=XPULPNN, quant="hw")),
     ]
     for name, kwargs in conv_cases:
-        yield name, ConvKernel(ConvConfig(geometry=g, **kwargs)).program
+        builders.append((name, lambda kwargs=kwargs: ConvKernel(
+            ConvConfig(geometry=g, **kwargs))))
 
     # -- Depthwise (8-bit) ------------------------------------------------
-    dw = DepthwiseConfig(in_h=6, in_w=6, channels=8)
-    yield "depthwise-8b", DepthwiseConvKernel(dw).program
+    builders.append(("depthwise-8b", lambda: DepthwiseConvKernel(
+        DepthwiseConfig(in_h=6, in_w=6, channels=8))))
 
     # -- Pooling ----------------------------------------------------------
     for bits in (8, 4, 2):
         for op in ("max", "avg"):
-            cfg = PoolConfig(in_h=4, in_w=4, channels=32 // bits * 4,
-                             bits=bits, op=op)
-            yield f"pool-{op}-{bits}b", PoolKernel(cfg).program
+            builders.append((
+                f"pool-{op}-{bits}b",
+                lambda bits=bits, op=op: PoolKernel(PoolConfig(
+                    in_h=4, in_w=4, channels=32 // bits * 4,
+                    bits=bits, op=op)),
+            ))
 
     # -- Linear / ReLU ----------------------------------------------------
-    yield "linear-8b", LinearKernel(
-        LinearConfig(in_features=16, out_features=8, bits=8)).program
+    builders.append(("linear-8b", lambda: LinearKernel(
+        LinearConfig(in_features=16, out_features=8, bits=8))))
     for bits in (8, 4, 2):
-        yield f"relu-{bits}b", ReluKernel(
-            ReluConfig(elements=32, bits=bits)).program
+        builders.append((f"relu-{bits}b", lambda bits=bits: ReluKernel(
+            ReluConfig(elements=32, bits=bits))))
 
     # -- Cluster-parallel variants ---------------------------------------
-    pm = ParallelMatmulConfig(reduction=g.reduction, out_ch=g.out_ch,
-                              bits=4, num_cores=LINT_CORES, quant="hw")
-    yield "parallel-matmul-4b", ParallelMatmulKernel(pm).program
-    pm8 = ParallelMatmulConfig(reduction=g.reduction, out_ch=g.out_ch,
-                               bits=8, num_cores=LINT_CORES, quant="shift")
-    yield "parallel-matmul-8b", ParallelMatmulKernel(pm8).program
-    pc = ParallelConvConfig(geometry=g, bits=4, quant="hw",
-                            num_cores=LINT_CORES)
-    yield "parallel-conv-4b", ParallelConvKernel(
-        pc, base=TCDM_BASE).program
+    builders.append(("parallel-matmul-4b", lambda: ParallelMatmulKernel(
+        ParallelMatmulConfig(reduction=g.reduction, out_ch=g.out_ch,
+                             bits=4, num_cores=LINT_CORES, quant="hw"))))
+    builders.append(("parallel-matmul-8b", lambda: ParallelMatmulKernel(
+        ParallelMatmulConfig(reduction=g.reduction, out_ch=g.out_ch,
+                             bits=8, num_cores=LINT_CORES, quant="shift"))))
+    builders.append(("parallel-conv-4b", lambda: ParallelConvKernel(
+        ParallelConvConfig(geometry=g, bits=4, quant="hw",
+                           num_cores=LINT_CORES), base=TCDM_BASE)))
+    return builders
+
+
+def catalog_kernel_names() -> List[str]:
+    """Names of every catalog entry, in enumeration order."""
+    return [name for name, _ in _kernel_builders()]
+
+
+def catalog_kernel(name: str):
+    """Build the catalog kernel object registered under *name*."""
+    from ..errors import ReproError
+
+    for entry, thunk in _kernel_builders():
+        if entry == name:
+            return thunk()
+    raise ReproError(
+        f"unknown catalog kernel {name!r}; available: "
+        f"{', '.join(catalog_kernel_names())}")
+
+
+def kernel_program(name: str) -> Program:
+    """The linked program of the catalog kernel registered under *name*."""
+    return catalog_kernel(name).program
+
+
+def builtin_kernel_programs() -> Iterator[Tuple[str, Program]]:
+    """Yield ``(name, linked_program)`` for every shipped kernel builder."""
+    for name, thunk in _kernel_builders():
+        yield name, thunk().program
+
+
+def compiled_network_programs(
+    network: str = "mixed3",
+    cores: int = LINT_CORES,
+) -> Iterator[Tuple[str, Program]]:
+    """Yield the distinct programs the network compiler lowers for *network*.
+
+    Programs are deduplicated by content digest — tile variants of one
+    layer often share an image — so the lint sweep scales with the number
+    of distinct lowered kernels, not the tile count.
+    """
+    from ..compiler import NetworkCompiler, build_network
+
+    built = build_network(network)
+    compiled = NetworkCompiler(
+        built.network, built.input_shape, input_bits=built.input_bits,
+        num_cores=cores, tcdm_budget=built.tcdm_budget,
+    ).compile()
+    seen: Dict[str, str] = {}
+    for name, program in compiled.programs():
+        digest = program.digest()
+        if digest in seen:
+            continue
+        seen[digest] = name
+        yield f"{network}/{name}", program
 
 
 def run_race_check(kernel: str = "matmul", cores: int = LINT_CORES,

@@ -149,6 +149,44 @@ def find_hwloops(program: Program) -> List[HwLoop]:
     return loops
 
 
+def postdominators(cfg: Cfg) -> Dict[int, Optional[int]]:
+    """Immediate postdominator of every block (``None`` = the exit).
+
+    Computed against a virtual exit node that every block without
+    successors (halts, indirect jumps) flows into.  The static cost
+    analyzer uses the immediate postdominator of a data-dependent branch
+    as the fork/join point: both arms are walked to the join and merged
+    as an interval, which keeps the analysis linear instead of
+    enumerating paths.
+    """
+    n = len(cfg.blocks)
+    exit_node = n
+    succs = {
+        block.index: (list(block.successors) or [exit_node])
+        for block in cfg.blocks
+    }
+    everything = set(range(n + 1))
+    pdom: Dict[int, set] = {i: set(everything) for i in range(n)}
+    pdom[exit_node] = {exit_node}
+    changed = True
+    while changed:
+        changed = False
+        for index in range(n - 1, -1, -1):
+            new = set.intersection(*(pdom[s] for s in succs[index]))
+            new = new | {index}
+            if new != pdom[index]:
+                pdom[index] = new
+                changed = True
+    ipdom: Dict[int, Optional[int]] = {}
+    for index in range(n):
+        strict = pdom[index] - {index}
+        # The immediate postdominator is the candidate whose own
+        # postdominator set covers all candidates (strict pdoms chain).
+        imm = next((c for c in strict if len(pdom[c]) == len(strict)), None)
+        ipdom[index] = None if imm is None or imm == exit_node else imm
+    return ipdom
+
+
 def build_cfg(program: Program) -> Cfg:
     """Split *program* into basic blocks and wire the edges."""
     instructions = program.instructions

@@ -16,7 +16,7 @@ it is read.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple, Type
 
 from ..asm.program import Program
@@ -87,6 +87,10 @@ class LintConfig:
     entry_defined: FrozenSet[int] = KERNEL_ENTRY_REGS
     regions: Tuple[Region, ...] = DEFAULT_REGIONS
     min_loop_body: int = 2      # RI5CY: hardware-loop body >= 2 instructions
+    #: TCDM bank count assumed by the bank-conflict heuristic (the
+    #: cluster default: num_cores x banking factor 2, see
+    #: :mod:`repro.cluster.cluster`).
+    tcdm_banks: int = 16
 
     def region_of(self, addr: int, length: int = 1) -> Optional[Region]:
         for region in self.regions:
@@ -121,6 +125,9 @@ class Checker:
 
     name: str = ""
     description: str = ""
+    #: Checkers with ``default=False`` (the performance-hazard lints) run
+    #: only when selected explicitly or via ``repro lint --perf``.
+    default: bool = True
 
     def check(self, ctx: LintContext) -> Iterable[Finding]:
         raise NotImplementedError
@@ -143,23 +150,45 @@ def checker_catalog() -> List[Tuple[str, str]]:
     return [(name, CHECKERS[name].description) for name in sorted(CHECKERS)]
 
 
+def default_checks() -> List[str]:
+    """Names of the checkers that run when none are selected explicitly."""
+    return sorted(name for name, cls in CHECKERS.items() if cls.default)
+
+
+def perf_checks() -> List[str]:
+    """Names of the opt-in performance-hazard checkers."""
+    return sorted(name for name, cls in CHECKERS.items() if not cls.default)
+
+
 def lint_program(
     program: Program,
     checks: Optional[Sequence[str]] = None,
     config: Optional[LintConfig] = None,
     name: str = "<program>",
 ) -> LintReport:
-    """Run the selected checkers (default: all) over a linked program."""
+    """Run the selected checkers over a linked program.
+
+    The default selection is every *correctness* checker; the opt-in
+    performance-hazard checkers (:func:`perf_checks`) must be named
+    explicitly.  Findings are annotated with the enclosing ``.region``
+    marker of their instruction, when the program carries one.
+    """
     config = config or LintConfig()
-    selected = list(checks) if checks is not None else sorted(CHECKERS)
+    selected = list(checks) if checks is not None else default_checks()
     for check in selected:
         if check not in CHECKERS:
             raise ReproError(
                 f"unknown checker {check!r}; available: {sorted(CHECKERS)}")
     ctx = LintContext(program, config)
+    region_map = program.region_map()
     report = LintReport(name=name, checks=selected)
     for check in selected:
-        report.findings.extend(CHECKERS[check]().check(ctx))
+        for finding in CHECKERS[check]().check(ctx):
+            if finding.region is None and finding.addr is not None:
+                region = region_map.get(finding.addr)
+                if region is not None:
+                    finding = replace(finding, region=region)
+            report.findings.append(finding)
     report.findings.sort(key=lambda f: (f.addr is None, f.addr or 0, f.checker))
     return report
 

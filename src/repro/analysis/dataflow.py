@@ -130,6 +130,11 @@ def _u32(value: int) -> int:
     return value & 0xFFFF_FFFF
 
 
+def _signed(value: int) -> int:
+    value = _u32(value)
+    return value - (1 << 32) if value & 0x8000_0000 else value
+
+
 _CONST_BINOPS = {
     "add": lambda a, b: a + b,
     "sub": lambda a, b: a - b,
@@ -138,6 +143,7 @@ _CONST_BINOPS = {
     "xor": lambda a, b: a ^ b,
     "sll": lambda a, b: a << (b & 31),
     "srl": lambda a, b: a >> (b & 31),
+    "sra": lambda a, b: _signed(a) >> (b & 31),
     "mul": lambda a, b: a * b,
 }
 
@@ -148,6 +154,7 @@ _CONST_IMMOPS = {
     "xori": lambda a, imm: a ^ _u32(imm),
     "slli": lambda a, imm: a << (imm & 31),
     "srli": lambda a, imm: a >> (imm & 31),
+    "srai": lambda a, imm: _signed(a) >> (imm & 31),
 }
 
 

@@ -15,6 +15,10 @@ from typing import Dict, List, Optional
 #: Finding severities, most severe first.
 SEVERITIES = ("error", "warning")
 
+#: Version of the JSON layout emitted by ``repro lint --json``.  Bump on
+#: any backwards-incompatible change to Finding/LintReport ``to_dict``.
+LINT_SCHEMA_VERSION = 2
+
 
 @dataclass(frozen=True)
 class Finding:
@@ -25,6 +29,7 @@ class Finding:
     addr: Optional[int] = None
     mnemonic: Optional[str] = None
     severity: str = "error"
+    region: Optional[str] = None   # enclosing ``.region`` marker, if any
 
     def __post_init__(self) -> None:
         if self.severity not in SEVERITIES:
@@ -35,14 +40,17 @@ class Finding:
             "checker": self.checker,
             "severity": self.severity,
             "addr": self.addr,
+            "region": self.region,
             "mnemonic": self.mnemonic,
             "message": self.message,
         }
 
     def __str__(self) -> str:
         where = f"{self.addr:#010x}: " if self.addr is not None else ""
+        inside = f" (.{self.region})" if self.region else ""
         what = f" [{self.mnemonic}]" if self.mnemonic else ""
-        return f"{where}{self.severity}: {self.checker}{what}: {self.message}"
+        return (f"{where}{self.severity}: {self.checker}{what}{inside}: "
+                f"{self.message}")
 
 
 @dataclass
@@ -66,6 +74,7 @@ class LintReport:
 
     def to_dict(self) -> Dict[str, object]:
         return {
+            "schema_version": LINT_SCHEMA_VERSION,
             "name": self.name,
             "ok": self.ok,
             "checks": list(self.checks),
@@ -74,7 +83,13 @@ class LintReport:
 
     def render(self) -> str:
         lines = []
-        verdict = "clean" if self.ok else f"{len(self.errors)} finding(s)"
+        warnings = len(self.findings) - len(self.errors)
+        if not self.findings:
+            verdict = "clean"
+        elif warnings:
+            verdict = f"{len(self.errors)} error(s), {warnings} warning(s)"
+        else:
+            verdict = f"{len(self.errors)} finding(s)"
         lines.append(f"{self.name}: {verdict} "
                      f"({len(self.checks)} checkers)")
         for finding in self.findings:

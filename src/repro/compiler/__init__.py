@@ -4,8 +4,8 @@ Lowers a :class:`~repro.qnn.network.QnnNetwork` into a tiled execution
 plan that fits the cluster's TCDM, then drives it on the multi-core
 cluster model with DMA refills overlapped against compute:
 
-* :mod:`.tiling` — per-layer tile-size search (maximize MACs per DMA
-  byte under the TCDM budget);
+* :mod:`.tiling` — per-layer tile-size search (feasible shapes ordered
+  by MACs per DMA byte, final pick ranked by the static cycle model);
 * :mod:`.planner` — static TCDM memory planner with overlap validation;
 * :mod:`.lowering` — kernel-variant generation + tile schedules;
 * :mod:`.executor` — double-buffered schedule executor with bit-exact
@@ -27,9 +27,13 @@ from .tiling import (
     ConvTiling,
     LinearTiling,
     PoolTiling,
+    TileSearchStats,
+    conv_tile_candidates,
     search_conv_tiling,
     search_linear_tiling,
     search_pool_tiling,
+    simulate_conv_cycles,
+    static_conv_cycles,
 )
 from .timeline import MasterTimeline
 
@@ -49,9 +53,13 @@ __all__ = [
     "TcdmPlan",
     "TcdmPlanner",
     "TileExecution",
+    "TileSearchStats",
     "build_network",
+    "conv_tile_candidates",
     "network_names",
     "search_conv_tiling",
     "search_linear_tiling",
     "search_pool_tiling",
+    "simulate_conv_cycles",
+    "static_conv_cycles",
 ]

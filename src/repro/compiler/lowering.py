@@ -45,6 +45,7 @@ from .planner import TcdmPlan, TcdmPlanner
 from .tiling import (
     CODE_ALLOWANCE,
     ConvTiling,
+    TileSearchStats,
     conv_tile_geometry,
     search_conv_tiling,
     search_linear_tiling,
@@ -192,6 +193,16 @@ class CompiledNetwork:
     def total_dma_bytes(self) -> int:
         return sum(p.tiling.dma_bytes for p in self.layers)
 
+    @property
+    def tile_search(self) -> TileSearchStats:
+        """Search effort aggregated over every layer's tiling."""
+        total = TileSearchStats()
+        for plan in self.layers:
+            stats = getattr(plan.tiling, "search", None)
+            if stats is not None:
+                total = total.merge(stats)
+        return total
+
     def programs(self) -> Iterator[Tuple[str, object]]:
         for plan in self.layers:
             yield from plan.programs()
@@ -204,6 +215,12 @@ class CompiledNetwork:
         ]
         for plan in self.layers:
             lines.append("  " + plan.describe())
+        stats = self.tile_search
+        lines.append(
+            f"  tile search: {stats.candidates} candidates, "
+            f"{stats.ranked} ranked statically, "
+            f"{stats.simulations} simulated "
+            f"({stats.simulations_avoided} simulations avoided)")
         return "\n".join(lines)
 
     def to_dict(self) -> dict:
@@ -213,6 +230,7 @@ class CompiledNetwork:
             "tcdm_budget": self.tcdm_budget,
             "total_tiles": self.total_tiles,
             "total_dma_bytes": self.total_dma_bytes,
+            "tile_search": self.tile_search.to_dict(),
             "layers": [
                 {
                     "name": p.name,
@@ -223,6 +241,10 @@ class CompiledNetwork:
                     "plan_bytes": p.plan.used_bytes,
                     "dma_bytes": p.tiling.dma_bytes,
                     "macs": p.macs,
+                    "static_cycles": getattr(p.tiling, "static_cycles", 0),
+                    "tile_search": (
+                        p.tiling.search.to_dict()
+                        if getattr(p.tiling, "search", None) else None),
                 }
                 for p in self.layers
             ],
@@ -240,7 +262,8 @@ class NetworkCompiler:
                  input_bits: int = 8, num_cores: int = None,
                  isa: str = None, target=None,
                  tcdm_budget: int = None,
-                 code_allowance: int = CODE_ALLOWANCE) -> None:
+                 code_allowance: int = CODE_ALLOWANCE,
+                 verify_tiling: bool = False) -> None:
         from ..target import get_target
         from ..target.names import CLUSTER_PREFIX
 
@@ -263,6 +286,7 @@ class NetworkCompiler:
         self.tcdm_budget = (self.spec.tcdm_bytes if tcdm_budget is None
                             else tcdm_budget)
         self.code_allowance = code_allowance
+        self.verify_tiling = verify_tiling
 
     def compile(self) -> CompiledNetwork:
         compiled = CompiledNetwork(
@@ -308,7 +332,8 @@ class NetworkCompiler:
         for _attempt in range(3):
             tiling = search_conv_tiling(
                 g, bits, quant, self.num_cores, self.tcdm_budget,
-                isa=self.isa, code_allowance=allowance)
+                isa=self.isa, code_allowance=allowance,
+                verify=self.verify_tiling)
             kernels = self._build_conv_variants(g, bits, quant, tiling)
             code_size = max(k.program.size for k in kernels.values())
             if code_size <= allowance:

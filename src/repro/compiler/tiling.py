@@ -24,14 +24,23 @@ Candidate validity is checked by constructing the actual kernel config
 immediate-field and packing constraint the code generator enforces is
 honoured by construction.
 
+The arithmetic-intensity score orders the *feasible* candidates, but the
+final pick among the top few is made by the static cycle model
+(:func:`repro.analysis.cost.analyze_cost` over the full-tile kernel
+program): compute cycles decide the schedule wall clock once the DMA is
+hidden, and the static model prices them without running the simulator.
+:class:`TileSearchStats` records how much simulation that ranking
+avoided; ``verify=True`` buys back one simulator run to cross-check the
+winner's static estimate.
+
 Linear layers tile output neurons (weights double-buffered, the
 activation vector stays resident); pooling tiles output rows.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Tuple
+from dataclasses import dataclass, replace
+from typing import List, Optional, Tuple
 
 from ..errors import KernelError
 from ..kernels.common import align_up
@@ -47,6 +56,42 @@ from ..qnn.thresholds import tree_stride
 CODE_ALLOWANCE = 8 * 1024
 #: Slack absorbed by slot alignment padding.
 _ALIGN_SLACK = 256
+
+#: Feasible conv candidates ranked by the static cycle model per search.
+RANK_TOP = 4
+
+
+@dataclass(frozen=True)
+class TileSearchStats:
+    """How one tile search spent (and saved) its ranking effort.
+
+    ``simulations_avoided`` counts candidates whose cost came from the
+    static analyzer where a simulate-to-rank policy would have run the
+    ISS; it is the figure the compile report logs to show the static
+    model paying for itself.
+    """
+
+    candidates: int = 0           # feasible tile shapes enumerated
+    ranked: int = 0               # top candidates priced statically
+    simulations: int = 0          # simulator runs spent verifying
+    simulations_avoided: int = 0  # priced by the static model instead
+
+    def to_dict(self) -> dict:
+        return {
+            "candidates": self.candidates,
+            "ranked": self.ranked,
+            "simulations": self.simulations,
+            "simulations_avoided": self.simulations_avoided,
+        }
+
+    def merge(self, other: "TileSearchStats") -> "TileSearchStats":
+        return TileSearchStats(
+            candidates=self.candidates + other.candidates,
+            ranked=self.ranked + other.ranked,
+            simulations=self.simulations + other.simulations,
+            simulations_avoided=(self.simulations_avoided
+                                 + other.simulations_avoided),
+        )
 
 
 def _split(total: int, chunk: int) -> List[Tuple[int, int]]:
@@ -99,6 +144,8 @@ class ConvTiling:
     plan_bytes: int             # estimated TCDM bytes (incl. code allowance)
     dma_bytes: int              # total bytes over the DMA for the layer
     score: float                # MACs per DMA byte
+    static_cycles: int = 0      # static-model compute estimate (whole layer)
+    search: Optional[TileSearchStats] = None
 
     @property
     def row_tiles(self) -> List[Tuple[int, int]]:
@@ -186,18 +233,25 @@ def _conv_width_candidates(g: ConvGeometry, bits: int) -> List[int]:
     return sorted(set(cands), reverse=True)
 
 
-def search_conv_tiling(geometry: ConvGeometry, bits: int, quant: str,
-                       num_cores: int, budget: int,
-                       isa: str = XPULPNN,
-                       code_allowance: int = CODE_ALLOWANCE) -> ConvTiling:
-    """Pick the best-fitting conv tile shape for *budget* TCDM bytes."""
+def conv_tile_candidates(geometry: ConvGeometry, bits: int, quant: str,
+                         num_cores: int, budget: int,
+                         isa: str = XPULPNN,
+                         code_allowance: int = CODE_ALLOWANCE,
+                         ) -> List[ConvTiling]:
+    """Every feasible conv tile shape for *budget*, best-heuristic first.
+
+    One candidate per ``(cg, tw)`` pair — the largest feasible row tile;
+    shrinking ``th`` further only re-transfers more halo rows.  Ordered
+    by arithmetic intensity (then fewer tiles, then more cores), the
+    order :func:`search_conv_tiling` ranks statically from the top of.
+    """
     g = geometry
     pack = 4 if bits == 2 else 2
     if g.out_ch % pack:
         raise KernelError("out_ch must pack whole output bytes")
     group_cands = [c for c in range(g.out_ch, 0, -1)
                    if g.out_ch % c == 0 and c % pack == 0]
-    best = None
+    found: List[ConvTiling] = []
     for cg in group_cands:
         for tw in _conv_width_candidates(g, bits):
             for th in range(g.out_h, 0, -1):
@@ -210,21 +264,112 @@ def search_conv_tiling(geometry: ConvGeometry, bits: int, quant: str,
                                         th, tw, cg, cores):
                     continue
                 dma = _conv_dma_bytes(g, bits, quant, th, tw, cg)
-                cand = ConvTiling(
+                found.append(ConvTiling(
                     geometry=g, bits=bits, th=th, tw=tw, cg=cg,
                     cores=cores, plan_bytes=need, dma_bytes=dma,
-                    score=g.macs / dma)
-                if best is None or (cand.score, -cand.tile_count,
-                                    cand.cores) > (best.score,
-                                                   -best.tile_count,
-                                                   best.cores):
-                    best = cand
+                    score=g.macs / dma))
                 break       # largest feasible th for this (cg, tw)
-    if best is None:
+    found.sort(key=lambda c: (-c.score, c.tile_count, -c.cores))
+    return found
+
+
+def _full_tile_kernel(g: ConvGeometry, bits: int, quant: str, isa: str,
+                      cand: ConvTiling):
+    """The cluster kernel of *cand*'s full (non-remainder) tile."""
+    from ..kernels.parallel import ParallelConvKernel
+
+    return ParallelConvKernel(ParallelConvConfig(
+        geometry=conv_tile_geometry(g, cand.th, cand.tw, cand.cg),
+        bits=bits, isa=isa, quant=quant, num_cores=cand.cores))
+
+
+def static_conv_cycles(g: ConvGeometry, bits: int, quant: str, isa: str,
+                       cand: ConvTiling) -> int:
+    """Static-model compute estimate for the whole layer under *cand*.
+
+    The full tile's statically analyzed active cycles (hart 0) times the
+    tile count; remainder tiles are charged as full ones, which inflates
+    every candidate the same way and preserves the ranking.  Interval
+    results (software-quantization trees) are priced at their midpoint.
+    """
+    from ..analysis.cost import analyze_cost
+
+    kern = _full_tile_kernel(g, bits, quant, isa, cand)
+    cycles = analyze_cost(
+        kern.program,
+        name=f"tile[{cand.th}x{cand.tw}x{cand.cg}]").cycles
+    per_tile = cycles.lo if not cycles.bounded else cycles.midpoint
+    return int(round(per_tile)) * cand.tile_count
+
+
+def simulate_conv_cycles(g: ConvGeometry, bits: int, quant: str, isa: str,
+                         cand: ConvTiling, seed: int = 0) -> int:
+    """Simulated reference for :func:`static_conv_cycles`: one full tile
+    run on a cluster with deterministic random tensors, hart 0's active
+    cycles (idle and TCDM-contention stalls excluded, matching the
+    static model's assumptions) times the tile count."""
+    import numpy as np
+
+    from ..cluster import Cluster
+    from ..qnn import random_threshold_table
+
+    kern = _full_tile_kernel(g, bits, quant, isa, cand)
+    tg = kern.config.geometry
+    rng = np.random.default_rng(seed)
+    w = rng.integers(-(1 << bits - 1), 1 << bits - 1,
+                     (tg.out_ch, tg.kh, tg.kw, tg.in_ch)).astype(np.int32)
+    acts = rng.integers(0, 1 << bits,
+                        (tg.in_h, tg.in_w, tg.in_ch)).astype(np.int32)
+    table = None
+    if quant != "shift":
+        table = random_threshold_table(tg.out_ch, bits, spread=2500,
+                                       rng=rng)
+    cluster = Cluster(num_cores=cand.cores, isa=isa)
+    kern.run(w, acts, thresholds=table, cluster=cluster)
+    perf = cluster.cores[0].perf
+    active = perf.cycles - perf.idle_cycles - perf.stall_tcdm_contention
+    return active * cand.tile_count
+
+
+def search_conv_tiling(geometry: ConvGeometry, bits: int, quant: str,
+                       num_cores: int, budget: int,
+                       isa: str = XPULPNN,
+                       code_allowance: int = CODE_ALLOWANCE,
+                       rank_top: int = RANK_TOP,
+                       verify: bool = False) -> ConvTiling:
+    """Pick the best-fitting conv tile shape for *budget* TCDM bytes.
+
+    The top *rank_top* feasible candidates (by arithmetic intensity) are
+    re-ranked by the static cycle model; the cheapest wins.  With
+    ``verify=True`` the winner's full tile is additionally simulated and
+    the search fails if the static estimate is off by more than 5% —
+    the one simulator run the static ranking cannot replace.
+    """
+    g = geometry
+    cands = conv_tile_candidates(g, bits, quant, num_cores, budget,
+                                 isa=isa, code_allowance=code_allowance)
+    if not cands:
         raise KernelError(
             f"conv layer {g.describe()} has no tile shape fitting "
             f"{budget} TCDM bytes")
-    return best
+    top = cands[:max(1, rank_top)]
+    scored = [(static_conv_cycles(g, bits, quant, isa, cand), cand)
+              for cand in top]
+    scored.sort(key=lambda sc: (sc[0], -sc[1].score, sc[1].tile_count))
+    best_cycles, best = scored[0]
+    simulations = 0
+    if verify:
+        simulated = simulate_conv_cycles(g, bits, quant, isa, best)
+        simulations = 1
+        if abs(best_cycles - simulated) > 0.05 * simulated:
+            raise KernelError(
+                f"static tile cost {best_cycles} diverges from simulated "
+                f"{simulated} by more than 5% "
+                f"(tile {best.th}x{best.tw}x{best.cg})")
+    stats = TileSearchStats(
+        candidates=len(cands), ranked=len(top), simulations=simulations,
+        simulations_avoided=len(top) - simulations)
+    return replace(best, static_cycles=best_cycles, search=stats)
 
 
 # ---------------------------------------------------------------------------
@@ -242,6 +387,7 @@ class LinearTiling:
     plan_bytes: int
     dma_bytes: int
     score: float
+    search: Optional[TileSearchStats] = None
 
     @property
     def tiles(self) -> List[Tuple[int, int]]:
@@ -272,7 +418,8 @@ def search_linear_tiling(in_features: int, out_features: int, bits: int,
     return LinearTiling(
         in_features=in_features, out_features=out_features, bits=bits,
         tn=tn, plan_bytes=plan, dma_bytes=dma,
-        score=in_features * out_features / dma)
+        score=in_features * out_features / dma,
+        search=TileSearchStats(candidates=1))
 
 
 # ---------------------------------------------------------------------------
@@ -290,6 +437,7 @@ class PoolTiling:
     th: int                     # output rows per tile
     plan_bytes: int
     dma_bytes: int
+    search: Optional[TileSearchStats] = None
 
     @property
     def tiles(self) -> List[Tuple[int, int]]:
@@ -325,4 +473,5 @@ def search_pool_tiling(in_h: int, in_w: int, channels: int, bits: int,
     n_out = (in_h // 2) * (in_w // 2) * channels * bits // 8
     return PoolTiling(
         in_h=in_h, in_w=in_w, channels=channels, bits=bits, th=th,
-        plan_bytes=plan, dma_bytes=in_h * row + n_out)
+        plan_bytes=plan, dma_bytes=in_h * row + n_out,
+        search=TileSearchStats(candidates=1))

@@ -26,6 +26,7 @@ from .jobs import (
     JOB_KINDS,
     CompileJob,
     ConvPointJob,
+    CostJob,
     Job,
     JobFailure,
     JobResult,
@@ -47,6 +48,7 @@ __all__ = [
     "CACHE_SCHEMA",
     "CompileJob",
     "ConvPointJob",
+    "CostJob",
     "JOB_KINDS",
     "Job",
     "JobFailure",

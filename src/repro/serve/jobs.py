@@ -22,6 +22,10 @@ Job kinds
 ``convpoint``
     One verified convolution-suite point (bits, quant) on a target —
     the measurements behind Fig 6.
+``cost``
+    A static cycle analysis of one catalog kernel or of every program a
+    network lowers to (:mod:`repro.analysis.cost`) — no simulation, but
+    cacheable and content-addressed like everything else.
 ``selftest``
     A transport/diagnostics job that succeeds, raises, sleeps, or kills
     its worker on request; used by tests and CI to prove failure
@@ -236,6 +240,45 @@ class ConvPointJob(Job):
         if self.quant == "hw" and not spec.hw_quant:
             raise ServeError(
                 f"target {spec.name!r} has no pv.qnt hardware")
+
+
+@register_job
+@dataclass(frozen=True)
+class CostJob(Job):
+    """Static cycle analysis of a catalog kernel or lowered network."""
+
+    kind: ClassVar[str] = "cost"
+
+    #: Catalog kernel name (exclusive with ``network``).
+    kernel: str = ""
+    #: Catalog network name; analyzes every distinct lowered program.
+    network: str = ""
+    #: Cluster cores used when lowering ``network``.
+    cores: int = 2
+    #: Hart id used to resolve ``mhartid`` reads.
+    hart: int = 0
+
+    def validate(self) -> None:
+        if bool(self.kernel) == bool(self.network):
+            raise ServeError(
+                "cost jobs take exactly one of 'kernel' or 'network'")
+        if self.kernel:
+            from ..analysis.catalog import catalog_kernel_names
+
+            if self.kernel not in catalog_kernel_names():
+                raise ServeError(
+                    f"unknown catalog kernel {self.kernel!r}")
+        if self.network:
+            from ..compiler import network_names
+
+            if self.network not in network_names():
+                raise ServeError(
+                    f"unknown network {self.network!r}; available: "
+                    f"{', '.join(network_names())}")
+            if self.cores < 1:
+                raise ServeError("cost jobs need at least one core")
+        if self.hart < 0:
+            raise ServeError("hart must be >= 0")
 
 
 @register_job

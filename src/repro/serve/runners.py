@@ -30,6 +30,7 @@ from .hashing import canonical_json, network_digest
 from .jobs import (
     CompileJob,
     ConvPointJob,
+    CostJob,
     Job,
     ProfileJob,
     ScalingJob,
@@ -107,6 +108,15 @@ def _profile_program(job: ProfileJob):
     return MatmulKernel(MatmulConfig(
         reduction=MATMUL_REDUCTION, out_ch=MATMUL_OUT_CH, bits=bits,
         isa=isa, quant=quant)).program
+
+
+def _cost_programs(job: CostJob):
+    """``[(name, program)]`` the cost job analyzes, in stable order."""
+    from ..analysis.catalog import compiled_network_programs, kernel_program
+
+    if job.kernel:
+        return [(job.kernel, kernel_program(job.kernel))]
+    return list(compiled_network_programs(job.network, cores=job.cores))
 
 
 def _convpoint_resolved(job: ConvPointJob):
@@ -192,6 +202,19 @@ def cache_key_parts(job: Job) -> Dict[str, str]:
             "program": program.digest(),
             "config": canonical_json(config),
         }
+    if isinstance(job, CostJob):
+        from ..analysis.cost import COST_SCHEMA_VERSION
+        from .hashing import digest_of
+
+        programs = _cost_programs(job)
+        config = {**job.config_dict(), "cost_schema": COST_SCHEMA_VERSION}
+        return {
+            "schema": CACHE_SCHEMA,
+            "kind": job.kind,
+            "spec": "-",              # no machine: timing params only
+            "program": digest_of([p.digest() for _, p in programs]),
+            "config": canonical_json(config),
+        }
     if isinstance(job, SelfTestJob):
         return {
             "schema": CACHE_SCHEMA,
@@ -237,6 +260,7 @@ def _run_compile(job: CompileJob) -> Tuple[Dict[str, Any], Artifacts]:
         "cores": job.cores,
         "tcdm_budget": budget,
         "total_tiles": compiled.total_tiles,
+        "tile_search": compiled.tile_search.to_dict(),
         **to_plain(result.to_dict()),
     }
     return payload, {}
@@ -269,6 +293,24 @@ def _run_convpoint(job: ConvPointJob) -> Tuple[Dict[str, Any], Artifacts]:
     return payload, {}
 
 
+def _run_cost(job: CostJob) -> Tuple[Dict[str, Any], Artifacts]:
+    from ..analysis.cost import analyze_cost
+
+    reports = [
+        analyze_cost(program, name=name, hart_id=job.hart)
+        for name, program in _cost_programs(job)
+    ]
+    payload = {
+        "kernel": job.kernel,
+        "network": job.network,
+        "hart": job.hart,
+        "exact": all(r.exact for r in reports),
+        "bounded": all(r.bounded for r in reports),
+        "reports": [r.to_dict() for r in reports],
+    }
+    return payload, {}
+
+
 def _run_selftest(job: SelfTestJob) -> Tuple[Dict[str, Any], Artifacts]:
     import os
     import time
@@ -287,6 +329,7 @@ _RUNNERS = {
     "compile": _run_compile,
     "scaling": _run_scaling,
     "convpoint": _run_convpoint,
+    "cost": _run_cost,
     "selftest": _run_selftest,
 }
 

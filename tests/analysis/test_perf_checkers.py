@@ -1,0 +1,177 @@
+"""Negative fixtures for the opt-in performance-hazard checkers.
+
+Each checker gets a minimal program exhibiting its hazard (the finding
+must fire) and a scheduled/vectorized twin (the finding must not).
+"""
+
+from repro.analysis import (
+    LintConfig,
+    default_checks,
+    lint_program,
+    perf_checks,
+)
+from repro.asm import Assembler
+
+
+def lint(source, checks=None, config=None, isa="xpulpnn"):
+    program = Assembler(isa=isa).assemble(source)
+    return lint_program(program, checks=checks, config=config)
+
+
+class TestRegistry:
+    def test_perf_checkers_are_opt_in(self):
+        assert set(perf_checks()) == {
+            "hwloop-overhead", "load-use-stall", "missed-simd",
+            "tcdm-bank-conflict",
+        }
+        assert not set(perf_checks()) & set(default_checks())
+
+    def test_perf_findings_are_warnings(self):
+        report = lint("""
+            lw   t0, 0(a0)
+            add  t1, t0, t2
+            addi a1, a1, 4
+            ebreak
+        """, checks=perf_checks())
+        assert report.findings
+        assert all(f.severity == "warning" for f in report.findings)
+        assert report.ok                # warnings don't fail the lint
+
+
+class TestLoadUseStall:
+    SOURCE = """
+        lw   t0, 0(a0)
+        add  t1, t0, t2
+        addi a1, a1, 4
+        ebreak
+    """
+
+    def test_schedulable_stall_is_flagged(self):
+        report = lint(self.SOURCE, checks=["load-use-stall"])
+        (finding,) = report.findings
+        assert finding.mnemonic == "lw"
+        assert "addi" in finding.message
+
+    def test_scheduled_twin_is_clean(self):
+        report = lint("""
+            lw   t0, 0(a0)
+            addi a1, a1, 4
+            add  t1, t0, t2
+            ebreak
+        """, checks=["load-use-stall"])
+        assert not report.findings, report.render()
+
+    def test_dependent_filler_does_not_count(self):
+        # The only later instruction reads t1, which the consumer writes:
+        # hoisting it would reorder a true dependency.
+        report = lint("""
+            lw   t0, 0(a0)
+            add  t1, t0, t2
+            addi a1, t1, 4
+            ebreak
+        """, checks=["load-use-stall"])
+        assert not report.findings, report.render()
+
+
+class TestTcdmBankConflict:
+    def test_bank_span_stride_in_hwloop_is_flagged(self):
+        report = lint("""
+            lp.setupi 0, 8, end
+            p.lw t0, 64(a0!)
+            add  t1, t1, t0
+        end:
+            ebreak
+        """, checks=["tcdm-bank-conflict"])
+        (finding,) = report.findings
+        assert "64" in finding.message
+        assert "bank" in finding.message
+
+    def test_span_scales_with_configured_banks(self):
+        report = lint("""
+            lp.setupi 0, 8, end
+            p.lw t0, 32(a0!)
+            add  t1, t1, t0
+        end:
+            ebreak
+        """, checks=["tcdm-bank-conflict"],
+            config=LintConfig(tcdm_banks=8))
+        assert len(report.findings) == 1
+
+    def test_coprime_stride_is_clean(self):
+        report = lint("""
+            lp.setupi 0, 8, end
+            p.lw t0, 68(a0!)
+            add  t1, t1, t0
+        end:
+            ebreak
+        """, checks=["tcdm-bank-conflict"])
+        assert not report.findings, report.render()
+
+    def test_straight_line_access_is_clean(self):
+        report = lint("p.lw t0, 64(a0!)\nebreak",
+                      checks=["tcdm-bank-conflict"])
+        assert not report.findings, report.render()
+
+
+class TestMissedSimd:
+    SCALAR = """
+        lp.setupi 0, 16, end
+        p.lb t0, 1(a0!)
+        p.lb t1, 1(a1!)
+        mul  t2, t0, t1
+        add  a2, a2, t2
+    end:
+        ebreak
+    """
+
+    def test_scalar_byte_loop_suggests_sdotusp4(self):
+        report = lint(self.SCALAR, checks=["missed-simd"])
+        (finding,) = report.findings
+        assert "pv.sdotusp4" in finding.message
+
+    def test_vectorized_twin_is_clean(self):
+        report = lint("""
+            lp.setupi 0, 4, end
+            p.lw t0, 4(a0!)
+            p.lw t1, 4(a1!)
+            pv.sdotusp.b a2, t0, t1
+        end:
+            ebreak
+        """, checks=["missed-simd"])
+        assert not report.findings, report.render()
+
+    def test_halfword_loop_suggests_two_lanes(self):
+        report = lint("""
+            lp.setupi 0, 8, end
+            p.lh t0, 2(a0!)
+            mul  t2, t0, t3
+            add  a2, a2, t2
+        end:
+            ebreak
+        """, checks=["missed-simd"])
+        (finding,) = report.findings
+        assert "pv.sdotusp2" in finding.message
+
+
+class TestHwloopOverhead:
+    def test_single_trip_loop_is_flagged(self):
+        report = lint("""
+            lp.setupi 0, 1, end
+            addi a0, a0, 1
+            addi a0, a0, 2
+        end:
+            ebreak
+        """, checks=["hwloop-overhead"])
+        (finding,) = report.findings
+        assert finding.mnemonic == "lp.setupi"
+        assert "unroll" in finding.message
+
+    def test_amortized_loop_is_clean(self):
+        report = lint("""
+            lp.setupi 0, 8, end
+            addi a0, a0, 1
+            addi a0, a0, 2
+        end:
+            ebreak
+        """, checks=["hwloop-overhead"])
+        assert not report.findings, report.render()
