@@ -27,7 +27,18 @@ Commands:
   deduplication, crash-isolated worker pool (``--workers``);
 * ``sweep``   expand a cartesian sweep on the command line
   (``repro sweep scaling bits=8,4,2 cores=1,2,4,8``) and run it through
-  the same service.
+  the same service;
+* ``cache``   inspect (``stats``) or bound (``prune --max-bytes N``)
+  the on-disk result cache;
+* ``metrics`` dump a service-metrics snapshot (``--format json|prom``)
+  from a snapshot file, serve report, or event log;
+* ``perf``    the perf-regression sentinel: ``repro perf diff A B``
+  compares two trajectory snapshots series-by-series (cycle-exact
+  series must be bit-identical) and exits non-zero on regression.
+
+``serve``/``sweep`` accept ``--events`` (structured JSONL event log),
+``--fleet-timeline`` (merged service+workers+device Perfetto trace),
+and ``--metrics-out`` (merged metrics snapshot).
 """
 
 from __future__ import annotations
@@ -539,14 +550,41 @@ def _cmd_cost(args: argparse.Namespace) -> int:
 def _serve_service(args: argparse.Namespace):
     """Build a :class:`SimulationService` from the shared serve flags."""
     from .serve import SimulationService, open_cache
+    from .telemetry import EventLog, FleetRecorder
 
     cache = open_cache(args.cache_dir, enabled=not args.no_cache)
     progress = None
     if not args.json and not args.quiet:
         def progress(event):
             print(event.render(), file=sys.stderr)
+    events = EventLog(args.events) if getattr(args, "events", None) else None
+    fleet = FleetRecorder() if getattr(args, "fleet_timeline", None) else None
     return SimulationService(cache=cache, workers=args.workers,
-                             timeout=args.timeout, progress=progress)
+                             timeout=args.timeout, progress=progress,
+                             events=events, fleet=fleet)
+
+
+def _finish_telemetry(service, report, args: argparse.Namespace) -> None:
+    """Flush the telemetry sinks the serve flags asked for."""
+    import json
+
+    if service.events is not None:
+        service.events.close()
+        print(f"events -> {args.events}", file=sys.stderr)
+    if service.fleet is not None:
+        payload = service.fleet.write(args.fleet_timeline,
+                                      title=report.label or "sweep")
+        print(f"fleet timeline -> {args.fleet_timeline} "
+              f"({len(payload['traceEvents'])} events; open in "
+              f"https://ui.perfetto.dev)", file=sys.stderr)
+    if getattr(args, "metrics_out", None):
+        from .telemetry import default_registry
+
+        snapshot = report.metrics or default_registry().snapshot()
+        with open(args.metrics_out, "w") as handle:
+            json.dump(snapshot, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"metrics -> {args.metrics_out}", file=sys.stderr)
 
 
 def _emit_report(report, args: argparse.Namespace) -> int:
@@ -586,7 +624,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         raise ServeError(f"bad job file: {exc}")
     if args.label:
         sweep = dataclasses.replace(sweep, label=args.label)
-    report = _serve_service(args).sweep(sweep)
+    service = _serve_service(args)
+    report = service.sweep(sweep)
+    _finish_telemetry(service, report, args)
     return _emit_report(report, args)
 
 
@@ -629,8 +669,137 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
         print(json.dumps([p.to_dict() for p in sweep.points], indent=2))
         return 0
-    report = _serve_service(args).sweep(sweep)
+    service = _serve_service(args)
+    report = service.sweep(sweep)
+    _finish_telemetry(service, report, args)
     return _emit_report(report, args)
+
+
+def _parse_bytes(value: str) -> int:
+    """Parse a byte budget: plain int or k/M/G-suffixed (1024-based)."""
+    text = value.strip()
+    scale = 1
+    suffixes = {"k": 1024, "m": 1024 ** 2, "g": 1024 ** 3}
+    if text and text[-1].lower() in suffixes:
+        scale = suffixes[text[-1].lower()]
+        text = text[:-1]
+    try:
+        return int(text, 0) * scale
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad byte count {value!r} (use e.g. 500000, 64k, 10M, 1G)")
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    import json
+
+    from .serve import ResultCache, default_cache_root
+
+    cache = ResultCache(args.cache_dir or default_cache_root())
+    if args.action == "stats":
+        stats = cache.disk_stats()
+        if args.json:
+            print(json.dumps({"root": str(cache.root), **stats}, indent=2))
+        else:
+            print(f"{cache.root}: {stats['entries']} entries, "
+                  f"{stats['bytes']:,} bytes")
+        return 0
+    # prune
+    if args.max_bytes is None:
+        raise ReproError("cache prune needs --max-bytes")
+    outcome = cache.prune(args.max_bytes)
+    if args.json:
+        print(json.dumps({"root": str(cache.root),
+                          "max_bytes": args.max_bytes, **outcome}, indent=2))
+    else:
+        print(f"{cache.root}: pruned {outcome['removed']} entries "
+              f"({outcome['bytes_freed']:,} bytes freed, "
+              f"{outcome['bytes_kept']:,} kept, "
+              f"budget {args.max_bytes:,})")
+    return 0
+
+
+def _metrics_snapshot(args: argparse.Namespace):
+    """Resolve the snapshot ``repro metrics`` should render.
+
+    ``--input`` accepts a metrics snapshot file, a serve report (uses
+    its ``metrics`` key), or a JSONL event log (uses the last
+    ``metrics`` event); without it, the current process registry is
+    dumped (useful mostly for tooling smoke tests).
+    """
+    import json
+
+    from .telemetry import MetricsError, default_registry
+
+    if not args.input:
+        return default_registry().snapshot()
+    with open(args.input) as handle:
+        text = handle.read()
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError:
+        doc = None          # more than one JSON value: treat as JSONL
+    if isinstance(doc, dict):
+        if doc.get("schema") == "repro-metrics/1":
+            return doc
+        if isinstance(doc.get("metrics"), dict):
+            return doc["metrics"]
+        raise MetricsError(
+            f"{args.input}: neither a metrics snapshot nor a serve "
+            f"report with a 'metrics' key")
+    snapshots = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            raise MetricsError(
+                f"{args.input}: neither a JSON document nor a JSONL "
+                f"event log") from None
+        if isinstance(record, dict) and record.get("event") == "metrics":
+            snapshots.append(record["snapshot"])
+    if not snapshots:
+        raise MetricsError(f"{args.input}: no metrics events found")
+    return snapshots[-1]
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    import json
+
+    from .telemetry import render_prom, validate_metrics_snapshot
+
+    snapshot = _metrics_snapshot(args)
+    validate_metrics_snapshot(snapshot)
+    if args.format == "prom":
+        sys.stdout.write(render_prom(snapshot))
+    else:
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_perf(args: argparse.Namespace) -> int:
+    import json
+
+    from .telemetry import (
+        DEFAULT_BAND,
+        diff_files,
+        load_tolerances,
+        render_verdict,
+    )
+
+    tolerances = load_tolerances(args.tolerances) if args.tolerances else None
+    if args.band is None:
+        args.band = DEFAULT_BAND
+    verdict = diff_files(args.old, args.new, band=args.band,
+                         tolerances=tolerances,
+                         strict_missing=args.strict_missing)
+    if args.json:
+        print(json.dumps(verdict, indent=2))
+    else:
+        print(render_verdict(verdict))
+    return 0 if verdict["ok"] else 1
 
 
 def _cmd_targets(args: argparse.Namespace) -> int:
@@ -848,6 +1017,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the report as JSON")
         p.add_argument("--quiet", action="store_true",
                        help="suppress per-job progress on stderr")
+        p.add_argument("--events", metavar="PATH",
+                       help="stream a structured JSONL event log "
+                            "(repro-events/1) to PATH")
+        p.add_argument("--fleet-timeline", metavar="PATH",
+                       help="export the merged service+workers+device "
+                            "Perfetto timeline to PATH")
+        p.add_argument("--metrics-out", metavar="PATH",
+                       help="write the merged metrics snapshot "
+                            "(repro-metrics/1) to PATH")
 
     serve = sub.add_parser(
         "serve",
@@ -875,6 +1053,54 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the expanded job list as JSON and exit")
     serve_flags(sweep)
     sweep.set_defaults(func=_cmd_sweep)
+
+    cache = sub.add_parser(
+        "cache", help="inspect or bound the on-disk result cache")
+    cache.add_argument("action", choices=("stats", "prune"),
+                       help="'stats' reports disk usage; 'prune' evicts "
+                            "least-recently-used entries to a byte budget")
+    cache.add_argument("--cache-dir", metavar="PATH",
+                       help="cache root (default .repro-cache or "
+                            "$REPRO_CACHE_DIR)")
+    cache.add_argument("--max-bytes", type=_parse_bytes, metavar="N",
+                       help="prune budget; accepts k/M/G suffixes "
+                            "(e.g. --max-bytes 10M)")
+    cache.add_argument("--json", action="store_true",
+                       help="emit machine-readable output")
+    cache.set_defaults(func=_cmd_cache)
+
+    metrics = sub.add_parser(
+        "metrics", help="dump a service-metrics snapshot")
+    metrics.add_argument("input", nargs="?",
+                         help="metrics snapshot JSON, serve report JSON, "
+                              "or JSONL event log (default: this "
+                              "process's registry)")
+    metrics.add_argument("--format", choices=("json", "prom"),
+                         default="json",
+                         help="output format (Prometheus text exposition "
+                              "with 'prom')")
+    metrics.set_defaults(func=_cmd_metrics)
+
+    perf = sub.add_parser(
+        "perf", help="perf-regression sentinel over trajectory snapshots")
+    perf_sub = perf.add_subparsers(dest="perf_command", required=True)
+    diff = perf_sub.add_parser(
+        "diff", help="compare two repro-trajectory/1 documents "
+                     "series-by-series; exits non-zero on regression")
+    diff.add_argument("old", help="baseline trajectory JSON")
+    diff.add_argument("new", help="candidate trajectory JSON")
+    diff.add_argument("--band", type=float, default=None,
+                      help="relative tolerance for throughput series "
+                           "(serve/*, bench/*; default 0.25); "
+                           "cycle-exact series are always bit-identical")
+    diff.add_argument("--tolerances", metavar="PATH",
+                      help="JSON map of fnmatch series patterns to "
+                           "relative tolerances (0 forces bit-exact)")
+    diff.add_argument("--strict-missing", action="store_true",
+                      help="fail if a baseline series disappeared")
+    diff.add_argument("--json", action="store_true",
+                      help="emit the repro-perf-diff/1 verdict as JSON")
+    diff.set_defaults(func=_cmd_perf)
 
     targets = sub.add_parser(
         "targets", help="list the registered machine targets")

@@ -30,12 +30,14 @@ Every tile's output is verified bit-exactly against the golden
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..cluster import Cluster
+from ..telemetry import metrics as tmetrics
 from ..core.perf import PerfCounters
 from ..errors import KernelError
 from ..kernels.im2col import pixel_bytes
@@ -247,9 +249,23 @@ class PlanExecutor:
             results.append(res)
         if self.timeline is not None:
             self.timeline.finish(self.cluster.dma.transfers, end_cycle=clock)
-        return CompiledNetworkResult(
+        result = CompiledNetworkResult(
             layers=results, output=x, freq_hz=freq_hz, cycles=clock,
             timeline=self.timeline)
+        # Executor-level telemetry: simulated-cycle counters (so they
+        # merge deterministically across workers) plus the network-wide
+        # DMA-hidden share of this run.
+        tmetrics.counter("executor.networks").inc()
+        tmetrics.counter("executor.layers").inc(len(results))
+        tmetrics.counter("executor.dma_cycles").inc(
+            sum(layer.dma_cycles for layer in results))
+        tmetrics.counter("executor.dma_hidden_cycles").inc(
+            sum(layer.overlap_cycles for layer in results))
+        tmetrics.counter("executor.compute_cycles").inc(
+            sum(layer.compute_cycles for layer in results))
+        tmetrics.gauge("executor.dma_hidden_fraction").set(
+            round(result.overlap_pct, 6))
+        return result
 
     # -- shared tile machinery ------------------------------------------
 
@@ -345,7 +361,11 @@ class PlanExecutor:
             end = start + compute + contention
             for core, perf in enumerate(run.per_core):
                 per_core[core].merge(perf)
+            verify_started = time.perf_counter()
             done, ok = drain_out(i, end)
+            tmetrics.histogram("executor.tile_verify_seconds").observe(
+                time.perf_counter() - verify_started)
+            tmetrics.counter("executor.tiles").inc()
             out_done[i] = done
             verified = verified and ok
             overlap_total += overlap

@@ -31,7 +31,7 @@ SCHEMA = "repro-trajectory/1"
 #: numbers are machine-dependent).
 _CAPTURE_SUFFIXES = ("cycles", "instructions", "macs_per_cycle",
                      "quant_share", "speedup", "overlap_pct", "dma_bytes",
-                     "jobs_per_sec")
+                     "jobs_per_sec", "us_per_job")
 
 
 def _captured(key: str) -> bool:

@@ -11,6 +11,12 @@ crash-isolated multiprocessing worker pool.  The eval harnesses
 (:mod:`repro.eval.cluster_scaling`, :mod:`repro.eval.fig6`) are thin
 clients of this API; ``repro serve`` and ``repro sweep`` expose it on
 the command line.  See ``docs/SERVING.md``.
+
+The whole stack is instrumented with service-level telemetry
+(:mod:`repro.telemetry`): cache hit/miss/eviction counters, per-lane
+queue-wait and run-time histograms, cross-process spans, a structured
+JSONL event log, and a fleet Perfetto timeline.  See
+``docs/TELEMETRY.md``.
 """
 
 from .cache import (

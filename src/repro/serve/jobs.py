@@ -411,6 +411,10 @@ class JobFailure:
     traceback: str = ""
     elapsed_s: float = 0.0
     worker: int = -1
+    #: Structured failure context (e.g. a timeout's job digest, elapsed
+    #: wall time, and deadline) — enough to attribute the failure from
+    #: an event log alone, without the in-memory Job object.
+    details: Dict[str, Any] = field(default_factory=dict)
 
     ok: ClassVar[bool] = False
     cached: ClassVar[bool] = False
@@ -439,6 +443,7 @@ class JobFailure:
             "traceback": self.traceback,
             "elapsed_s": round(self.elapsed_s, 6),
             "worker": self.worker,
+            "details": dict(self.details),
         }
 
 
@@ -460,4 +465,5 @@ def result_from_dict(payload: Dict[str, Any]):
         traceback=payload.get("traceback", ""),
         elapsed_s=float(payload.get("elapsed_s", 0.0)),
         worker=int(payload.get("worker", -1)),
+        details=dict(payload.get("details", {})),
     )

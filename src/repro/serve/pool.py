@@ -27,8 +27,11 @@ import multiprocessing.connection
 import time
 import traceback
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
+from ..telemetry import metrics as tmetrics
+from ..telemetry.fleet import FleetRecorder, JobRecord
+from ..telemetry.spans import Span, worker_span
 from .jobs import Job, JobFailure, JobResult, job_from_dict
 from .runners import execute
 
@@ -62,21 +65,41 @@ class ProgressEvent:
         return f"{tag} {body}"
 
 
-def _worker_entry(conn, job_payload: dict) -> None:
-    """Child-process body: execute one job, ship the outcome, exit."""
+def _worker_entry(conn, job_payload: dict,
+                  span_payload: Optional[dict] = None) -> None:
+    """Child-process body: execute one job, ship the outcome, exit.
+
+    Telemetry rides the same pipe as the result: the fork-inherited
+    metrics registry is reset on entry, so the snapshot shipped back is
+    exactly this job's delta, and the supervisor can fold worker deltas
+    together into the same totals a serial run would produce.  The
+    worker-side execution span (a child of the service's root span via
+    *span_payload*) travels back the same way.
+    """
+    tmetrics.reset_default_registry()
     start = time.perf_counter()
+    span = worker_span(span_payload, f"run:{job_payload.get('kind', 'job')}")
+
+    def extras() -> dict:
+        return {"metrics": tmetrics.default_registry().snapshot(),
+                "span": span.to_dict()}
+
     try:
         job = job_from_dict(job_payload)
         payload, artifacts = execute(job)
-        conn.send(("ok", payload, artifacts, time.perf_counter() - start))
+        span.finish(ok=True)
+        conn.send(("ok", payload, artifacts,
+                   time.perf_counter() - start, extras()))
     except BaseException as exc:  # noqa: BLE001 — everything becomes data
+        span.finish(ok=False, error=type(exc).__name__)
         failure = {
             "error_type": type(exc).__name__,
             "message": str(exc),
             "traceback": traceback.format_exc(),
         }
         try:
-            conn.send(("error", failure, time.perf_counter() - start))
+            conn.send(("error", failure,
+                       time.perf_counter() - start, extras()))
         except Exception:
             pass  # parent sees EOF and reports a worker crash
     finally:
@@ -91,6 +114,9 @@ class _Slot:
     conn: multiprocessing.connection.Connection
     started: float
     deadline: Optional[float]
+    lane: int = -1              # logical worker lane (0..workers-1)
+    queue_wait_s: float = 0.0   # submission -> launch
+    started_epoch: float = 0.0  # wall clock, for the fleet timeline
 
 
 def _context():
@@ -103,11 +129,18 @@ def _context():
 
 def run_jobs(jobs: Sequence[Job], workers: int = 0,
              timeout: Optional[float] = None,
-             progress: Optional[ProgressFn] = None) -> List[PoolOutcome]:
+             progress: Optional[ProgressFn] = None,
+             fleet: Optional[FleetRecorder] = None,
+             span: Optional[Span] = None,
+             index_of: Optional[Callable[[int], int]] = None
+             ) -> List[PoolOutcome]:
     """Execute *jobs*, preserving order; failures are returned, not raised.
 
     ``workers=0`` executes inline (no isolation, no timeouts); any
     positive count shards across that many concurrent worker processes.
+    *fleet* (with *index_of* mapping batch-local to caller indices) and
+    *span* (the parent span whose context rides the job envelope) feed
+    the service-level telemetry; both are optional and free when absent.
     """
     total = len(jobs)
 
@@ -115,17 +148,30 @@ def run_jobs(jobs: Sequence[Job], workers: int = 0,
         if progress is not None:
             progress(event)
 
+    def gidx(index: int) -> int:
+        return index_of(index) if index_of is not None else index
+
     if workers <= 0:
         results: List[PoolOutcome] = []
         for index, job in enumerate(jobs):
             emit(ProgressEvent("start", index, total, job.kind, job.digest()))
             start = time.perf_counter()
+            start_epoch = time.time()
+            run_span = worker_span(
+                span.context.to_dict() if span else None,
+                f"run:{job.kind}")
             try:
                 payload, artifacts = execute(job)
             except Exception as exc:
                 failure = JobFailure.from_exception(
                     job, exc, elapsed_s=time.perf_counter() - start)
                 results.append(failure)
+                run_span.finish(ok=False, error=failure.error_type)
+                _record_fleet(fleet, gidx(index), job, "failed", -1,
+                              0.0, start_epoch, run_span,
+                              error_type=failure.error_type)
+                tmetrics.histogram("pool.job_seconds",
+                                   lane="inline").observe(failure.elapsed_s)
                 emit(ProgressEvent("failed", index, total, job.kind,
                                    job.digest(), failure.elapsed_s,
                                    message=failure.message))
@@ -134,39 +180,75 @@ def run_jobs(jobs: Sequence[Job], workers: int = 0,
             results.append(JobResult(
                 job=job, payload=payload, elapsed_s=elapsed,
                 artifact_payloads=artifacts))
+            run_span.finish(ok=True)
+            _record_fleet(fleet, gidx(index), job, "done", -1,
+                          0.0, start_epoch, run_span)
+            tmetrics.histogram("pool.job_seconds",
+                               lane="inline").observe(elapsed)
             emit(ProgressEvent("done", index, total, job.kind,
                                job.digest(), elapsed))
         return results
 
-    return _run_pool(list(jobs), workers, timeout, emit)
+    return _run_pool(list(jobs), workers, timeout, emit,
+                     fleet=fleet, span=span, gidx=gidx)
+
+
+def _record_fleet(fleet: Optional[FleetRecorder], index: int, job: Job,
+                  status: str, lane: int, queue_wait_s: float,
+                  start_epoch: float, span: Optional[Span],
+                  worker_pid: int = -1, error_type: str = "") -> None:
+    """Append one finished job to the fleet timeline (no-op sans fleet)."""
+    if fleet is None:
+        return
+    fleet.record(JobRecord(
+        index=index, kind=job.kind, digest=job.digest(), status=status,
+        lane=lane, worker_pid=worker_pid, queue_wait_s=queue_wait_s,
+        start_s=start_epoch, end_s=time.time(), error_type=error_type,
+        span=span.to_dict() if isinstance(span, Span) else span))
 
 
 def _run_pool(jobs: List[Job], workers: int, timeout: Optional[float],
-              emit: Callable[[ProgressEvent], None]) -> List[PoolOutcome]:
+              emit: Callable[[ProgressEvent], None],
+              fleet: Optional[FleetRecorder] = None,
+              span: Optional[Span] = None,
+              gidx: Callable[[int], int] = lambda i: i) -> List[PoolOutcome]:
     ctx = _context()
     total = len(jobs)
     results: List[Optional[PoolOutcome]] = [None] * total
     pending = list(enumerate(jobs))
     pending.reverse()  # pop() serves them in submission order
     active: Dict[int, _Slot] = {}
+    #: Logical worker lanes; pids change per job (process-per-job), so
+    #: lanes are what give "one track per worker" a stable identity.
+    free_lanes = list(range(workers))
+    batch_started = time.perf_counter()
+    span_payload = span.context.to_dict() if span is not None else None
+    registry = tmetrics.default_registry()
 
     def launch() -> None:
         index, job = pending.pop()
         parent_conn, child_conn = ctx.Pipe(duplex=False)
         process = ctx.Process(
-            target=_worker_entry, args=(child_conn, job.to_dict()),
+            target=_worker_entry,
+            args=(child_conn, job.to_dict(), span_payload),
             daemon=True)
         process.start()
         child_conn.close()
         now = time.perf_counter()
+        lane = free_lanes.pop(0)
+        queue_wait = now - batch_started
+        registry.histogram("pool.queue_wait_seconds",
+                           lane=lane).observe(queue_wait)
         active[index] = _Slot(
             index=index, job=job, process=process, conn=parent_conn,
             started=now,
-            deadline=(now + timeout) if timeout else None)
+            deadline=(now + timeout) if timeout else None,
+            lane=lane, queue_wait_s=queue_wait, started_epoch=time.time())
         emit(ProgressEvent("start", index, total, job.kind, job.digest(),
                            worker=process.pid or -1))
 
-    def finish(slot: _Slot, outcome: PoolOutcome) -> None:
+    def finish(slot: _Slot, outcome: PoolOutcome,
+               span_record: Optional[dict] = None) -> None:
         results[slot.index] = outcome
         slot.conn.close()
         slot.process.join(timeout=5)
@@ -174,6 +256,20 @@ def _run_pool(jobs: List[Job], workers: int, timeout: Optional[float],
             slot.process.terminate()
             slot.process.join()
         del active[slot.index]
+        free_lanes.append(slot.lane)
+        free_lanes.sort()
+        registry.histogram("pool.job_seconds",
+                           lane=slot.lane).observe(outcome.elapsed_s)
+        if fleet is not None:
+            fleet.record(JobRecord(
+                index=gidx(slot.index), kind=slot.job.kind,
+                digest=slot.job.digest(),
+                status="done" if outcome.ok else "failed",
+                lane=slot.lane, worker_pid=slot.process.pid or -1,
+                queue_wait_s=slot.queue_wait_s,
+                start_s=slot.started_epoch, end_s=time.time(),
+                error_type="" if outcome.ok else outcome.error_type,
+                span=span_record))
         phase = "done" if outcome.ok else "failed"
         message = "" if outcome.ok else outcome.message
         emit(ProgressEvent(phase, slot.index, total, slot.job.kind,
@@ -188,26 +284,38 @@ def _run_pool(jobs: List[Job], workers: int, timeout: Optional[float],
         except (EOFError, OSError):
             slot.process.join(timeout=5)
             code = slot.process.exitcode
+            elapsed = time.perf_counter() - slot.started
+            registry.counter("pool.crashes", lane=slot.lane).inc()
             finish(slot, JobFailure(
                 job=slot.job, error_type="WorkerCrash",
                 message=f"worker process died with exit code {code} "
                         f"before reporting a result",
-                elapsed_s=time.perf_counter() - slot.started,
-                worker=worker))
+                elapsed_s=elapsed, worker=worker,
+                details={"digest": slot.job.digest(),
+                         "elapsed_wall_s": round(elapsed, 6),
+                         "exit_code": code}))
             return
+        extras: Dict[str, Any] = message[-1] if len(message) == 5 else {}
+        if extras.get("metrics"):
+            registry.merge_snapshot(extras["metrics"])
+        span_record = extras.get("span")
         if message[0] == "ok":
-            _, payload, artifacts, elapsed = message
+            _, payload, artifacts, elapsed = message[:4]
             finish(slot, JobResult(job=slot.job, payload=payload,
                                    elapsed_s=elapsed, worker=worker,
-                                   artifact_payloads=artifacts))
+                                   artifact_payloads=artifacts),
+                   span_record=span_record)
         else:
-            _, failure, elapsed = message
+            _, failure, elapsed = message[:3]
             finish(slot, JobFailure(
                 job=slot.job,
                 error_type=failure.get("error_type", "UnknownError"),
                 message=failure.get("message", ""),
                 traceback=failure.get("traceback", ""),
-                elapsed_s=elapsed, worker=worker))
+                elapsed_s=elapsed, worker=worker,
+                details={"digest": slot.job.digest(),
+                         "elapsed_wall_s": round(elapsed, 6)}),
+                   span_record=span_record)
 
     try:
         while pending or active:
@@ -228,12 +336,17 @@ def _run_pool(jobs: List[Job], workers: int, timeout: Optional[float],
                 if slot.deadline is not None and now > slot.deadline:
                     slot.process.terminate()
                     slot.process.join(timeout=5)
+                    elapsed = now - slot.started
+                    registry.counter("pool.timeouts", lane=slot.lane).inc()
                     finish(slot, JobFailure(
                         job=slot.job, error_type="JobTimeout",
                         message=f"job exceeded its {timeout:.1f}s deadline "
                                 f"and was terminated",
-                        elapsed_s=now - slot.started,
-                        worker=slot.process.pid or -1))
+                        elapsed_s=elapsed,
+                        worker=slot.process.pid or -1,
+                        details={"digest": slot.job.digest(),
+                                 "elapsed_wall_s": round(elapsed, 6),
+                                 "deadline_s": timeout}))
     finally:
         for slot in active.values():  # pragma: no cover — error unwind
             slot.process.terminate()

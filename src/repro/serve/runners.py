@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Tuple
 
+from ..telemetry import metrics as tmetrics
 from .cache import CACHE_SCHEMA
 from .hashing import canonical_json, network_digest
 from .jobs import (
@@ -343,4 +344,11 @@ def execute(job: Job) -> Tuple[Dict[str, Any], Artifacts]:
     runner = _RUNNERS.get(job.kind)
     if runner is None:
         raise ServeError(f"job kind {job.kind!r} has no runner")
-    return runner(job)
+    payload, artifacts = runner(job)
+    # Deterministic work counters: fed only simulated quantities, so an
+    # N-worker sweep merges to exactly the totals of a serial run.
+    tmetrics.counter("runner.jobs", kind=job.kind).inc()
+    cycles = payload.get("cycles")
+    if isinstance(cycles, int) and cycles >= 0:
+        tmetrics.counter("runner.simulated_cycles").inc(cycles)
+    return payload, artifacts

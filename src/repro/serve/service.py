@@ -24,6 +24,10 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Sequence
 
+from ..telemetry import metrics as tmetrics
+from ..telemetry.events import EventLog
+from ..telemetry.fleet import FleetRecorder, JobRecord
+from ..telemetry.spans import Span
 from .cache import ResultCache
 from .jobs import Job, JobFailure, JobResult, ServeError, SweepJob
 from .pool import PoolOutcome, ProgressEvent, ProgressFn, run_jobs
@@ -40,6 +44,9 @@ class SweepReport:
     workers: int = 0
     wall_s: float = 0.0
     stats: Dict[str, Any] = field(default_factory=dict)
+    #: Merged service-metrics snapshot (``repro-metrics/1``) taken right
+    #: after the batch finished — worker deltas already folded in.
+    metrics: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
@@ -54,13 +61,16 @@ class SweepReport:
         return sum(1 for r in self.results if r.ok and r.cached)
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        doc = {
             "label": self.label,
             "workers": self.workers,
             "wall_s": round(self.wall_s, 6),
             "stats": dict(self.stats),
             "results": [r.to_dict() for r in self.results],
         }
+        if self.metrics is not None:
+            doc["metrics"] = self.metrics
+        return doc
 
     def render(self) -> str:
         lines = [
@@ -96,11 +106,15 @@ class SimulationService:
 
     def __init__(self, cache: Optional[ResultCache] = None,
                  workers: int = 0, timeout: Optional[float] = None,
-                 progress: Optional[ProgressFn] = None) -> None:
+                 progress: Optional[ProgressFn] = None,
+                 events: Optional[EventLog] = None,
+                 fleet: Optional[FleetRecorder] = None) -> None:
         self.cache = cache
         self.workers = workers
         self.timeout = timeout
         self.progress = progress
+        self.events = events
+        self.fleet = fleet
 
     # ------------------------------------------------------------------
 
@@ -119,10 +133,27 @@ class SimulationService:
         start = time.perf_counter()
         total = len(jobs)
         results: List[Optional[PoolOutcome]] = [None] * total
+        registry = tmetrics.default_registry()
+
+        # Root span for this batch: the fleet recorder owns it when one
+        # is attached; otherwise a detached root still gives events and
+        # pool workers a trace identity.
+        if self.fleet is not None:
+            root = self.fleet.begin(label, self.workers, total)
+        else:
+            root = Span.root(f"sweep:{label or 'sweep'}", total=total,
+                             workers=self.workers)
 
         def emit(event: ProgressEvent) -> None:
             if self.progress is not None:
                 self.progress(event)
+
+        def log_event(event: str, **fields: Any) -> None:
+            if self.events is not None:
+                self.events.emit(event, **fields)
+
+        log_event("sweep_start", label=label, total=total,
+                  workers=self.workers, trace_id=root.context.trace_id)
 
         # -- cache lookups + dedupe ------------------------------------
         keys: List[Optional[str]] = [None] * total
@@ -141,10 +172,22 @@ class SimulationService:
                 parts_by_key[key] = parts
                 payload = self.cache.get(key)
                 if payload is not None:
+                    artifacts = self.cache.artifacts_for(key)
                     results[index] = JobResult(
                         job=job, payload=payload, cached=True,
-                        artifacts=self.cache.artifacts_for(key))
+                        artifacts=artifacts)
                     cached += 1
+                    log_event("job_cached", index=index, kind=job.kind,
+                              digest=job.digest())
+                    if self.fleet is not None:
+                        now = time.time()
+                        self.fleet.record(JobRecord(
+                            index=index, kind=job.kind,
+                            digest=job.digest(), status="cached",
+                            start_s=now, end_s=now))
+                        if "trace.json" in artifacts:
+                            self.fleet.attach_device_trace(
+                                index, artifacts["trace.json"])
                     emit(ProgressEvent("cached", index, total, job.kind,
                                        job.digest()))
                     continue
@@ -155,6 +198,8 @@ class SimulationService:
             if key is not None and key in representative:
                 clones[index] = representative[key]
                 deduped += 1
+                log_event("job_deduped", index=index, kind=job.kind,
+                          digest=job.digest(), of=representative[key])
                 continue
             if key is not None:
                 representative[key] = index
@@ -162,15 +207,22 @@ class SimulationService:
 
         # -- execute the misses ----------------------------------------
         def pool_progress(event: ProgressEvent) -> None:
-            emit(replace(event, index=to_run[event.index], total=total))
+            mapped = replace(event, index=to_run[event.index], total=total)
+            if event.phase == "start":
+                log_event("job_start", index=mapped.index,
+                          kind=mapped.job_kind, digest=mapped.digest)
+            emit(mapped)
 
         outcomes = run_jobs([jobs[i] for i in to_run], workers=self.workers,
-                            timeout=self.timeout, progress=pool_progress)
+                            timeout=self.timeout, progress=pool_progress,
+                            fleet=self.fleet, span=root,
+                            index_of=lambda i: to_run[i])
 
         executed = failed = 0
         for index, outcome in zip(to_run, outcomes):
             executed += 1
             if outcome.ok:
+                device_trace = outcome.artifact_payloads.get("trace.json")
                 key = keys[index]
                 if self.cache is not None and key is not None \
                         and outcome.job.cacheable:
@@ -183,8 +235,20 @@ class SimulationService:
                     }
                     outcome = replace(outcome, artifacts=paths,
                                       artifact_payloads={})
+                if self.fleet is not None and device_trace is not None:
+                    self.fleet.attach_device_trace(index, device_trace)
+                log_event("job_done", index=index, kind=outcome.job.kind,
+                          digest=outcome.job.digest(),
+                          elapsed_s=round(outcome.elapsed_s, 6),
+                          worker=outcome.worker)
             else:
                 failed += 1
+                log_event("job_failed", index=index, kind=outcome.job.kind,
+                          digest=outcome.job.digest(),
+                          elapsed_s=round(outcome.elapsed_s, 6),
+                          error_type=outcome.error_type,
+                          message=outcome.message,
+                          details=dict(outcome.details))
             results[index] = outcome
 
         # -- fan deduped clones out ------------------------------------
@@ -204,10 +268,37 @@ class SimulationService:
         }
         if self.cache is not None:
             stats["cache"] = self.cache.stats()
+
+        # -- service-level metrics -------------------------------------
+        registry.counter("serve.batches").inc()
+        registry.counter("serve.jobs", status="cached").inc(cached)
+        registry.counter("serve.jobs", status="deduped").inc(deduped)
+        registry.counter("serve.jobs", status="executed").inc(executed)
+        registry.counter("serve.jobs", status="failed").inc(stats["failed"])
+        registry.histogram("serve.batch_seconds").observe(wall_s)
+        if wall_s > 0:
+            registry.gauge("serve.jobs_per_sec").set(
+                round(total / wall_s, 3))
+        if total:
+            registry.gauge("serve.dedupe_ratio").set(
+                round(deduped / total, 6))
+        snapshot = registry.snapshot() if registry.enabled else None
+
+        ok = all(r is not None and r.ok for r in results)
+        if self.fleet is not None:
+            self.fleet.finish(ok=ok, cached=cached, deduped=deduped,
+                              executed=executed, failed=stats["failed"])
+        else:
+            root.finish(ok=ok)
+        log_event("sweep_done", label=label, ok=ok,
+                  wall_s=round(wall_s, 6), stats=stats)
+        if snapshot is not None:
+            log_event("metrics", snapshot=snapshot)
+
         final: List[PoolOutcome] = []
         for index, outcome in enumerate(results):
             if outcome is None:  # pragma: no cover — accounting invariant
                 raise ServeError(f"job {index} produced no outcome")
             final.append(outcome)
         return SweepReport(results=final, label=label, workers=self.workers,
-                           wall_s=wall_s, stats=stats)
+                           wall_s=wall_s, stats=stats, metrics=snapshot)

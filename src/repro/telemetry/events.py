@@ -1,0 +1,172 @@
+"""Structured JSON event log for the batch service (JSONL).
+
+``repro serve --events out.jsonl`` streams one JSON object per line as
+a sweep executes.  The log is the machine-readable counterpart of the
+human progress stream: failures are fully attributable from the log
+alone (error type, message, job digest, elapsed wall time), and the
+final ``metrics`` event embeds the merged metrics snapshot so one file
+tells the whole story of a run.
+
+Schema (``repro-events/1``) — every record carries::
+
+    {"schema": "repro-events/1", "seq": <int, 0-based, monotonic>,
+     "ts": <epoch seconds>, "event": <name>, ...event fields}
+
+Event names and their required fields:
+
+===============  ==========================================================
+``sweep_start``  ``label``, ``total``, ``workers``, ``trace_id``
+``job_start``    ``index``, ``kind``, ``digest``
+``job_cached``   ``index``, ``kind``, ``digest``
+``job_deduped``  ``index``, ``kind``, ``digest``, ``of`` (representative)
+``job_done``     ``index``, ``kind``, ``digest``, ``elapsed_s``, ``worker``
+``job_failed``   ``index``, ``kind``, ``digest``, ``elapsed_s``,
+                 ``error_type``, ``message``, ``details``
+``sweep_done``   ``label``, ``ok``, ``wall_s``, ``stats``
+``metrics``      ``snapshot`` (a ``repro-metrics/1`` document)
+===============  ==========================================================
+
+Lines are flushed as written, so a crashed run leaves a readable prefix.
+:func:`validate_events` / :func:`validate_events_file` check a log
+against this schema; the CI telemetry job gates on them.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, IO, List, Optional, Union
+
+from ..errors import ReproError
+from .metrics import validate_metrics_snapshot
+
+EVENTS_SCHEMA = "repro-events/1"
+
+#: event name -> fields every record of that event must carry.
+EVENT_FIELDS: Dict[str, tuple] = {
+    "sweep_start": ("label", "total", "workers", "trace_id"),
+    "job_start": ("index", "kind", "digest"),
+    "job_cached": ("index", "kind", "digest"),
+    "job_deduped": ("index", "kind", "digest", "of"),
+    "job_done": ("index", "kind", "digest", "elapsed_s", "worker"),
+    "job_failed": ("index", "kind", "digest", "elapsed_s", "error_type",
+                   "message", "details"),
+    "sweep_done": ("label", "ok", "wall_s", "stats"),
+    "metrics": ("snapshot",),
+}
+
+
+class EventLogError(ReproError):
+    """Malformed event log or record."""
+
+
+class EventLog:
+    """Append-only JSONL event writer (one service run may emit many
+    sweeps into the same log; ``seq`` stays monotonic across them)."""
+
+    def __init__(self, sink: Union[str, IO[str]]) -> None:
+        if isinstance(sink, str):
+            self._handle: IO[str] = open(sink, "w")
+            self._owns = True
+        else:
+            self._handle = sink
+            self._owns = False
+        self.seq = 0
+
+    def emit(self, event: str, **fields: Any) -> Dict[str, Any]:
+        if event not in EVENT_FIELDS:
+            raise EventLogError(f"unknown event type {event!r}")
+        missing = [f for f in EVENT_FIELDS[event] if f not in fields]
+        if missing:
+            raise EventLogError(
+                f"event {event!r} missing fields {missing}")
+        record = {
+            "schema": EVENTS_SCHEMA,
+            "seq": self.seq,
+            "ts": time.time(),
+            "event": event,
+            **fields,
+        }
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+        self.seq += 1
+        return record
+
+    def close(self) -> None:
+        if self._owns:
+            self._handle.close()
+
+
+def validate_events(records: List[Any]) -> Dict[str, int]:
+    """Validate parsed event records; returns ``{event: count}``.
+
+    Raises :class:`EventLogError` on the first violation.
+    """
+    counts: Dict[str, int] = {}
+    expected_seq = 0
+    for i, record in enumerate(records):
+        where = f"events[{i}]"
+        if not isinstance(record, dict):
+            raise EventLogError(f"{where}: not a JSON object")
+        if record.get("schema") != EVENTS_SCHEMA:
+            raise EventLogError(
+                f"{where}: schema {record.get('schema')!r} != "
+                f"{EVENTS_SCHEMA}")
+        if record.get("seq") != expected_seq:
+            raise EventLogError(
+                f"{where}: seq {record.get('seq')!r} breaks monotonic "
+                f"order (expected {expected_seq})")
+        expected_seq += 1
+        ts = record.get("ts")
+        if not isinstance(ts, (int, float)) or isinstance(ts, bool):
+            raise EventLogError(f"{where}: 'ts' must be a number")
+        event = record.get("event")
+        if event not in EVENT_FIELDS:
+            raise EventLogError(f"{where}: unknown event {event!r}")
+        for field in EVENT_FIELDS[event]:
+            if field not in record:
+                raise EventLogError(
+                    f"{where}: {event} record missing {field!r}")
+        if event == "job_failed" and not isinstance(
+                record.get("details"), dict):
+            raise EventLogError(
+                f"{where}: job_failed 'details' must be an object")
+        if event == "metrics":
+            try:
+                validate_metrics_snapshot(record["snapshot"])
+            except ReproError as exc:
+                raise EventLogError(f"{where}: bad metrics snapshot: {exc}")
+        counts[event] = counts.get(event, 0) + 1
+    return counts
+
+
+def validate_events_file(path: str) -> Dict[str, int]:
+    """Parse + validate a JSONL event log; returns ``{event: count}``."""
+    records = []
+    with open(path) as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise EventLogError(
+                    f"{path}:{lineno}: not valid JSON ({exc})") from None
+    if not records:
+        raise EventLogError(f"{path}: empty event log")
+    return validate_events(records)
+
+
+def read_events(path: str,
+                event: Optional[str] = None) -> List[Dict[str, Any]]:
+    """Load a JSONL event log (optionally filtered to one event type)."""
+    records = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    if event is not None:
+        records = [r for r in records if r.get("event") == event]
+    return records

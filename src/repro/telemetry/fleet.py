@@ -1,0 +1,130 @@
+"""Fleet recorder: one timeline for a whole sharded sweep.
+
+The service and pool feed a :class:`FleetRecorder` as a batch executes:
+the root span, one record per job (queue wait, observed scheduling
+window, worker lane, status), the worker-side execution span shipped
+back through the result pipe, and — for jobs that produced a device
+trace artifact — the per-job Chrome-trace payload of the *simulated*
+hardware.  :func:`repro.trace.perfetto.fleet_trace` renders the whole
+record as a single Perfetto timeline: a service track, one track per
+worker lane, and nested per-job device tracks re-based into the job's
+wall-clock window.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from .spans import Span
+
+
+@dataclass
+class JobRecord:
+    """What the fleet timeline knows about one job of a batch."""
+
+    index: int
+    kind: str
+    digest: str
+    status: str = "done"         # done | failed | cached | deduped
+    lane: int = -1               # worker lane (0..workers-1), -1 = inline
+    worker_pid: int = -1
+    queue_wait_s: float = 0.0
+    start_s: float = 0.0         # supervisor-observed window (epoch)
+    end_s: float = 0.0
+    error_type: str = ""
+    span: Optional[Dict[str, Any]] = None       # worker-side Span record
+    device_trace: Optional[Dict[str, Any]] = None
+
+    @property
+    def duration_s(self) -> float:
+        return max(self.end_s - self.start_s, 0.0)
+
+
+@dataclass
+class FleetRecorder:
+    """Accumulates the batch-level timeline for one or more sweeps."""
+
+    root: Optional[Span] = None
+    label: str = ""
+    workers: int = 0
+    jobs: List[JobRecord] = field(default_factory=list)
+    _by_index: Dict[int, JobRecord] = field(default_factory=dict, repr=False)
+
+    # -- lifecycle -------------------------------------------------------
+
+    def begin(self, label: str, workers: int, total: int) -> Span:
+        """Open the root span for a batch; returns it for propagation."""
+        self.label = label or "sweep"
+        self.workers = workers
+        self.root = Span.root(f"sweep:{self.label}", total=total,
+                              workers=workers)
+        return self.root
+
+    def finish(self, **attrs: Any) -> None:
+        if self.root is not None:
+            self.root.finish(**attrs)
+
+    # -- job records -----------------------------------------------------
+
+    def record(self, record: JobRecord) -> JobRecord:
+        self.jobs.append(record)
+        self._by_index[record.index] = record
+        return record
+
+    def job(self, index: int) -> Optional[JobRecord]:
+        return self._by_index.get(index)
+
+    def attach_span(self, index: int, span: Optional[Dict[str, Any]]) -> None:
+        record = self._by_index.get(index)
+        if record is not None and span:
+            record.span = dict(span)
+
+    def attach_device_trace(self, index: int, payload: Any) -> None:
+        """Attach a job's device timeline (a Chrome-trace payload or a
+        path to one on disk, e.g. a cached artifact)."""
+        record = self._by_index.get(index)
+        if record is None:
+            return
+        if isinstance(payload, str):
+            try:
+                with open(payload) as handle:
+                    payload = json.load(handle)
+            except (OSError, json.JSONDecodeError):
+                return
+        if isinstance(payload, dict) and payload.get("traceEvents"):
+            record.device_trace = payload
+
+    # -- views -----------------------------------------------------------
+
+    @property
+    def lanes(self) -> List[int]:
+        return sorted({j.lane for j in self.jobs if j.lane >= 0})
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "label": self.label,
+            "workers": self.workers,
+            "root": self.root.to_dict() if self.root else None,
+            "jobs": [
+                {
+                    "index": j.index, "kind": j.kind, "digest": j.digest,
+                    "status": j.status, "lane": j.lane,
+                    "worker_pid": j.worker_pid,
+                    "queue_wait_s": round(j.queue_wait_s, 6),
+                    "start_s": j.start_s, "end_s": j.end_s,
+                    "error_type": j.error_type,
+                    "span": j.span,
+                    "has_device_trace": j.device_trace is not None,
+                }
+                for j in self.jobs
+            ],
+        }
+
+    def write(self, path: str, title: str = "") -> Dict[str, Any]:
+        """Export the fleet Perfetto timeline to *path* (convenience
+        wrapper around :func:`repro.trace.perfetto.write_fleet_trace`)."""
+        from ..trace.perfetto import write_fleet_trace
+
+        return write_fleet_trace(self, path, title=title or self.label)

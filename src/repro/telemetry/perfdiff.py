@@ -1,0 +1,211 @@
+"""Perf-regression sentinel: diff two trajectory snapshots with
+per-series tolerances.
+
+``repro perf diff A B`` compares two ``repro-trajectory/1`` documents
+(the committed ``benchmarks/results/trajectory.json`` baseline, a fresh
+``repro report --json --trajectory`` run, or the wall-clock
+``serve_throughput.json`` file) series by series:
+
+* **cycle-exact series** — everything the simulator derives
+  deterministically (cycles, instructions, DMA bytes, overlap shares,
+  simulated speedups) — must be **bit-identical**; any drift is a
+  regression, full stop.  This is the measurement discipline the
+  paper's figures rest on.
+* **throughput series** — host wall-clock numbers (``serve/*``,
+  ``bench/*``) — get a configurable relative band (default ±25%),
+  because machine load moves them without the code changing.
+
+Per-series overrides extend both rules: a tolerances map of fnmatch
+patterns to relative bands (``{"serve/*": 0.5, "bench/sim_ips": 0.1}``)
+lets a team tighten or loosen individual series without touching code.
+A tolerance of 0 forces bit-exactness.
+
+The verdict is machine-readable (``repro-perf-diff/1``) and the CLI
+exits non-zero on any regression, so CI gates on it directly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import ReproError
+
+PERFDIFF_SCHEMA = "repro-perf-diff/1"
+
+#: Accepted input document schema (trajectory + serve-throughput files).
+TRAJECTORY_SCHEMA = "repro-trajectory/1"
+
+#: Default relative band for throughput (wall-clock) series.
+DEFAULT_BAND = 0.25
+
+#: Series prefixes that carry host wall-clock numbers, not simulated
+#: cycles — these default to the band check instead of bit-exactness.
+THROUGHPUT_PREFIXES = ("serve/", "bench/")
+
+
+class PerfDiffError(ReproError):
+    """Unreadable or non-trajectory input to the sentinel."""
+
+
+def load_trajectory(path: str) -> Dict[str, Any]:
+    """Load and sanity-check a trajectory document."""
+    try:
+        with open(path) as handle:
+            doc = json.load(handle)
+    except FileNotFoundError:
+        raise PerfDiffError(f"{path}: no such file") from None
+    except json.JSONDecodeError as exc:
+        raise PerfDiffError(f"{path}: not valid JSON ({exc})") from None
+    if not isinstance(doc, dict) or doc.get("schema") != TRAJECTORY_SCHEMA:
+        raise PerfDiffError(
+            f"{path}: expected a {TRAJECTORY_SCHEMA} document, got "
+            f"schema {doc.get('schema') if isinstance(doc, dict) else None!r}")
+    entries = doc.get("entries")
+    if not isinstance(entries, dict):
+        raise PerfDiffError(f"{path}: missing 'entries' map")
+    return doc
+
+
+def series_tolerance(series: str, band: float = DEFAULT_BAND,
+                     tolerances: Optional[Dict[str, float]] = None
+                     ) -> Tuple[str, float]:
+    """``(kind, relative_tolerance)`` for one series.
+
+    Explicit *tolerances* patterns win (first match in sorted-pattern
+    order, longest pattern first so specific beats generic); otherwise
+    throughput prefixes get *band* and everything else is exact.
+    """
+    if tolerances:
+        for pattern in sorted(tolerances, key=len, reverse=True):
+            if fnmatchcase(series, pattern):
+                tol = float(tolerances[pattern])
+                return ("exact", 0.0) if tol == 0 else ("band", tol)
+    if series.startswith(THROUGHPUT_PREFIXES):
+        return "band", band
+    return "exact", 0.0
+
+
+@dataclass(frozen=True)
+class SeriesVerdict:
+    """Outcome of one compared series."""
+
+    series: str
+    old: float
+    new: float
+    kind: str            # "exact" | "band"
+    tolerance: float
+    ok: bool
+
+    @property
+    def rel_delta(self) -> float:
+        if self.old == 0:
+            return 0.0 if self.new == 0 else float("inf")
+        return (self.new - self.old) / abs(self.old)
+
+    def to_dict(self) -> Dict[str, Any]:
+        rel = self.rel_delta
+        return {
+            "series": self.series,
+            "old": self.old,
+            "new": self.new,
+            "kind": self.kind,
+            "tolerance": self.tolerance,
+            "rel_delta": round(rel, 6) if rel != float("inf") else "inf",
+            "ok": self.ok,
+        }
+
+
+def diff_trajectories(old_doc: Dict[str, Any], new_doc: Dict[str, Any],
+                      band: float = DEFAULT_BAND,
+                      tolerances: Optional[Dict[str, float]] = None,
+                      strict_missing: bool = False) -> Dict[str, Any]:
+    """Compare two trajectory documents; returns the verdict document.
+
+    ``verdict["ok"]`` is False iff any compared series regressed (or,
+    with *strict_missing*, any baseline series disappeared).  Series
+    present only in *new_doc* are listed as ``added`` and never fail —
+    trajectories legitimately grow as evals are added.
+    """
+    old_entries = old_doc.get("entries", {})
+    new_entries = new_doc.get("entries", {})
+    compared: List[SeriesVerdict] = []
+    for series in sorted(set(old_entries) & set(new_entries)):
+        old, new = float(old_entries[series]), float(new_entries[series])
+        kind, tol = series_tolerance(series, band=band,
+                                     tolerances=tolerances)
+        if kind == "exact":
+            ok = old_entries[series] == new_entries[series]
+        else:
+            ok = abs(new - old) <= tol * abs(old) if old != 0 \
+                else new == old
+        compared.append(SeriesVerdict(series=series, old=old, new=new,
+                                      kind=kind, tolerance=tol, ok=ok))
+    missing = sorted(set(old_entries) - set(new_entries))
+    added = sorted(set(new_entries) - set(old_entries))
+    regressions = [v for v in compared if not v.ok]
+    ok = not regressions and (not strict_missing or not missing)
+    return {
+        "schema": PERFDIFF_SCHEMA,
+        "ok": ok,
+        "checked": len(compared),
+        "exact_checked": sum(1 for v in compared if v.kind == "exact"),
+        "band_checked": sum(1 for v in compared if v.kind == "band"),
+        "band": band,
+        "strict_missing": strict_missing,
+        "regressions": [v.to_dict() for v in regressions],
+        "added": added,
+        "missing": missing,
+    }
+
+
+def diff_files(old_path: str, new_path: str, band: float = DEFAULT_BAND,
+               tolerances: Optional[Dict[str, float]] = None,
+               strict_missing: bool = False) -> Dict[str, Any]:
+    """File-level convenience wrapper around :func:`diff_trajectories`."""
+    return diff_trajectories(load_trajectory(old_path),
+                             load_trajectory(new_path),
+                             band=band, tolerances=tolerances,
+                             strict_missing=strict_missing)
+
+
+def load_tolerances(path: str) -> Dict[str, float]:
+    """Load a ``{pattern: relative_tolerance}`` JSON map."""
+    try:
+        with open(path) as handle:
+            data = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise PerfDiffError(f"{path}: bad tolerances file ({exc})") from None
+    if not isinstance(data, dict) or not all(
+            isinstance(v, (int, float)) and not isinstance(v, bool)
+            and v >= 0 for v in data.values()):
+        raise PerfDiffError(
+            f"{path}: tolerances must map series patterns to numbers >= 0")
+    return {str(k): float(v) for k, v in data.items()}
+
+
+def render_verdict(verdict: Dict[str, Any]) -> str:
+    """Human-readable summary of a verdict document."""
+    lines = [
+        f"perf diff: {verdict['checked']} series compared "
+        f"({verdict['exact_checked']} exact, {verdict['band_checked']} "
+        f"banded), {len(verdict['added'])} added, "
+        f"{len(verdict['missing'])} missing"
+    ]
+    for reg in verdict["regressions"]:
+        if reg["kind"] == "exact":
+            lines.append(
+                f"  REGRESSION {reg['series']}: {reg['old']} -> "
+                f"{reg['new']} (cycle-exact series must be bit-identical)")
+        else:
+            lines.append(
+                f"  REGRESSION {reg['series']}: {reg['old']} -> "
+                f"{reg['new']} ({reg['rel_delta']:+} exceeds "
+                f"±{reg['tolerance']} band)")
+    if verdict["strict_missing"] and verdict["missing"]:
+        for series in verdict["missing"]:
+            lines.append(f"  MISSING {series} (strict mode)")
+    lines.append("verdict: " + ("OK" if verdict["ok"] else "REGRESSED"))
+    return "\n".join(lines)

@@ -1,0 +1,122 @@
+"""Cross-process span propagation for the batch service.
+
+A *span* is a named wall-clock interval tied into a trace tree:
+``SimulationService.run`` opens a **root span**, every job gets a child
+span, and jobs executed in pool workers inherit the root's context
+through the job envelope (a plain dict — nothing but JSON crosses the
+process boundary).  The worker opens its own child span around
+``execute()`` and ships the finished record back with the result, so
+the supervisor can merge service-side scheduling spans and worker-side
+execution spans onto one fleet timeline
+(:func:`repro.trace.perfetto.fleet_trace`).
+
+Wall-clock times are ``time.time()`` epoch seconds — all processes live
+on one machine (the pool forks), so a shared epoch is a sound common
+clock; the exporter re-bases everything to the root span's start.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+
+def _new_id() -> str:
+    return uuid.uuid4().hex[:16]
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """The identity a span propagates to its children (pure data)."""
+
+    trace_id: str
+    span_id: str
+    parent_id: str = ""
+
+    def to_dict(self) -> Dict[str, str]:
+        return {"trace_id": self.trace_id, "span_id": self.span_id,
+                "parent_id": self.parent_id}
+
+    @classmethod
+    def from_dict(cls, payload: Optional[Dict[str, Any]]) -> Optional["SpanContext"]:
+        if not payload:
+            return None
+        return cls(trace_id=str(payload.get("trace_id", "")),
+                   span_id=str(payload.get("span_id", "")),
+                   parent_id=str(payload.get("parent_id", "")))
+
+    def child(self) -> "SpanContext":
+        """A fresh context one level down (new span id, same trace)."""
+        return SpanContext(trace_id=self.trace_id, span_id=_new_id(),
+                           parent_id=self.span_id)
+
+
+@dataclass
+class Span:
+    """One named interval; finished spans serialize to plain JSON."""
+
+    name: str
+    context: SpanContext
+    start_s: float = field(default_factory=time.time)
+    end_s: float = 0.0
+    pid: int = field(default_factory=os.getpid)
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def root(cls, name: str, **attrs: Any) -> "Span":
+        context = SpanContext(trace_id=_new_id(), span_id=_new_id())
+        return cls(name=name, context=context, attrs=dict(attrs))
+
+    def start_child(self, name: str, **attrs: Any) -> "Span":
+        return Span(name=name, context=self.context.child(),
+                    attrs=dict(attrs))
+
+    def finish(self, **attrs: Any) -> "Span":
+        self.end_s = time.time()
+        self.attrs.update(attrs)
+        return self
+
+    @property
+    def duration_s(self) -> float:
+        return max(self.end_s - self.start_s, 0.0)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            **self.context.to_dict(),
+            "name": self.name,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "pid": self.pid,
+            "attrs": dict(self.attrs),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Span":
+        return cls(
+            name=str(payload.get("name", "")),
+            context=SpanContext(
+                trace_id=str(payload.get("trace_id", "")),
+                span_id=str(payload.get("span_id", "")),
+                parent_id=str(payload.get("parent_id", ""))),
+            start_s=float(payload.get("start_s", 0.0)),
+            end_s=float(payload.get("end_s", 0.0)),
+            pid=int(payload.get("pid", -1)),
+            attrs=dict(payload.get("attrs", {})),
+        )
+
+
+def worker_span(context_payload: Optional[Dict[str, Any]], name: str,
+                **attrs: Any) -> Span:
+    """Open the worker-side execution span for a job.
+
+    *context_payload* is the parent context dict carried by the job
+    envelope; a missing/empty payload still yields a usable detached
+    span (inline runs, direct ``execute()`` calls).
+    """
+    parent = SpanContext.from_dict(context_payload)
+    if parent is None:
+        return Span.root(name, **attrs)
+    return Span(name=name, context=parent.child(), attrs=dict(attrs))

@@ -1,6 +1,7 @@
 """Result cache: hits are bit-identical, corruption is self-healing."""
 
 import json
+import os
 
 import pytest
 
@@ -33,7 +34,8 @@ class TestStoreLoad:
         assert loaded == PAYLOAD
         assert json.dumps(loaded, sort_keys=True) == \
             json.dumps(PAYLOAD, sort_keys=True)
-        assert cache.stats() == {"hits": 1, "misses": 0, "evictions": 0}
+        assert cache.stats() == {"hits": 1, "misses": 0, "evictions": 0,
+                                 "pruned": 0}
 
     def test_cold_miss(self, cache):
         assert cache.get("0" * 64) is None
@@ -120,6 +122,83 @@ class TestArtifacts:
             cache.write_artifact("k" * 64, ".hidden", {})
 
 
+class TestBounding:
+    """LRU pruning: hits refresh the access clock, cold entries age out."""
+
+    def _populate(self, cache, count=3):
+        keys = []
+        for i in range(count):
+            parts = {**PARTS, "config": f"c{i}"}
+            key = cache_key(parts)
+            path = cache.put(key, parts, {"value": i})
+            # Stamp distinct, strictly increasing access times so LRU
+            # order is deterministic regardless of filesystem clock
+            # resolution.
+            os.utime(path, (1000 + i, 1000 + i))
+            keys.append(key)
+        return keys
+
+    def test_entries_sorted_oldest_access_first(self, cache):
+        keys = self._populate(cache)
+        assert [p.stem for p in cache.entries()] == keys
+
+    def test_disk_stats_counts_entries_and_artifacts(self, cache):
+        keys = self._populate(cache, count=2)
+        before = cache.disk_stats()
+        cache.write_artifact(keys[0], "trace.json", {"traceEvents": []})
+        after = cache.disk_stats()
+        assert before["entries"] == after["entries"] == 2
+        assert after["bytes"] > before["bytes"]
+
+    def test_prune_evicts_oldest_first(self, cache):
+        keys = self._populate(cache)
+        budget = cache._entry_bytes(cache.entry_path(keys[2]))
+        outcome = cache.prune(budget)
+        assert outcome["removed"] == 2
+        assert outcome["bytes_kept"] <= budget
+        assert cache.get(keys[2]) == {"value": 2}
+        assert cache.get(keys[0]) is None
+        assert cache.get(keys[1]) is None
+
+    def test_hit_refreshes_access_clock(self, cache):
+        keys = self._populate(cache)
+        assert cache.get(keys[0]) == {"value": 0}   # warm the oldest
+        budget = cache._entry_bytes(cache.entry_path(keys[0]))
+        cache.prune(budget)
+        # The just-hit entry survived; the unrefreshed ones aged out.
+        assert cache.get(keys[0]) == {"value": 0}
+        assert cache.get(keys[1]) is None
+        assert cache.get(keys[2]) is None
+
+    def test_prune_removes_artifacts_with_entry(self, cache):
+        keys = self._populate(cache, count=1)
+        artifact = cache.write_artifact(keys[0], "trace.json", {"ev": 1})
+        cache.prune(0)
+        assert not artifact.exists()
+        assert not cache.artifact_dir(keys[0]).exists()
+
+    def test_prune_bookkeeping(self, cache):
+        self._populate(cache)
+        outcome = cache.prune(0)
+        assert outcome["removed"] == 3
+        assert outcome["bytes_kept"] == 0
+        assert cache.stats()["pruned"] == 3
+        assert cache.stats()["evictions"] == 3
+        # Pruning under budget is a no-op.
+        assert cache.prune(10**9)["removed"] == 0
+
+    def test_negative_budget_rejected(self, cache):
+        from repro.serve import ServeError
+
+        with pytest.raises(ServeError):
+            cache.prune(-1)
+
+    def test_empty_store_prunes_cleanly(self, cache):
+        assert cache.prune(0) == {"removed": 0, "bytes_freed": 0,
+                                  "bytes_kept": 0}
+        assert cache.disk_stats() == {"entries": 0, "bytes": 0}
+
+
 class TestOpenCache:
     def test_disabled_returns_none(self):
         assert open_cache(enabled=False) is None
@@ -186,4 +265,4 @@ class TestServiceIntegration:
         report = service.run([job])
         assert report.cached_count == 0
         assert report.stats["cache"] == {"hits": 0, "misses": 0,
-                                         "evictions": 0}
+                                         "evictions": 0, "pruned": 0}

@@ -1,0 +1,1 @@
+"""Service-level telemetry: metrics, events, fleet timeline, perf diff."""

@@ -1,0 +1,128 @@
+"""Event log: schema enforcement at write time and validation time."""
+
+import io
+import json
+
+import pytest
+
+from repro.telemetry import (
+    EVENTS_SCHEMA,
+    EventLog,
+    EventLogError,
+    MetricsRegistry,
+    read_events,
+    validate_events,
+    validate_events_file,
+)
+
+
+def _emit_minimal(log):
+    log.emit("sweep_start", label="t", total=1, workers=0, trace_id="abc")
+    log.emit("job_start", index=0, kind="selftest", digest="d" * 64)
+    log.emit("job_done", index=0, kind="selftest", digest="d" * 64,
+             elapsed_s=0.01, worker=1234)
+    log.emit("sweep_done", label="t", ok=True, wall_s=0.02,
+             stats={"total": 1})
+
+
+class TestEmit:
+    def test_records_carry_schema_seq_ts(self):
+        sink = io.StringIO()
+        log = EventLog(sink)
+        _emit_minimal(log)
+        records = [json.loads(line) for line in
+                   sink.getvalue().splitlines()]
+        assert [r["seq"] for r in records] == [0, 1, 2, 3]
+        assert all(r["schema"] == EVENTS_SCHEMA for r in records)
+        assert all(isinstance(r["ts"], float) for r in records)
+
+    def test_unknown_event_rejected(self):
+        with pytest.raises(EventLogError):
+            EventLog(io.StringIO()).emit("job_exploded", index=0)
+
+    def test_missing_required_field_rejected(self):
+        with pytest.raises(EventLogError, match="missing fields"):
+            EventLog(io.StringIO()).emit("job_start", index=0,
+                                         kind="selftest")
+
+    def test_extra_fields_allowed(self):
+        record = EventLog(io.StringIO()).emit(
+            "job_start", index=0, kind="selftest", digest="d",
+            note="anything")
+        assert record["note"] == "anything"
+
+    def test_path_sink_owns_and_closes(self, tmp_path):
+        path = tmp_path / "ev.jsonl"
+        log = EventLog(str(path))
+        _emit_minimal(log)
+        log.close()
+        assert validate_events_file(str(path)) == {
+            "sweep_start": 1, "job_start": 1, "job_done": 1,
+            "sweep_done": 1}
+
+
+class TestValidate:
+    def _records(self):
+        sink = io.StringIO()
+        _emit_minimal(EventLog(sink))
+        return [json.loads(line) for line in sink.getvalue().splitlines()]
+
+    def test_counts_by_event(self):
+        assert validate_events(self._records()) == {
+            "sweep_start": 1, "job_start": 1, "job_done": 1,
+            "sweep_done": 1}
+
+    def test_broken_seq_rejected(self):
+        records = self._records()
+        records[2]["seq"] = 99
+        with pytest.raises(EventLogError, match="monotonic"):
+            validate_events(records)
+
+    def test_wrong_schema_rejected(self):
+        records = self._records()
+        records[0]["schema"] = "repro-events/0"
+        with pytest.raises(EventLogError, match="schema"):
+            validate_events(records)
+
+    def test_job_failed_details_must_be_object(self):
+        log = EventLog(io.StringIO())
+        record = log.emit("job_failed", index=0, kind="selftest",
+                          digest="d", elapsed_s=0.1,
+                          error_type="ServeError", message="boom",
+                          details="not-a-dict")
+        with pytest.raises(EventLogError, match="details"):
+            validate_events([record])
+
+    def test_metrics_event_snapshot_is_validated(self):
+        log = EventLog(io.StringIO())
+        good = log.emit("metrics", snapshot=MetricsRegistry().snapshot())
+        assert validate_events([good]) == {"metrics": 1}
+        log2 = EventLog(io.StringIO())
+        bad = log2.emit("metrics", snapshot={"schema": "nope"})
+        bad["seq"] = 0
+        with pytest.raises(EventLogError, match="snapshot"):
+            validate_events([bad])
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(EventLogError, match="empty"):
+            validate_events_file(str(path))
+
+    def test_non_json_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"ok": 1}\nnot json\n')
+        with pytest.raises(EventLogError, match="bad.jsonl:2"):
+            validate_events_file(str(path))
+
+
+class TestRead:
+    def test_filter_by_event(self, tmp_path):
+        path = tmp_path / "ev.jsonl"
+        log = EventLog(str(path))
+        _emit_minimal(log)
+        log.close()
+        done = read_events(str(path), event="job_done")
+        assert len(done) == 1
+        assert done[0]["worker"] == 1234
+        assert len(read_events(str(path))) == 4

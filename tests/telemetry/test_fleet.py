@@ -1,0 +1,168 @@
+"""Spans, fleet recorder, and the merged Perfetto timeline export."""
+
+import json
+
+from repro.telemetry import FleetRecorder, JobRecord, Span, worker_span
+from repro.trace.perfetto import (
+    FLEET_DEVICE_PID_BASE,
+    FLEET_SERVICE_PID,
+    FLEET_WORKER_PID_BASE,
+    fleet_trace,
+    validate_chrome_trace,
+    write_fleet_trace,
+)
+
+
+class TestSpans:
+    def test_child_inherits_trace_id(self):
+        root = Span.root("sweep:test", total=3)
+        child = root.start_child("job")
+        assert child.context.trace_id == root.context.trace_id
+        assert child.context.parent_id == root.context.span_id
+        assert child.context.span_id != root.context.span_id
+
+    def test_round_trips_through_json(self):
+        root = Span.root("sweep:test")
+        root.finish(ok=True)
+        restored = Span.from_dict(json.loads(json.dumps(root.to_dict())))
+        assert restored.name == root.name
+        assert restored.context == root.context
+        assert restored.attrs == {"ok": True}
+        assert restored.duration_s == root.duration_s
+
+    def test_worker_span_joins_parent_context(self):
+        root = Span.root("sweep:test")
+        shipped = worker_span(root.context.to_dict(), "run:scaling")
+        assert shipped.context.trace_id == root.context.trace_id
+        assert shipped.context.parent_id == root.context.span_id
+
+    def test_worker_span_without_context_is_detached_root(self):
+        span = worker_span(None, "run:selftest")
+        assert span.context.trace_id
+        assert span.context.parent_id == ""
+
+
+def _recorder(device_trace=None):
+    recorder = FleetRecorder()
+    root = recorder.begin("demo", workers=2, total=3)
+    base = root.start_s
+    worker = root.start_child("run:scaling")
+    worker.start_s, worker.end_s = base + 0.01, base + 0.05
+    recorder.record(JobRecord(
+        index=0, kind="scaling", digest="a" * 64, status="done", lane=0,
+        worker_pid=4242, queue_wait_s=0.002, start_s=base + 0.01,
+        end_s=base + 0.05, span=worker.to_dict()))
+    recorder.record(JobRecord(
+        index=1, kind="scaling", digest="b" * 64, status="failed", lane=1,
+        worker_pid=4243, start_s=base + 0.01, end_s=base + 0.03,
+        error_type="ServeError"))
+    recorder.record(JobRecord(
+        index=2, kind="scaling", digest="c" * 64, status="cached",
+        start_s=base + 0.001, end_s=base + 0.001))
+    if device_trace is not None:
+        recorder.attach_device_trace(0, device_trace)
+    recorder.finish(ok=False)
+    return recorder
+
+
+DEVICE = {"traceEvents": [
+    {"name": "thread_name", "ph": "M", "pid": 7, "tid": 3,
+     "args": {"name": "core 3"}},
+    {"name": "dma", "cat": "dma", "ph": "X", "ts": 0, "dur": 400,
+     "pid": 7, "tid": 0, "args": {"bytes": 64}},
+    {"name": "mac", "cat": "compute", "ph": "X", "ts": 400, "dur": 600,
+     "pid": 7, "tid": 3},
+]}
+
+
+class TestRecorder:
+    def test_lanes_skip_inline_and_cached(self):
+        assert _recorder().lanes == [0, 1]
+
+    def test_job_lookup_and_span_attach(self):
+        recorder = _recorder()
+        recorder.attach_span(1, {"name": "late", "span_id": "x"})
+        assert recorder.job(1).span["name"] == "late"
+        assert recorder.job(99) is None
+
+    def test_device_trace_from_path(self, tmp_path):
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps(DEVICE))
+        recorder = _recorder()
+        recorder.attach_device_trace(0, str(path))
+        assert recorder.job(0).device_trace is not None
+
+    def test_bad_device_payloads_ignored(self, tmp_path):
+        recorder = _recorder()
+        recorder.attach_device_trace(0, str(tmp_path / "missing.json"))
+        recorder.attach_device_trace(0, {"no": "traceEvents"})
+        assert recorder.job(0).device_trace is None
+
+    def test_to_dict_is_json_safe(self):
+        recorder = _recorder(DEVICE)
+        doc = json.loads(json.dumps(recorder.to_dict()))
+        assert doc["label"] == "demo"
+        assert [j["status"] for j in doc["jobs"]] == \
+            ["done", "failed", "cached"]
+        assert doc["jobs"][0]["has_device_trace"] is True
+
+
+class TestFleetTrace:
+    def test_export_passes_trace_validator(self):
+        payload = fleet_trace(_recorder(DEVICE), title="demo")
+        assert validate_chrome_trace(payload) > 0
+
+    def test_pid_layout(self):
+        payload = fleet_trace(_recorder(DEVICE), title="demo")
+        pids = {e["pid"] for e in payload["traceEvents"]}
+        assert FLEET_SERVICE_PID in pids
+        assert FLEET_WORKER_PID_BASE in pids        # lane 0 track
+        assert FLEET_WORKER_PID_BASE + 1 in pids    # lane 1 track
+        assert FLEET_DEVICE_PID_BASE + 0 in pids    # job 0 device track
+
+    def test_service_track_has_root_and_job_rows(self):
+        payload = fleet_trace(_recorder(), title="demo")
+        service = [e for e in payload["traceEvents"]
+                   if e["pid"] == FLEET_SERVICE_PID and e["ph"] == "X"]
+        names = {e["name"] for e in service}
+        assert "sweep:demo" in names
+        cats = {e["cat"] for e in service}
+        assert {"service", "job.done", "job.failed",
+                "job.cached", "queue"} <= cats
+
+    def test_worker_track_carries_span_identity(self):
+        recorder = _recorder()
+        payload = fleet_trace(recorder, title="demo")
+        (row,) = [e for e in payload["traceEvents"]
+                  if e["pid"] == FLEET_WORKER_PID_BASE and e["ph"] == "X"]
+        assert row["name"] == "run:scaling"
+        assert row["args"]["span_id"] == \
+            recorder.job(0).span["span_id"]
+
+    def test_device_events_rebased_into_wall_window(self):
+        recorder = _recorder(DEVICE)
+        payload = fleet_trace(recorder, title="demo")
+        job = recorder.job(0)
+        window_start = int(round((job.start_s - recorder.root.start_s)
+                                 * 1e6))
+        window_us = int(round((job.end_s - job.start_s) * 1e6))
+        rows = [e for e in payload["traceEvents"]
+                if e["pid"] == FLEET_DEVICE_PID_BASE and e["ph"] == "X"]
+        assert len(rows) == 2
+        for row in rows:
+            assert row["ts"] >= window_start
+            assert row["ts"] + row["dur"] <= window_start + window_us + 1
+        # Original cycle stamps survive in args for exact reading.
+        dma = next(r for r in rows if r["name"] == "dma")
+        assert dma["args"]["cycle"] == 0
+        assert dma["args"]["cycles"] == 400
+        assert dma["args"]["bytes"] == 64
+        assert dma["cat"] == "device.dma"
+
+    def test_write_fleet_trace_file(self, tmp_path):
+        path = tmp_path / "fleet.json"
+        payload = write_fleet_trace(_recorder(DEVICE), str(path),
+                                    title="demo")
+        on_disk = json.loads(path.read_text())
+        assert on_disk == payload
+        assert validate_chrome_trace(on_disk) > 0

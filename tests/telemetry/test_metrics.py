@@ -1,0 +1,246 @@
+"""Metrics registry: determinism, merge semantics, exposition."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.telemetry import (
+    DEFAULT_BUCKETS,
+    METRICS_SCHEMA,
+    MetricsError,
+    MetricsRegistry,
+    default_registry,
+    merge_snapshots,
+    metric_key,
+    render_prom,
+    split_key,
+    use_registry,
+    validate_metrics_snapshot,
+)
+
+
+class TestKeys:
+    def test_bare_name(self):
+        assert metric_key("serve.jobs", {}) == "serve.jobs"
+
+    def test_labels_sorted(self):
+        key = metric_key("pool.jobs", {"lane": 2, "kind": "scaling"})
+        assert key == "pool.jobs{kind=scaling,lane=2}"
+
+    @pytest.mark.parametrize("bad", ["", "a{b", "a}b", "a=b", "a,b", "a\nb"])
+    def test_reserved_characters_rejected(self, bad):
+        with pytest.raises(MetricsError):
+            metric_key(bad, {})
+
+    def test_split_is_inverse(self):
+        key = metric_key("pool.jobs", {"lane": 2, "kind": "scaling"})
+        name, labels = split_key(key)
+        assert name == "pool.jobs"
+        assert labels == {"kind": "scaling", "lane": "2"}
+        assert split_key("bare") == ("bare", {})
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.counter("c").inc(4)
+        assert registry.counter_value("c") == 5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(MetricsError):
+            MetricsRegistry().counter("c").inc(-1)
+
+    def test_counter_total_sums_label_sets(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs", kind="a").inc(2)
+        registry.counter("jobs", kind="b").inc(3)
+        registry.counter("other").inc(100)
+        assert registry.counter_total("jobs") == 5
+
+    def test_gauge_holds_last_value(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(7)
+        registry.gauge("g").set(3)
+        assert registry.snapshot()["gauges"]["g"] == 3
+
+    def test_histogram_bucket_placement(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", buckets=(1.0, 2.0))
+        for value in (0.5, 1.0, 1.5, 9.0):
+            hist.observe(value)
+        assert hist.counts == [2, 1, 1]    # <=1, <=2, +inf
+        assert hist.count == 4
+        assert hist.sum == 12.0
+
+    @pytest.mark.parametrize("bounds", [(), (2.0, 1.0), (1.0, 1.0)])
+    def test_histogram_rejects_bad_boundaries(self, bounds):
+        with pytest.raises(MetricsError):
+            MetricsRegistry().histogram("h", buckets=bounds)
+
+    def test_same_key_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c", a=1) is registry.counter("c", a=1)
+        assert registry.counter("c", a=1) is not registry.counter("c", a=2)
+
+    def test_disabled_registry_is_inert(self):
+        registry = MetricsRegistry(enabled=False)
+        registry.counter("c").inc()
+        registry.gauge("g").set(1)
+        registry.histogram("h").observe(1.0)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {}
+        assert snapshot["gauges"] == {}
+        assert snapshot["histograms"] == {}
+
+
+class TestSnapshot:
+    def test_snapshot_is_deterministic(self):
+        def build():
+            registry = MetricsRegistry()
+            registry.counter("b").inc(2)
+            registry.counter("a", k="v").inc(1)
+            registry.gauge("g").set(0.5)
+            registry.histogram("h", buckets=(1.0,)).observe(0.25)
+            return registry.snapshot()
+
+        assert json.dumps(build(), sort_keys=True) == \
+            json.dumps(build(), sort_keys=True)
+
+    def test_snapshot_validates(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.histogram("h").observe(1.0)
+        assert validate_metrics_snapshot(registry.snapshot()) == 2
+
+    def test_validator_rejects_wrong_schema(self):
+        with pytest.raises(MetricsError):
+            validate_metrics_snapshot({"schema": "repro-metrics/0"})
+
+    def test_validator_rejects_count_mismatch(self):
+        snapshot = {
+            "schema": METRICS_SCHEMA,
+            "histograms": {"h": {"boundaries": [1.0], "counts": [1, 0],
+                                 "sum": 0.5, "count": 2}},
+        }
+        with pytest.raises(MetricsError):
+            validate_metrics_snapshot(snapshot)
+
+
+class TestMerge:
+    def test_counters_add_gauges_max_histograms_add(self):
+        a = MetricsRegistry()
+        a.counter("c").inc(2)
+        a.gauge("g").set(5)
+        a.histogram("h", buckets=(1.0,)).observe(0.5)
+        b = MetricsRegistry()
+        b.counter("c").inc(3)
+        b.gauge("g").set(2)
+        b.histogram("h", buckets=(1.0,)).observe(2.0)
+
+        a.merge_snapshot(b.snapshot())
+        snapshot = a.snapshot()
+        assert snapshot["counters"]["c"] == 5
+        assert snapshot["gauges"]["g"] == 5
+        assert snapshot["histograms"]["h"]["counts"] == [1, 1]
+        assert snapshot["histograms"]["h"]["count"] == 2
+
+    def test_boundary_mismatch_is_hard_error(self):
+        a = MetricsRegistry()
+        a.histogram("h", buckets=(1.0,)).observe(0.5)
+        b = MetricsRegistry()
+        b.histogram("h", buckets=(2.0,)).observe(0.5)
+        with pytest.raises(MetricsError):
+            a.merge_snapshot(b.snapshot())
+
+    def test_sharded_equals_serial(self):
+        """The process-safety contract: splitting deterministic
+        observations across N registries and merging the snapshots is
+        bit-identical to recording them all in one registry."""
+        values = list(range(12))
+        serial = MetricsRegistry()
+        shards = [MetricsRegistry() for _ in range(4)]
+        for i, value in enumerate(values):
+            for registry in (serial, shards[i % 4]):
+                registry.counter("jobs", kind="x").inc()
+                registry.counter("cycles").inc(value * 100)
+                registry.histogram("h").observe(float(value))
+        merged = merge_snapshots(*[s.snapshot() for s in shards])
+        assert merged == serial.snapshot()
+
+
+def _snapshots(draw_values):
+    registry = MetricsRegistry()
+    for value in draw_values:
+        registry.counter("n").inc(value)
+        registry.histogram("h").observe(float(value))
+    return registry.snapshot()
+
+
+# Integer observations keep float sums exact, so merged snapshots can be
+# compared bit-for-bit rather than approximately.
+observations = st.lists(st.integers(min_value=0, max_value=10**6),
+                        max_size=30)
+
+
+class TestMergeAlgebra:
+    @settings(max_examples=50, deadline=None)
+    @given(a=observations, b=observations, c=observations)
+    def test_histogram_merge_is_associative(self, a, b, c):
+        sa, sb, sc = _snapshots(a), _snapshots(b), _snapshots(c)
+        left = merge_snapshots(merge_snapshots(sa, sb), sc)
+        right = merge_snapshots(sa, merge_snapshots(sb, sc))
+        assert left == right
+
+    @settings(max_examples=50, deadline=None)
+    @given(a=observations, b=observations)
+    def test_histogram_merge_is_commutative(self, a, b):
+        sa, sb = _snapshots(a), _snapshots(b)
+        assert merge_snapshots(sa, sb) == merge_snapshots(sb, sa)
+
+    @settings(max_examples=50, deadline=None)
+    @given(a=observations)
+    def test_empty_snapshot_is_identity(self, a):
+        sa = _snapshots(a)
+        empty = MetricsRegistry().snapshot()
+        assert merge_snapshots(sa, empty) == sa
+        assert merge_snapshots(empty, sa) == sa
+
+
+class TestProm:
+    def test_exposition_format(self):
+        registry = MetricsRegistry()
+        registry.counter("serve.jobs", status="done").inc(3)
+        registry.gauge("serve.dedupe_ratio").set(0.5)
+        registry.histogram("pool.wait", buckets=(1.0, 2.0)).observe(0.5)
+        registry.histogram("pool.wait", buckets=(1.0, 2.0)).observe(1.5)
+        text = render_prom(registry.snapshot())
+        assert '# TYPE repro_serve_jobs counter' in text
+        assert 'repro_serve_jobs{status="done"} 3' in text
+        assert 'repro_serve_dedupe_ratio 0.5' in text
+        # buckets are cumulative; +Inf equals the total count
+        assert 'repro_pool_wait_bucket{le="1.0"} 1' in text
+        assert 'repro_pool_wait_bucket{le="2.0"} 2' in text
+        assert 'repro_pool_wait_bucket{le="+Inf"} 2' in text
+        assert 'repro_pool_wait_count 2' in text
+
+
+class TestDefaultRegistry:
+    def test_use_registry_swaps_and_restores(self):
+        before = default_registry()
+        with use_registry() as scoped:
+            assert default_registry() is scoped
+            assert scoped is not before
+        assert default_registry() is before
+
+    def test_module_helpers_hit_current_default(self):
+        from repro.telemetry import metrics as tmetrics
+
+        with use_registry() as scoped:
+            tmetrics.counter("x").inc()
+            assert scoped.counter_value("x") == 1
+
+    def test_default_buckets_are_fixed_and_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(set(DEFAULT_BUCKETS))
