@@ -572,15 +572,17 @@ def _finish_telemetry(service, report, args: argparse.Namespace) -> None:
         service.events.close()
         print(f"events -> {args.events}", file=sys.stderr)
     if service.fleet is not None:
-        payload = service.fleet.write(args.fleet_timeline,
-                                      title=report.label or "sweep")
+        payload = service.fleet.write(
+            args.fleet_timeline,
+            title=getattr(report, "label", "") or "sweep")
         print(f"fleet timeline -> {args.fleet_timeline} "
               f"({len(payload['traceEvents'])} events; open in "
               f"https://ui.perfetto.dev)", file=sys.stderr)
     if getattr(args, "metrics_out", None):
         from .telemetry import default_registry
 
-        snapshot = report.metrics or default_registry().snapshot()
+        snapshot = (getattr(report, "metrics", None)
+                    or default_registry().snapshot())
         with open(args.metrics_out, "w") as handle:
             json.dump(snapshot, handle, indent=1, sort_keys=True)
             handle.write("\n")
@@ -802,6 +804,118 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     return 0 if verdict["ok"] else 1
 
 
+def _parse_explore_points(text: str):
+    points = []
+    for token in text.split(","):
+        bits, sep, quant = token.partition(":")
+        if not sep:
+            raise ReproError(
+                f"bad point {token!r}; expected BITS:QUANT, e.g. 4:hw")
+        points.append((int(bits), quant))
+    return tuple(points)
+
+
+def _explore_network(args: argparse.Namespace) -> int:
+    import json
+
+    from .explore import (
+        MIXED3_ASSIGNMENTS,
+        NetworkSpace,
+        Objective,
+        pareto_front,
+    )
+
+    assignments = tuple(
+        tuple(int(b) for b in spec.split(","))
+        for spec in (args.assign or ())
+    ) or MIXED3_ASSIGNMENTS
+    space = NetworkSpace(network=args.network, assignments=assignments,
+                         cores=args.net_cores)
+    service = _serve_service(args)
+    report = service.run(space.jobs(), label=f"explore-{args.network}")
+    points = []
+    for assignment, outcome in zip(assignments, report.results):
+        if not outcome.ok:
+            print(f"assignment {assignment}: {outcome.message}",
+                  file=sys.stderr)
+            continue
+        points.append({
+            "label": "/".join(str(b) for b in assignment),
+            "assignment": list(assignment),
+            "bits": sum(assignment),
+            "cycles": outcome.payload["cycles"],
+            "energy_uj": round(outcome.payload["energy_uj"], 4),
+            "verified": outcome.payload["verified"],
+        })
+    objectives = (Objective("cycles", "min"),
+                  Objective("energy_uj", "min", band=0.005),
+                  Objective("bits", "max"))
+    result = pareto_front(points, objectives)
+    frontier = {points[i]["label"] for i in result.frontier}
+    doc = {
+        "space": space.to_dict(),
+        "points": points,
+        "frontier": sorted(frontier),
+    }
+    _finish_telemetry(service, report, args)
+    if args.json:
+        print(json.dumps(doc, indent=2))
+    else:
+        from .eval.reporting import format_table
+
+        print(format_table(
+            ("assignment", "cycles", "energy uJ", "verified", "frontier"),
+            [(p["label"], p["cycles"], p["energy_uj"], p["verified"],
+              "*" if p["label"] in frontier else "")
+             for p in sorted(points, key=lambda p: p["cycles"])],
+            title=f"per-layer precision: {args.network} "
+                  f"({space.cores} cores)"))
+    return 0 if len(points) == len(assignments) else 1
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    import dataclasses
+    import json
+
+    from .explore import DesignSpaceExplorer, named_space
+
+    if args.network:
+        return _explore_network(args)
+    space = named_space(args.space)
+    overrides = {}
+    if args.cores:
+        overrides["cores"] = tuple(int(v) for v in args.cores.split(","))
+    if args.tcdm:
+        overrides["tcdm_kb"] = tuple(int(v) for v in args.tcdm.split(","))
+    if args.l2:
+        overrides["l2_kb"] = tuple(int(v) for v in args.l2.split(","))
+    if args.points:
+        overrides["points"] = _parse_explore_points(args.points)
+    if overrides:
+        space = dataclasses.replace(space, **overrides)
+    service = _serve_service(args)
+    explorer = DesignSpaceExplorer(space, service=service,
+                                   prune=not args.no_prune)
+    report = explorer.run(verify=not args.no_verify)
+    _finish_telemetry(service, report, args)
+    doc = report.to_dict()
+    if args.report:
+        with open(args.report, "w") as handle:
+            json.dump(doc, handle, indent=2)
+            handle.write("\n")
+        print(f"explore report -> {args.report}", file=sys.stderr)
+    if args.trajectory:
+        from .eval.trajectory import write_trajectory
+
+        write_trajectory(report.trajectory_payload(), args.trajectory)
+        print(f"trajectory -> {args.trajectory}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(doc, indent=2))
+    else:
+        print(report.render())
+    return 0 if not report.failed else 1
+
+
 def _cmd_targets(args: argparse.Namespace) -> int:
     from .target import list_targets
 
@@ -809,7 +923,11 @@ def _cmd_targets(args: argparse.Namespace) -> int:
     if args.json:
         import json
 
-        print(json.dumps([spec.to_dict() for spec in specs], indent=2))
+        print(json.dumps([{
+            **spec.to_dict(),
+            "digest": spec.digest(),
+            "capabilities": spec.capabilities(),
+        } for spec in specs], indent=2))
         return 0
     print(f"{'name':<18s} {'family':<7s} {'isa':<8s} {'cores':>5s} "
           f"{'l2':>7s} {'tcdm':>7s} {'quant':>5s}  description")
@@ -1101,6 +1219,46 @@ def build_parser() -> argparse.ArgumentParser:
     diff.add_argument("--json", action="store_true",
                       help="emit the repro-perf-diff/1 verdict as JSON")
     diff.set_defaults(func=_cmd_perf)
+
+    explore = sub.add_parser(
+        "explore",
+        help="design-space autotuner: staged static->simulated search "
+             "with Pareto extraction")
+    explore.add_argument("--space", default="paper",
+                         help="named search space: paper, ci, quick "
+                              "(default: paper)")
+    explore.add_argument("--cores", metavar="N1[,N2...]",
+                         help="override the core-count axis")
+    explore.add_argument("--tcdm", metavar="KB1[,KB2...]",
+                         help="override the TCDM-size axis (kB)")
+    explore.add_argument("--l2", metavar="KB1[,KB2...]",
+                         help="override the L2-size axis (kB)")
+    explore.add_argument("--points", metavar="BITS:QUANT[,...]",
+                         help="override the (bits, quant) axis, "
+                              "e.g. 8:shift,4:hw,4:sw")
+    explore.add_argument("--network", metavar="NAME",
+                         help="explore per-layer precision assignments "
+                              "for a catalog network instead of specs")
+    explore.add_argument("--assign", action="append",
+                         metavar="B1,B2,...",
+                         help="one weight-precision assignment per "
+                              "weighted layer (repeatable; with "
+                              "--network)")
+    explore.add_argument("--net-cores", type=int, default=8,
+                         help="cluster size for --network (default 8)")
+    explore.add_argument("--no-prune", action="store_true",
+                         help="simulate every feasible candidate (skip "
+                              "static pruning)")
+    explore.add_argument("--no-verify", action="store_true",
+                         help="skip the cached-vs-uncached frontier "
+                              "verification pass")
+    explore.add_argument("--report", metavar="PATH",
+                         help="write the repro-explore/1 report to PATH")
+    explore.add_argument("--trajectory", metavar="PATH",
+                         help="merge the explore/* series into a "
+                              "trajectory file at PATH")
+    serve_flags(explore)
+    explore.set_defaults(func=_cmd_explore)
 
     targets = sub.add_parser(
         "targets", help="list the registered machine targets")

@@ -21,7 +21,12 @@ from .executor import (
     TileExecution,
 )
 from .lowering import CompiledNetwork, LayerPlan, NetworkCompiler
-from .networks import BuiltNetwork, build_network, network_names
+from .networks import (
+    BuiltNetwork,
+    build_network,
+    network_names,
+    quantized_layer_count,
+)
 from .planner import PlannedRegion, TcdmPlan, TcdmPlanner
 from .tiling import (
     ConvTiling,
@@ -57,6 +62,7 @@ __all__ = [
     "build_network",
     "conv_tile_candidates",
     "network_names",
+    "quantized_layer_count",
     "search_conv_tiling",
     "search_linear_tiling",
     "search_pool_tiling",

@@ -24,7 +24,7 @@ workloads:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Tuple
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -113,10 +113,67 @@ def network_names() -> Tuple[str, ...]:
     return tuple(_CATALOG)
 
 
-def build_network(name: str) -> BuiltNetwork:
+def quantized_layer_count(name: str) -> int:
+    """How many weighted layers *name* has (the ``layer_bits`` arity)."""
+    built = build_network(name)
+    return sum(1 for layer in built.network.layers
+               if hasattr(layer, "weight_bits"))
+
+
+def build_network(name: str,
+                  layer_bits: Optional[Sequence[int]] = None) -> BuiltNetwork:
+    """Build a catalog network, optionally at a per-layer weight precision.
+
+    *layer_bits* assigns one precision (8/4/2) per *weighted* layer in
+    network order (pooling layers carry no weights and are skipped) —
+    the mixed-precision search axis of ``repro explore``.  A conv
+    layer's assignment sets its weight *and* output-activation precision
+    together (the lowering's shift path requires 8-bit weights for
+    8-bit outputs; sub-byte outputs requantize through the staircase),
+    while a linear layer — the logits — changes weights only.  The
+    ``in_bits`` chain is rethreaded to match.  Overridden layers get
+    fresh weights drawn at the new precision from a seed derived only
+    from (layer index, bits), so every (name, layer_bits) pair is
+    deterministic across processes and the network digest — hence the
+    result-cache key — re-keys automatically.
+    """
     try:
         factory = _CATALOG[name]
     except KeyError:
         raise KernelError(
             f"unknown network {name!r}; available: {', '.join(_CATALOG)}")
-    return factory()
+    built = factory()
+    if layer_bits is None:
+        return built
+    weighted = [layer for layer in built.network.layers
+                if hasattr(layer, "weight_bits")]
+    assigned = tuple(int(b) for b in layer_bits)
+    if len(assigned) != len(weighted):
+        raise KernelError(
+            f"network {name!r} has {len(weighted)} weighted layers; "
+            f"layer_bits names {len(assigned)}")
+    for index, bits in enumerate(assigned):
+        if bits not in (8, 4, 2):
+            raise KernelError(
+                f"layer_bits[{index}]: unsupported weight precision {bits}")
+    queue = list(zip(weighted, assigned, range(len(weighted))))
+    act_bits = built.input_bits
+    for layer in built.network.layers:
+        if not hasattr(layer, "weight_bits"):
+            continue  # pooling preserves activation precision
+        _, bits, index = queue.pop(0)
+        if bits != layer.weight_bits:
+            rng = np.random.default_rng(0x9B175EED ^ (index << 8) ^ bits)
+            layer.weights = random_weights(layer.weights.shape, bits, rng)
+            layer.weight_bits = bits
+            # Re-derive requant parameters for the new weight values.
+            layer.shift = None
+            if hasattr(layer, "thresholds"):
+                layer.thresholds = None
+        if isinstance(layer, QuantizedConv):
+            layer.out_bits = bits
+        layer.in_bits = act_bits
+        act_bits = layer.out_bits
+    built.description += (
+        " [layer_bits=" + "/".join(str(b) for b in assigned) + "]")
+    return built

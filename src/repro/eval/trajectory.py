@@ -31,7 +31,8 @@ SCHEMA = "repro-trajectory/1"
 #: numbers are machine-dependent).
 _CAPTURE_SUFFIXES = ("cycles", "instructions", "macs_per_cycle",
                      "quant_share", "speedup", "overlap_pct", "dma_bytes",
-                     "jobs_per_sec", "us_per_job")
+                     "jobs_per_sec", "us_per_job", "points_per_sec",
+                     "energy_uj", "area_mm2")
 
 
 def _captured(key: str) -> bool:

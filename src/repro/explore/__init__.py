@@ -1,0 +1,74 @@
+"""Design-space autotuner: staged static -> simulated search with
+Pareto extraction over the target registry (``repro explore``).
+
+The subsystem answers the question the paper's Table III numbers imply
+but never compute: *given the physical models and the cycle-exact
+simulator, which cluster configurations are actually worth building?*
+It expands a declarative :class:`SearchSpace` into ephemeral
+:class:`~repro.target.TargetSpec` variants, prunes provably-dominated
+points with the static cost model, simulates the survivors through the
+batch service (sharded + content-addressed cache), and extracts the
+Pareto frontier over cycles / energy-per-inference / area / operand
+precision — re-deriving the paper's 8-core, 4-bit, hardware-quant
+design point as data.
+"""
+
+from .pareto import (
+    SPEC_OBJECTIVES,
+    Objective,
+    ParetoResult,
+    dominates,
+    pareto_front,
+)
+from .report import (
+    EXPLORE_SCHEMA,
+    ExploreReport,
+    derive_choices,
+    load_explore_report,
+    validate_explore_report,
+)
+from .search import DesignSpaceExplorer, evaluate_point, explore
+from .space import (
+    MIXED3_ASSIGNMENTS,
+    SPACES,
+    Candidate,
+    ExploreError,
+    NetworkSpace,
+    SearchSpace,
+    named_space,
+    variant_spec,
+)
+from .static_stage import (
+    StaticScore,
+    StaticStageResult,
+    run_static_stage,
+    score_candidate,
+)
+
+__all__ = [
+    "Candidate",
+    "DesignSpaceExplorer",
+    "EXPLORE_SCHEMA",
+    "ExploreError",
+    "ExploreReport",
+    "MIXED3_ASSIGNMENTS",
+    "NetworkSpace",
+    "Objective",
+    "ParetoResult",
+    "SPACES",
+    "SPEC_OBJECTIVES",
+    "SearchSpace",
+    "StaticScore",
+    "StaticStageResult",
+    "derive_choices",
+    "dominates",
+    "evaluate_point",
+    "explore",
+    "load_explore_report",
+    "named_space",
+    "pareto_front",
+    "run_static_stage",
+    "score_candidate",
+    "validate_explore_report",
+    "variant_spec",
+]

@@ -1,0 +1,157 @@
+"""Pareto-frontier extraction with directions, bands, and explicit ties.
+
+The engine is generic over named objectives so the same code serves the
+spec frontier (minimize cycles/energy/area, maximize operand bits — the
+quality proxy that keeps 4-bit and 2-bit mutually non-dominating) and
+the mixed-precision network frontier (cycles vs weight bytes vs
+precision).
+
+Dominance is the standard weak-Pareto relation, evaluated per objective
+through an optional *band*: values whose difference is within
+``band x max(|a|, |b|)`` compare equal.  Bands absorb sub-percent noise
+(e.g. energy from a calibrated-but-approximate power model) without
+letting it manufacture dominance; with every band at 0 the relation is
+exact.  A point dominates another when it is no worse anywhere and
+strictly better somewhere; points equal-within-band on *every* objective
+tie — none of them dominates the others, all of them surface in the
+frontier, and :attr:`ParetoResult.ties` groups them explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
+
+from .space import ExploreError
+
+SENSE_MIN = "min"
+SENSE_MAX = "max"
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One named axis of the frontier."""
+
+    key: str
+    sense: str = SENSE_MIN
+    #: Relative equality band (0 = exact comparison).
+    band: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.sense not in (SENSE_MIN, SENSE_MAX):
+            raise ExploreError(
+                f"objective {self.key!r}: sense must be 'min' or 'max'")
+        if not 0.0 <= self.band < 1.0:
+            raise ExploreError(
+                f"objective {self.key!r}: band must be in [0, 1)")
+
+    def compare(self, a: float, b: float) -> int:
+        """-1 if *a* is better, +1 if worse, 0 if equal within the band."""
+        tol = self.band * max(abs(a), abs(b))
+        if abs(a - b) <= tol:
+            return 0
+        better = a < b if self.sense == SENSE_MIN else a > b
+        return -1 if better else 1
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"key": self.key, "sense": self.sense, "band": self.band}
+
+
+#: The spec-frontier objectives (see module docstring for why ``bits``
+#: is maximized: without it lower precision would trivially dominate and
+#: the paper's 4-bit design point could never survive next to 2-bit).
+SPEC_OBJECTIVES: Tuple[Objective, ...] = (
+    Objective("cycles", SENSE_MIN),
+    Objective("energy_uj", SENSE_MIN, band=0.005),
+    Objective("area_mm2", SENSE_MIN, band=0.005),
+    Objective("bits", SENSE_MAX),
+)
+
+
+def _value(point: Mapping[str, Any], objective: Objective) -> float:
+    try:
+        value = point[objective.key]
+    except KeyError:
+        raise ExploreError(
+            f"point is missing objective {objective.key!r}: "
+            f"{sorted(point)}")
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ExploreError(
+            f"objective {objective.key!r} must be numeric, "
+            f"got {value!r}")
+    return float(value)
+
+
+def dominates(a: Mapping[str, Any], b: Mapping[str, Any],
+              objectives: Sequence[Objective]) -> bool:
+    """True when *a* weakly dominates *b* with at least one strict win."""
+    if not objectives:
+        raise ExploreError("dominance needs at least one objective")
+    strict = False
+    for objective in objectives:
+        cmp = objective.compare(_value(a, objective), _value(b, objective))
+        if cmp > 0:
+            return False
+        if cmp < 0:
+            strict = True
+    return strict
+
+
+@dataclass
+class ParetoResult:
+    """Frontier indices plus the full dominance accounting."""
+
+    #: Indices of non-dominated points, in input order.
+    frontier: List[int] = field(default_factory=list)
+    #: Dominated index -> index of one dominating point (a witness).
+    dominated_by: Dict[int, int] = field(default_factory=dict)
+    #: Groups (size >= 2) of frontier points equal on every objective.
+    ties: List[List[int]] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "frontier": list(self.frontier),
+            "dominated_by": {str(k): v for k, v in
+                             sorted(self.dominated_by.items())},
+            "ties": [list(group) for group in self.ties],
+        }
+
+
+def pareto_front(points: Sequence[Mapping[str, Any]],
+                 objectives: Sequence[Objective]) -> ParetoResult:
+    """Extract the Pareto frontier of *points* (empty input -> empty).
+
+    O(n^2) pairwise — design spaces are tens of points, not millions.
+    Duplicate points can never dominate each other (no strict win), so
+    every copy lands on the frontier and in a tie group.
+    """
+    result = ParetoResult()
+    n = len(points)
+    for i in range(n):
+        witness = None
+        for j in range(n):
+            if i != j and dominates(points[j], points[i], objectives):
+                witness = j
+                break
+        if witness is None:
+            result.frontier.append(i)
+        else:
+            result.dominated_by[i] = witness
+    # Tie groups among frontier points: equal within band everywhere.
+    assigned: Dict[int, int] = {}
+    for pos, i in enumerate(result.frontier):
+        if i in assigned:
+            continue
+        group = [i]
+        for j in result.frontier[pos + 1:]:
+            if j in assigned:
+                continue
+            if all(obj.compare(_value(points[i], obj),
+                               _value(points[j], obj)) == 0
+                   for obj in objectives):
+                group.append(j)
+        if len(group) > 1:
+            for member in group:
+                assigned[member] = len(result.ties)
+            result.ties.append(group)
+    return result

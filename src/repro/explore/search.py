@@ -1,0 +1,214 @@
+"""Stage 2 + 3: simulate the survivors, roll up physics, extract Pareto.
+
+:class:`DesignSpaceExplorer` drives the full staged search:
+
+1. expand the declarative space into candidates (ephemeral specs);
+2. static stage — certain bounds, provably-sound pruning (stage 1);
+3. simulate every survivor cycle-exactly through the batch
+   :class:`~repro.serve.SimulationService` (sharded across the worker
+   pool, deduped, content-addressed cache reuse);
+4. roll up the physical models — measured cluster power plus SRAM
+   leakage into energy-per-inference, the design model into area;
+5. extract the Pareto frontier and re-derive the paper's design choices.
+
+Every phase is timed under a telemetry span and counted in the metrics
+registry (``explore.*``), so explore sweeps are observable exactly like
+serve sweeps.  :meth:`DesignSpaceExplorer.verify` re-runs each frontier
+point twice — once against the warm cache, once on a fresh cache-less
+inline service — and asserts bit-identical cycles and outputs: the
+determinism claim behind infinite cacheability, enforced per run.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..physical.design import energy_per_inference_uj, sram_leakage_mw
+from ..telemetry import metrics as tmetrics
+from ..telemetry.spans import Span
+from .pareto import SPEC_OBJECTIVES, Objective, pareto_front
+from .report import ExploreReport
+from .space import ExploreError, SearchSpace
+from .static_stage import StaticScore, run_static_stage
+
+
+def _default_service():
+    """Inline service; the on-disk cache engages via ``REPRO_CACHE_DIR``."""
+    import os
+
+    from ..serve import SimulationService, open_cache
+
+    return SimulationService(
+        cache=open_cache(enabled=bool(os.environ.get("REPRO_CACHE_DIR"))))
+
+
+def evaluate_point(score: StaticScore, payload: Dict[str, Any],
+                   cached: bool = False) -> Dict[str, Any]:
+    """One simulated survivor folded into frontier-objective space."""
+    spec = score.candidate.spec
+    power_mw = payload["power_mw"] + sram_leakage_mw(spec)
+    cycles = payload["cycles"]
+    return {
+        **score.candidate.to_dict(),
+        "cycles": cycles,
+        "instructions": payload["instructions"],
+        "contention_share": payload["contention_share"],
+        "power_mw": round(power_mw, 4),
+        "energy_uj": round(energy_per_inference_uj(
+            cycles, power_mw, spec.freq_hz), 6),
+        "area_mm2": round(score.area_mm2, 6),
+        "gops_per_s_per_w": payload["gops_per_s_per_w"],
+        "static_cycles_lo": score.cycles_lo,
+        "static_cycles_hi": score.cycles_hi,
+        "static_exact": score.exact,
+        "cached": cached,
+    }
+
+
+class DesignSpaceExplorer:
+    """Staged static -> simulated search over one :class:`SearchSpace`."""
+
+    def __init__(self, space: SearchSpace, service=None, prune: bool = True,
+                 objectives: Sequence[Objective] = SPEC_OBJECTIVES) -> None:
+        self.space = space
+        self.service = service if service is not None else _default_service()
+        self.prune = prune
+        self.objectives = tuple(objectives)
+
+    # ------------------------------------------------------------------
+
+    def run(self, verify: bool = False) -> ExploreReport:
+        root = Span.root(f"explore:{self.space.name}",
+                         space=self.space.name, prune=self.prune)
+        spans: List[Span] = [root]
+
+        def phase(name: str) -> Span:
+            span = root.start_child(f"explore.{name}")
+            spans.append(span)
+            return span
+
+        span = phase("expand")
+        candidates = self.space.expand()
+        span.finish(candidates=len(candidates))
+        tmetrics.counter("explore.candidates",
+                         space=self.space.name).inc(len(candidates))
+
+        span = phase("static")
+        static_start = time.perf_counter()
+        stage = run_static_stage(candidates, objectives=self.objectives,
+                                 prune=self.prune)
+        static_s = time.perf_counter() - static_start
+        span.finish(survivors=len(stage.survivors),
+                    pruned=len(stage.pruned),
+                    infeasible=len(stage.infeasible))
+        for _, _, rule in stage.pruned:
+            tmetrics.counter("explore.pruned", rule=rule).inc()
+        tmetrics.counter("explore.infeasible").inc(len(stage.infeasible))
+
+        span = phase("simulate")
+        jobs = [score.candidate.job() for score in stage.survivors]
+        sweep = self.service.run(jobs, label=f"explore-{self.space.name}")
+        span.finish(jobs=len(jobs), cached=sweep.stats.get("cached", 0))
+        tmetrics.counter("explore.simulated").inc(len(jobs))
+
+        span = phase("rollup")
+        points: List[Dict[str, Any]] = []
+        scores_by_label: Dict[str, StaticScore] = {}
+        failed: List[Dict[str, Any]] = []
+        for score, outcome in zip(stage.survivors, sweep.results):
+            if not outcome.ok:
+                failed.append({"label": score.label,
+                               "error_type": outcome.error_type,
+                               "message": outcome.message})
+                continue
+            self._check_bounds(score, outcome.payload)
+            points.append(evaluate_point(score, outcome.payload,
+                                         cached=outcome.cached))
+            scores_by_label[score.label] = score
+        span.finish(points=len(points), failed=len(failed))
+
+        span = phase("pareto")
+        result = pareto_front(points, self.objectives)
+        span.finish(frontier=len(result.frontier), ties=len(result.ties))
+
+        report = ExploreReport(
+            space=self.space,
+            objectives=self.objectives,
+            stage=stage,
+            points=points,
+            failed=failed,
+            pareto=result,
+            sweep_stats=dict(sweep.stats),
+            static_seconds=static_s,
+            sweep_seconds=sweep.wall_s,
+            spans=spans,
+        )
+        report.derive()
+        if verify:
+            span = phase("verify")
+            report.verification = self.verify(report, scores_by_label)
+            span.finish(points=len(report.verification["points"]))
+        root.finish(frontier=len(report.frontier_labels()))
+        return report
+
+    # ------------------------------------------------------------------
+
+    def _check_bounds(self, score: StaticScore,
+                      payload: Dict[str, Any]) -> None:
+        """A simulated point outside its certain bounds is a model bug —
+        it would silently invalidate the pruning proof, so fail loudly."""
+        cycles = payload["cycles"]
+        if cycles < score.cycles_lo:
+            raise ExploreError(
+                f"{score.label}: simulated {cycles} cycles below the "
+                f"static lower bound {score.cycles_lo}")
+        if score.cycles_hi is not None and cycles > score.cycles_hi:
+            raise ExploreError(
+                f"{score.label}: simulated {cycles} cycles above the "
+                f"static upper bound {score.cycles_hi}")
+
+    def verify(self, report: ExploreReport,
+               scores_by_label: Dict[str, StaticScore]) -> Dict[str, Any]:
+        """Cached-vs-uncached bit-identity for every frontier point."""
+        from ..serve import SimulationService
+
+        fresh = SimulationService(cache=None, workers=0)
+        checks: List[Dict[str, Any]] = []
+        for label in report.frontier_labels():
+            score = scores_by_label[label]
+            job = score.candidate.job()
+            warm = self.service.run([job], label=f"verify-{label}")
+            cold = fresh.run([job], label=f"verify-cold-{label}")
+            wres, cres = warm.results[0], cold.results[0]
+            if not (wres.ok and cres.ok):
+                checks.append({"label": label, "ok": False,
+                               "error": "verification run failed"})
+                continue
+            identical = (
+                wres.payload["cycles"] == cres.payload["cycles"]
+                and wres.payload["output"] == cres.payload["output"])
+            checks.append({
+                "label": label,
+                "ok": identical,
+                "cached_run_hit": bool(wres.cached),
+                "cycles": wres.payload["cycles"],
+                "uncached_cycles": cres.payload["cycles"],
+            })
+        ok = all(c["ok"] for c in checks)
+        if not ok:
+            bad = [c["label"] for c in checks if not c["ok"]]
+            raise ExploreError(
+                f"frontier verification failed: cached and uncached runs "
+                f"diverged on {', '.join(bad)}")
+        return {"ok": ok, "points": checks}
+
+
+def explore(space: SearchSpace, service=None, prune: bool = True,
+            verify: bool = False,
+            objectives: Optional[Sequence[Objective]] = None) -> ExploreReport:
+    """One-call staged search (the ``repro explore`` entry point)."""
+    explorer = DesignSpaceExplorer(
+        space, service=service, prune=prune,
+        objectives=objectives or SPEC_OBJECTIVES)
+    return explorer.run(verify=verify)

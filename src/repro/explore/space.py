@@ -1,0 +1,257 @@
+"""Declarative design-space definition and expansion.
+
+A :class:`SearchSpace` names the axes the paper's architects actually
+turned — cluster core count, TCDM and L2 sizes, operand bitwidth, and
+the requantization path — and :meth:`SearchSpace.expand` turns their
+cartesian product into concrete :class:`Candidate` points.  Each
+candidate carries a real :class:`~repro.target.TargetSpec`, derived from
+the canonical 8-core cluster via :meth:`TargetSpec.evolve` and
+registered ephemerally so ``repro targets``-style tooling can resolve it
+by name while listings stay clean.  Two expansions of the same space
+produce byte-identical specs — and therefore identical digests and
+result-cache keys — in any process.
+
+Silicon vs run path: every candidate's silicon is the XpulpNN extended
+core (the ISA axis is fixed by the kernels — sub-byte SIMD needs it), so
+within one (cores, tcdm, l2) cell the ``quant`` axis selects the
+*executed* requantization path on identical hardware.  That makes the
+hw-vs-sw comparison an ablation the static stage can reason about: same
+area, same power envelope, provably different cycles.
+
+Per-layer precision for compiler networks is the second half of the
+space: a :class:`NetworkSpace` enumerates weight-precision assignments
+for a catalog network, one :class:`~repro.serve.CompileJob` each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+from ..errors import ReproError
+from ..serve.jobs import CompileJob, Job, SpecPointJob
+from ..target import get_target, names, register_ephemeral
+from ..target.spec import TargetSpec
+
+
+class ExploreError(ReproError):
+    """Malformed search space or explorer request."""
+
+
+#: (bits, quant-path) pairs a space may sweep.
+VALID_POINTS = {(8, "shift"), (4, "hw"), (4, "sw"), (2, "hw"), (2, "sw")}
+
+
+def _spec_name(cores: int, tcdm_kb: int, l2_kb: int) -> str:
+    return f"explore-c{cores}-t{tcdm_kb}k-l{l2_kb}k"
+
+
+def variant_spec(cores: int, tcdm_kb: int, l2_kb: int) -> TargetSpec:
+    """The (registered, ephemeral) spec for one silicon cell of the space."""
+    base = get_target(f"{names.CLUSTER_PREFIX}8")
+    spec = base.evolve(
+        name=_spec_name(cores, tcdm_kb, l2_kb),
+        display=f"{names.XPULPNN} x{cores} {tcdm_kb}k/{l2_kb}k",
+        cores=cores,
+        cluster=True,
+        tcdm_bytes=tcdm_kb * 1024,
+        l2_bytes=l2_kb * 1024,
+        description=f"explore variant: {cores}-core cluster, "
+                    f"{tcdm_kb} kB TCDM, {l2_kb} kB L2",
+    )
+    return register_ephemeral(spec)
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One concrete design point: a spec plus the workload run on it."""
+
+    spec: TargetSpec
+    bits: int
+    quant: str
+    out_ch: int
+    reduction: int
+
+    @property
+    def label(self) -> str:
+        tcdm_kb = self.spec.tcdm_bytes // 1024
+        l2_kb = self.spec.l2_bytes // 1024
+        return (f"c{self.spec.cores}-t{tcdm_kb}k-l{l2_kb}k-"
+                f"{self.bits}b-{self.quant}")
+
+    def job(self) -> SpecPointJob:
+        """The typed service job that measures this point cycle-exactly."""
+        from ..serve.hashing import canonical_json
+
+        return SpecPointJob(
+            spec_json=canonical_json(self.spec.to_dict()),
+            bits=self.bits, quant=self.quant,
+            out_ch=self.out_ch, reduction=self.reduction,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "label": self.label,
+            "spec": self.spec.name,
+            "spec_digest": self.spec.digest(),
+            "cores": self.spec.cores,
+            "tcdm_kb": self.spec.tcdm_bytes // 1024,
+            "l2_kb": self.spec.l2_bytes // 1024,
+            "bits": self.bits,
+            "quant": self.quant,
+            "out_ch": self.out_ch,
+            "reduction": self.reduction,
+        }
+
+
+@dataclass(frozen=True)
+class SearchSpace:
+    """Axes of the TargetSpec design space (see module docstring)."""
+
+    name: str
+    cores: Tuple[int, ...] = (1, 2, 4, 8)
+    tcdm_kb: Tuple[int, ...] = (128,)
+    l2_kb: Tuple[int, ...] = (512,)
+    #: (bits, quant path) pairs; the workload axis of the sweep.
+    points: Tuple[Tuple[int, str], ...] = (
+        (8, "shift"), (4, "hw"), (4, "sw"), (2, "hw"))
+    out_ch: int = 64
+    reduction: int = 256
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ExploreError("search spaces need a name")
+        for axis, values in (("cores", self.cores), ("tcdm_kb", self.tcdm_kb),
+                             ("l2_kb", self.l2_kb), ("points", self.points)):
+            if not values:
+                raise ExploreError(f"space {self.name!r}: empty {axis} axis")
+        for cores in self.cores:
+            if cores < 1:
+                raise ExploreError(
+                    f"space {self.name!r}: core counts must be >= 1")
+        for kb in (*self.tcdm_kb, *self.l2_kb):
+            if kb < 1:
+                raise ExploreError(
+                    f"space {self.name!r}: memory sizes must be >= 1 kB")
+        for point in self.points:
+            if tuple(point) not in VALID_POINTS:
+                raise ExploreError(
+                    f"space {self.name!r}: invalid (bits, quant) point "
+                    f"{tuple(point)}; valid: {sorted(VALID_POINTS)}")
+
+    @property
+    def size(self) -> int:
+        return (len(self.cores) * len(self.tcdm_kb) * len(self.l2_kb)
+                * len(self.points))
+
+    def expand(self) -> List[Candidate]:
+        """Concrete candidates, in a stable axis order, deduplicated."""
+        out: List[Candidate] = []
+        seen = set()
+        for cores in self.cores:
+            for tcdm in self.tcdm_kb:
+                for l2 in self.l2_kb:
+                    spec = variant_spec(cores, tcdm, l2)
+                    for bits, quant in self.points:
+                        cand = Candidate(
+                            spec=spec, bits=bits, quant=quant,
+                            out_ch=self.out_ch, reduction=self.reduction)
+                        key = (spec.digest(), bits, quant)
+                        if key in seen:
+                            continue
+                        seen.add(key)
+                        out.append(cand)
+        return out
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "cores": list(self.cores),
+            "tcdm_kb": list(self.tcdm_kb),
+            "l2_kb": list(self.l2_kb),
+            "points": [list(p) for p in self.points],
+            "out_ch": self.out_ch,
+            "reduction": self.reduction,
+            "size": self.size,
+        }
+
+
+@dataclass(frozen=True)
+class NetworkSpace:
+    """Per-layer weight-precision assignments for one catalog network."""
+
+    network: str = "mixed3"
+    #: One tuple of 8/4/2 per weighted layer, per assignment.
+    assignments: Tuple[Tuple[int, ...], ...] = field(default_factory=tuple)
+    cores: int = 8
+
+    def __post_init__(self) -> None:
+        if not self.assignments:
+            raise ExploreError("network spaces need at least one assignment")
+        for assignment in self.assignments:
+            for bits in assignment:
+                if bits not in (8, 4, 2):
+                    raise ExploreError(
+                        f"assignment {assignment}: precisions are 8/4/2")
+
+    def jobs(self) -> List[Job]:
+        return [CompileJob(network=self.network, cores=self.cores,
+                           layer_bits=tuple(assignment))
+                for assignment in self.assignments]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "network": self.network,
+            "cores": self.cores,
+            "assignments": [list(a) for a in self.assignments],
+        }
+
+
+#: Named spaces.  ``paper`` re-derives the paper's design point from a
+#: 32-candidate sweep; ``ci`` is the <=12-point space the CI explore job
+#: and the staged-vs-full equality test run; ``quick`` keeps unit tests
+#: under a second.
+SPACES: Dict[str, SearchSpace] = {
+    "paper": SearchSpace(
+        name="paper",
+        cores=(1, 2, 4, 8),
+        tcdm_kb=(64, 128),
+        l2_kb=(512,),
+        points=((8, "shift"), (4, "hw"), (4, "sw"), (2, "hw")),
+        out_ch=64, reduction=256,
+    ),
+    "ci": SearchSpace(
+        name="ci",
+        cores=(2, 8),
+        tcdm_kb=(64, 128),
+        l2_kb=(512,),
+        points=((8, "shift"), (4, "hw"), (4, "sw")),
+        out_ch=32, reduction=128,
+    ),
+    "quick": SearchSpace(
+        name="quick",
+        cores=(1, 2),
+        tcdm_kb=(64, 128),
+        l2_kb=(512,),
+        points=((4, "hw"),),
+        out_ch=16, reduction=64,
+    ),
+}
+
+#: Default mixed-precision assignments for the ``mixed3`` network axis:
+#: uniform ladders plus the paper-flavoured mixed points.
+MIXED3_ASSIGNMENTS: Tuple[Tuple[int, ...], ...] = (
+    (8, 8, 8),
+    (8, 4, 8),
+    (4, 4, 8),
+    (4, 2, 4),
+)
+
+
+def named_space(name: str) -> SearchSpace:
+    try:
+        return SPACES[name]
+    except KeyError:
+        raise ExploreError(
+            f"unknown search space {name!r}; available: "
+            f"{', '.join(sorted(SPACES))}")

@@ -2,6 +2,14 @@
 
 from .area import AreaModel, AreaReport, BASELINE_TOTAL_UM2, EXTENSIONS, ExtensionAreas
 from .cluster import ClusterPowerBreakdown, ClusterPowerModel, cluster_model_for
+from .design import (
+    SiliconSummary,
+    cluster_area_mm2,
+    cluster_silicon,
+    energy_per_inference_uj,
+    power_bounds_mw,
+    sram_leakage_mw,
+)
 from .energy import OPS_PER_MAC, EfficiencyPoint, efficiency
 from .power import (
     BASELINE,
@@ -43,12 +51,18 @@ __all__ = [
     "PowerModel",
     "SOC_BASE_MW",
     "SOC_MEM_MW_PER_ACCESS",
+    "SiliconSummary",
     "TECHNOLOGY",
     "TYPICAL",
     "WORST_CASE",
+    "cluster_area_mm2",
     "cluster_model_for",
+    "cluster_silicon",
     "cycle_fractions",
     "efficiency",
+    "energy_per_inference_uj",
     "memory_accesses_per_cycle",
     "model_for",
+    "power_bounds_mw",
+    "sram_leakage_mw",
 ]

@@ -1,0 +1,146 @@
+"""Cluster-level silicon model for design-space exploration.
+
+The paper measures one design (Table III: core area/power in 22 nm at
+0.75 V); ``repro explore`` asks *counterfactual* questions — what does
+the 2-core cluster with half the TCDM cost? — so this module extends the
+calibrated per-core models to whole-cluster area and the memory's
+leakage contribution:
+
+* **cores** — N x the Table III core area (extended core when the spec
+  carries the XpulpNN extensions, baseline RI5CY otherwise);
+* **SRAM** — TCDM and L2 priced per byte.  The densities are nominal
+  22 nm macro figures (bit cell + periphery), not silicon measurements;
+  they only need to be *monotone* in bytes for the explorer's dominance
+  arguments, and every report labels them modeled;
+* **uncore** — DMA + event unit + cluster peripherals, plus a
+  log-interconnect slice per TCDM bank (banks = 2 x cores, the paper's
+  banking factor).
+
+:func:`power_bounds_mw` gives certain lower/upper bounds on the
+cluster's per-cycle power — any instruction mix on this silicon lands
+inside them — which the static pruning stage multiplies with cycle
+bounds to get sound energy intervals *before* any simulation runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+from ..target.names import XPULPNN
+from ..target.spec import TargetSpec
+from .area import AreaModel
+from .power import SOC_BASE_MW, SOC_MEM_MW_PER_ACCESS, model_for
+
+#: Banked TCDM macro area per byte (um^2): nominal 22 nm high-density
+#: 6T cell plus array periphery, amortized over small per-bank macros.
+TCDM_UM2_PER_BYTE = 2.0
+#: L2 macro area per byte (um^2): larger macros amortize periphery.
+L2_UM2_PER_BYTE = 1.55
+#: SRAM leakage per kilobyte (mW) at the nominal operating point.
+SRAM_LEAK_MW_PER_KB = 0.0004
+#: DMA engine + event unit + cluster peripherals (um^2).
+UNCORE_BASE_UM2 = 24000.0
+#: One log-interconnect slice (routing + mux) per TCDM bank (um^2).
+BANK_MUX_UM2 = 1200.0
+#: The paper's banking factor: banks = factor x cores.
+BANKING_FACTOR = 2
+
+#: Worst-case data-memory transactions per core-cycle: the quantization
+#: FSM reads 8 thresholds per ``pv.qnt.n`` (see
+#: :func:`repro.physical.power.memory_accesses_per_cycle`).
+_MAX_ACCESSES_PER_CYCLE = 8.0
+
+
+@dataclass(frozen=True)
+class SiliconSummary:
+    """Area/leakage breakdown of one cluster design (the spec's silicon)."""
+
+    spec_name: str
+    cores: int
+    core_area_um2: float
+    cores_mm2: float
+    tcdm_mm2: float
+    l2_mm2: float
+    uncore_mm2: float
+    sram_leak_mw: float
+
+    @property
+    def total_mm2(self) -> float:
+        return self.cores_mm2 + self.tcdm_mm2 + self.l2_mm2 + self.uncore_mm2
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "spec": self.spec_name,
+            "cores": self.cores,
+            "core_area_um2": round(self.core_area_um2, 1),
+            "cores_mm2": round(self.cores_mm2, 6),
+            "tcdm_mm2": round(self.tcdm_mm2, 6),
+            "l2_mm2": round(self.l2_mm2, 6),
+            "uncore_mm2": round(self.uncore_mm2, 6),
+            "sram_leak_mw": round(self.sram_leak_mw, 6),
+            "total_mm2": round(self.total_mm2, 6),
+        }
+
+
+def core_area_um2(spec: TargetSpec) -> float:
+    """Table III area of one core of *spec*'s silicon."""
+    model = AreaModel()
+    if spec.riscv and XPULPNN in spec.extensions:
+        return model.extended(power_mgmt=True).total
+    return model.baseline().total
+
+
+def sram_leakage_mw(spec: TargetSpec) -> float:
+    """Leakage of the spec's TCDM + L2 (strictly monotone in bytes)."""
+    kb = (spec.tcdm_bytes + spec.l2_bytes) / 1024.0
+    return kb * SRAM_LEAK_MW_PER_KB
+
+
+def cluster_silicon(spec: TargetSpec) -> SiliconSummary:
+    """Full area/leakage breakdown for *spec* (see module docstring)."""
+    banks = spec.cores * BANKING_FACTOR
+    return SiliconSummary(
+        spec_name=spec.name,
+        cores=spec.cores,
+        core_area_um2=core_area_um2(spec),
+        cores_mm2=spec.cores * core_area_um2(spec) / 1e6,
+        tcdm_mm2=spec.tcdm_bytes * TCDM_UM2_PER_BYTE / 1e6,
+        l2_mm2=spec.l2_bytes * L2_UM2_PER_BYTE / 1e6,
+        uncore_mm2=(UNCORE_BASE_UM2 + banks * BANK_MUX_UM2) / 1e6,
+        sram_leak_mw=sram_leakage_mw(spec),
+    )
+
+
+def cluster_area_mm2(spec: TargetSpec) -> float:
+    """Total silicon area of the cluster design (mm^2)."""
+    return cluster_silicon(spec).total_mm2
+
+
+def power_bounds_mw(spec: TargetSpec) -> Tuple[float, float]:
+    """Certain (lo, hi) bounds on cluster power (mW) for *spec*.
+
+    *lo*: every core parked (clock-gated to leakage) plus the always-on
+    SoC rest and SRAM leakage.  *hi*: every core burning its base clock
+    power plus the single most expensive per-cycle coefficient, with the
+    memory system saturated at the quantization FSM's worst-case 8
+    accesses/cycle/core.  Both hold for any instruction mix the silicon
+    can execute, so ``cycles x power`` intervals built from them are
+    sound energy bounds.
+    """
+    params = model_for(spec.power_model).params
+    leak = sram_leakage_mw(spec)
+    lo = spec.cores * params.leakage_mw + SOC_BASE_MW + leak
+    max_coeff = max(params.alu, params.load, params.store, params.ctrl,
+                    params.mul8, params.muln, params.mulc, params.qnt)
+    hi = (spec.cores * (params.base + max_coeff + params.leakage_mw)
+          + SOC_BASE_MW
+          + SOC_MEM_MW_PER_ACCESS * _MAX_ACCESSES_PER_CYCLE * spec.cores
+          + leak)
+    return lo, hi
+
+
+def energy_per_inference_uj(cycles: float, power_mw: float,
+                            freq_hz: float) -> float:
+    """Energy (uJ) of *cycles* at *power_mw* on a *freq_hz* clock."""
+    return cycles / freq_hz * power_mw * 1000.0

@@ -38,6 +38,7 @@ from .jobs import (
     JobResult,
     ProfileJob,
     ScalingJob,
+    SpecPointJob,
     SelfTestJob,
     ServeError,
     SweepJob,
@@ -64,6 +65,7 @@ __all__ = [
     "ProgressEvent",
     "ResultCache",
     "ScalingJob",
+    "SpecPointJob",
     "SelfTestJob",
     "ServeError",
     "SimulationService",

@@ -19,6 +19,11 @@ Job kinds
 ``scaling``
     One (bits, cores) point of the cluster-scaling sweep — the parallel
     MatMul microkernel with power/efficiency rollup.
+``specpoint``
+    One ``repro explore`` design point: the parallel MatMul microkernel
+    on an *arbitrary* :class:`~repro.target.TargetSpec` carried inside
+    the job as canonical JSON — workers are separate processes, so the
+    spec travels by value, never by registry name.
 ``convpoint``
     One verified convolution-suite point (bits, quant) on a target —
     the measurements behind Fig 6.
@@ -175,9 +180,13 @@ class CompileJob(Job):
     cores: int = 8
     #: 0 = the catalog entry's recommended TCDM budget.
     tcdm_budget: int = 0
+    #: Per-weighted-layer weight precision override (8/4/2 each), in
+    #: network order; empty = the catalog entry's own precisions.  The
+    #: mixed-precision axis of ``repro explore``.
+    layer_bits: Tuple[int, ...] = ()
 
     def validate(self) -> None:
-        from ..compiler import network_names
+        from ..compiler import network_names, quantized_layer_count
 
         if self.network not in network_names():
             raise ServeError(
@@ -185,6 +194,15 @@ class CompileJob(Job):
                 f"{', '.join(network_names())}")
         if self.cores < 1:
             raise ServeError("compile jobs need at least one core")
+        if self.layer_bits:
+            if any(b not in (8, 4, 2) for b in self.layer_bits):
+                raise ServeError(
+                    f"layer_bits must be 8/4/2, got {list(self.layer_bits)}")
+            expected = quantized_layer_count(self.network)
+            if len(self.layer_bits) != expected:
+                raise ServeError(
+                    f"network {self.network!r} has {expected} weighted "
+                    f"layers; layer_bits names {len(self.layer_bits)}")
 
 
 @register_job
@@ -207,6 +225,65 @@ class ScalingJob(Job):
         ParallelMatmulConfig(reduction=self.reduction, out_ch=self.out_ch,
                              bits=self.bits, num_cores=self.cores,
                              quant=quant)
+
+
+@register_job
+@dataclass(frozen=True)
+class SpecPointJob(Job):
+    """One design-space point on a spec carried *inside* the job.
+
+    ``repro explore`` evaluates TargetSpec variants that exist only for
+    the duration of a search — they are registered ephemerally in the
+    submitting process, but the worker pool runs in separate processes
+    that never saw that registration.  The spec therefore rides along as
+    its canonical JSON (:meth:`TargetSpec.to_dict`); its digest keys the
+    result cache exactly like a registry target's would.
+    """
+
+    kind: ClassVar[str] = "specpoint"
+
+    #: Canonical JSON of :meth:`TargetSpec.to_dict` (never a name).
+    spec_json: str = ""
+    bits: int = 4
+    #: Requantization path executed: "shift" (8-bit) | "hw" | "sw".
+    quant: str = "hw"
+    out_ch: int = 64
+    reduction: int = 256
+
+    def spec(self):
+        """Rebuild the carried :class:`TargetSpec` (validated)."""
+        import json
+
+        from ..target import TargetSpec
+
+        if not self.spec_json:
+            raise ServeError("specpoint jobs need a spec_json payload")
+        try:
+            payload = json.loads(self.spec_json)
+        except ValueError as exc:
+            raise ServeError(f"specpoint spec_json is not JSON: {exc}")
+        return TargetSpec.from_dict(payload)
+
+    def validate(self) -> None:
+        spec = self.spec()
+        if not spec.riscv or not spec.cluster:
+            raise ServeError(
+                f"spec points run on RISC-V cluster specs, got {spec.name!r}")
+        if self.bits not in (8, 4, 2):
+            raise ServeError(f"unsupported bitwidth {self.bits}")
+        if self.bits == 8 and self.quant != "shift":
+            raise ServeError("8-bit spec points use shift requantization")
+        if self.bits != 8 and self.quant not in ("hw", "sw"):
+            raise ServeError("sub-byte spec points use 'hw' or 'sw' quant")
+        if self.quant == "hw" and not spec.has("pv.qnt"):
+            raise ServeError(
+                f"spec {spec.name!r} has no pv.qnt hardware")
+        from ..kernels import ParallelMatmulConfig
+
+        # Raises KernelError on any impossible shard geometry.
+        ParallelMatmulConfig(reduction=self.reduction, out_ch=self.out_ch,
+                             bits=self.bits, num_cores=spec.cores,
+                             isa=spec.isa, quant=self.quant)
 
 
 @register_job

@@ -37,6 +37,7 @@ from .jobs import (
     ScalingJob,
     SelfTestJob,
     ServeError,
+    SpecPointJob,
 )
 
 #: Artifact payloads returned next to a result payload: name -> JSON data.
@@ -156,11 +157,12 @@ def cache_key_parts(job: Job) -> Dict[str, str]:
         from ..compiler import build_network
         from ..target.names import CLUSTER_PREFIX
 
-        built = build_network(job.network)
+        built = build_network(job.network, layer_bits=job.layer_bits or None)
         budget = job.tcdm_budget or built.tcdm_budget
         tspec = get_target(f"{CLUSTER_PREFIX}{job.cores}")
         config = {"network": job.network, "cores": job.cores,
-                  "tcdm_budget": budget}
+                  "tcdm_budget": budget,
+                  "layer_bits": list(job.layer_bits)}
         return {
             "schema": CACHE_SCHEMA,
             "kind": job.kind,
@@ -183,6 +185,22 @@ def cache_key_parts(job: Job) -> Dict[str, str]:
             "spec": tspec.digest(),
             "program": kernel.program.digest(),
             "config": canonical_json(job.config_dict()),
+        }
+    if isinstance(job, SpecPointJob):
+        from ..kernels import ParallelMatmulConfig, ParallelMatmulKernel
+
+        spec = job.spec()
+        kernel = ParallelMatmulKernel(ParallelMatmulConfig(
+            reduction=job.reduction, out_ch=job.out_ch, bits=job.bits,
+            num_cores=spec.cores, isa=spec.isa, quant=job.quant))
+        config = {"bits": job.bits, "quant": job.quant,
+                  "out_ch": job.out_ch, "reduction": job.reduction}
+        return {
+            "schema": CACHE_SCHEMA,
+            "kind": job.kind,
+            "spec": spec.digest(),
+            "program": kernel.program.digest(),
+            "config": canonical_json(config),
         }
     if isinstance(job, ConvPointJob):
         from ..kernels import ConvConfig, ConvKernel
@@ -249,7 +267,7 @@ def _run_profile(job: ProfileJob) -> Tuple[Dict[str, Any], Artifacts]:
 def _run_compile(job: CompileJob) -> Tuple[Dict[str, Any], Artifacts]:
     from ..compiler import NetworkCompiler, PlanExecutor, build_network
 
-    built = build_network(job.network)
+    built = build_network(job.network, layer_bits=job.layer_bits or None)
     budget = job.tcdm_budget or built.tcdm_budget
     compiled = NetworkCompiler(
         built.network, built.input_shape, input_bits=built.input_bits,
@@ -260,6 +278,7 @@ def _run_compile(job: CompileJob) -> Tuple[Dict[str, Any], Artifacts]:
         "network": job.network,
         "cores": job.cores,
         "tcdm_budget": budget,
+        "layer_bits": list(job.layer_bits),
         "total_tiles": compiled.total_tiles,
         "tile_search": compiled.tile_search.to_dict(),
         **to_plain(result.to_dict()),
@@ -272,6 +291,14 @@ def _run_scaling(job: ScalingJob) -> Tuple[Dict[str, Any], Artifacts]:
 
     payload = run_point(job.bits, job.cores, out_ch=job.out_ch,
                         reduction=job.reduction)
+    return to_plain(payload), {}
+
+
+def _run_specpoint(job: SpecPointJob) -> Tuple[Dict[str, Any], Artifacts]:
+    from ..eval.spec_point import run_spec_point
+
+    payload = run_spec_point(job.spec(), job.bits, job.quant,
+                             out_ch=job.out_ch, reduction=job.reduction)
     return to_plain(payload), {}
 
 
@@ -329,6 +356,7 @@ _RUNNERS = {
     "profile": _run_profile,
     "compile": _run_compile,
     "scaling": _run_scaling,
+    "specpoint": _run_specpoint,
     "convpoint": _run_convpoint,
     "cost": _run_cost,
     "selftest": _run_selftest,

@@ -19,6 +19,7 @@ from .registry import (
     get_target,
     list_targets,
     register,
+    register_ephemeral,
     resolve_target,
     riscv_targets,
     target_names,
@@ -39,6 +40,7 @@ __all__ = [
     "list_targets",
     "names",
     "register",
+    "register_ephemeral",
     "resolve_target",
     "riscv_targets",
     "target_names",

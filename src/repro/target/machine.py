@@ -63,7 +63,9 @@ def build_machine(target, mem_bytes: int = 0, tracer=None,
                 f"target {spec.name!r}: the cluster model has no SoC wrapper")
         from ..cluster import Cluster
 
-        cluster = Cluster(num_cores=spec.cores, isa=spec.isa, timing=timing)
+        cluster = Cluster(num_cores=spec.cores, isa=spec.isa,
+                          tcdm_size=spec.tcdm_bytes, l2_size=spec.l2_bytes,
+                          timing=timing)
         if tracer is not None:
             cluster.attach_tracer(tracer)
         return Machine(spec=spec, cluster=cluster)

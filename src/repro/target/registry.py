@@ -14,7 +14,6 @@ Most callers want :func:`get_target`::
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import Dict, List, Optional
 
 from ..errors import TargetError
@@ -116,6 +115,31 @@ def register(spec: TargetSpec, overwrite: bool = False) -> TargetSpec:
     return spec
 
 
+def register_ephemeral(spec: TargetSpec) -> TargetSpec:
+    """Make *spec* resolvable by name without listing it.
+
+    Explore candidates (``repro explore``) register hundreds of derived
+    specs per run; they belong in the same namespace as the parametric
+    clusters — :func:`get_target` finds them, ``repro targets`` does not
+    — and re-registering the *same* content under the same name is a
+    no-op, so cache-friendly repeat runs are cheap.  A name collision
+    with different content raises (digests disagree -> silently serving
+    the old spec would corrupt result-cache keys).
+    """
+    registry = _ensure()
+    if spec.name in registry:
+        raise TargetError(
+            f"target {spec.name!r} shadows a canonical registry entry")
+    existing = _DYNAMIC.get(spec.name)
+    if existing is not None and existing.digest() != spec.digest():
+        raise TargetError(
+            f"ephemeral target {spec.name!r} already registered with "
+            f"different content (digest {existing.digest()[:12]} != "
+            f"{spec.digest()[:12]})")
+    _DYNAMIC[spec.name] = spec
+    return spec
+
+
 def _parse_cluster_name(name: str) -> Optional[int]:
     if not name.startswith(names.CLUSTER_PREFIX):
         return None
@@ -146,8 +170,8 @@ def get_target(target) -> TargetSpec:
     cores = _parse_cluster_name(name)
     if cores is not None:
         base = registry[f"{names.CLUSTER_PREFIX}8"]
-        spec = replace(
-            base, name=name, display=f"{names.XPULPNN} x{cores}",
+        spec = base.evolve(
+            name=name, display=f"{names.XPULPNN} x{cores}",
             cores=cores,
             description=f"{cores}-core XpulpNN PULP cluster "
                         f"(shared TCDM, DMA, hw barriers)",

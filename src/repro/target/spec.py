@@ -6,7 +6,8 @@ assemble against, how many cores, how much L2/TCDM, which Table III power
 model prices a cycle, and whether sub-byte quantization runs on the
 ``pv.qnt`` hardware or the software staircase.  Specs are frozen so a
 registered target can be shared freely; derive variants with
-:func:`dataclasses.replace`.
+:meth:`TargetSpec.evolve`, which re-runs validation and keeps digests
+stable (same overrides -> same digest, in any process).
 
 Capability queries go through :meth:`TargetSpec.has`, e.g.::
 
@@ -116,6 +117,24 @@ class TargetSpec:
         """True when the core has native 4/2-bit SIMD dot products."""
         return self.riscv and self.has("pv.sdotsp.n")
 
+    def capabilities(self) -> Dict[str, bool]:
+        """Machine-readable capability flags (``repro targets --json``).
+
+        The keys are the queries the rest of the library actually asks —
+        kernel selection (`subbyte_simd`), quant-path routing
+        (`hw_quant`), machine construction (`cluster`, `simulator`) —
+        so explore reports and external tooling can reason about a
+        target from its listing alone.
+        """
+        return {
+            "riscv": self.riscv,
+            "cluster": self.cluster,
+            "simulator": self.riscv,
+            "subbyte_simd": self.subbyte_simd,
+            "hw_quant": self.hw_quant,
+            "dma": self.cluster,
+        }
+
     # -- derived configuration ------------------------------------------
 
     def quant_for(self, bits: int) -> str:
@@ -130,6 +149,29 @@ class TargetSpec:
         memory that fits (the deployer budgets them separately).
         """
         return max(int(needed), self.l2_bytes)
+
+    # -- derivation ------------------------------------------------------
+
+    def evolve(self, **overrides: Any) -> "TargetSpec":
+        """A validated variant of this spec with *overrides* applied.
+
+        This is the one sanctioned way to mutate a frozen spec (explore
+        candidates, the parametric ``xpulpnn-cluster<N>`` targets, sweep
+        axes): unknown field names raise :class:`TargetError` instead of
+        silently minting an unrelated record, ``__post_init__``
+        re-validates the combination, and the result's :meth:`digest`
+        depends only on the final field values — evolving two equal
+        specs with equal overrides yields equal digests in any process,
+        and a no-op evolve reproduces this spec's digest exactly.
+        """
+        unknown = set(overrides) - set(self.__dataclass_fields__)
+        if unknown:
+            raise TargetError(
+                f"target {self.name!r}: evolve() got unknown fields "
+                f"{sorted(unknown)}")
+        data = self.to_dict()
+        data.update(overrides)
+        return type(self).from_dict(data)
 
     # -- serialization ---------------------------------------------------
 

@@ -45,6 +45,11 @@ DEFAULT_BAND = 0.25
 #: cycles — these default to the band check instead of bit-exactness.
 THROUGHPUT_PREFIXES = ("serve/", "bench/")
 
+#: Wall-clock leaf suffixes under otherwise cycle-exact prefixes (the
+#: ``explore/*`` trajectory mixes bit-exact cycles/energy/area series
+#: with a host-throughput stat; only the latter gets the band).
+THROUGHPUT_SUFFIXES = ("/points_per_sec",)
+
 
 class PerfDiffError(ReproError):
     """Unreadable or non-trajectory input to the sentinel."""
@@ -83,7 +88,8 @@ def series_tolerance(series: str, band: float = DEFAULT_BAND,
             if fnmatchcase(series, pattern):
                 tol = float(tolerances[pattern])
                 return ("exact", 0.0) if tol == 0 else ("band", tol)
-    if series.startswith(THROUGHPUT_PREFIXES):
+    if series.startswith(THROUGHPUT_PREFIXES) \
+            or series.endswith(THROUGHPUT_SUFFIXES):
         return "band", band
     return "exact", 0.0
 

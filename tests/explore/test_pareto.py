@@ -1,0 +1,138 @@
+"""Pareto engine edge cases: duplicates, degenerate frontiers, bands."""
+
+import pytest
+
+from repro.explore import (
+    ExploreError,
+    Objective,
+    SPEC_OBJECTIVES,
+    dominates,
+    pareto_front,
+)
+
+CY = (Objective("cycles", "min"),)
+CY_EN = (Objective("cycles", "min"), Objective("energy", "min"))
+
+
+class TestObjective:
+    def test_min_sense(self):
+        obj = Objective("cycles", "min")
+        assert obj.compare(10, 20) == -1
+        assert obj.compare(20, 10) == 1
+        assert obj.compare(10, 10) == 0
+
+    def test_max_sense(self):
+        obj = Objective("bits", "max")
+        assert obj.compare(8, 4) == -1
+        assert obj.compare(4, 8) == 1
+
+    def test_band_makes_near_values_equal(self):
+        obj = Objective("energy", "min", band=0.01)
+        assert obj.compare(100.0, 100.5) == 0
+        assert obj.compare(100.0, 102.0) == -1
+
+    def test_zero_band_is_exact(self):
+        obj = Objective("cycles", "min")
+        assert obj.compare(100, 101) == -1
+
+    def test_invalid_sense_rejected(self):
+        with pytest.raises(ExploreError):
+            Objective("x", "maximize")
+
+    def test_invalid_band_rejected(self):
+        with pytest.raises(ExploreError):
+            Objective("x", "min", band=1.0)
+
+
+class TestDominates:
+    def test_strict_win_required(self):
+        a = {"cycles": 10, "energy": 5}
+        assert not dominates(a, dict(a), CY_EN)
+
+    def test_better_everywhere_dominates(self):
+        assert dominates({"cycles": 10, "energy": 5},
+                         {"cycles": 20, "energy": 6}, CY_EN)
+
+    def test_tradeoff_does_not_dominate(self):
+        a = {"cycles": 10, "energy": 9}
+        b = {"cycles": 20, "energy": 5}
+        assert not dominates(a, b, CY_EN)
+        assert not dominates(b, a, CY_EN)
+
+    def test_missing_objective_errors(self):
+        with pytest.raises(ExploreError):
+            dominates({"cycles": 1}, {"cycles": 2}, CY_EN)
+
+    def test_non_numeric_objective_errors(self):
+        with pytest.raises(ExploreError):
+            dominates({"cycles": "fast"}, {"cycles": 2}, CY)
+
+    def test_no_objectives_errors(self):
+        with pytest.raises(ExploreError):
+            dominates({"cycles": 1}, {"cycles": 2}, ())
+
+
+class TestParetoFront:
+    def test_empty_input_empty_frontier(self):
+        result = pareto_front([], SPEC_OBJECTIVES)
+        assert result.frontier == []
+        assert result.dominated_by == {}
+        assert result.ties == []
+
+    def test_single_point_is_frontier(self):
+        result = pareto_front([{"cycles": 5}], CY)
+        assert result.frontier == [0]
+
+    def test_single_objective_degenerate(self):
+        points = [{"cycles": c} for c in (30, 10, 20)]
+        result = pareto_front(points, CY)
+        assert result.frontier == [1]
+        assert result.dominated_by == {0: 1, 2: 1}
+
+    def test_duplicate_points_all_on_frontier_and_tie(self):
+        points = [{"cycles": 10, "energy": 3}] * 3
+        result = pareto_front(points, CY_EN)
+        assert result.frontier == [0, 1, 2]
+        assert result.ties == [[0, 1, 2]]
+
+    def test_dominated_tie_both_fall(self):
+        # Two equal points both strictly beaten by a third: neither is
+        # rescued by the tie — both report the winner as witness.
+        points = [{"cycles": 20, "energy": 5}, {"cycles": 20, "energy": 5},
+                  {"cycles": 10, "energy": 4}]
+        result = pareto_front(points, CY_EN)
+        assert result.frontier == [2]
+        assert result.dominated_by == {0: 2, 1: 2}
+        assert result.ties == []
+
+    def test_band_tie_survives_on_frontier(self):
+        objectives = (Objective("cycles", "min"),
+                      Objective("energy", "min", band=0.01))
+        points = [{"cycles": 10, "energy": 100.0},
+                  {"cycles": 10, "energy": 100.4}]
+        result = pareto_front(points, objectives)
+        assert result.frontier == [0, 1]
+        assert result.ties == [[0, 1]]
+
+    def test_tradeoff_frontier_keeps_both(self):
+        points = [{"cycles": 10, "energy": 9},
+                  {"cycles": 20, "energy": 5}]
+        result = pareto_front(points, CY_EN)
+        assert result.frontier == [0, 1]
+
+    def test_bits_axis_protects_higher_precision(self):
+        # Faster 2-bit does not dominate slower 4-bit under
+        # SPEC_OBJECTIVES: precision is an explicit maximized axis.
+        faster_2b = {"cycles": 100, "energy_uj": 1.0,
+                     "area_mm2": 1.0, "bits": 2}
+        slower_4b = {"cycles": 180, "energy_uj": 1.8,
+                     "area_mm2": 1.0, "bits": 4}
+        result = pareto_front([faster_2b, slower_4b], SPEC_OBJECTIVES)
+        assert result.frontier == [0, 1]
+
+    def test_equal_silicon_slower_point_falls(self):
+        fast = {"cycles": 100, "energy_uj": 1.0, "area_mm2": 1.0, "bits": 4}
+        slow = {"cycles": 180, "energy_uj": 1.8, "area_mm2": 1.0, "bits": 4}
+        result = pareto_front([fast, slow], SPEC_OBJECTIVES)
+        assert result.frontier == [0]
+        assert result.dominated_by == {1: 0}

@@ -1,0 +1,128 @@
+"""Search-space expansion: validation, dedup, digest-stable specs."""
+
+import pytest
+
+from repro.explore import (
+    Candidate,
+    ExploreError,
+    SPACES,
+    SearchSpace,
+    NetworkSpace,
+    named_space,
+    variant_spec,
+)
+from repro.serve.jobs import CompileJob, SpecPointJob
+from repro.target import get_target
+
+
+class TestVariantSpec:
+    def test_resolvable_by_name_after_registration(self):
+        spec = variant_spec(4, 64, 512)
+        assert get_target(spec.name) == spec
+
+    def test_digest_stable_across_expansions(self):
+        assert variant_spec(2, 128, 512).digest() == \
+            variant_spec(2, 128, 512).digest()
+
+    def test_axes_shape_the_spec(self):
+        spec = variant_spec(4, 64, 256)
+        assert spec.cores == 4
+        assert spec.tcdm_bytes == 64 * 1024
+        assert spec.l2_bytes == 256 * 1024
+
+    def test_distinct_cells_distinct_digests(self):
+        assert variant_spec(4, 64, 512).digest() != \
+            variant_spec(4, 128, 512).digest()
+
+
+class TestSearchSpace:
+    def test_named_spaces_exist(self):
+        for name in ("paper", "ci", "quick"):
+            assert named_space(name).name == name
+
+    def test_unknown_space_errors(self):
+        with pytest.raises(ExploreError):
+            named_space("galactic")
+
+    def test_size_is_axis_product(self):
+        space = named_space("ci")
+        assert space.size == 2 * 2 * 1 * 3 == 12
+        assert len(space.expand()) == 12
+
+    def test_ci_space_within_ci_budget(self):
+        assert named_space("ci").size <= 12
+
+    def test_expansion_is_deterministic(self):
+        a = [c.label for c in named_space("quick").expand()]
+        b = [c.label for c in named_space("quick").expand()]
+        assert a == b
+
+    def test_expansion_dedups_identical_cells(self):
+        space = SearchSpace(name="dup", cores=(2, 2), tcdm_kb=(64,),
+                            l2_kb=(512,), points=((4, "hw"),))
+        assert len(space.expand()) == 1
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ExploreError):
+            SearchSpace(name="bad", cores=())
+
+    def test_invalid_point_rejected(self):
+        with pytest.raises(ExploreError):
+            SearchSpace(name="bad", points=((8, "hw"),))
+
+    def test_invalid_core_count_rejected(self):
+        with pytest.raises(ExploreError):
+            SearchSpace(name="bad", cores=(0,))
+
+    def test_to_dict_round_trips_axes(self):
+        doc = named_space("ci").to_dict()
+        assert doc["cores"] == [2, 8]
+        assert doc["size"] == 12
+
+    def test_paper_space_covers_the_paper_axes(self):
+        space = SPACES["paper"]
+        assert space.cores == (1, 2, 4, 8)
+        assert (4, "hw") in space.points
+        assert (8, "shift") in space.points
+
+
+class TestCandidate:
+    def test_label_encodes_every_axis(self):
+        cand = named_space("ci").expand()[0]
+        assert cand.label == (
+            f"c{cand.spec.cores}-t{cand.spec.tcdm_bytes // 1024}k-"
+            f"l{cand.spec.l2_bytes // 1024}k-{cand.bits}b-{cand.quant}")
+
+    def test_job_carries_spec_by_value(self):
+        cand = named_space("quick").expand()[0]
+        job = cand.job()
+        assert isinstance(job, SpecPointJob)
+        assert job.spec() == cand.spec
+
+    def test_job_cache_identity_tracks_spec_digest(self):
+        a, b = variant_spec(2, 64, 512), variant_spec(2, 128, 512)
+        job_a = Candidate(spec=a, bits=4, quant="hw",
+                          out_ch=16, reduction=64).job()
+        job_b = Candidate(spec=b, bits=4, quant="hw",
+                          out_ch=16, reduction=64).job()
+        from repro.serve.runners import cache_key_parts
+
+        assert cache_key_parts(job_a) != cache_key_parts(job_b)
+
+
+class TestNetworkSpace:
+    def test_jobs_carry_layer_bits(self):
+        space = NetworkSpace(network="mixed3",
+                             assignments=((8, 4, 8), (4, 4, 8)))
+        jobs = space.jobs()
+        assert all(isinstance(j, CompileJob) for j in jobs)
+        assert jobs[0].layer_bits == (8, 4, 8)
+        assert jobs[1].layer_bits == (4, 4, 8)
+
+    def test_empty_assignments_rejected(self):
+        with pytest.raises(ExploreError):
+            NetworkSpace(network="mixed3", assignments=())
+
+    def test_invalid_precision_rejected(self):
+        with pytest.raises(ExploreError):
+            NetworkSpace(network="mixed3", assignments=((8, 3, 8),))

@@ -1,0 +1,133 @@
+"""Static stage: certain bounds, infeasibility, sound pruning rules."""
+
+import pytest
+
+from repro.eval.spec_point import run_spec_point
+from repro.explore import (
+    Candidate,
+    SPEC_OBJECTIVES,
+    named_space,
+    run_static_stage,
+    score_candidate,
+    variant_spec,
+)
+from repro.explore.pareto import Objective
+from repro.explore.static_stage import StaticScore, _memory_dominates
+from repro.target import get_target
+
+
+class TestBoundsSoundness:
+    @pytest.mark.parametrize("cores,bits,quant,out_ch,reduction", [
+        (1, 4, "hw", 16, 64), (2, 8, "shift", 16, 64),
+        (8, 4, "sw", 16, 64), (8, 2, "hw", 32, 128)])
+    def test_simulated_cycles_within_certain_bounds(self, cores, bits,
+                                                    quant, out_ch,
+                                                    reduction):
+        spec = variant_spec(cores, 64, 512)
+        cand = Candidate(spec=spec, bits=bits, quant=quant,
+                         out_ch=out_ch, reduction=reduction)
+        score = score_candidate(cand)
+        assert score.feasible
+        payload = run_spec_point(spec, bits, quant, out_ch=out_ch,
+                                 reduction=reduction)
+        assert score.cycles_lo <= payload["cycles"] <= score.cycles_hi
+
+    def test_power_model_within_static_power_bounds(self):
+        from repro.physical.design import power_bounds_mw
+
+        spec = variant_spec(8, 64, 512)
+        payload = run_spec_point(spec, 4, "hw", out_ch=16, reduction=64)
+        lo, hi = power_bounds_mw(spec)
+        assert lo <= payload["power_mw"] <= hi
+
+
+class TestInfeasibility:
+    def test_tcdm_overflow_flagged(self):
+        spec = variant_spec(8, 1, 512)
+        score = score_candidate(Candidate(
+            spec=spec, bits=4, quant="hw", out_ch=32, reduction=128))
+        assert not score.feasible
+        assert "overflows" in score.reasons[0]
+
+    def test_impossible_shard_geometry_flagged(self):
+        spec = variant_spec(8, 64, 512)
+        score = score_candidate(Candidate(
+            spec=spec, bits=4, quant="hw", out_ch=4, reduction=128))
+        assert not score.feasible
+        assert "shard geometry" in score.reasons[0]
+
+    def test_missing_pv_qnt_flagged(self):
+        spec = get_target("xpulpnn-cluster8").evolve(
+            name="explore-test-noqnt", isa="xpulpv2")
+        score = score_candidate(Candidate(
+            spec=spec, bits=4, quant="hw", out_ch=32, reduction=128))
+        assert not score.feasible
+        assert "pv.qnt" in score.reasons[0]
+
+    def test_infeasible_never_simulated(self):
+        cands = [Candidate(spec=variant_spec(8, 1, 512), bits=4,
+                           quant="hw", out_ch=32, reduction=128)]
+        stage = run_static_stage(cands)
+        assert stage.survivors == []
+        assert len(stage.infeasible) == 1
+        assert stage.prune_ratio == 0.0
+
+
+class TestPruning:
+    def test_memory_twins_pruned_on_ci_space(self):
+        stage = run_static_stage(named_space("ci").expand())
+        assert stage.prune_ratio >= 0.30
+        rules = {rule for _, _, rule in stage.pruned}
+        assert rules == {"memory-dominated"}
+        # The pruned twin's witness is identical silicon but smaller.
+        for score, witness, _ in stage.pruned:
+            assert witness == score.label.replace("t128k", "t64k")
+
+    def test_witnesses_are_survivors(self):
+        stage = run_static_stage(named_space("ci").expand())
+        survivor_labels = {s.label for s in stage.survivors}
+        for _, witness, _ in stage.pruned:
+            assert witness in survivor_labels
+
+    def test_prune_disabled_keeps_every_feasible(self):
+        cands = named_space("ci").expand()
+        stage = run_static_stage(cands, prune=False)
+        assert len(stage.survivors) == len(cands)
+        assert stage.pruned == []
+
+    def test_memory_dominance_requires_identical_program(self):
+        a = StaticScore(candidate=_cand(2, 64), program_digest="aaaa",
+                        area_mm2=1.0)
+        b = StaticScore(candidate=_cand(2, 128), program_digest="bbbb",
+                        area_mm2=1.2)
+        assert not _memory_dominates(a, b, _area_obj())
+
+    def test_memory_dominance_respects_equality_band(self):
+        # Within the frontier's band the twins would tie in a full run,
+        # so the larger one must NOT be pruned.
+        a = StaticScore(candidate=_cand(2, 64), program_digest="aaaa",
+                        area_mm2=1.0)
+        b = StaticScore(candidate=_cand(2, 128), program_digest="aaaa",
+                        area_mm2=1.003)
+        assert not _memory_dominates(a, b, _area_obj())
+        c = StaticScore(candidate=_cand(2, 128), program_digest="aaaa",
+                        area_mm2=1.2)
+        assert _memory_dominates(a, c, _area_obj())
+
+
+def _cand(cores, tcdm_kb):
+    return Candidate(spec=variant_spec(cores, tcdm_kb, 512), bits=4,
+                     quant="hw", out_ch=32, reduction=128)
+
+
+def _area_obj():
+    return next(o for o in SPEC_OBJECTIVES if o.key == "area_mm2")
+
+
+class TestObjectiveLookup:
+    def test_missing_area_objective_rejected(self):
+        from repro.errors import ReproError
+        from repro.explore.static_stage import _objective
+
+        with pytest.raises(ReproError):
+            _objective("area_mm2", (Objective("cycles", "min"),))

@@ -25,8 +25,8 @@ from repro.serve import (
 class TestJobModel:
     def test_every_kind_registered(self):
         assert set(JOB_KINDS) == {
-            "profile", "compile", "scaling", "convpoint", "cost",
-            "selftest", "sweep",
+            "profile", "compile", "scaling", "specpoint", "convpoint",
+            "cost", "selftest", "sweep",
         }
 
     def test_canonical_is_stable_json(self):

@@ -1,0 +1,91 @@
+"""``TargetSpec.evolve``: validated overrides with digest stability."""
+
+import pytest
+
+from repro.errors import TargetError
+from repro.target import get_target, names, register_ephemeral
+
+
+@pytest.fixture
+def base():
+    return get_target(names.CLUSTER_PREFIX + "8")
+
+
+class TestEvolve:
+    def test_noop_evolve_preserves_digest(self, base):
+        assert base.evolve().digest() == base.digest()
+        assert base.evolve() == base
+
+    def test_identity_override_preserves_digest(self, base):
+        assert base.evolve(cores=base.cores).digest() == base.digest()
+
+    def test_equal_overrides_equal_digests(self, base):
+        a = base.evolve(name="evolve-test", cores=4, tcdm_bytes=64 * 1024)
+        b = base.evolve(name="evolve-test", cores=4, tcdm_bytes=64 * 1024)
+        assert a.digest() == b.digest()
+        assert a == b
+
+    def test_different_overrides_different_digests(self, base):
+        a = base.evolve(name="evolve-test", cores=4)
+        b = base.evolve(name="evolve-test", cores=2)
+        assert a.digest() != b.digest()
+
+    def test_original_untouched(self, base):
+        before = base.digest()
+        base.evolve(name="evolve-test", cores=2)
+        assert base.digest() == before
+
+    def test_unknown_field_rejected(self, base):
+        with pytest.raises(TargetError, match="unknown fields"):
+            base.evolve(corez=4)
+
+    def test_evolve_revalidates(self, base):
+        with pytest.raises(TargetError):
+            base.evolve(cores=0)
+
+    def test_round_trips_through_dict(self, base):
+        evolved = base.evolve(name="evolve-test", l2_bytes=256 * 1024)
+        assert type(base).from_dict(evolved.to_dict()) == evolved
+
+
+class TestCapabilities:
+    def test_cluster_capabilities(self, base):
+        caps = base.capabilities()
+        assert caps["riscv"] and caps["cluster"]
+        assert caps["subbyte_simd"] and caps["hw_quant"]
+
+    def test_single_core_lacks_cluster(self):
+        caps = get_target(names.XPULPNN).capabilities()
+        assert not caps["cluster"]
+        assert caps["hw_quant"]
+
+    def test_baseline_lacks_subbyte(self):
+        caps = get_target(names.RI5CY).capabilities()
+        assert not caps["subbyte_simd"]
+        assert not caps["hw_quant"]
+
+
+class TestRegisterEphemeral:
+    def test_resolvable_not_listed(self, base):
+        from repro.target import list_targets
+
+        spec = base.evolve(name="explore-ephemeral-test", cores=2)
+        register_ephemeral(spec)
+        assert get_target(spec.name) == spec
+        assert spec.name not in {s.name for s in list_targets()}
+
+    def test_same_digest_idempotent(self, base):
+        spec = base.evolve(name="explore-ephemeral-idem", cores=2)
+        assert register_ephemeral(spec) == register_ephemeral(spec)
+
+    def test_content_collision_rejected(self, base):
+        spec = base.evolve(name="explore-ephemeral-clash", cores=2)
+        register_ephemeral(spec)
+        other = base.evolve(name="explore-ephemeral-clash", cores=4)
+        with pytest.raises(TargetError, match="different content"):
+            register_ephemeral(other)
+
+    def test_cannot_shadow_canonical_target(self, base):
+        spec = base.evolve(cores=2)  # keeps the canonical name
+        with pytest.raises(TargetError, match="shadow"):
+            register_ephemeral(spec)

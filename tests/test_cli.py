@@ -349,8 +349,29 @@ class TestTargets:
         assert main(["targets", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert len(payload) >= 7
-        specs = [TargetSpec.from_dict(entry) for entry in payload]
+        specs = []
+        for entry in payload:
+            entry = dict(entry)
+            # Derived annotations ride along with the spec fields.
+            digest = entry.pop("digest")
+            capabilities = entry.pop("capabilities")
+            spec = TargetSpec.from_dict(entry)
+            assert digest == spec.digest()
+            assert capabilities == spec.capabilities()
+            specs.append(spec)
         assert {"riscv", "arm"} <= {spec.family for spec in specs}
+
+    def test_json_capability_flags(self, capsys):
+        import json
+
+        assert main(["targets", "--json"]) == 0
+        by_name = {entry["name"]: entry
+                   for entry in json.loads(capsys.readouterr().out)}
+        nn = by_name["xpulpnn-cluster8"]["capabilities"]
+        assert nn["cluster"] and nn["hw_quant"] and nn["subbyte_simd"]
+        base = by_name["ri5cy"]["capabilities"]
+        assert not base["hw_quant"] and not base["cluster"]
+        assert all(len(e["digest"]) == 64 for e in by_name.values())
 
     def test_isa_strings_gate_passes_on_tree(self, capsys):
         assert main(["lint", "--isa-strings"]) == 0
@@ -470,3 +491,67 @@ class TestSweep:
         assert main(["sweep", "scaling", "bits", "--no-cache",
                      "--quiet"]) == 1
         assert "bad axis" in capsys.readouterr().err
+
+
+class TestExplore:
+    def test_quick_space_runs_and_verifies(self, tmp_path, capsys):
+        assert main(["explore", "--space", "quick", "--quiet",
+                     "--cache-dir", str(tmp_path / "cache")]) == 0
+        text = capsys.readouterr().out
+        assert "staged search" in text
+        assert "bit-identical" in text
+
+    def test_report_and_trajectory_written(self, tmp_path, capsys):
+        import json
+
+        report = tmp_path / "explore.json"
+        traj = tmp_path / "traj.json"
+        assert main(["explore", "--space", "quick", "--quiet", "--no-cache",
+                     "--no-verify", "--report", str(report),
+                     "--trajectory", str(traj)]) == 0
+        from repro.explore import validate_explore_report
+
+        doc = json.loads(report.read_text())
+        validate_explore_report(doc)
+        entries = json.loads(traj.read_text())["entries"]
+        assert any(k.startswith("explore/quick/") for k in entries)
+
+    def test_axis_overrides(self, capsys):
+        import json
+
+        assert main(["explore", "--space", "quick", "--cores", "2",
+                     "--tcdm", "64", "--points", "4:hw,4:sw",
+                     "--quiet", "--no-cache", "--no-verify",
+                     "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["space"]["cores"] == [2]
+        assert {p["quant"] for p in doc["points"]} == {"hw", "sw"}
+
+    def test_no_prune_simulates_everything(self, capsys):
+        import json
+
+        assert main(["explore", "--space", "quick", "--no-prune",
+                     "--quiet", "--no-cache", "--no-verify",
+                     "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["stats"]["pruned"] == 0
+        assert doc["stats"]["simulated"] == doc["stats"]["candidates"]
+
+    def test_bad_point_spec_errors(self, capsys):
+        assert main(["explore", "--space", "quick", "--points", "4hw",
+                     "--quiet", "--no-cache"]) == 1
+        assert "expected BITS:QUANT" in capsys.readouterr().err
+
+    def test_unknown_space_errors(self, capsys):
+        assert main(["explore", "--space", "warp", "--quiet",
+                     "--no-cache"]) == 1
+        assert "unknown search space" in capsys.readouterr().err
+
+    def test_network_mode(self, tmp_path, capsys):
+        assert main(["explore", "--network", "mixed3",
+                     "--assign", "8,4,8", "--assign", "4,2,4",
+                     "--quiet", "--cache-dir",
+                     str(tmp_path / "cache")]) == 0
+        text = capsys.readouterr().out
+        assert "per-layer precision" in text
+        assert "8/4/8" in text and "4/2/4" in text
