@@ -8,6 +8,8 @@ import pytest
 from repro.asm import KernelBuilder
 from repro.core import Cpu
 
+from conftest import record
+
 
 def _loop_program(body_ops, iterations):
     b = KernelBuilder(isa="xpulpnn")
@@ -136,3 +138,129 @@ def test_tracer_disabled_overhead_within_bound():
     # Generous bound: catches an accidentally hot disabled path (a dict
     # lookup or attribute chase per retire) without flaking on CI noise.
     assert detached_time < bare_time * 1.5
+
+
+# ---------------------------------------------------------------------------
+# Block-translation engine (docs/ENGINE.md)
+#
+# The ``*_block_engine`` variants mirror the interpreter benchmarks above
+# with ``engine="block"`` and additionally assert cycle parity — the
+# engine's speedup is only admissible because the simulated numbers are
+# identical.  ``test_block_engine_conv4bit_speedup_floor`` is the
+# acceptance bar: >= 10x simulated instructions/sec on the 4-bit conv,
+# recorded as ``bench/*`` series into ``results/iss_throughput.json``
+# (machine-dependent wall-clock numbers live outside the committed
+# cycle-exact trajectory, like the ``serve/*`` series).
+# ---------------------------------------------------------------------------
+
+
+def _parity_run(program, benchmark):
+    reference = Cpu(isa="xpulpnn").run_program(program)
+    cpu = Cpu(isa="xpulpnn", engine="block")
+    perf = benchmark(lambda: cpu.run_program(program))
+    assert perf.snapshot() == reference.snapshot()
+    return perf
+
+
+def test_benchmark_alu_throughput_block_engine(benchmark):
+    program = _loop_program(lambda b: b.emit("add", "a3", "a4", "a5"), 2000)
+    _parity_run(program, benchmark)
+
+
+def test_benchmark_simd_throughput_block_engine(benchmark):
+    def body(b):
+        b.emit("pv.sdotusp.n", "a3", "a4", "a5")
+
+    program = _loop_program(body, 2000)
+    perf = _parity_run(program, benchmark)
+    assert perf.by_class["mul"] >= 2000
+
+
+def test_benchmark_memory_throughput_block_engine(benchmark):
+    def body(b):
+        b.emit("p.lw", "a3", 4, "a1", inc=True)
+        b.emit("p.sw", "a3", 4, "a2", inc=True)
+        b.emit("addi", "a1", "a1", -4)
+        b.emit("addi", "a2", "a2", -4)
+
+    program = _loop_program(body, 1000)
+    perf = _parity_run(program, benchmark)
+    assert perf.by_class["load"] >= 1000
+
+
+def _conv4bit_setup():
+    """The speedup-floor workload: the 4-bit conv at a heavier geometry
+    (64 input/output channels) so fused dispatches dominate wall-clock."""
+    from repro.kernels import ConvConfig, ConvKernel
+    from repro.qnn import (
+        ConvGeometry,
+        conv2d_golden,
+        random_activations,
+        random_weights,
+        thresholds_from_accumulators,
+    )
+
+    g = ConvGeometry(in_h=8, in_w=8, in_ch=64, out_ch=64,
+                     kh=3, kw=3, stride=1, pad=1)
+    rng = np.random.default_rng(0x51F5)
+    w = random_weights((g.out_ch, g.kh, g.kw, g.in_ch), 4, rng)
+    x = random_activations((g.in_h, g.in_w, g.in_ch), 4, rng)
+    acc = conv2d_golden(x, w, stride=g.stride, pad=g.pad)
+    table = thresholds_from_accumulators(acc, 4)
+
+    def run(mode):
+        import time
+
+        from repro.soc import L2_SIZE
+        from repro.soc.memory import Memory
+
+        kernel = ConvKernel(ConvConfig(
+            geometry=g, bits=4, isa="xpulpnn", quant="hw"))
+        size = max(kernel.layout.end + 4096, L2_SIZE)
+        cpu = Cpu(isa="xpulpnn", mem=Memory(size), engine=mode)
+        start = time.perf_counter()
+        result = kernel.run(w, x, thresholds=table, cpu=cpu)
+        wall = time.perf_counter() - start
+        return result, wall, cpu
+
+    return run
+
+
+def test_block_engine_conv4bit_speedup_floor(results_dir):
+    import json
+
+    from repro.engine.blocks import GLOBAL_CACHE
+    from repro.eval.trajectory import write_trajectory
+
+    GLOBAL_CACHE.clear()
+    run = _conv4bit_setup()
+    interp_result, interp_wall, _ = run("interp")
+    run("block")                       # cold: pays one-time translation
+    block_result, block_wall, cpu = run("block")
+
+    assert block_result.perf.snapshot() == interp_result.perf.snapshot()
+    assert (block_result.output == interp_result.output).all()
+
+    instructions = interp_result.instructions
+    interp_ips = instructions / interp_wall
+    block_ips = instructions / block_wall
+    speedup = block_ips / interp_ips
+    stats = cpu.engine_stats
+
+    write_trajectory(
+        {"bench": {"conv_4bit": {
+            "interp_sim_ips": round(interp_ips),
+            "block_sim_ips": round(block_ips),
+            "engine_speedup": round(speedup, 2),
+        }}},
+        str(results_dir / "iss_throughput.json"))
+    (results_dir / "engine_stats.json").write_text(
+        json.dumps(stats, indent=2, sort_keys=True) + "\n")
+    record(results_dir, "iss_engine_speedup",
+           f"conv_4bit ({instructions:,} instructions): "
+           f"interp {interp_ips / 1e6:.2f} M ips, "
+           f"block {block_ips / 1e6:.2f} M ips -> {speedup:.1f}x "
+           f"({stats['fused_instructions'] / instructions:.0%} fused, "
+           f"bar: >= 10x)")
+    assert speedup >= 10.0, (
+        f"block engine sustained only {speedup:.1f}x on conv_4bit")

@@ -127,6 +127,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"halted: {cpu.halted}")
     print(f"cycles={perf.cycles} instructions={perf.instructions} "
           f"ipc={perf.ipc:.3f} stalls={perf.total_stalls}")
+    stats = cpu.engine_stats
+    if stats is not None:
+        fused = stats["fused_instructions"]
+        share = fused / perf.instructions if perf.instructions else 0.0
+        print(f"engine: {stats['blocks_translated']} blocks translated, "
+              f"{stats['block_hits']} cache hits, "
+              f"{stats['fused_dispatches']} fused dispatches "
+              f"({share:.0%} of instructions), "
+              f"{stats['interp_steps']} interpreter steps")
     from .isa.registers import ABI_NAMES
 
     nonzero = [(ABI_NAMES[i], cpu.regs[i]) for i in range(1, 32) if cpu.regs[i]]
@@ -947,6 +956,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--version", action="version", version=__version__)
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def engine_flag(p):
+        p.add_argument("--engine", choices=("interp", "block"),
+                       default=None,
+                       help="execution engine: 'block' enables the "
+                            "basic-block translation engine (bit- and "
+                            "cycle-identical, ~10-25x faster); default "
+                            "is the interpreter (or $REPRO_ENGINE)")
+
     asm = sub.add_parser("asm", help="assemble a source file to a binary")
     asm.add_argument("input")
     asm.add_argument("-o", "--output")
@@ -969,6 +986,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="preload a register, e.g. --reg a0=0x1000")
     run.add_argument("--trace", action="store_true")
     run.add_argument("--max-instructions", type=int, default=50_000_000)
+    engine_flag(run)
     run.set_defaults(func=_cmd_run)
 
     trace = sub.add_parser(
@@ -1012,6 +1030,7 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--base", type=lambda v: int(v, 0), default=0)
     profile.add_argument("--reg", action="append", metavar="NAME=VALUE")
     profile.add_argument("--max-instructions", type=int, default=50_000_000)
+    engine_flag(profile)
     profile.set_defaults(func=_cmd_profile)
 
     isa = sub.add_parser("isa", help="print the instruction-set reference")
@@ -1031,6 +1050,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also write a benchmark-trajectory JSON "
                              "summary (cycle counts per figure/kernel); "
                              "requires --json")
+    engine_flag(report)
     report.set_defaults(func=_cmd_report)
 
     compile_ = sub.add_parser(
@@ -1057,6 +1077,7 @@ def build_parser() -> argparse.ArgumentParser:
                                "cross-check the static cost ranking")
     compile_.add_argument("--json", action="store_true",
                           help="emit machine-readable results")
+    engine_flag(compile_)
     compile_.set_defaults(func=_cmd_compile)
 
     lint = sub.add_parser(
@@ -1118,6 +1139,7 @@ def build_parser() -> argparse.ArgumentParser:
     cost.set_defaults(func=_cmd_cost)
 
     def serve_flags(p):
+        engine_flag(p)
         p.add_argument("--workers", type=int, default=0,
                        help="worker processes (0 = inline, no isolation)")
         p.add_argument("--timeout", type=float, default=None,
@@ -1273,6 +1295,14 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    engine_mode = getattr(args, "engine", None)
+    if engine_mode:
+        from .engine import set_default_mode
+
+        # Default every Cpu this process builds; the environment variable
+        # carries the mode into serve-pool worker processes.
+        set_default_mode(engine_mode)
+        os.environ["REPRO_ENGINE"] = engine_mode
     try:
         return args.func(args)
     except ReproError as exc:

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from ..engine.config import resolve_mode
 from ..errors import SimError, TrapError
 from ..isa.registers import RegisterFile
 from ..isa.registry import Isa, build_isa
@@ -43,6 +44,7 @@ class Cpu:
         timing: Optional[TimingParams] = None,
         trace: Optional[Callable] = None,
         hart_id: int = 0,
+        engine: Optional[str] = None,
     ) -> None:
         self.isa = build_isa(isa) if isinstance(isa, str) else isa
         self.mem = mem if mem is not None else Memory(DEFAULT_MEM_SIZE, base=0)
@@ -57,6 +59,15 @@ class Cpu:
         self.trace = trace
         self.collect_mnemonics = False
 
+        #: Execution engine for :meth:`run` — "interp" steps every
+        #: instruction; "block" runs translated basic blocks
+        #: (:mod:`repro.engine`) when nothing observable prevents it.
+        self.engine = resolve_mode(engine)
+        self._block_engine = None
+        self._loaded_program = None
+        self._block_digest: Optional[str] = None
+        self._imem_version = 0
+
         self._imem: dict = {}
         self._halted: Optional[str] = None
         self._misaligned = 0
@@ -67,6 +78,8 @@ class Cpu:
         #: Optional list of (lo, hi) address spans; cycles spent executing
         #: instructions inside any span accumulate in profiled_cycles
         #: (used to attribute e.g. quantization-epilogue cost, Fig 6).
+        #: Assigning rebuilds the per-address membership set consulted on
+        #: the hot path (see the profile_spans property below).
         self.profile_spans = None
         self.profiled_cycles = 0
 
@@ -113,6 +126,36 @@ class Cpu:
             self.tracer = CallableTracer(value)
 
     # ------------------------------------------------------------------
+    # Profiled spans
+    # ------------------------------------------------------------------
+
+    @property
+    def profile_spans(self):
+        """Optional list of ``(lo, hi)`` address spans whose execution
+        cycles accumulate in ``profiled_cycles``.
+
+        Membership is resolved once per assignment (and per program
+        load) into a set of in-span instruction addresses, so the
+        per-retire cost is a single set lookup instead of a linear scan
+        over the span list."""
+        return self._profile_spans
+
+    @profile_spans.setter
+    def profile_spans(self, spans) -> None:
+        self._profile_spans = spans
+        self._rebuild_span_addrs()
+
+    def _rebuild_span_addrs(self) -> None:
+        spans = self._profile_spans
+        if spans is None:
+            self._span_addrs = None
+        else:
+            self._span_addrs = frozenset(
+                addr for addr in self._imem
+                if any(lo <= addr < hi for lo, hi in spans)
+            )
+
+    # ------------------------------------------------------------------
     # Program loading
     # ------------------------------------------------------------------
 
@@ -132,6 +175,10 @@ class Cpu:
             imem[ins.addr] = ins
         self._imem = imem
         self.pc = program.entry
+        self._loaded_program = program
+        self._block_digest = None
+        self._imem_version += 1
+        self._rebuild_span_addrs()
 
     def materialize(self, program) -> None:
         """Write the program's encoded bytes into data memory."""
@@ -153,6 +200,10 @@ class Cpu:
             imem[ins.addr] = ins
         self._imem = imem
         self.pc = entry if entry is not None else base
+        self._loaded_program = None
+        self._block_digest = None
+        self._imem_version += 1
+        self._rebuild_span_addrs()
 
     # ------------------------------------------------------------------
     # Memory interface used by instruction semantics
@@ -230,6 +281,14 @@ class Cpu:
     def halted(self) -> Optional[str]:
         return self._halted
 
+    @property
+    def engine_stats(self) -> Optional[dict]:
+        """Block-engine dispatch statistics accumulated by this core, or
+        ``None`` when the translation engine has never been engaged."""
+        if self._block_engine is None:
+            return None
+        return self._block_engine.stats.as_dict()
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
@@ -271,12 +330,9 @@ class Cpu:
 
         timing = self.timing.step(ins, taken, self._misaligned)
         step_extra = self._extra_stalls + self._tcdm_stalls
-        if self.profile_spans is not None:
-            pc = self.pc
-            for lo, hi in self.profile_spans:
-                if lo <= pc < hi:
-                    self.profiled_cycles += timing.total + step_extra
-                    break
+        span_addrs = self._span_addrs
+        if span_addrs is not None and self.pc in span_addrs:
+            self.profiled_cycles += timing.total + step_extra
         perf = self.perf
         perf.cycles += timing.total + step_extra
         perf.instructions += 1
@@ -301,10 +357,26 @@ class Cpu:
 
         Returns the performance counters.  Raises :class:`SimError` if the
         instruction budget is exhausted (runaway loop guard).
+
+        With ``engine="block"`` the run is dispatched through the
+        block-translation engine (:mod:`repro.engine`) — bit- and
+        cycle-identical to interpreting, but only engaged when nothing
+        can observe intermediate state: a tracer or a contended cluster
+        memory port falls back to the interpreter automatically.
         """
         if entry is not None:
             self.pc = entry
         self._halted = None
+        if (
+            self.engine == "block"
+            and self._tracer is None
+            and type(self.mem) is Memory
+        ):
+            from ..engine.engine import BlockEngine
+
+            if self._block_engine is None:
+                self._block_engine = BlockEngine(self)
+            return self._block_engine.run(max_instructions)
         step = self.step
         for _ in range(max_instructions):
             step()

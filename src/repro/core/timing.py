@@ -51,6 +51,19 @@ class TimingParams:
     load_use_penalty: int = 1
     misaligned_penalty: int = 1
 
+    def signature(self) -> tuple:
+        """Hashable identity of the parameter set.  Part of the
+        translated-block cache key: blocks precompute static cycle
+        prefix sums, so two cores may only share translations when
+        every timing parameter agrees."""
+        return (
+            tuple(sorted(self.class_cycles.items())),
+            self.branch_taken_penalty,
+            self.jump_penalty,
+            self.load_use_penalty,
+            self.misaligned_penalty,
+        )
+
 
 @dataclass
 class StepTiming:

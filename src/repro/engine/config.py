@@ -1,0 +1,54 @@
+"""Engine-mode resolution.
+
+Every :class:`~repro.core.cpu.Cpu` resolves its execution engine at
+construction: an explicit ``engine=`` argument wins, then the
+process-wide default set by :func:`set_default_mode` (the CLI's
+``--engine`` flag), then the ``REPRO_ENGINE`` environment variable
+(which is how serve-pool worker processes inherit the flag), then the
+interpreter.  The interpreter stays the default so committed
+trajectories never silently depend on the translation layer.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from ..errors import ReproError
+
+#: Environment variable consulted when no explicit mode is given.
+ENV_VAR = "REPRO_ENGINE"
+
+MODES = ("interp", "block")
+
+_default: Optional[str] = None
+
+
+class EngineConfigError(ReproError):
+    """Unknown engine mode."""
+
+
+def _validate(mode: str) -> str:
+    if mode not in MODES:
+        raise EngineConfigError(
+            f"unknown engine mode {mode!r}; choose from {', '.join(MODES)}")
+    return mode
+
+
+def set_default_mode(mode: Optional[str]) -> None:
+    """Set (or with ``None`` clear) the process-wide default mode."""
+    global _default
+    _default = _validate(mode) if mode is not None else None
+
+
+def default_mode() -> str:
+    """The process-wide default: ``set_default_mode`` > env > interp."""
+    if _default is not None:
+        return _default
+    env = os.environ.get(ENV_VAR)
+    return _validate(env) if env else "interp"
+
+
+def resolve_mode(mode: Optional[str] = None) -> str:
+    """Resolve an explicit per-core mode against the defaults."""
+    return _validate(mode) if mode is not None else default_mode()

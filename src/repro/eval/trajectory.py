@@ -32,7 +32,7 @@ SCHEMA = "repro-trajectory/1"
 _CAPTURE_SUFFIXES = ("cycles", "instructions", "macs_per_cycle",
                      "quant_share", "speedup", "overlap_pct", "dma_bytes",
                      "jobs_per_sec", "us_per_job", "points_per_sec",
-                     "energy_uj", "area_mm2")
+                     "energy_uj", "area_mm2", "sim_ips")
 
 
 def _captured(key: str) -> bool:

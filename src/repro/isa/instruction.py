@@ -56,6 +56,14 @@ class InstrSpec:
         isa: name of the ISA subset this spec belongs to (``rv32i``,
             ``xpulpv2``, ``xpulpnn``, ...), used to build per-core
             instruction registries.
+        fusion: vectorizable-semantics descriptor for the block engine
+            (:mod:`repro.engine`), or ``None`` when the op has no batch
+            form and hot loops containing it run block-at-a-time.  The
+            first element names the handler family (``"load_post"``,
+            ``"dotp"``, ``"alu_rr"``, ...); the rest parameterize it.
+            ``("interp",)`` explicitly marks ops whose timing depends on
+            dynamic machine state (the quantization FSM) and must never
+            be folded into a fused superinstruction.
     """
 
     mnemonic: str
@@ -67,6 +75,7 @@ class InstrSpec:
     rd_is_src: bool = False
     size: int = 4
     isa: str = "rv32i"
+    fusion: Optional[Tuple] = None
 
     def __post_init__(self) -> None:
         if self.timing not in TIMING_CLASSES:

@@ -147,7 +147,8 @@ def _spec(mnemonic, fmt, fixed, syntax, execute, timing="alu", **kw) -> InstrSpe
 
 def _build_specs() -> List[InstrSpec]:
     specs: List[InstrSpec] = [
-        _spec("lui", "U", {"opcode": OPC_LUI}, ("rd", "imm"), _exec_lui),
+        _spec("lui", "U", {"opcode": OPC_LUI}, ("rd", "imm"), _exec_lui,
+              fusion=("lui",)),
         _spec("auipc", "U", {"opcode": OPC_AUIPC}, ("rd", "imm"), _exec_auipc),
         _spec("jal", "J", {"opcode": OPC_JAL}, ("rd", "label"), _exec_jal, timing="jump"),
         _spec(
@@ -184,6 +185,7 @@ def _build_specs() -> List[InstrSpec]:
             _spec(
                 mnemonic, "I", {"opcode": OPC_LOAD, "funct3": funct3},
                 ("rd", "imm(rs1)"), _load(size, signed), timing="load",
+                fusion=("load_imm", size, signed),
             )
         )
 
@@ -192,36 +194,38 @@ def _build_specs() -> List[InstrSpec]:
             _spec(
                 mnemonic, "S", {"opcode": OPC_STORE, "funct3": funct3},
                 ("rs2", "imm(rs1)"), _store(size), timing="store",
+                fusion=("store_imm", size),
             )
         )
 
     op_imms = [
-        ("addi", 0, lambda a, b: a + b),
-        ("slti", 2, _slt),
-        ("sltiu", 3, lambda a, b: 1 if u32(a) < u32(b) else 0),
-        ("xori", 4, lambda a, b: a ^ u32(b)),
-        ("ori", 6, lambda a, b: a | u32(b)),
-        ("andi", 7, lambda a, b: a & u32(b)),
+        ("addi", 0, lambda a, b: a + b, ("alu_imm", "add")),
+        ("slti", 2, _slt, ("alu_imm", "slt")),
+        ("sltiu", 3, lambda a, b: 1 if u32(a) < u32(b) else 0,
+         ("alu_imm", "sltu")),
+        ("xori", 4, lambda a, b: a ^ u32(b), ("alu_imm", "xor")),
+        ("ori", 6, lambda a, b: a | u32(b), ("alu_imm", "or")),
+        ("andi", 7, lambda a, b: a & u32(b), ("alu_imm", "and")),
     ]
-    for mnemonic, funct3, fn in op_imms:
+    for mnemonic, funct3, fn, fusion in op_imms:
         specs.append(
             _spec(
                 mnemonic, "I", {"opcode": OPC_OP_IMM, "funct3": funct3},
-                ("rd", "rs1", "imm"), _op_imm(fn),
+                ("rd", "rs1", "imm"), _op_imm(fn), fusion=fusion,
             )
         )
 
     shifts_imm = [
-        ("slli", 1, 0x00, lambda a, b: a << (b & 31)),
-        ("srli", 5, 0x00, _srl),
-        ("srai", 5, 0x20, _sra),
+        ("slli", 1, 0x00, lambda a, b: a << (b & 31), ("alu_imm", "sll")),
+        ("srli", 5, 0x00, _srl, ("alu_imm", "srl")),
+        ("srai", 5, 0x20, _sra, ("alu_imm", "sra")),
     ]
-    for mnemonic, funct3, funct7, fn in shifts_imm:
+    for mnemonic, funct3, funct7, fn, fusion in shifts_imm:
         specs.append(
             _spec(
                 mnemonic, "SH",
                 {"opcode": OPC_OP_IMM, "funct3": funct3, "funct7": funct7},
-                ("rd", "rs1", "imm"), _op_imm(fn),
+                ("rd", "rs1", "imm"), _op_imm(fn), fusion=fusion,
             )
         )
 
@@ -243,6 +247,7 @@ def _build_specs() -> List[InstrSpec]:
                 mnemonic, "R",
                 {"opcode": OPC_OP, "funct3": funct3, "funct7": funct7},
                 ("rd", "rs1", "rs2"), _op_rr(fn),
+                fusion=("alu_rr", mnemonic),
             )
         )
 

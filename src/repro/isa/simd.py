@@ -356,6 +356,8 @@ def make_simd_specs(
                         timing="mul",
                         rd_is_src=accumulate,
                         isa=isa,
+                        fusion=("dotp", width, a_signed, b_signed,
+                                accumulate, variant),
                     )
                 )
         if include_shuffle:

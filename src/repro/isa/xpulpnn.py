@@ -106,6 +106,10 @@ def _build_qnt_specs() -> List[InstrSpec]:
                 execute=_make_qnt_exec(suffix),
                 timing=timing,
                 isa=_ISA,
+                # The quantization FSM walks a threshold tree in data
+                # memory and stalls on misaligned reads — its cycle cost
+                # depends on runtime values, so it is interpreter-only.
+                fusion=("interp",),
             )
         )
     return specs

@@ -152,7 +152,8 @@ def _build_mem_specs() -> List[InstrSpec]:
         specs.append(
             _spec(f"p.l{suffix}", "I",
                   {"opcode": OPC_PULP_LOAD_POST, "funct3": funct3},
-                  ("rd", "imm(rs1!)"), _load_post_imm(size, signed), timing="load")
+                  ("rd", "imm(rs1!)"), _load_post_imm(size, signed), timing="load",
+                  fusion=("load_post", size, signed))
         )
         specs.append(
             _spec(f"p.l{suffix}rr", "R",
@@ -168,7 +169,8 @@ def _build_mem_specs() -> List[InstrSpec]:
         specs.append(
             _spec(f"p.s{suffix}", "S",
                   {"opcode": OPC_PULP_STORE_POST, "funct3": funct3},
-                  ("rs2", "imm(rs1!)"), _store_post_imm(size), timing="store")
+                  ("rs2", "imm(rs1!)"), _store_post_imm(size), timing="store",
+                  fusion=("store_post", size))
         )
     return specs
 
@@ -302,11 +304,13 @@ def _build_alu_specs() -> List[InstrSpec]:
         )
     specs.append(
         _spec("p.mac", "R", {"opcode": OPC_PULP_ALU, "funct3": 0, "funct7": 9},
-              ("rd", "rs1", "rs2"), _exec_mac, timing="mul", rd_is_src=True)
+              ("rd", "rs1", "rs2"), _exec_mac, timing="mul", rd_is_src=True,
+              fusion=("mac", 1))
     )
     specs.append(
         _spec("p.msu", "R", {"opcode": OPC_PULP_ALU, "funct3": 0, "funct7": 10},
-              ("rd", "rs1", "rs2"), _exec_msu, timing="mul", rd_is_src=True)
+              ("rd", "rs1", "rs2"), _exec_msu, timing="mul", rd_is_src=True,
+              fusion=("mac", -1))
     )
     specs.append(
         _spec("p.clip", "IU", {"opcode": OPC_PULP_ALU, "funct3": 1},
